@@ -1,0 +1,105 @@
+// Performance microbenchmarks (google-benchmark): compile throughput, the
+// two execution engines, and injection overhead — the practical costs that
+// determine how many trials a campaign can afford.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+using namespace faultlab;
+
+const char* kKernel = R"(
+  int a[256];
+  int main() {
+    int i; int j; long s = 0;
+    for (i = 0; i < 256; i++) a[i] = i * 3;
+    for (j = 0; j < 50; j++)
+      for (i = 0; i < 256; i++)
+        s += a[i] ^ (a[(i + j) & 255] >> 1);
+    print_int(s);
+    return 0;
+  }
+)";
+
+void BM_CompileFullPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto prog = driver::compile(kKernel, "bench");
+    benchmark::DoNotOptimize(prog.program().code.size());
+  }
+}
+BENCHMARK(BM_CompileFullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_CompileApps(benchmark::State& state) {
+  const auto& b = apps::all_benchmarks()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto prog = driver::compile(b.source, b.name);
+    benchmark::DoNotOptimize(prog.program().code.size());
+  }
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_CompileApps)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_VmExecution(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto r = prog.run_ir();
+    instructions += r.dynamic_instructions;
+    benchmark::DoNotOptimize(r.exit_value);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmExecution)->Unit(benchmark::kMillisecond);
+
+void BM_SimExecution(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto r = prog.run_asm();
+    instructions += r.dynamic_instructions;
+    benchmark::DoNotOptimize(r.exit_value);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimExecution)->Unit(benchmark::kMillisecond);
+
+void BM_LlfiInjectionTrial(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  fault::LlfiEngine engine(prog.module());
+  const std::uint64_t n = engine.profile(ir::Category::All);
+  Rng rng(1);
+  for (auto _ : state) {
+    Rng trial = rng.fork();
+    auto r = engine.inject(ir::Category::All, rng.range(1, n), trial);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+}
+BENCHMARK(BM_LlfiInjectionTrial)->Unit(benchmark::kMillisecond);
+
+void BM_PinfiInjectionTrial(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  fault::PinfiEngine engine(prog.program());
+  const std::uint64_t n = engine.profile(ir::Category::All);
+  Rng rng(1);
+  for (auto _ : state) {
+    Rng trial = rng.fork();
+    auto r = engine.inject(ir::Category::All, rng.range(1, n), trial);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+}
+BENCHMARK(BM_PinfiInjectionTrial)->Unit(benchmark::kMillisecond);
+
+void BM_ProfilingOverheadVm(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  fault::LlfiEngine engine(prog.module());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.profile(ir::Category::All));
+}
+BENCHMARK(BM_ProfilingOverheadVm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

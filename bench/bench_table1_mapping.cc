@@ -1,0 +1,168 @@
+// Table I: quantifies the IR <-> assembly mapping differences the paper
+// lists qualitatively, by counting both sides on real executions:
+//   row 1  getelementptr vs address-computation instructions (lea/imul)
+//   row 2  phi nodes vs phi-lowering copies and register spills
+//   row 3  calls vs caller/callee-save push/pop traffic (no IR counterpart)
+//   row 4  conditional branches vs jcc
+//   row 5  IR conversion casts vs assembly convert instructions
+#include <iostream>
+#include <map>
+
+#include "backend/isel.h"
+#include "ir/dominance.h"
+#include "frontend/codegen.h"
+#include "backend/phi_elim.h"
+#include "backend/regalloc.h"
+#include "common.h"
+#include "opt/pass.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace faultlab;
+
+struct IrHistogram final : vm::ExecHook {
+  std::map<ir::Opcode, std::uint64_t> counts;
+  std::uint64_t cond_branches = 0;
+  std::uint64_t conversion_casts = 0;
+  void on_instruction(const ir::Instruction& instr) override {
+    ++counts[instr.opcode()];
+    if (instr.opcode() == ir::Opcode::Br &&
+        static_cast<const ir::BranchInst&>(instr).is_conditional())
+      ++cond_branches;
+    if (ir::is_conversion_cast(instr.opcode())) ++conversion_casts;
+  }
+  std::uint64_t of(ir::Opcode op) const {
+    auto it = counts.find(op);
+    return it == counts.end() ? 0 : it->second;
+  }
+};
+
+struct AsmHistogram final : x86::SimHook {
+  std::map<x86::Op, std::uint64_t> counts;
+  void on_before(std::size_t, const x86::Inst& inst) override {
+    ++counts[inst.op];
+  }
+  std::uint64_t of(x86::Op op) const {
+    auto it = counts.find(op);
+    return it == counts.end() ? 0 : it->second;
+  }
+};
+
+/// Re-runs the backend to collect per-app register-allocation statistics.
+backend::RegAllocStats backend_stats(const std::string& source,
+                                     const std::string& name) {
+  auto module = mc::compile_to_ir(source, name);
+  opt::run_standard_pipeline(*module);
+  machine::GlobalLayout layout(*module);
+  for (const auto& f : module->functions()) {
+    if (f->is_builtin()) continue;
+    backend::split_critical_edges(*f);
+    // Instruction selection needs defs before uses in list order.
+    ir::DominatorTree dom(*f);
+    f->reorder_blocks(dom.reverse_postorder());
+  }
+  backend::LoweringContext ctx =
+      backend::LoweringContext::build(*module, layout);
+  backend::RegAllocStats total{};
+  for (const auto& f : module->functions()) {
+    if (f->is_builtin()) continue;
+    backend::IselResult sel = backend::select_instructions(*f, ctx);
+    backend::eliminate_phis(sel.mf, sel.phi_copies);
+    const backend::RegAllocStats s = backend::allocate_registers(sel.mf);
+    total.vregs += s.vregs;
+    total.spilled += s.spilled;
+    total.spill_loads += s.spill_loads;
+    total.spill_stores += s.spill_stores;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_banner(
+      "Table I: IR<->assembly mapping differences, quantified", 0);
+
+  auto apps = benchx::compile_all_apps();
+
+  TextTable gep({"Benchmark", "gep (dyn IR)", "lea (dyn asm)",
+                 "imul (dyn asm)", "folded into addressing"});
+  TextTable phi({"Benchmark", "phi (dyn IR)", "static spills", "spill ld+st",
+                 "vregs"});
+  TextTable call({"Benchmark", "call (dyn IR)", "push (dyn asm)",
+                  "pop (dyn asm)", "asm-only save traffic"});
+  TextTable branch({"Benchmark", "cond br (dyn IR)", "jcc (dyn asm)"});
+  TextTable cast({"Benchmark", "conv casts (dyn IR)", "cvt* (dyn asm)",
+                  "ratio"});
+
+  for (auto& app : apps) {
+    IrHistogram irh;
+    AsmHistogram ah;
+    {
+      vm::Interpreter vmr(app.program.module(), &irh);
+      if (!vmr.run().completed()) return 1;
+    }
+    {
+      x86::Simulator sim(app.program.program(), &ah);
+      if (!sim.run().completed()) return 1;
+    }
+    const auto stats =
+        backend_stats(apps::benchmark(app.name).source, app.name);
+
+    const std::uint64_t geps = irh.of(ir::Opcode::Gep);
+    const std::uint64_t leas = ah.of(x86::Op::Lea);
+    char foldbuf[32];
+    std::snprintf(foldbuf, sizeof foldbuf, "%.0f%%",
+                  geps == 0 ? 0.0
+                            : 100.0 * (1.0 - std::min<double>(1.0,
+                                  static_cast<double>(leas) /
+                                      static_cast<double>(geps))));
+    gep.add_row({app.name, format_count(geps), format_count(leas),
+                 format_count(ah.of(x86::Op::Imul)), foldbuf});
+
+    phi.add_row({app.name, format_count(irh.of(ir::Opcode::Phi)),
+                 std::to_string(stats.spilled),
+                 std::to_string(stats.spill_loads + stats.spill_stores),
+                 std::to_string(stats.vregs)});
+
+    const std::uint64_t pushes = ah.of(x86::Op::Push);
+    const std::uint64_t pops = ah.of(x86::Op::Pop);
+    call.add_row({app.name, format_count(irh.of(ir::Opcode::Call)),
+                  format_count(pushes), format_count(pops),
+                  format_count(pushes + pops)});
+
+    branch.add_row({app.name, format_count(irh.cond_branches),
+                    format_count(ah.of(x86::Op::Jcc))});
+
+    const std::uint64_t cvts =
+        ah.of(x86::Op::Cvtsi2sd) + ah.of(x86::Op::Cvttsd2si);
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.3f",
+                  irh.conversion_casts == 0
+                      ? 0.0
+                      : static_cast<double>(cvts) /
+                            static_cast<double>(irh.conversion_casts));
+    cast.add_row({app.name, format_count(irh.conversion_casts),
+                  format_count(cvts), ratio});
+  }
+
+  std::cout << "\nRow 1 - GetElementPtr: most GEPs fold into [base+index*"
+               "scale+disp] addressing\nand emit no instruction; the rest "
+               "become lea/imul (arithmetic to PINFI):\n"
+            << gep.to_string();
+  std::cout << "\nRow 2 - PHI nodes: lowered to register copies; under "
+               "pressure they spill\n(register-to-stack traffic with no IR "
+               "counterpart):\n"
+            << phi.to_string();
+  std::cout << "\nRow 3 - Function calls: prologue/epilogue push/pop has no "
+               "IR counterpart,\nso LLFI can never inject into it:\n"
+            << call.to_string();
+  std::cout << "\nRow 4 - Conditional branches map 1:1 onto jcc:\n"
+            << branch.to_string();
+  std::cout << "\nRow 5 - Type casts: far fewer convert instructions at the "
+               "assembly level\n(zext/sext/trunc vanish into register "
+               "widths):\n"
+            << cast.to_string();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table II: characteristics of the benchmark programs — plus the category
+// definitions of Table III, since both are part of the experimental setup.
+#include <iostream>
+#include <sstream>
+
+#include "common.h"
+#include "support/table.h"
+
+namespace {
+
+std::size_t line_count(const std::string& text) {
+  std::size_t lines = 0;
+  for (char c : text)
+    if (c == '\n') ++lines;
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  using namespace faultlab;
+  benchx::print_banner("Table II: characteristics of benchmark programs", 0);
+
+  TextTable table({"Benchmark", "Suite", "Lines", "Input",
+                   "dyn IR instrs", "dyn asm instrs"});
+  auto apps = benchx::compile_all_apps();
+  for (auto& app : apps) {
+    const auto& meta = apps::benchmark(app.name);
+    const auto r_ir = app.program.run_ir();
+    const auto r_asm = app.program.run_asm();
+    table.add_row({app.name, meta.suite, std::to_string(line_count(meta.source)),
+                   meta.input, format_count(r_ir.dynamic_instructions),
+                   format_count(r_asm.dynamic_instructions)});
+  }
+  std::cout << table.to_string() << "\n";
+
+  std::cout << "Descriptions:\n";
+  for (const auto& b : apps::all_benchmarks())
+    std::cout << "  " << b.name << ": " << b.description << "\n";
+
+  std::cout << "\nTable III: fault-injection instruction categories\n";
+  TextTable cats({"Category", "LLFI selection (IR)", "PINFI selection (asm)"});
+  cats.add_row({"arithmetic", "integer/fp arithmetic & logic ops",
+                "ALU + SSE arithmetic incl. lea/address computation"});
+  cats.add_row({"cast", "conversion casts (trunc/zext/sext/fptosi/sitofp)",
+                "'convert' category: cvtsi2sd / cvttsd2si"});
+  cats.add_row({"cmp", "icmp / fcmp instructions",
+                "cmp/test/ucomisd whose next instruction is a cond. jump"});
+  cats.add_row({"load", "load instructions",
+                "mov with memory source and register destination"});
+  cats.add_row({"all", "all instructions with a destination register",
+                "all instructions with a destination register"});
+  std::cout << cats.to_string();
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "common.h"
+
+#include <iostream>
+
+namespace faultlab::benchx {
+
+std::vector<CompiledApp> compile_all_apps() {
+  std::vector<CompiledApp> out;
+  for (const auto& b : apps::all_benchmarks())
+    out.push_back({b.name, driver::compile(b.source, b.name)});
+  return out;
+}
+
+fault::ResultSet run_experiment(const std::vector<CompiledApp>& apps,
+                                const std::vector<ir::Category>& categories,
+                                std::size_t trials,
+                                const fault::FaultModel& model,
+                                std::uint64_t seed) {
+  fault::ResultSet rs;
+  for (const CompiledApp& app : apps) {
+    fault::LlfiEngine llfi(app.program.module(), model);
+    fault::PinfiEngine pinfi(app.program.program(), model);
+    for (ir::Category category : categories) {
+      fault::CampaignConfig cfg;
+      cfg.app = app.name;
+      cfg.category = category;
+      cfg.trials = trials;
+      cfg.seed = seed;
+      rs.add(fault::run_campaign(llfi, cfg));
+      rs.add(fault::run_campaign(pinfi, cfg));
+      std::cerr << "  [" << app.name << " / " << ir::category_name(category)
+                << "] done\n";
+    }
+  }
+  return rs;
+}
+
+void print_banner(const std::string& what, std::size_t trials) {
+  std::cout
+      << "================================================================\n"
+      << what << "\n"
+      << "Reproduction of Wei et al., \"Quantifying the Accuracy of "
+         "High-Level\nFault Injection Techniques for Hardware Faults\" "
+         "(DSN 2014)\n"
+      << "Trials per (app x tool x category): " << trials
+      << "  (set FAULTLAB_TRIALS to change; the paper uses 1000)\n"
+      << "================================================================\n";
+}
+
+void save_results(const fault::ResultSet& rs, const std::string& filename) {
+  fault::results_csv(rs).save(filename);
+  std::cout << "\n[results written to ./" << filename << "]\n";
+}
+
+}  // namespace faultlab::benchx

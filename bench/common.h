@@ -1,0 +1,40 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Each binary is self-contained: it compiles the six
+// benchmarks, runs the campaigns it needs, prints the paper-shaped table,
+// and drops a CSV next to the binary for downstream tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "driver/pipeline.h"
+#include "fault/campaign.h"
+#include "fault/llfi.h"
+#include "fault/pinfi.h"
+#include "fault/report.h"
+
+namespace faultlab::benchx {
+
+struct CompiledApp {
+  std::string name;
+  driver::CompiledProgram program;
+};
+
+/// Compiles all six benchmarks through the full pipeline.
+std::vector<CompiledApp> compile_all_apps();
+
+/// Runs LLFI+PINFI campaigns for the given categories over all apps.
+fault::ResultSet run_experiment(const std::vector<CompiledApp>& apps,
+                                const std::vector<ir::Category>& categories,
+                                std::size_t trials,
+                                const fault::FaultModel& model = {},
+                                std::uint64_t seed = 0xDA7A5EED);
+
+/// Prints a standard experiment banner (paper reference + trial count).
+void print_banner(const std::string& what, std::size_t trials);
+
+/// Saves a CSV beside the current working directory, reporting the path.
+void save_results(const fault::ResultSet& rs, const std::string& filename);
+
+}  // namespace faultlab::benchx

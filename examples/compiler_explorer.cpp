@@ -1,0 +1,84 @@
+// Compiler explorer: shows the IR <-> assembly mapping the paper's Table I
+// discusses, live. Give it a mini-C file, or run it bare for a built-in
+// sample that exercises every Table I row (GEP folding, phi lowering, call
+// overhead, branch fusion, vanishing casts).
+//
+//   ./build/examples/compiler_explorer [source.mc]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/pipeline.h"
+#include "ir/printer.h"
+#include "x86/printer.h"
+
+namespace {
+
+const char* kSample = R"(
+// Table I row 1: a[i] folds into an addressing mode; s[i].y needs imul.
+struct Wide { long x; long y; int z; };    // 24 bytes: not a power of two
+int a[64];
+struct Wide s[8];
+
+long row1_gep(int i) { return a[i] + s[i].y; }
+
+// Row 2: the loop-carried variable becomes a phi after mem2reg.
+int row2_phi(int n) {
+  int acc = 1;
+  int i;
+  for (i = 0; i < n; i++) acc = acc * 3 + i;
+  return acc;
+}
+
+// Row 3: calls get prologue/epilogue push/pop with no IR counterpart.
+int row3_callee(int v) { return v * 2; }
+
+// Row 4: the comparison fuses into cmp+jl.
+int row4_branch(int x) { if (x < 10) return 1; return 0; }
+
+// Row 5: the char->int conversions vanish at the assembly level.
+int row5_casts(char c) { int w = c; long l = w; return (int)l; }
+
+int main() {
+  print_int(row1_gep(3) + row2_phi(5) + row3_callee(7) + row4_branch(2) +
+            row5_casts('A'));
+  return 0;
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace faultlab;
+
+  std::string source = kSample;
+  std::string name = "sample";
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+    name = argv[1];
+  }
+
+  driver::CompiledProgram prog = driver::compile(source, name);
+
+  std::cout << "==================== optimized IR ====================\n";
+  std::cout << ir::to_string(prog.module());
+  std::cout << "==================== x86-flavoured assembly ==========\n";
+  std::cout << x86::to_string(prog.program());
+
+  const auto r = prog.run_asm();
+  std::cout << "==================== execution =======================\n";
+  if (r.completed()) {
+    std::cout << r.output << "(exit " << r.exit_value << ", "
+              << r.dynamic_instructions << " instructions)\n";
+  } else {
+    std::cout << "program did not complete\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Propagation tracing: follow one bit flip through a program — the LLFI
+// capability the paper's Section III describes ("enables tracing the
+// propagation of the fault among instructions in the program").
+//
+//   ./build/examples/propagation_trace [app] [category] [samples]
+//
+// For each sampled injection the tracer reports how far the corruption
+// spread (values, memory bytes, branches, program output) and what the
+// run's final outcome was — the raw material for answering "why did this
+// particular fault become an SDC while that one stayed benign?"
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/apps.h"
+#include "driver/pipeline.h"
+#include "fault/llfi.h"
+#include "fault/propagation.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace faultlab;
+
+  const std::string app = argc > 1 ? argv[1] : "mcf";
+  const auto category =
+      ir::category_from_name(argc > 2 ? argv[2] : "all");
+  const std::size_t samples =
+      argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 8;
+  if (!category) {
+    std::cerr << "unknown category: " << argv[2] << "\n";
+    return 2;
+  }
+
+  driver::CompiledProgram prog =
+      driver::compile(apps::benchmark(app).source, app);
+  fault::LlfiEngine llfi(prog.module());
+  const std::uint64_t n = llfi.profile(*category);
+  std::cout << "Tracing " << samples << " injections into '" << app
+            << "' (category " << ir::category_name(*category) << ", " << n
+            << " dynamic targets)\n\n";
+
+  TextTable table({"k", "bit", "outcome", "values", "sites", "mem bytes",
+                   "branches", "outputs"});
+  Rng rng(7);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::uint64_t k = rng.range(1, n);
+    const unsigned bit = static_cast<unsigned>(rng.below(64));
+    const fault::PropagationTrace t = fault::trace_propagation(
+        prog.module(), *category, k, bit, llfi.golden_output());
+    table.add_row({std::to_string(k), std::to_string(bit),
+                   fault::outcome_name(t.outcome),
+                   std::to_string(t.contaminated_values),
+                   std::to_string(t.contaminated_sites.size()),
+                   std::to_string(t.contaminated_memory_bytes),
+                   std::to_string(t.contaminated_branches),
+                   std::to_string(t.contaminated_outputs)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nReading: SDCs show contamination reaching 'outputs'; "
+               "benign faults show small,\nself-contained footprints; "
+               "crashes often show memory contamination shortly before\n"
+               "the trap. Values/sites measure dynamic vs static spread.\n";
+  return 0;
+}

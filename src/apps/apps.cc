@@ -1,0 +1,43 @@
+#include "apps/apps.h"
+
+#include <stdexcept>
+
+namespace faultlab::apps {
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> benchmarks = {
+      {"bzip2", "SPEC-mini",
+       "File compression and decompression (RLE + move-to-front + bit "
+       "packing) with round-trip verification",
+       "4 KiB synthetic runs-and-text buffer", bzip2_source()},
+      {"libquantum", "SPEC-mini",
+       "Simulation of a quantum computer: 8-qubit state vector, "
+       "Hadamard/CNOT/phase gates, Grover iterations",
+       "8 qubits, 12 Grover iterations", libquantum_source()},
+      {"ocean", "SPLASH2-mini",
+       "Large-scale ocean movement simulation: red-black Gauss-Seidel "
+       "relaxation of a 2-D current grid",
+       "34x34 grid, 40 sweeps", ocean_source()},
+      {"hmmer", "SPEC-mini",
+       "Profile-HMM sensitive database search: integer Viterbi dynamic "
+       "programming over synthetic sequences",
+       "32-state profile, 12 sequences of length 96", hmmer_source()},
+      {"mcf", "SPEC-mini",
+       "Single-depot vehicle scheduling: successive-shortest-path "
+       "min-cost flow on a pointer-linked network",
+       "48-node, 170-arc synthetic network", mcf_source()},
+      {"raytrace", "SPLASH2-mini",
+       "Renders a three-dimensional scene using ray tracing: sphere "
+       "intersection, Lambert shading, shadow rays",
+       "28x28 image, 7 spheres", raytrace_source()},
+  };
+  return benchmarks;
+}
+
+const Benchmark& benchmark(const std::string& name) {
+  for (const Benchmark& b : all_benchmarks())
+    if (b.name == name) return b;
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+}  // namespace faultlab::apps

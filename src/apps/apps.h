@@ -1,0 +1,37 @@
+// The six miniature benchmarks (Table II analogues).
+//
+// Each preserves the computational character of its SPEC / SPLASH-2
+// original (see DESIGN.md §5): the dynamic instruction *mix* is what the
+// paper's category-level results depend on, so that is what these are
+// built to match — scaled to complete in well under a second per run so
+// thousands of injection trials are feasible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace faultlab::apps {
+
+struct Benchmark {
+  std::string name;         // bzip2, libquantum, ocean, hmmer, mcf, raytrace
+  std::string suite;        // "SPEC-mini" or "SPLASH2-mini"
+  std::string description;  // Table II description analogue
+  std::string input;        // input characterization
+  std::string source;       // mini-C source text
+};
+
+/// All six benchmarks in the paper's Table II order.
+const std::vector<Benchmark>& all_benchmarks();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const Benchmark& benchmark(const std::string& name);
+
+// Per-app source accessors (defined in the per-app translation units).
+std::string bzip2_source();
+std::string libquantum_source();
+std::string ocean_source();
+std::string hmmer_source();
+std::string mcf_source();
+std::string raytrace_source();
+
+}  // namespace faultlab::apps

@@ -1,0 +1,250 @@
+// bzip2-mini: compression/decompression with round-trip verification.
+//
+// Pipeline (a compact stand-in for bzip2's RLE + BWT + MTF + Huffman):
+// run-length encoding, a move-to-front transform over a 256-entry alphabet
+// table, and variable-length bit packing keyed on symbol magnitude. Like
+// the original it is dominated by byte-array indexing and table updates —
+// the address-computation-heavy profile behind the paper's bzip2
+// 'arithmetic' and 'cast' observations.
+#include "apps/apps.h"
+
+namespace faultlab::apps {
+
+std::string bzip2_source() {
+  return R"MC(
+// ---- bzip2-mini: RLE + MTF + bit packing, with verification ----
+
+char input[4096];
+char rle[5120];
+char mtf[5120];
+char packed[6144];
+char unpacked[5120];
+char unmtf[5120];
+char output[4096];
+char table[256];
+char dtable[256];
+
+long lcg_state = 12345;
+
+int lcg_next() {
+  lcg_state = lcg_state * 6364136223846793005L + 1442695040888963407L;
+  return (int)((lcg_state >> 33) & 0x7fffffff);
+}
+
+// Synthesize compressible data: long runs mixed with small-alphabet text.
+int make_input() {
+  int pos = 0;
+  while (pos < 4096) {
+    int mode = lcg_next() % 10;
+    if (mode < 4) {
+      int run = 3 + lcg_next() % 60;
+      char byte = (char)(lcg_next() % 16);
+      int i;
+      for (i = 0; i < run; i++) {
+        if (pos >= 4096) break;
+        input[pos] = byte;
+        pos++;
+      }
+    } else {
+      int span = 1 + lcg_next() % 12;
+      int i;
+      for (i = 0; i < span; i++) {
+        if (pos >= 4096) break;
+        input[pos] = (char)(32 + lcg_next() % 48);
+        pos++;
+      }
+    }
+  }
+  return pos;
+}
+
+// Run-length encode: literal bytes, runs >= 4 become (byte x4, count).
+int rle_encode(int n) {
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    char byte = input[i];
+    int run = 1;
+    while (i + run < n && input[i + run] == byte && run < 255) run++;
+    if (run >= 4) {
+      rle[out] = byte; rle[out + 1] = byte;
+      rle[out + 2] = byte; rle[out + 3] = byte;
+      rle[out + 4] = (char)(run - 4);
+      out += 5;
+      i += run;
+    } else {
+      int k;
+      for (k = 0; k < run; k++) { rle[out] = byte; out++; }
+      i += run;
+    }
+  }
+  return out;
+}
+
+int rle_decode(int n) {
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    char byte = rle[i];
+    if (i + 4 < n && rle[i + 1] == byte && rle[i + 2] == byte &&
+        rle[i + 3] == byte) {
+      int count = 4 + (unpacked_count_helper(rle[i + 4]));
+      int k;
+      for (k = 0; k < count; k++) { output[out] = byte; out++; }
+      i += 5;
+    } else {
+      output[out] = byte; out++;
+      i++;
+    }
+  }
+  return out;
+}
+
+int unpacked_count_helper(char c) {
+  int v = (int)c;
+  return v & 255;
+}
+
+// Move-to-front transform over the encoder table.
+int mtf_encode(int n) {
+  int i;
+  for (i = 0; i < 256; i++) table[i] = (char)i;
+  for (i = 0; i < n; i++) {
+    int byte = ((int)rle[i]) & 255;
+    int j = 0;
+    while ((((int)table[j]) & 255) != byte) j++;
+    mtf[i] = (char)j;
+    while (j > 0) { table[j] = table[j - 1]; j--; }
+    table[0] = (char)byte;
+  }
+  return n;
+}
+
+int mtf_decode(int n) {
+  int i;
+  for (i = 0; i < 256; i++) dtable[i] = (char)i;
+  for (i = 0; i < n; i++) {
+    int j = ((int)unpacked[i]) & 255;
+    char byte = dtable[j];
+    unmtf[i] = byte;
+    while (j > 0) { dtable[j] = dtable[j - 1]; j--; }
+    dtable[0] = byte;
+  }
+  return n;
+}
+
+// Variable-length packing: small MTF codes (the common case) take fewer
+// bits. 0 -> '10', 1-15 -> '110'+4 bits, else '111'+8 bits, bitwise I/O.
+long bitpos = 0;
+
+int put_bits(int value, int count) {
+  int i;
+  for (i = count - 1; i >= 0; i--) {
+    long bytei = bitpos >> 3;
+    int biti = (int)(bitpos & 7);
+    int bit = (value >> i) & 1;
+    int cur = ((int)packed[bytei]) & 255;
+    if (bit != 0) cur = cur | (1 << (7 - biti));
+    packed[bytei] = (char)cur;
+    bitpos++;
+  }
+  return 0;
+}
+
+int pack(int n) {
+  bitpos = 0;
+  long k = 0;
+  for (k = 0; k < 6144; k++) packed[k] = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int v = ((int)mtf[i]) & 255;
+    if (v == 0) {
+      put_bits(2, 2);
+    } else if (v < 16) {
+      put_bits(6, 3);
+      put_bits(v, 4);
+    } else {
+      put_bits(7, 3);
+      put_bits(v, 8);
+    }
+  }
+  return (int)((bitpos + 7) >> 3);
+}
+
+long rdpos = 0;
+
+int get_bits(int count) {
+  int value = 0;
+  int i;
+  for (i = 0; i < count; i++) {
+    long bytei = rdpos >> 3;
+    int biti = (int)(rdpos & 7);
+    int bit = (((int)packed[bytei]) >> (7 - biti)) & 1;
+    value = (value << 1) | bit;
+    rdpos++;
+  }
+  return value;
+}
+
+int unpack(int n) {
+  rdpos = 0;
+  int out = 0;
+  while (out < n) {
+    int b0 = get_bits(1);
+    if (b0 == 1) {
+      int b1 = get_bits(1);
+      if (b1 == 0) {
+        unpacked[out] = 0;
+      } else {
+        int b2 = get_bits(1);
+        if (b2 == 0) unpacked[out] = (char)get_bits(4);
+        else unpacked[out] = (char)get_bits(8);
+      }
+    } else {
+      unpacked[out] = 0;  // '0' prefix unused by the encoder
+    }
+    out++;
+  }
+  return out;
+}
+
+long checksum(char* buf, int n) {
+  long h = 5381;
+  int i;
+  for (i = 0; i < n; i++) {
+    h = h * 33 + (((int)buf[i]) & 255);
+    h = h & 0xffffffffffffL;
+  }
+  return h;
+}
+
+int main() {
+  int n = make_input();
+  int rle_n = rle_encode(n);
+  int mtf_n = mtf_encode(rle_n);
+  int packed_n = pack(mtf_n);
+
+  int un_n = unpack(mtf_n);
+  mtf_decode(un_n);
+  int i;
+  for (i = 0; i < un_n; i++) rle[i] = unmtf[i];
+  int out_n = rle_decode(un_n);
+
+  int mismatches = 0;
+  for (i = 0; i < n; i++) {
+    if (output[i] != input[i]) mismatches++;
+  }
+
+  print_int(n);
+  print_int(rle_n);
+  print_int(packed_n);
+  print_int(out_n);
+  print_int(mismatches);
+  print_int(checksum(input, n));
+  print_int(checksum(output, out_n));
+  return mismatches;
+}
+)MC";
+}
+
+}  // namespace faultlab::apps

@@ -1,0 +1,145 @@
+// hmmer-mini: profile-HMM sensitive database search.
+//
+// Integer Viterbi dynamic programming of a 32-state profile HMM (match /
+// insert / delete states, position-specific emission and transition
+// scores) against a batch of synthetic sequences. DP-table loads dominate,
+// as in the original hmmer's P7Viterbi kernel.
+#include "apps/apps.h"
+
+namespace faultlab::apps {
+
+std::string hmmer_source() {
+  return R"MC(
+// ---- hmmer-mini: Viterbi over a 32-state profile HMM ----
+
+int match_emit[640];    // 32 states (+pad) x 20 residues
+int insert_emit[20];
+int tr_mm[33]; int tr_mi[33]; int tr_md[33];
+int tr_im[33]; int tr_ii[33];
+int tr_dm[33]; int tr_dd[33];
+
+int vm_row[33]; int vi_row[33]; int vd_row[33];
+int vm_prev[33]; int vi_prev[33]; int vd_prev[33];
+
+char seq[96];
+
+long lcg_state = 424242;
+
+int lcg_next() {
+  lcg_state = lcg_state * 6364136223846793005L + 1442695040888963407L;
+  return (int)((lcg_state >> 33) & 0x7fffffff);
+}
+
+int neg_inf() { return -100000000; }
+
+int max2(int a, int b) { if (a > b) return a; return b; }
+int max3(int a, int b, int c) { return max2(max2(a, b), c); }
+
+int build_model() {
+  int s; int r;
+  for (s = 0; s < 32; s++) {
+    for (r = 0; r < 20; r++) {
+      match_emit[s * 20 + r] = (lcg_next() % 13) - 6;
+    }
+  }
+  for (r = 0; r < 20; r++) insert_emit[r] = -1 - lcg_next() % 2;
+  for (s = 0; s <= 32; s++) {
+    tr_mm[s] = -(lcg_next() % 3);
+    tr_mi[s] = -4 - lcg_next() % 4;
+    tr_md[s] = -5 - lcg_next() % 4;
+    tr_im[s] = -2 - lcg_next() % 3;
+    tr_ii[s] = -3 - lcg_next() % 3;
+    tr_dm[s] = -2 - lcg_next() % 3;
+    tr_dd[s] = -4 - lcg_next() % 3;
+  }
+  return 0;
+}
+
+int make_sequence(int which, int length) {
+  int i;
+  // A few sequences are "homologous": biased toward high-scoring residues.
+  int biased = (which % 3) == 0;
+  for (i = 0; i < length; i++) {
+    if (biased && (i % 2) == 0) {
+      // Pick the best-scoring residue for the state this position aligns to.
+      int state = i % 32;
+      int best_r = 0;
+      int best = neg_inf();
+      int r;
+      for (r = 0; r < 20; r++) {
+        if (match_emit[state * 20 + r] > best) {
+          best = match_emit[state * 20 + r];
+          best_r = r;
+        }
+      }
+      seq[i] = (char)best_r;
+    } else {
+      seq[i] = (char)(lcg_next() % 20);
+    }
+  }
+  return length;
+}
+
+// Viterbi score of seq[0..len) against the 32-state profile.
+int viterbi(int len) {
+  int s; int i;
+  for (s = 0; s <= 32; s++) {
+    vm_prev[s] = neg_inf();
+    vi_prev[s] = neg_inf();
+    vd_prev[s] = neg_inf();
+  }
+  vm_prev[0] = 0;
+
+  int best_final = neg_inf();
+  for (i = 0; i < len; i++) {
+    int residue = ((int)seq[i]) & 255;
+    vm_row[0] = neg_inf(); vi_row[0] = neg_inf(); vd_row[0] = neg_inf();
+    for (s = 1; s <= 32; s++) {
+      int em = match_emit[(s - 1) * 20 + residue];
+      int from_m = vm_prev[s - 1] + tr_mm[s - 1];
+      int from_i = vi_prev[s - 1] + tr_im[s - 1];
+      int from_d = vd_prev[s - 1] + tr_dm[s - 1];
+      vm_row[s] = max3(from_m, from_i, from_d) + em;
+
+      int ie = insert_emit[residue];
+      vi_row[s] = max2(vm_prev[s] + tr_mi[s], vi_prev[s] + tr_ii[s]) + ie;
+
+      vd_row[s] = max2(vm_row[s - 1] + tr_md[s - 1],
+                       vd_row[s - 1] + tr_dd[s - 1]);
+    }
+    for (s = 0; s <= 32; s++) {
+      vm_prev[s] = vm_row[s];
+      vi_prev[s] = vi_row[s];
+      vd_prev[s] = vd_row[s];
+    }
+    if (vm_row[32] > best_final) best_final = vm_row[32];
+  }
+  return best_final;
+}
+
+int main() {
+  build_model();
+  int nseq = 12;
+  int hits = 0;
+  long score_sum = 0;
+  int best_score = neg_inf();
+  int best_seq = -1;
+  int k;
+  for (k = 0; k < nseq; k++) {
+    int len = make_sequence(k, 96);
+    int score = viterbi(len);
+    score_sum = score_sum + score;
+    if (score > 40) hits++;
+    if (score > best_score) { best_score = score; best_seq = k; }
+  }
+  print_int(nseq);
+  print_int(hits);
+  print_int(best_score);
+  print_int(best_seq);
+  print_int(score_sum);
+  return 0;
+}
+)MC";
+}
+
+}  // namespace faultlab::apps

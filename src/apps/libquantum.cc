@@ -1,0 +1,133 @@
+// libquantum-mini: quantum computer simulation.
+//
+// An 8-qubit state vector (256 complex amplitudes) driven through
+// Hadamard, controlled-NOT and conditional-phase gates, then Grover
+// search iterations. Like the original, the work is dominated by sweeps
+// that move amplitude data between state-vector slots — the data-movement
+// profile behind the paper's libquantum 'load' observation.
+#include "apps/apps.h"
+
+namespace faultlab::apps {
+
+std::string libquantum_source() {
+  return R"MC(
+// ---- libquantum-mini: 8-qubit state vector + Grover iterations ----
+
+double re[256];
+double im[256];
+double tre[256];
+double tim[256];
+
+int nstates = 256;
+
+int hadamard(int qubit) {
+  int mask = 1 << qubit;
+  double s = 0.70710678118654752;
+  int i;
+  for (i = 0; i < nstates; i++) {
+    tre[i] = re[i];
+    tim[i] = im[i];
+  }
+  for (i = 0; i < nstates; i++) {
+    int partner = i ^ mask;
+    if ((i & mask) == 0) {
+      re[i] = s * (tre[i] + tre[partner]);
+      im[i] = s * (tim[i] + tim[partner]);
+    } else {
+      re[i] = s * (tre[partner] - tre[i]);
+      im[i] = s * (tim[partner] - tim[i]);
+    }
+  }
+  return 0;
+}
+
+int cnot(int control, int target) {
+  int cmask = 1 << control;
+  int tmask = 1 << target;
+  int i;
+  for (i = 0; i < nstates; i++) {
+    if ((i & cmask) != 0 && (i & tmask) == 0) {
+      int partner = i | tmask;
+      double r = re[i]; double m = im[i];
+      re[i] = re[partner]; im[i] = im[partner];
+      re[partner] = r; im[partner] = m;
+    }
+  }
+  return 0;
+}
+
+// Conditional phase flip of the marked state (the Grover oracle).
+int oracle(int marked) {
+  re[marked] = 0.0 - re[marked];
+  im[marked] = 0.0 - im[marked];
+  return 0;
+}
+
+// Inversion about the mean (the Grover diffusion operator).
+int diffuse() {
+  double mean_r = 0.0;
+  double mean_i = 0.0;
+  int i;
+  for (i = 0; i < nstates; i++) {
+    mean_r = mean_r + re[i];
+    mean_i = mean_i + im[i];
+  }
+  mean_r = mean_r / (double)nstates;
+  mean_i = mean_i / (double)nstates;
+  for (i = 0; i < nstates; i++) {
+    re[i] = 2.0 * mean_r - re[i];
+    im[i] = 2.0 * mean_i - im[i];
+  }
+  return 0;
+}
+
+double probability(int state) {
+  return re[state] * re[state] + im[state] * im[state];
+}
+
+int main() {
+  int i;
+  int q;
+  for (i = 0; i < nstates; i++) { re[i] = 0.0; im[i] = 0.0; }
+  re[0] = 1.0;
+
+  // Uniform superposition.
+  for (q = 0; q < 8; q++) hadamard(q);
+
+  // Entangle a few qubit pairs (circuit warm-up, exercises data movement).
+  cnot(0, 3);
+  cnot(1, 4);
+  cnot(2, 5);
+  cnot(0, 3);
+  cnot(1, 4);
+  cnot(2, 5);
+
+  int marked = 151;
+  int iter;
+  for (iter = 0; iter < 12; iter++) {
+    oracle(marked);
+    diffuse();
+  }
+
+  double p_marked = probability(marked);
+  double total = 0.0;
+  for (i = 0; i < nstates; i++) total = total + probability(i);
+
+  // Amplitude checksum: quantized so tiny fp noise does not flip output.
+  long check = 0;
+  for (i = 0; i < nstates; i++) {
+    long qre = (long)(re[i] * 1000000.0);
+    long qim = (long)(im[i] * 1000000.0);
+    check = (check * 31 + qre + qim) & 0xffffffffffffL;
+  }
+
+  print_int((long)(p_marked * 1000000.0));
+  print_int((long)(total * 1000000.0));
+  print_int(check);
+  print_int(marked);
+  return 0;
+}
+)MC";
+}
+
+}  // namespace faultlab::apps

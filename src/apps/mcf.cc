@@ -1,0 +1,185 @@
+// mcf-mini: single-depot vehicle scheduling as min-cost flow.
+//
+// Successive shortest paths with Bellman-Ford over a pointer-linked
+// residual network (struct Arc / struct NodeInfo with next pointers, as in
+// the original's linked arc lists). Pointer chasing and control flow
+// dominate; struct field access exercises non-power-of-two GEP scaling.
+#include "apps/apps.h"
+
+namespace faultlab::apps {
+
+std::string mcf_source() {
+  return R"MC(
+// ---- mcf-mini: successive-shortest-path min-cost flow ----
+
+struct Arc {
+  int to;
+  int capacity;
+  int cost;
+  int flow;
+  struct Arc* rev;     // reverse (residual) arc
+  struct Arc* next;    // next arc out of the same node
+};
+
+struct NodeInfo {
+  struct Arc* first;
+  int dist;
+  int in_queue;
+  struct Arc* pred;
+  int pred_from;
+};
+
+struct NodeInfo nodes[48];
+int queue[4096];
+
+int nnodes = 48;
+long lcg_state = 777;
+
+int lcg_next() {
+  lcg_state = lcg_state * 6364136223846793005L + 1442695040888963407L;
+  return (int)((lcg_state >> 33) & 0x7fffffff);
+}
+
+struct Arc* new_arc(int to, int capacity, int cost) {
+  struct Arc* a = (struct Arc*)malloc(sizeof(struct Arc));
+  a->to = to;
+  a->capacity = capacity;
+  a->cost = cost;
+  a->flow = 0;
+  a->rev = (struct Arc*)0;
+  a->next = (struct Arc*)0;
+  return a;
+}
+
+int add_edge(int from, int to, int capacity, int cost) {
+  struct Arc* fwd = new_arc(to, capacity, cost);
+  struct Arc* bwd = new_arc(from, 0, -cost);
+  fwd->rev = bwd;
+  bwd->rev = fwd;
+  fwd->next = nodes[from].first;
+  nodes[from].first = fwd;
+  bwd->next = nodes[to].first;
+  nodes[to].first = bwd;
+  return 0;
+}
+
+int build_network() {
+  int i;
+  for (i = 0; i < nnodes; i++) {
+    nodes[i].first = (struct Arc*)0;
+    nodes[i].dist = 0;
+    nodes[i].in_queue = 0;
+    nodes[i].pred = (struct Arc*)0;
+    nodes[i].pred_from = -1;
+  }
+  // Source 0, sink 47. Layered network: depot -> vehicles -> trips -> sink,
+  // with synthetic deadhead costs (the mcf structure).
+  int v; int t;
+  for (v = 1; v <= 15; v++) add_edge(0, v, 2, 0);
+  for (v = 1; v <= 15; v++) {
+    for (t = 16; t <= 46; t++) {
+      if ((lcg_next() % 100) < 35) {
+        add_edge(v, t, 1, 1 + lcg_next() % 50);
+      }
+    }
+  }
+  for (t = 16; t <= 46; t++) add_edge(t, 47, 1, 0);
+  return 0;
+}
+
+int inf() { return 1000000000; }
+
+// Bellman-Ford / SPFA shortest path from source in the residual network.
+int find_path(int source, int sink) {
+  int i;
+  for (i = 0; i < nnodes; i++) {
+    nodes[i].dist = inf();
+    nodes[i].in_queue = 0;
+    nodes[i].pred = (struct Arc*)0;
+    nodes[i].pred_from = -1;
+  }
+  nodes[source].dist = 0;
+  int head = 0;
+  int tail = 0;
+  queue[tail] = source;
+  tail++;
+  nodes[source].in_queue = 1;
+  while (head < tail) {
+    int u = queue[head];
+    head++;
+    nodes[u].in_queue = 0;
+    struct Arc* a = nodes[u].first;
+    while (a != 0) {
+      if (a->capacity - a->flow > 0) {
+        int nd = nodes[u].dist + a->cost;
+        if (nd < nodes[a->to].dist) {
+          nodes[a->to].dist = nd;
+          nodes[a->to].pred = a;
+          nodes[a->to].pred_from = u;
+          if (nodes[a->to].in_queue == 0 && tail < 4096) {
+            queue[tail] = a->to;
+            tail++;
+            nodes[a->to].in_queue = 1;
+          }
+        }
+      }
+      a = a->next;
+    }
+  }
+  if (nodes[sink].dist >= inf()) return 0;
+  return 1;
+}
+
+int main() {
+  build_network();
+  long total_cost = 0;
+  int total_flow = 0;
+  int augmentations = 0;
+
+  while (find_path(0, 47)) {
+    // Find bottleneck along the predecessor chain.
+    int bottleneck = inf();
+    int u = 47;
+    while (u != 0) {
+      struct Arc* a = nodes[u].pred;
+      int residual = a->capacity - a->flow;
+      if (residual < bottleneck) bottleneck = residual;
+      u = nodes[u].pred_from;
+    }
+    // Apply flow.
+    u = 47;
+    while (u != 0) {
+      struct Arc* a = nodes[u].pred;
+      a->flow += bottleneck;
+      a->rev->flow -= bottleneck;
+      total_cost = total_cost + (long)bottleneck * (long)a->cost;
+      u = nodes[u].pred_from;
+    }
+    total_flow += bottleneck;
+    augmentations++;
+    if (augmentations > 200) break;
+  }
+
+  print_int(total_flow);
+  print_int(total_cost);
+  print_int(augmentations);
+
+  // Flow-conservation audit (prints 0 when the solution is consistent).
+  int violations = 0;
+  int i;
+  for (i = 1; i < nnodes - 1; i++) {
+    int balance = 0;
+    struct Arc* a = nodes[i].first;
+    while (a != 0) {
+      balance += a->flow;
+      a = a->next;
+    }
+    if (balance != 0) violations++;
+  }
+  print_int(violations);
+  return 0;
+}
+)MC";
+}
+
+}  // namespace faultlab::apps

@@ -1,0 +1,94 @@
+// ocean-mini: large-scale ocean current simulation.
+//
+// Red-black Gauss–Seidel relaxation of a 2-D grid with fixed boundary
+// currents (the numerically characteristic kernel of SPLASH-2 ocean),
+// iterated to a residual tolerance. Floating-point arithmetic dominates.
+#include "apps/apps.h"
+
+namespace faultlab::apps {
+
+std::string ocean_source() {
+  return R"MC(
+// ---- ocean-mini: red-black Gauss-Seidel on a 34x34 grid ----
+
+double grid[1156];   // 34 x 34
+double rhs[1156];
+
+int dim = 34;
+
+int at(int r, int c) { return r * 34 + c; }
+
+int init_grid() {
+  int r; int c;
+  for (r = 0; r < dim; r++) {
+    for (c = 0; c < dim; c++) {
+      grid[at(r, c)] = 0.0;
+      // Eddy-like forcing: alternating sources and sinks.
+      double fr = (double)r;
+      double fc = (double)c;
+      double v = (fr - 16.5) * (fc - 16.5);
+      if (v > 64.0) v = 64.0;
+      if (v < -64.0) v = -64.0;
+      rhs[at(r, c)] = v * 0.001;
+    }
+  }
+  // Boundary currents.
+  for (r = 0; r < dim; r++) {
+    grid[at(r, 0)] = 1.0;
+    grid[at(r, dim - 1)] = -1.0;
+  }
+  for (c = 0; c < dim; c++) {
+    grid[at(0, c)] = 0.5;
+    grid[at(dim - 1, c)] = -0.5;
+  }
+  return 0;
+}
+
+// One red-black sweep; returns quantized residual.
+double sweep(int parity) {
+  double residual = 0.0;
+  int r; int c;
+  for (r = 1; r < dim - 1; r++) {
+    for (c = 1; c < dim - 1; c++) {
+      if (((r + c) & 1) != parity) continue;
+      double old = grid[at(r, c)];
+      double updated = 0.25 * (grid[at(r - 1, c)] + grid[at(r + 1, c)] +
+                               grid[at(r, c - 1)] + grid[at(r, c + 1)] -
+                               rhs[at(r, c)]);
+      grid[at(r, c)] = updated;
+      double d = updated - old;
+      residual = residual + d * d;
+    }
+  }
+  return residual;
+}
+
+int main() {
+  init_grid();
+  double residual = 0.0;
+  double first_residual = 0.0;
+  int iter;
+  for (iter = 0; iter < 40; iter++) {
+    residual = sweep(0) + sweep(1);
+    if (iter == 0) first_residual = residual;
+  }
+
+  long check = 0;
+  int r; int c;
+  for (r = 0; r < dim; r++) {
+    for (c = 0; c < dim; c++) {
+      long q = (long)(grid[at(r, c)] * 100000.0);
+      check = (check * 31 + q) & 0xffffffffffffL;
+    }
+  }
+
+  print_int((long)(first_residual * 1000000000.0));
+  print_int((long)(residual * 1000000000.0));
+  print_int((long)(grid[at(17, 17)] * 1000000.0));
+  print_int(check);
+  return 0;
+}
+)MC";
+}
+
+}  // namespace faultlab::apps

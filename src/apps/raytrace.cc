@@ -1,0 +1,161 @@
+// raytrace-mini: renders a three-dimensional scene using ray tracing.
+//
+// Ray-sphere intersection, Lambertian shading with a point light and
+// shadow rays, one reflection bounce, over a small framebuffer.
+// Double-precision geometry dominates (SPLASH-2 raytrace's profile);
+// struct Sphere (40 bytes) exercises non-power-of-two GEP scaling.
+#include "apps/apps.h"
+
+namespace faultlab::apps {
+
+std::string raytrace_source() {
+  return R"MC(
+// ---- raytrace-mini: sphere scene with shading and shadows ----
+
+struct Sphere {
+  double cx; double cy; double cz;
+  double radius;
+  double albedo;
+};
+
+struct Sphere spheres[7];
+int nspheres = 7;
+
+double light_x = 5.0;
+double light_y = 8.0;
+double light_z = -2.0;
+
+int framebuffer[784];  // 28 x 28 quantized intensities
+
+int setup_scene() {
+  spheres[0].cx = 0.0;  spheres[0].cy = -100.5; spheres[0].cz = 4.0;
+  spheres[0].radius = 100.0; spheres[0].albedo = 0.8;
+  spheres[1].cx = 0.0;  spheres[1].cy = 0.0;  spheres[1].cz = 4.0;
+  spheres[1].radius = 1.0;  spheres[1].albedo = 0.9;
+  spheres[2].cx = -2.1; spheres[2].cy = 0.2;  spheres[2].cz = 5.0;
+  spheres[2].radius = 1.2;  spheres[2].albedo = 0.7;
+  spheres[3].cx = 2.2;  spheres[3].cy = -0.1; spheres[3].cz = 4.5;
+  spheres[3].radius = 0.9;  spheres[3].albedo = 0.6;
+  spheres[4].cx = 0.8;  spheres[4].cy = 1.4;  spheres[4].cz = 6.0;
+  spheres[4].radius = 0.8;  spheres[4].albedo = 0.95;
+  spheres[5].cx = -1.0; spheres[5].cy = 1.0;  spheres[5].cz = 3.2;
+  spheres[5].radius = 0.5;  spheres[5].albedo = 0.5;
+  spheres[6].cx = 1.4;  spheres[6].cy = 0.7;  spheres[6].cz = 3.0;
+  spheres[6].radius = 0.4;  spheres[6].albedo = 0.85;
+  return 0;
+}
+
+// Nearest intersection of ray (ox,oy,oz)+(dx,dy,dz)*t; returns sphere
+// index or -1; writes hit distance through tptr.
+int intersect(double ox, double oy, double oz,
+              double dx, double dy, double dz, double* tptr) {
+  double best_t = 1000000.0;
+  int best = -1;
+  int i;
+  for (i = 0; i < nspheres; i++) {
+    double lx = spheres[i].cx - ox;
+    double ly = spheres[i].cy - oy;
+    double lz = spheres[i].cz - oz;
+    double b = lx * dx + ly * dy + lz * dz;
+    double c = lx * lx + ly * ly + lz * lz -
+               spheres[i].radius * spheres[i].radius;
+    double disc = b * b - c;
+    if (disc > 0.0) {
+      double sq = sqrt(disc);
+      double t = b - sq;
+      if (t < 0.001) t = b + sq;
+      if (t > 0.001 && t < best_t) {
+        best_t = t;
+        best = i;
+      }
+    }
+  }
+  *tptr = best_t;
+  return best;
+}
+
+// Lambert shading with a shadow ray and one reflective bounce.
+double shade(double ox, double oy, double oz,
+             double dx, double dy, double dz, int depth) {
+  double t = 0.0;
+  int hit = intersect(ox, oy, oz, dx, dy, dz, &t);
+  if (hit < 0) {
+    // Sky gradient.
+    double f = 0.5 * (dy + 1.0);
+    return 0.1 + 0.2 * f;
+  }
+  double px = ox + dx * t;
+  double py = oy + dy * t;
+  double pz = oz + dz * t;
+  double nx = (px - spheres[hit].cx) / spheres[hit].radius;
+  double ny = (py - spheres[hit].cy) / spheres[hit].radius;
+  double nz = (pz - spheres[hit].cz) / spheres[hit].radius;
+
+  double tolight_x = light_x - px;
+  double tolight_y = light_y - py;
+  double tolight_z = light_z - pz;
+  double dist = sqrt(tolight_x * tolight_x + tolight_y * tolight_y +
+                     tolight_z * tolight_z);
+  tolight_x = tolight_x / dist;
+  tolight_y = tolight_y / dist;
+  tolight_z = tolight_z / dist;
+
+  double lambert = nx * tolight_x + ny * tolight_y + nz * tolight_z;
+  if (lambert < 0.0) lambert = 0.0;
+
+  // Shadow ray.
+  double st = 0.0;
+  int blocker = intersect(px + nx * 0.001, py + ny * 0.001, pz + nz * 0.001,
+                          tolight_x, tolight_y, tolight_z, &st);
+  if (blocker >= 0 && st < dist) lambert = lambert * 0.1;
+
+  double color = spheres[hit].albedo * (0.15 + 0.85 * lambert);
+
+  if (depth > 0) {
+    double dot = dx * nx + dy * ny + dz * nz;
+    double rx = dx - 2.0 * dot * nx;
+    double ry = dy - 2.0 * dot * ny;
+    double rz = dz - 2.0 * dot * nz;
+    double bounce = shade(px + nx * 0.001, py + ny * 0.001, pz + nz * 0.001,
+                          rx, ry, rz, depth - 1);
+    color = color * 0.8 + bounce * 0.2;
+  }
+  if (color > 1.0) color = 1.0;
+  return color;
+}
+
+int main() {
+  setup_scene();
+  int size = 28;
+  int x; int y;
+  for (y = 0; y < size; y++) {
+    for (x = 0; x < size; x++) {
+      // Camera at origin looking +z; simple pinhole projection.
+      double u = ((double)x + 0.5) / (double)size * 2.0 - 1.0;
+      double v = 1.0 - ((double)y + 0.5) / (double)size * 2.0;
+      double dx = u * 0.9;
+      double dy = v * 0.9;
+      double dz = 1.0;
+      double norm = sqrt(dx * dx + dy * dy + dz * dz);
+      double c = shade(0.0, 0.0, 0.0, dx / norm, dy / norm, dz / norm, 1);
+      framebuffer[y * 28 + x] = (int)(c * 255.0);
+    }
+  }
+
+  long check = 0;
+  long bright = 0;
+  int i;
+  for (i = 0; i < 784; i++) {
+    check = (check * 131 + framebuffer[i]) & 0xffffffffffffL;
+    bright = bright + framebuffer[i];
+  }
+  print_int(check);
+  print_int(bright);
+  print_int(framebuffer[14 * 28 + 14]);
+  print_int(framebuffer[0]);
+  return 0;
+}
+)MC";
+}
+
+}  // namespace faultlab::apps

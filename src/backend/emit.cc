@@ -1,0 +1,91 @@
+#include "backend/emit.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "support/bitutil.h"
+
+namespace faultlab::backend {
+
+namespace {
+using x86::Inst;
+using x86::Op;
+}  // namespace
+
+x86::Program emit_program(std::vector<x86::MachineFunction> functions,
+                          const LoweringContext& ctx) {
+  x86::Program program;
+  program.builtins = ctx.builtins;
+
+  std::vector<std::size_t> function_entry(functions.size(), 0);
+
+  for (std::size_t f = 0; f < functions.size(); ++f) {
+    const auto& mf = functions[f];
+    if (mf.func_ordinal != f)
+      throw std::logic_error("emit: functions not ordered by ordinal");
+    const std::size_t entry = program.code.size();
+    function_entry[f] = entry;
+
+    // First pass: label positions.
+    std::map<std::int64_t, std::size_t> label_pos;
+    std::size_t cursor = entry;
+    for (const auto& block : mf.blocks) {
+      label_pos[block.label] = cursor;
+      cursor += block.insts.size();
+    }
+    // Second pass: copy instructions, patching intra-function jumps.
+    for (const auto& block : mf.blocks) {
+      for (Inst inst : block.insts) {
+        if (inst.op == Op::Jmp || inst.op == Op::Jcc) {
+          auto it = label_pos.find(inst.target);
+          if (it == label_pos.end())
+            throw std::logic_error("emit: unresolved label");
+          inst.target = static_cast<std::int64_t>(it->second);
+        }
+        program.code.push_back(inst);
+      }
+    }
+
+    x86::FunctionInfo info;
+    info.name = mf.name;
+    info.entry = entry;
+    info.size = program.code.size() - entry;
+    program.functions.push_back(std::move(info));
+  }
+
+  // Patch direct calls (ordinal -> entry index).
+  for (Inst& inst : program.code) {
+    if (inst.op == Op::Call) {
+      const auto ordinal = static_cast<std::size_t>(inst.target);
+      if (ordinal >= function_entry.size())
+        throw std::logic_error("emit: call to unknown function");
+      inst.target = static_cast<std::int64_t>(function_entry[ordinal]);
+    }
+  }
+
+  // Data image: globals then the double pool.
+  const auto& module = *ctx.module;
+  for (const auto& g : module.globals()) {
+    x86::DataSegment seg;
+    seg.address = ctx.globals->address_of(g.get());
+    seg.bytes = g->initializer();
+    program.data.push_back(std::move(seg));
+  }
+  for (const auto& [bits, addr] : ctx.double_pool) {
+    x86::DataSegment seg;
+    seg.address = addr;
+    seg.bytes.resize(8);
+    for (int b = 0; b < 8; ++b)
+      seg.bytes[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(bits >> (8 * b));
+    program.data.push_back(std::move(seg));
+  }
+  program.data_size = ctx.pool_cursor - machine::Layout::kGlobalBase;
+
+  const x86::FunctionInfo* main_fn = program.function_by_name("main");
+  if (main_fn == nullptr) throw std::logic_error("emit: no main function");
+  program.entry_index = main_fn->entry;
+  return program;
+}
+
+}  // namespace faultlab::backend

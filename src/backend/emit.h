@@ -1,0 +1,17 @@
+// Emission: flattens register-allocated machine functions into an
+// executable Program (label/call resolution, data image assembly).
+#pragma once
+
+#include <vector>
+
+#include "backend/isel.h"
+#include "x86/program.h"
+
+namespace faultlab::backend {
+
+/// `functions` must be ordered by func_ordinal and fully lowered
+/// (phi-eliminated, register-allocated, frame-lowered).
+x86::Program emit_program(std::vector<x86::MachineFunction> functions,
+                          const LoweringContext& ctx);
+
+}  // namespace faultlab::backend

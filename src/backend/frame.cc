@@ -1,0 +1,102 @@
+#include "backend/frame.h"
+
+#include <algorithm>
+#include <set>
+
+namespace faultlab::backend {
+
+namespace {
+
+using x86::Inst;
+using x86::MachineFunction;
+using x86::Op;
+using x86::RegId;
+using x86::SrcKind;
+
+Inst mov_rr(RegId dst, RegId src) {
+  Inst i;
+  i.op = Op::MovRR;
+  i.dst = dst;
+  i.src = src;
+  i.src_kind = SrcKind::Reg;
+  i.width = 8;
+  return i;
+}
+
+Inst alu_imm(Op op, RegId dst, std::int64_t imm) {
+  Inst i;
+  i.op = op;
+  i.dst = dst;
+  i.imm = imm;
+  i.src_kind = SrcKind::Imm;
+  i.width = 8;
+  return i;
+}
+
+}  // namespace
+
+void lower_frame(MachineFunction& mf) {
+  // GPRs this function clobbers must be preserved (callee-saved
+  // convention); XMM registers are caller-saved (the allocator already
+  // spilled any value that lives across a call), so they are never saved
+  // here — matching the SysV ABI, where all vector registers are volatile.
+  std::set<RegId> written_gprs;
+  for (const auto& block : mf.blocks) {
+    for (const Inst& inst : block.insts) {
+      const RegId d = x86::dest_reg(inst);
+      if (x86::is_phys_gpr(d)) written_gprs.insert(d);
+    }
+  }
+  written_gprs.erase(x86::RAX);  // return value
+  written_gprs.erase(x86::RSP);
+  written_gprs.erase(x86::RBP);
+
+  mf.frame.saved_gprs.assign(written_gprs.begin(), written_gprs.end());
+
+  // Prologue at the head of the first block.
+  std::vector<Inst> prologue;
+  Inst push_rbp;
+  push_rbp.op = Op::Push;
+  push_rbp.dst = x86::RBP;
+  prologue.push_back(push_rbp);
+  prologue.push_back(mov_rr(x86::RBP, x86::RSP));
+  if (mf.frame.size > 0)
+    prologue.push_back(
+        alu_imm(Op::Sub, x86::RSP, static_cast<std::int64_t>(mf.frame.size)));
+  for (RegId r : mf.frame.saved_gprs) {
+    Inst p;
+    p.op = Op::Push;
+    p.dst = r;
+    prologue.push_back(p);
+  }
+
+  auto& entry = mf.blocks.front();
+  entry.insts.insert(entry.insts.begin(), prologue.begin(), prologue.end());
+  entry.terminator_begin += prologue.size();
+
+  // Epilogue before every ret.
+  for (auto& block : mf.blocks) {
+    for (std::size_t i = 0; i < block.insts.size(); ++i) {
+      if (block.insts[i].op != Op::Ret) continue;
+      std::vector<Inst> epilogue;
+      for (auto it = mf.frame.saved_gprs.rbegin();
+           it != mf.frame.saved_gprs.rend(); ++it) {
+        Inst p;
+        p.op = Op::Pop;
+        p.dst = *it;
+        epilogue.push_back(p);
+      }
+      epilogue.push_back(mov_rr(x86::RSP, x86::RBP));
+      Inst pop_rbp;
+      pop_rbp.op = Op::Pop;
+      pop_rbp.dst = x86::RBP;
+      epilogue.push_back(pop_rbp);
+
+      block.insts.insert(block.insts.begin() + static_cast<std::ptrdiff_t>(i),
+                         epilogue.begin(), epilogue.end());
+      i += epilogue.size();
+    }
+  }
+}
+
+}  // namespace faultlab::backend

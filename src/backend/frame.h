@@ -1,0 +1,18 @@
+// Frame lowering: prologue/epilogue insertion.
+//
+// Prologue:  push rbp; mov rbp, rsp; sub rsp, frame; push <saved>...
+// Epilogue:  pop <saved>...; mov rsp, rbp; pop rbp; ret
+//
+// Every register the function writes is saved (callee-saves-everything
+// convention, see x86/isa.h) — these push/pop pairs are the assembly-only
+// instructions of the paper's Table I row 3: they have no IR counterpart,
+// so LLFI can never inject into them while PINFI can.
+#pragma once
+
+#include "x86/program.h"
+
+namespace faultlab::backend {
+
+void lower_frame(x86::MachineFunction& mf);
+
+}  // namespace faultlab::backend

@@ -1,0 +1,1183 @@
+#include "backend/isel.h"
+
+#include <cassert>
+#include <limits>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "ir/irbuilder.h"
+#include "support/bitutil.h"
+
+namespace faultlab::backend {
+
+namespace {
+
+using ir::Opcode;
+using x86::Cond;
+using x86::Inst;
+using x86::MemOperand;
+using x86::Op;
+using x86::RegId;
+using x86::SrcKind;
+
+unsigned width_of(const ir::Type* t) {
+  if (t->is_double() || t->is_ptr()) return 8;
+  const unsigned bytes = static_cast<unsigned>(t->size_in_bytes());
+  return bytes == 0 ? 8 : bytes;
+}
+
+bool fits_imm32(std::uint64_t raw, unsigned width_bytes) {
+  if (width_bytes <= 4) return true;
+  const auto s = static_cast<std::int64_t>(raw);
+  return s >= std::numeric_limits<std::int32_t>::min() &&
+         s <= std::numeric_limits<std::int32_t>::max();
+}
+
+}  // namespace
+
+LoweringContext LoweringContext::build(const ir::Module& module,
+                                       const machine::GlobalLayout& globals) {
+  LoweringContext ctx;
+  ctx.module = &module;
+  ctx.globals = &globals;
+  std::size_t next_func = 0;
+  for (const auto& f : module.functions()) {
+    if (f->is_builtin()) {
+      ctx.builtin_ordinal[f.get()] = ctx.builtins.size();
+      x86::BuiltinSig sig;
+      sig.name = f->name();
+      sig.returns_value = !f->return_type()->is_void();
+      sig.returns_double = f->return_type()->is_double();
+      for (const ir::Type* p : f->func_type()->func_params())
+        sig.arg_is_double.push_back(p->is_double());
+      ctx.builtins.push_back(std::move(sig));
+    } else {
+      ctx.func_ordinal[f.get()] = next_func++;
+    }
+  }
+  // The double pool sits just past the globals region, 16-aligned.
+  ctx.pool_cursor =
+      (machine::Layout::kGlobalBase + globals.total_size() + 15) / 16 * 16;
+  return ctx;
+}
+
+std::uint64_t LoweringContext::pool_address(double value) {
+  const std::uint64_t bits = bits_of(value);
+  auto it = double_pool.find(bits);
+  if (it != double_pool.end()) return it->second;
+  const std::uint64_t addr = pool_cursor;
+  pool_cursor += 8;
+  double_pool[bits] = addr;
+  return addr;
+}
+
+void split_critical_edges(ir::Function& fn) {
+  ir::IRBuilder builder(*fn.parent());
+  // Collect edges first; splitting mutates the block list.
+  struct Edge {
+    ir::BranchInst* branch;
+    unsigned target_index;
+  };
+  std::vector<Edge> critical;
+  auto preds = fn.predecessors();
+  for (const auto& bb : fn.blocks()) {
+    auto* br = dynamic_cast<ir::BranchInst*>(bb->terminator());
+    if (br == nullptr || !br->is_conditional()) continue;
+    for (unsigned t = 0; t < br->num_targets(); ++t) {
+      ir::BasicBlock* succ = br->target(t);
+      if (preds.at(succ).size() > 1 && !succ->phis().empty())
+        critical.push_back({br, t});
+    }
+  }
+  for (const Edge& e : critical) {
+    ir::BasicBlock* pred = e.branch->parent();
+    ir::BasicBlock* succ = e.branch->target(e.target_index);
+    ir::BasicBlock* mid = fn.create_block(pred->name() + ".split");
+    builder.set_insert_point(mid);
+    builder.br(succ);
+    e.branch->set_target(e.target_index, mid);
+    for (ir::PhiInst* phi : succ->phis()) {
+      for (unsigned i = 0; i < phi->num_incoming(); ++i)
+        if (phi->incoming_block(i) == pred) phi->set_incoming_block(i, mid);
+    }
+  }
+  fn.renumber();
+}
+
+namespace {
+
+class FunctionSelector {
+ public:
+  FunctionSelector(const ir::Function& fn, LoweringContext& ctx)
+      : fn_(fn), ctx_(ctx) {}
+
+  IselResult run() {
+    mf_.name = fn_.name();
+    mf_.func_ordinal = ctx_.func_ordinal.at(&fn_);
+
+    find_fused_cmps();
+    assign_alloca_slots();
+    assign_phi_regs();
+
+    for (const auto& bb : fn_.blocks()) {
+      mf_.blocks.push_back({});
+      cur_ = &mf_.blocks.back();
+      cur_->label = bb->id();
+      cur_->name = bb->name();
+      if (bb.get() == fn_.entry()) emit_argument_loads();
+      lower_block(*bb);
+    }
+    record_phi_copies();
+    mf_.frame.size = (frame_cursor_ + 15) / 16 * 16;
+    return {std::move(mf_), std::move(phi_copies_)};
+  }
+
+ private:
+  [[noreturn]] void unsupported(const std::string& what) {
+    throw std::runtime_error("isel: unsupported construct in @" + fn_.name() +
+                             ": " + what);
+  }
+
+  // -- emission ----------------------------------------------------------
+
+  Inst& emit(Inst inst) {
+    cur_->insts.push_back(inst);
+    return cur_->insts.back();
+  }
+
+  Inst make(Op op) {
+    Inst i;
+    i.op = op;
+    return i;
+  }
+
+  void emit_rr(Op op, RegId dst, RegId src, unsigned width = 8) {
+    Inst i = make(op);
+    i.dst = dst;
+    i.src = src;
+    i.src_kind = SrcKind::Reg;
+    i.width = static_cast<std::uint8_t>(width);
+    emit(i);
+  }
+
+  void emit_ri(Op op, RegId dst, std::int64_t imm, unsigned width = 8) {
+    Inst i = make(op);
+    i.dst = dst;
+    i.imm = imm;
+    i.src_kind = SrcKind::Imm;
+    i.width = static_cast<std::uint8_t>(width);
+    emit(i);
+  }
+
+  // -- pre-passes ----------------------------------------------------------
+
+  void find_fused_cmps() {
+    for (const auto& bb : fn_.blocks()) {
+      auto* br = dynamic_cast<ir::BranchInst*>(bb->terminator());
+      if (br == nullptr || !br->is_conditional()) continue;
+      auto* cmp = dynamic_cast<ir::Instruction*>(br->condition());
+      if (cmp == nullptr || cmp->parent() != bb.get()) continue;
+      if (cmp->opcode() != Opcode::ICmp && cmp->opcode() != Opcode::FCmp)
+        continue;
+      if (cmp->uses().size() != 1) continue;
+      fused_cmps_.insert(cmp);
+    }
+  }
+
+  void assign_alloca_slots() {
+    for (const auto& bb : fn_.blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        if (auto* al = dynamic_cast<const ir::AllocaInst*>(instr.get())) {
+          const std::uint64_t size = al->allocated_type()->size_in_bytes();
+          const std::uint64_t align =
+              std::max<std::uint64_t>(al->allocated_type()->alignment(), 1);
+          frame_cursor_ = (frame_cursor_ + size + align - 1) / align * align;
+          alloca_offset_[al] = frame_cursor_;
+        }
+      }
+    }
+  }
+
+  void assign_phi_regs() {
+    for (const auto& bb : fn_.blocks())
+      for (ir::PhiInst* phi : bb->phis())
+        value_reg_[phi] =
+            phi->type()->is_double() ? mf_.fresh_xmm() : mf_.fresh_gpr();
+  }
+
+  void emit_argument_loads() {
+    // Arguments live at [rbp + 16 + 8*i] (saved rbp at [rbp], return
+    // address at [rbp + 8]).
+    for (std::size_t i = 0; i < fn_.num_args(); ++i) {
+      const ir::Argument* arg = fn_.arg(i);
+      MemOperand mem;
+      mem.base = x86::RBP;
+      mem.disp = 16 + 8 * static_cast<std::int64_t>(i);
+      if (arg->type()->is_double()) {
+        const RegId x = mf_.fresh_xmm();
+        Inst in = make(Op::MovsdRM);
+        in.dst = x;
+        in.mem = mem;
+        emit(in);
+        value_reg_[arg] = x;
+      } else {
+        const RegId r = mf_.fresh_gpr();
+        Inst in = make(Op::MovRM);
+        in.dst = r;
+        in.mem = mem;
+        in.width = 8;
+        emit(in);
+        value_reg_[arg] = r;
+      }
+    }
+  }
+
+  // -- value access ----------------------------------------------------------
+
+  RegId use_gpr(ir::Value* v) {
+    auto it = value_reg_.find(v);
+    if (it != value_reg_.end()) return it->second;
+    switch (v->vkind()) {
+      case ir::ValueKind::ConstantInt: {
+        const RegId r = mf_.fresh_gpr();
+        emit_ri(Op::MovRI, r,
+                static_cast<std::int64_t>(
+                    static_cast<const ir::ConstantInt*>(v)->raw()),
+                8);
+        return r;
+      }
+      case ir::ValueKind::ConstantNull: {
+        const RegId r = mf_.fresh_gpr();
+        emit_ri(Op::MovRI, r, 0, 8);
+        return r;
+      }
+      case ir::ValueKind::GlobalVariable: {
+        const RegId r = mf_.fresh_gpr();
+        emit_ri(Op::MovRI, r,
+                static_cast<std::int64_t>(ctx_.globals->address_of(
+                    static_cast<const ir::GlobalVariable*>(v))),
+                8);
+        return r;
+      }
+      case ir::ValueKind::Instruction: {
+        auto* instr = static_cast<ir::Instruction*>(v);
+        // Deferred (foldable) load being used as a register after all.
+        auto lf = folded_loads_.find(instr);
+        if (lf != folded_loads_.end()) {
+          const MemOperand mem = lf->second;
+          folded_loads_.erase(lf);
+          return materialize_load(static_cast<ir::LoadInst*>(instr), mem);
+        }
+        unsupported("use of unlowered value " + v->name());
+      }
+      default:
+        unsupported("gpr use of value kind");
+    }
+  }
+
+  RegId use_xmm(ir::Value* v) {
+    auto it = value_reg_.find(v);
+    if (it != value_reg_.end()) return it->second;
+    if (v->vkind() == ir::ValueKind::ConstantDouble) {
+      const double d = static_cast<const ir::ConstantDouble*>(v)->value();
+      // Materialized constants are reused within the block (compilers keep
+      // them in registers; re-loading per use would inflate load counts).
+      const std::uint64_t bits = bits_of(d);
+      auto cached = block_doubles_.find(bits);
+      if (cached != block_doubles_.end()) return cached->second;
+      const RegId x = mf_.fresh_xmm();
+      Inst in = make(Op::MovsdRM);
+      in.dst = x;
+      in.mem.disp = static_cast<std::int64_t>(ctx_.pool_address(d));
+      emit(in);
+      block_doubles_[bits] = x;
+      return x;
+    }
+    if (v->vkind() == ir::ValueKind::Instruction) {
+      auto* instr = static_cast<ir::Instruction*>(v);
+      auto lf = folded_loads_.find(instr);
+      if (lf != folded_loads_.end()) {
+        const MemOperand mem = lf->second;
+        folded_loads_.erase(lf);
+        return materialize_load(static_cast<ir::LoadInst*>(instr), mem);
+      }
+    }
+    unsupported("xmm use of value " + v->name());
+  }
+
+  /// Sets the src fields of `inst` from `v` (reg / imm / folded-load mem).
+  void set_int_src(Inst& inst, ir::Value* v, unsigned width) {
+    if (auto* c = dynamic_cast<ir::ConstantInt*>(v)) {
+      if (fits_imm32(c->raw(), width)) {
+        inst.src_kind = SrcKind::Imm;
+        inst.imm = static_cast<std::int64_t>(c->raw());
+        return;
+      }
+    }
+    if (auto* c = dynamic_cast<ir::ConstantNull*>(v)) {
+      (void)c;
+      inst.src_kind = SrcKind::Imm;
+      inst.imm = 0;
+      return;
+    }
+    if (auto mem = take_folded_load(v)) {
+      inst.src_kind = SrcKind::Mem;
+      inst.mem = *mem;
+      return;
+    }
+    inst.src_kind = SrcKind::Reg;
+    inst.src = use_gpr(v);
+  }
+
+  void set_fp_src(Inst& inst, ir::Value* v) {
+    if (v->vkind() == ir::ValueKind::ConstantDouble) {
+      const double d = static_cast<const ir::ConstantDouble*>(v)->value();
+      inst.src_kind = SrcKind::Mem;
+      inst.mem = MemOperand{};
+      inst.mem.disp = static_cast<std::int64_t>(ctx_.pool_address(d));
+      return;
+    }
+    if (auto mem = take_folded_load(v)) {
+      inst.src_kind = SrcKind::Mem;
+      inst.mem = *mem;
+      return;
+    }
+    inst.src_kind = SrcKind::Reg;
+    inst.src = use_xmm(v);
+  }
+
+  std::optional<MemOperand> take_folded_load(ir::Value* v) {
+    auto* instr = dynamic_cast<ir::Instruction*>(v);
+    if (instr == nullptr) return std::nullopt;
+    auto it = folded_loads_.find(instr);
+    if (it == folded_loads_.end()) return std::nullopt;
+    const MemOperand mem = it->second;
+    folded_loads_.erase(it);
+    return mem;
+  }
+
+  /// Emits the deferred load at the current position.
+  RegId materialize_load(ir::LoadInst* load, const MemOperand& mem) {
+    const RegId r = emit_load_instruction(load->type(), mem);
+    value_reg_[load] = r;
+    return r;
+  }
+
+  RegId emit_load_instruction(const ir::Type* type, const MemOperand& mem) {
+    if (type->is_double()) {
+      const RegId x = mf_.fresh_xmm();
+      Inst in = make(Op::MovsdRM);
+      in.dst = x;
+      in.mem = mem;
+      emit(in);
+      return x;
+    }
+    const unsigned bytes = width_of(type);
+    const RegId r = mf_.fresh_gpr();
+    if (bytes >= 4) {
+      Inst in = make(Op::MovRM);
+      in.dst = r;
+      in.mem = mem;
+      in.width = static_cast<std::uint8_t>(bytes);
+      emit(in);
+    } else {
+      Inst in = make(Op::MovzxRM);
+      in.dst = r;
+      in.mem = mem;
+      in.src_width = static_cast<std::uint8_t>(bytes);
+      emit(in);
+    }
+    return r;
+  }
+
+  // -- addressing -------------------------------------------------------------
+
+  /// Memory operand for a pointer value used by a load/store.
+  MemOperand mem_for_pointer(ir::Value* ptr) {
+    if (auto* gep = dynamic_cast<ir::GepInst*>(ptr)) {
+      auto it = addr_expr_.find(gep);
+      if (it != addr_expr_.end()) return it->second;
+    }
+    if (auto* al = dynamic_cast<ir::AllocaInst*>(ptr)) {
+      MemOperand mem;
+      mem.base = x86::RBP;
+      mem.disp = -static_cast<std::int64_t>(alloca_offset_.at(al));
+      return mem;
+    }
+    if (auto* g = dynamic_cast<ir::GlobalVariable*>(ptr)) {
+      MemOperand mem;
+      mem.disp = static_cast<std::int64_t>(ctx_.globals->address_of(g));
+      return mem;
+    }
+    MemOperand mem;
+    mem.base = use_gpr(ptr);
+    return mem;
+  }
+
+  /// Computes the address expression of a GEP, folding what fits into
+  /// [base + index*scale + disp] and emitting imul/lea for the rest.
+  MemOperand compute_gep_addr(ir::GepInst& gep) {
+    MemOperand me = mem_for_pointer(gep.base());
+
+    const ir::Type* current = gep.base()->type()->pointee();
+    for (unsigned i = 0; i < gep.num_indices(); ++i) {
+      std::uint64_t elem_size;
+      if (i == 0) {
+        elem_size = current->size_in_bytes();
+      } else if (current->is_array()) {
+        current = current->array_element();
+        elem_size = current->size_in_bytes();
+      } else {
+        // Struct field: verifier guarantees a constant index.
+        auto* ci = static_cast<ir::ConstantInt*>(gep.index(i));
+        const auto field = static_cast<std::size_t>(ci->raw());
+        me.disp += static_cast<std::int64_t>(
+            current->struct_field_offset(field));
+        current = current->struct_fields()[field];
+        continue;
+      }
+      if (auto* ci = dynamic_cast<ir::ConstantInt*>(gep.index(i))) {
+        me.disp += ci->signed_value() * static_cast<std::int64_t>(elem_size);
+        continue;
+      }
+      // Variable index.
+      RegId idx = use_gpr(gep.index(i));
+      std::uint8_t scale = 1;
+      if (elem_size == 1 || elem_size == 2 || elem_size == 4 || elem_size == 8) {
+        scale = static_cast<std::uint8_t>(elem_size);
+      } else {
+        // Scale by a non-power-of-two: imul into a temp (arithmetic at the
+        // assembly level — the paper's GEP-expansion case).
+        const RegId tmp = mf_.fresh_gpr();
+        emit_rr(Op::MovRR, tmp, idx, 8);
+        Inst mul = make(Op::Imul);
+        mul.dst = tmp;
+        mul.src_kind = SrcKind::Imm;
+        mul.imm = static_cast<std::int64_t>(elem_size);
+        mul.width = 8;
+        emit(mul);
+        idx = tmp;
+        scale = 1;
+      }
+      if (!me.has_index()) {
+        me.index = idx;
+        me.scale = scale;
+      } else {
+        // Second variable term: collapse the existing base+index into a new
+        // base via lea, freeing the index slot.
+        const RegId nb = mf_.fresh_gpr();
+        Inst lea = make(Op::Lea);
+        lea.dst = nb;
+        lea.mem = me;
+        emit(lea);
+        me = MemOperand{};
+        me.base = nb;
+        me.index = idx;
+        me.scale = scale;
+      }
+    }
+    return me;
+  }
+
+  /// True when every use of the GEP can consume the folded address.
+  static bool gep_fully_foldable(const ir::GepInst& gep) {
+    for (const ir::Use& use : gep.uses()) {
+      if (use.user->opcode() == Opcode::Load && use.index == 0) continue;
+      if (use.user->opcode() == Opcode::Store && use.index == 1) continue;
+      return false;
+    }
+    return !gep.uses().empty();
+  }
+
+  // -- load folding ------------------------------------------------------------
+
+  /// Decides whether `load` can defer into its single user's memory
+  /// operand: single use, same block, user consumes memory sources, and no
+  /// store/call between the load and the (effective) use position.
+  bool try_defer_load(ir::LoadInst& load, const MemOperand& mem) {
+    if (load.uses().size() != 1) return false;
+    const ir::Use use = load.uses()[0];
+    ir::Instruction* user = use.user;
+    if (user->parent() != load.parent()) return false;
+
+    // The memory source must be the RIGHT-hand operand of a two-address op
+    // (or the compared value of cmp/ucomisd).
+    const Opcode uop = user->opcode();
+    const bool int_rhs = (ir::is_int_binary(uop) && use.index == 1 &&
+                          uop != Opcode::Shl && uop != Opcode::LShr &&
+                          uop != Opcode::AShr);
+    const bool fp_rhs = ir::is_fp_binary(uop) && use.index == 1;
+    const bool cmp_rhs =
+        (uop == Opcode::ICmp || uop == Opcode::FCmp) && use.index == 1;
+    if (!int_rhs && !fp_rhs && !cmp_rhs) return false;
+    if (load.type()->is_int() && load.type()->int_bits() < 32) return false;
+
+    // No memory clobber (store/call) between load and effective use.
+    const ir::BasicBlock* bb = load.parent();
+    const std::size_t from = bb->index_of(&load);
+    std::size_t to = bb->index_of(user);
+    if (fused_cmps_.count(user)) to = bb->size() - 1;  // emitted at branch
+    for (std::size_t i = from + 1; i < to; ++i) {
+      const Opcode mid = bb->instr(i)->opcode();
+      if (mid == Opcode::Store || mid == Opcode::Call) return false;
+    }
+    folded_loads_[&load] = mem;
+    return true;
+  }
+
+  // -- lowering ------------------------------------------------------------
+
+  void lower_block(const ir::BasicBlock& bb) {
+    cur_->terminator_begin = 0;  // patched when we reach the terminator
+    block_doubles_.clear();
+    for (const auto& instr : bb.instructions()) lower(*instr);
+  }
+
+  void lower(ir::Instruction& instr) {
+    switch (instr.opcode()) {
+      case Opcode::Alloca:
+        // Address materializes lazily: loads/stores fold [rbp-off]; other
+        // uses get a lea.
+        if (!alloca_fully_folded(static_cast<ir::AllocaInst&>(instr))) {
+          const RegId r = mf_.fresh_gpr();
+          Inst lea = make(Op::Lea);
+          lea.dst = r;
+          lea.mem.base = x86::RBP;
+          lea.mem.disp = -static_cast<std::int64_t>(
+              alloca_offset_.at(&instr));
+          emit(lea);
+          value_reg_[&instr] = r;
+        }
+        return;
+      case Opcode::Gep: {
+        auto& gep = static_cast<ir::GepInst&>(instr);
+        const MemOperand me = compute_gep_addr(gep);
+        addr_expr_[&gep] = me;
+        if (!gep_fully_foldable(gep)) {
+          const RegId r = mf_.fresh_gpr();
+          Inst lea = make(Op::Lea);
+          lea.dst = r;
+          lea.mem = me;
+          emit(lea);
+          value_reg_[&gep] = r;
+        }
+        return;
+      }
+      case Opcode::Load: {
+        auto& load = static_cast<ir::LoadInst&>(instr);
+        const MemOperand mem = mem_for_pointer(load.pointer());
+        if (try_defer_load(load, mem)) return;
+        value_reg_[&load] = emit_load_instruction(load.type(), mem);
+        return;
+      }
+      case Opcode::Store:
+        lower_store(static_cast<ir::StoreInst&>(instr));
+        return;
+      case Opcode::Phi:
+        return;  // vreg pre-assigned; copies inserted by phi_elim
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        if (fused_cmps_.count(&instr)) return;  // emitted with the branch
+        lower_cmp_to_bool(instr);
+        return;
+      case Opcode::Select:
+        lower_select(static_cast<ir::SelectInst&>(instr));
+        return;
+      case Opcode::Call:
+        lower_call(static_cast<ir::CallInst&>(instr));
+        return;
+      case Opcode::Br:
+        lower_branch(static_cast<ir::BranchInst&>(instr));
+        return;
+      case Opcode::Ret:
+        lower_ret(static_cast<ir::RetInst&>(instr));
+        return;
+      default:
+        break;
+    }
+    if (ir::is_int_binary(instr.opcode())) {
+      lower_int_binary(instr);
+      return;
+    }
+    if (ir::is_fp_binary(instr.opcode())) {
+      lower_fp_binary(instr);
+      return;
+    }
+    if (ir::is_cast(instr.opcode())) {
+      lower_cast(instr);
+      return;
+    }
+    unsupported(ir::opcode_name(instr.opcode()));
+  }
+
+  bool alloca_fully_folded(const ir::AllocaInst& al) {
+    for (const ir::Use& use : al.uses()) {
+      if (use.user->opcode() == Opcode::Load && use.index == 0) continue;
+      if (use.user->opcode() == Opcode::Store && use.index == 1) continue;
+      if (use.user->opcode() == Opcode::Gep && use.index == 0) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void lower_store(ir::StoreInst& store) {
+    const MemOperand mem = mem_for_pointer(store.pointer());
+    ir::Value* value = store.stored_value();
+    const ir::Type* t = value->type();
+    if (t->is_double()) {
+      Inst in = make(Op::MovsdMR);
+      in.dst = use_xmm(value);
+      in.mem = mem;
+      emit(in);
+      return;
+    }
+    const unsigned bytes = width_of(t);
+    if (auto* c = dynamic_cast<ir::ConstantInt*>(value);
+        c != nullptr && fits_imm32(c->raw(), bytes)) {
+      Inst in = make(Op::MovMI);
+      in.mem = mem;
+      in.imm = static_cast<std::int64_t>(c->raw());
+      in.width = static_cast<std::uint8_t>(bytes);
+      emit(in);
+      return;
+    }
+    if (dynamic_cast<ir::ConstantNull*>(value) != nullptr) {
+      Inst in = make(Op::MovMI);
+      in.mem = mem;
+      in.imm = 0;
+      in.width = 8;
+      emit(in);
+      return;
+    }
+    Inst in = make(Op::MovMR);
+    in.dst = use_gpr(value);
+    in.mem = mem;
+    in.width = static_cast<std::uint8_t>(bytes);
+    emit(in);
+  }
+
+  void lower_int_binary(ir::Instruction& instr) {
+    const unsigned bits = instr.type()->int_bits();
+    const unsigned w = std::max(4u, bits / 8);
+    const Opcode op = instr.opcode();
+
+    Op mop;
+    switch (op) {
+      case Opcode::Add: mop = Op::Add; break;
+      case Opcode::Sub: mop = Op::Sub; break;
+      case Opcode::Mul: mop = Op::Imul; break;
+      case Opcode::And: mop = Op::And; break;
+      case Opcode::Or: mop = Op::Or; break;
+      case Opcode::Xor: mop = Op::Xor; break;
+      case Opcode::Shl: mop = Op::Shl; break;
+      case Opcode::LShr: mop = Op::Shr; break;
+      case Opcode::AShr: mop = Op::Sar; break;
+      case Opcode::SDiv: mop = Op::Idiv; break;
+      case Opcode::SRem: mop = Op::Irem; break;
+      default:
+        unsupported(std::string(ir::opcode_name(op)) +
+                    " (unsigned division is not lowered)");
+    }
+
+    // Sign-sensitive narrow operations run at their true width: the
+    // simulator's sar/idiv sign-extend from the operand width internally,
+    // and i8/i16 division overflow must trap exactly as the VM's does
+    // (x86 #DE raises for -128/-1 at byte width too).
+    const bool needs_sign = op == Opcode::AShr || op == Opcode::SDiv ||
+                            op == Opcode::SRem;
+    if (needs_sign && bits == 1) unsupported("signed i1 operation");
+    const unsigned alu_width = needs_sign && bits < 32 ? bits / 8 : w;
+
+    const RegId dst = mf_.fresh_gpr();
+    emit_rr(Op::MovRR, dst, use_gpr(instr.operand(0)), 8);  // dst = lhs
+    Inst alu = make(mop);  // dst op= rhs
+    alu.dst = dst;
+    alu.width = static_cast<std::uint8_t>(alu_width);
+    set_int_src(alu, instr.operand(1), alu_width);
+    emit(alu);
+    // Results of sub-32-bit ops are stored zero-extended (the register
+    // invariant every use relies on).
+    if (bits < 32 && bits > 1) {
+      Inst zx = make(Op::MovzxRR);
+      zx.dst = dst;
+      zx.src = dst;
+      zx.src_kind = SrcKind::Reg;
+      zx.src_width = static_cast<std::uint8_t>(bits / 8);
+      emit(zx);
+    } else if (bits == 1) {
+      Inst an = make(Op::And);
+      an.dst = dst;
+      an.src_kind = SrcKind::Imm;
+      an.imm = 1;
+      an.width = 4;
+      emit(an);
+    }
+    value_reg_[&instr] = dst;
+  }
+
+  void lower_fp_binary(ir::Instruction& instr) {
+    Op mop;
+    switch (instr.opcode()) {
+      case Opcode::FAdd: mop = Op::Addsd; break;
+      case Opcode::FSub: mop = Op::Subsd; break;
+      case Opcode::FMul: mop = Op::Mulsd; break;
+      default: mop = Op::Divsd; break;
+    }
+    const RegId dst = mf_.fresh_xmm();
+    emit_rr(Op::MovsdRR, dst, use_xmm(instr.operand(0)));
+    Inst alu = make(mop);
+    alu.dst = dst;
+    set_fp_src(alu, instr.operand(1));
+    emit(alu);
+    value_reg_[&instr] = dst;
+  }
+
+  Cond icmp_cond(ir::ICmpPred pred) {
+    switch (pred) {
+      case ir::ICmpPred::EQ: return Cond::E;
+      case ir::ICmpPred::NE: return Cond::NE;
+      case ir::ICmpPred::SLT: return Cond::L;
+      case ir::ICmpPred::SLE: return Cond::LE;
+      case ir::ICmpPred::SGT: return Cond::G;
+      case ir::ICmpPred::SGE: return Cond::GE;
+      case ir::ICmpPred::ULT: return Cond::B;
+      case ir::ICmpPred::ULE: return Cond::BE;
+      case ir::ICmpPred::UGT: return Cond::A;
+      case ir::ICmpPred::UGE: return Cond::AE;
+    }
+    return Cond::E;
+  }
+
+  static bool icmp_pred_is_signed(ir::ICmpPred pred) {
+    switch (pred) {
+      case ir::ICmpPred::SLT:
+      case ir::ICmpPred::SLE:
+      case ir::ICmpPred::SGT:
+      case ir::ICmpPred::SGE:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Emits the flag-setting compare and returns the condition to test.
+  Cond emit_compare(ir::Instruction& cmp_instr) {
+    if (cmp_instr.opcode() == Opcode::ICmp) {
+      auto& cmp = static_cast<ir::ICmpInst&>(cmp_instr);
+      const ir::Type* t = cmp.lhs()->type();
+      unsigned w = t->is_ptr() ? 8 : std::max(4u, t->int_bits() / 8);
+      RegId lhs;
+      if (t->is_int() && t->int_bits() == 1 &&
+          icmp_pred_is_signed(cmp.predicate()))
+        unsupported("signed compare on i1");
+      if (t->is_int() && t->int_bits() < 32 &&
+          icmp_pred_is_signed(cmp.predicate())) {
+        // Zero-extended storage would corrupt signed sub-32-bit compares;
+        // normalize both sides through sign extension.
+        lhs = mf_.fresh_gpr();
+        Inst sx = make(Op::MovsxRR);
+        sx.dst = lhs;
+        sx.src = use_gpr(cmp.lhs());
+        sx.src_kind = SrcKind::Reg;
+        sx.src_width = static_cast<std::uint8_t>(t->int_bits() / 8);
+        emit(sx);
+        const RegId rhs = mf_.fresh_gpr();
+        Inst sx2 = make(Op::MovsxRR);
+        sx2.dst = rhs;
+        sx2.src = use_gpr(cmp.rhs());
+        sx2.src_kind = SrcKind::Reg;
+        sx2.src_width = static_cast<std::uint8_t>(t->int_bits() / 8);
+        emit(sx2);
+        Inst c = make(Op::Cmp);
+        c.dst = lhs;
+        c.src_kind = SrcKind::Reg;
+        c.src = rhs;
+        c.width = 4;
+        emit(c);
+        return icmp_cond(cmp.predicate());
+      }
+      Inst c = make(Op::Cmp);
+      c.dst = use_gpr(cmp.lhs());
+      c.width = static_cast<std::uint8_t>(w);
+      set_int_src(c, cmp.rhs(), w);
+      emit(c);
+      return icmp_cond(cmp.predicate());
+    }
+    auto& cmp = static_cast<ir::FCmpInst&>(cmp_instr);
+    // Ordered compares: arrange operands so NaN makes the condition false.
+    ir::Value* a = cmp.lhs();
+    ir::Value* b = cmp.rhs();
+    Cond cond;
+    bool swap = false;
+    switch (cmp.predicate()) {
+      case ir::FCmpPred::OLT: cond = Cond::A; swap = true; break;
+      case ir::FCmpPred::OLE: cond = Cond::AE; swap = true; break;
+      case ir::FCmpPred::OGT: cond = Cond::A; break;
+      case ir::FCmpPred::OGE: cond = Cond::AE; break;
+      case ir::FCmpPred::OEQ: cond = Cond::FpEq; break;
+      case ir::FCmpPred::ONE: cond = Cond::FpNe; break;
+      default: cond = Cond::FpEq; break;
+    }
+    if (swap) std::swap(a, b);
+    Inst u = make(Op::Ucomisd);
+    u.dst = use_xmm(a);
+    set_fp_src(u, b);
+    emit(u);
+    return cond;
+  }
+
+  void lower_cmp_to_bool(ir::Instruction& instr) {
+    const Cond cond = emit_compare(instr);
+    const RegId dst = mf_.fresh_gpr();
+    Inst set = make(Op::Setcc);
+    set.dst = dst;
+    set.cond = cond;
+    emit(set);
+    Inst zx = make(Op::MovzxRR);
+    zx.dst = dst;
+    zx.src = dst;
+    zx.src_kind = SrcKind::Reg;
+    zx.src_width = 1;
+    emit(zx);
+    value_reg_[&instr] = dst;
+  }
+
+  void lower_select(ir::SelectInst& sel) {
+    if (sel.type()->is_double())
+      unsupported("select on double (lower via control flow instead)");
+    const unsigned w = std::max(4u, width_of(sel.type()));
+    const RegId cond = use_gpr(sel.condition());
+    const RegId dst = mf_.fresh_gpr();
+    emit_rr(Op::MovRR, dst, use_gpr(sel.false_value()), 8);
+    const RegId tval = use_gpr(sel.true_value());
+    Inst test = make(Op::Test);
+    test.dst = cond;
+    test.src_kind = SrcKind::Reg;
+    test.src = cond;
+    test.width = 8;
+    emit(test);
+    Inst cmov = make(Op::Cmov);
+    cmov.dst = dst;
+    cmov.cond = Cond::NE;
+    cmov.src_kind = SrcKind::Reg;
+    cmov.src = tval;
+    cmov.width = static_cast<std::uint8_t>(std::max(4u, w));
+    emit(cmov);
+    value_reg_[&sel] = dst;
+  }
+
+  void lower_cast(ir::Instruction& instr) {
+    const ir::Type* from = instr.operand(0)->type();
+    const ir::Type* to = instr.type();
+    switch (instr.opcode()) {
+      case Opcode::Trunc: {
+        const unsigned to_bits = to->int_bits();
+        const RegId dst = mf_.fresh_gpr();
+        const RegId src = use_gpr(instr.operand(0));
+        if (to_bits == 32) {
+          emit_rr(Op::MovRR, dst, src, 4);  // implicit zero-extension
+        } else if (to_bits == 1) {
+          emit_rr(Op::MovRR, dst, src, 8);
+          Inst an = make(Op::And);
+          an.dst = dst;
+          an.src_kind = SrcKind::Imm;
+          an.imm = 1;
+          an.width = 4;
+          emit(an);
+        } else {
+          Inst zx = make(Op::MovzxRR);
+          zx.dst = dst;
+          zx.src = src;
+          zx.src_kind = SrcKind::Reg;
+          zx.src_width = static_cast<std::uint8_t>(to_bits / 8);
+          emit(zx);
+        }
+        value_reg_[&instr] = dst;
+        return;
+      }
+      case Opcode::ZExt: {
+        // The register invariant (sub-width values stored zero-extended)
+        // makes zext a plain register move — one of the IR casts with no
+        // assembly counterpart (Table I row 5).
+        const RegId dst = mf_.fresh_gpr();
+        emit_rr(Op::MovRR, dst, use_gpr(instr.operand(0)), 8);
+        value_reg_[&instr] = dst;
+        return;
+      }
+      case Opcode::SExt: {
+        const unsigned from_bits = from->int_bits();
+        const RegId dst = mf_.fresh_gpr();
+        if (from_bits == 1) {
+          // sext i1: 0 -> 0, 1 -> -1.
+          emit_rr(Op::MovRR, dst, use_gpr(instr.operand(0)), 8);
+          Inst neg = make(Op::Neg);
+          neg.dst = dst;
+          neg.width = 8;
+          emit(neg);
+        } else {
+          Inst sx = make(Op::MovsxRR);
+          sx.dst = dst;
+          sx.src = use_gpr(instr.operand(0));
+          sx.src_kind = SrcKind::Reg;
+          sx.src_width = static_cast<std::uint8_t>(from_bits / 8);
+          emit(sx);
+        }
+        // Normalize back down if the destination is narrower than 64.
+        normalize_width(dst, to->int_bits());
+        value_reg_[&instr] = dst;
+        return;
+      }
+      case Opcode::FPToSI: {
+        const RegId dst = mf_.fresh_gpr();
+        Inst cv = make(Op::Cvttsd2si);
+        cv.dst = dst;
+        cv.src = use_xmm(instr.operand(0));
+        cv.src_kind = SrcKind::Reg;
+        cv.width = static_cast<std::uint8_t>(std::max(4u, to->int_bits() / 8));
+        emit(cv);
+        normalize_width(dst, to->int_bits());
+        value_reg_[&instr] = dst;
+        return;
+      }
+      case Opcode::SIToFP: {
+        const RegId dst = mf_.fresh_xmm();
+        RegId src = use_gpr(instr.operand(0));
+        unsigned src_bytes = std::max<unsigned>(1, from->int_bits() / 8);
+        if (from->int_bits() == 1) {
+          // sitofp i1: true is the signed value -1. Materialize it.
+          const RegId t = mf_.fresh_gpr();
+          emit_rr(Op::MovRR, t, src, 8);
+          Inst neg = make(Op::Neg);
+          neg.dst = t;
+          neg.width = 8;
+          emit(neg);
+          src = t;
+          src_bytes = 8;
+        }
+        Inst cv = make(Op::Cvtsi2sd);
+        cv.dst = dst;
+        cv.src = src;
+        cv.src_kind = SrcKind::Reg;
+        cv.src_width = static_cast<std::uint8_t>(src_bytes);
+        emit(cv);
+        value_reg_[&instr] = dst;
+        return;
+      }
+      case Opcode::Bitcast:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr: {
+        const RegId dst = mf_.fresh_gpr();
+        emit_rr(Op::MovRR, dst, use_gpr(instr.operand(0)), 8);
+        value_reg_[&instr] = dst;
+        return;
+      }
+      default:
+        unsupported(ir::opcode_name(instr.opcode()));
+    }
+  }
+
+  /// Re-establishes the zero-extension invariant for sub-32-bit values.
+  void normalize_width(RegId reg, unsigned bits) {
+    if (bits >= 32) return;
+    if (bits == 1) {
+      Inst an = make(Op::And);
+      an.dst = reg;
+      an.src_kind = SrcKind::Imm;
+      an.imm = 1;
+      an.width = 4;
+      emit(an);
+      return;
+    }
+    Inst zx = make(Op::MovzxRR);
+    zx.dst = reg;
+    zx.src = reg;
+    zx.src_kind = SrcKind::Reg;
+    zx.src_width = static_cast<std::uint8_t>(bits / 8);
+    emit(zx);
+  }
+
+  void lower_call(ir::CallInst& call) {
+    const ir::Function* callee = call.callee();
+    const unsigned n = call.num_args();
+
+    if (n > 0) {
+      Inst sub = make(Op::Sub);
+      sub.dst = x86::RSP;
+      sub.src_kind = SrcKind::Imm;
+      sub.imm = 8 * static_cast<std::int64_t>(n);
+      sub.width = 8;
+      emit(sub);
+    }
+    for (unsigned i = 0; i < n; ++i) {
+      ir::Value* arg = call.arg(i);
+      MemOperand slot;
+      slot.base = x86::RSP;
+      slot.disp = 8 * static_cast<std::int64_t>(i);
+      if (arg->type()->is_double()) {
+        Inst st = make(Op::MovsdMR);
+        st.dst = use_xmm(arg);
+        st.mem = slot;
+        emit(st);
+      } else if (auto* c = dynamic_cast<ir::ConstantInt*>(arg);
+                 c != nullptr && fits_imm32(c->raw(), 8)) {
+        Inst st = make(Op::MovMI);
+        st.mem = slot;
+        st.imm = static_cast<std::int64_t>(c->raw());
+        st.width = 8;
+        emit(st);
+      } else {
+        Inst st = make(Op::MovMR);
+        st.dst = use_gpr(arg);
+        st.mem = slot;
+        st.width = 8;
+        emit(st);
+      }
+    }
+
+    Inst ci = make(callee->is_builtin() ? Op::CallBuiltin : Op::Call);
+    ci.target = callee->is_builtin()
+                    ? static_cast<std::int64_t>(ctx_.builtin_ordinal.at(callee))
+                    : static_cast<std::int64_t>(ctx_.func_ordinal.at(callee));
+    ci.arg_slots = static_cast<std::uint16_t>(n);
+    emit(ci);
+
+    // Return value lands in RAX / XMM0; copy it out immediately.
+    if (call.has_result()) {
+      if (call.type()->is_double()) {
+        const RegId x = mf_.fresh_xmm();
+        emit_rr(Op::MovsdRR, x, x86::kXmmBase + 0);
+        value_reg_[&call] = x;
+      } else {
+        const RegId r = mf_.fresh_gpr();
+        emit_rr(Op::MovRR, r, x86::RAX, 8);
+        value_reg_[&call] = r;
+      }
+    }
+    if (n > 0) {
+      Inst add = make(Op::Add);
+      add.dst = x86::RSP;
+      add.src_kind = SrcKind::Imm;
+      add.imm = 8 * static_cast<std::int64_t>(n);
+      add.width = 8;
+      emit(add);
+    }
+  }
+
+  void lower_branch(ir::BranchInst& br) {
+    if (!br.is_conditional()) {
+      cur_->terminator_begin = cur_->insts.size();
+      Inst j = make(Op::Jmp);
+      j.target = br.true_target()->id();
+      emit(j);
+      return;
+    }
+    auto* cond_instr = dynamic_cast<ir::Instruction*>(br.condition());
+    if (cond_instr != nullptr && fused_cmps_.count(cond_instr)) {
+      cur_->terminator_begin = cur_->insts.size();
+      const Cond cond = emit_compare(*cond_instr);
+      Inst jcc = make(Op::Jcc);
+      jcc.cond = cond;
+      jcc.target = br.true_target()->id();
+      emit(jcc);
+      Inst jmp = make(Op::Jmp);
+      jmp.target = br.false_target()->id();
+      emit(jmp);
+      return;
+    }
+    const RegId c = use_gpr(br.condition());
+    cur_->terminator_begin = cur_->insts.size();
+    Inst test = make(Op::Test);
+    test.dst = c;
+    test.src_kind = SrcKind::Reg;
+    test.src = c;
+    test.width = 8;
+    emit(test);
+    Inst jcc = make(Op::Jcc);
+    jcc.cond = Cond::NE;
+    jcc.target = br.true_target()->id();
+    emit(jcc);
+    Inst jmp = make(Op::Jmp);
+    jmp.target = br.false_target()->id();
+    emit(jmp);
+  }
+
+  void lower_ret(ir::RetInst& ret) {
+    if (ret.has_value()) {
+      ir::Value* v = ret.value();
+      if (v->type()->is_double()) {
+        const RegId x = use_xmm(v);
+        cur_->terminator_begin = cur_->insts.size();
+        emit_rr(Op::MovsdRR, x86::kXmmBase + 0, x);
+      } else {
+        const RegId r = use_gpr(v);
+        cur_->terminator_begin = cur_->insts.size();
+        emit_rr(Op::MovRR, x86::RAX, r, 8);
+      }
+    } else {
+      cur_->terminator_begin = cur_->insts.size();
+    }
+    emit(make(Op::Ret));
+  }
+
+  void record_phi_copies() {
+    for (const auto& bb : fn_.blocks()) {
+      for (ir::PhiInst* phi : bb->phis()) {
+        for (unsigned i = 0; i < phi->num_incoming(); ++i) {
+          PhiCopy copy;
+          copy.pred_label = phi->incoming_block(i)->id();
+          copy.dest = value_reg_.at(phi);
+          copy.is_xmm = phi->type()->is_double();
+          ir::Value* in = phi->incoming_value(i);
+          switch (in->vkind()) {
+            case ir::ValueKind::ConstantInt:
+              copy.src_is_imm = true;
+              copy.imm = static_cast<std::int64_t>(
+                  static_cast<ir::ConstantInt*>(in)->raw());
+              break;
+            case ir::ValueKind::ConstantNull:
+              copy.src_is_imm = true;
+              copy.imm = 0;
+              break;
+            case ir::ValueKind::ConstantDouble:
+              copy.src_is_imm = true;  // imm = pool address for xmm copies
+              copy.imm = static_cast<std::int64_t>(ctx_.pool_address(
+                  static_cast<ir::ConstantDouble*>(in)->value()));
+              break;
+            case ir::ValueKind::GlobalVariable:
+              copy.src_is_imm = true;
+              copy.imm = static_cast<std::int64_t>(ctx_.globals->address_of(
+                  static_cast<ir::GlobalVariable*>(in)));
+              break;
+            default:
+              copy.src_reg = value_reg_.at(in);
+              break;
+          }
+          phi_copies_.push_back(copy);
+        }
+      }
+    }
+  }
+
+  const ir::Function& fn_;
+  LoweringContext& ctx_;
+  x86::MachineFunction mf_;
+  std::vector<PhiCopy> phi_copies_;
+  x86::MBlock* cur_ = nullptr;
+
+  std::map<const ir::Value*, RegId> value_reg_;
+  std::map<const ir::Instruction*, MemOperand> addr_expr_;
+  std::map<const ir::Instruction*, MemOperand> folded_loads_;
+  std::set<const ir::Instruction*> fused_cmps_;
+  std::map<const ir::Instruction*, std::uint64_t> alloca_offset_;
+  std::map<std::uint64_t, RegId> block_doubles_;  // per-block constant cache
+  std::uint64_t frame_cursor_ = 0;
+};
+
+}  // namespace
+
+IselResult select_instructions(const ir::Function& fn, LoweringContext& ctx) {
+  return FunctionSelector(fn, ctx).run();
+}
+
+}  // namespace faultlab::backend

@@ -1,0 +1,71 @@
+// Instruction selection: IR -> machine IR with virtual registers.
+//
+// This pass creates the IR<->assembly mapping asymmetries the paper's
+// Table I catalogs:
+//  * GEPs whose address expression fits [base + index*scale + disp] fold
+//    into the addressing mode of their load/store users and emit NO
+//    arithmetic instruction; the rest lower to lea/imul/add chains that
+//    PINFI classifies as arithmetic.
+//  * icmp/fcmp feeding a branch in the same block fuse into cmp+jcc
+//    (flags), matching PINFI's "next instruction is a conditional branch"
+//    cmp category.
+//  * Loads fold into ALU memory operands when safe, making the assembly
+//    "more packed" than the IR (Table IV's 'all' counts).
+//  * zext of an already-zero-extended register is a plain mov: many IR cast
+//    instructions have no assembly counterpart.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/module.h"
+#include "machine/runtime.h"
+#include "x86/program.h"
+
+namespace faultlab::backend {
+
+/// Module-wide lowering tables shared by all functions.
+struct LoweringContext {
+  const ir::Module* module = nullptr;
+  const machine::GlobalLayout* globals = nullptr;
+  std::map<const ir::Function*, std::size_t> func_ordinal;     // user funcs
+  std::map<const ir::Function*, std::size_t> builtin_ordinal;  // builtins
+  std::vector<x86::BuiltinSig> builtins;
+
+  /// Double-constant pool, placed directly after the globals region.
+  std::map<std::uint64_t, std::uint64_t> double_pool;  // bits -> address
+  std::uint64_t pool_cursor = 0;
+
+  static LoweringContext build(const ir::Module& module,
+                               const machine::GlobalLayout& globals);
+  std::uint64_t pool_address(double value);
+};
+
+/// Splits critical edges of `fn` (inserting forwarding blocks) so phi
+/// elimination can place copies on edges. Mutates the IR; keeps it
+/// verifier-clean.
+void split_critical_edges(ir::Function& fn);
+
+/// One pending phi-lowering copy (scheduled by instruction selection,
+/// materialized by phi elimination).
+struct PhiCopy {
+  std::int64_t pred_label;  // copies execute at the end of this block
+  x86::RegId dest;          // the phi's vreg
+  // Source: exactly one of reg / imm / double constant.
+  x86::RegId src_reg = x86::kNoReg;
+  bool src_is_imm = false;
+  std::int64_t imm = 0;
+  bool is_xmm = false;
+};
+
+struct IselResult {
+  x86::MachineFunction mf;
+  std::vector<PhiCopy> phi_copies;
+};
+
+/// Lowers `fn` to machine IR. Preconditions: non-builtin, verifier-clean,
+/// critical edges split, and blocks ordered so defs precede uses in list
+/// order (reverse postorder — see driver::lower_module).
+IselResult select_instructions(const ir::Function& fn, LoweringContext& ctx);
+
+}  // namespace faultlab::backend

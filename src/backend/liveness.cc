@@ -1,0 +1,145 @@
+#include "backend/liveness.h"
+
+#include <algorithm>
+#include <set>
+
+namespace faultlab::backend {
+
+namespace {
+
+using x86::Inst;
+using x86::MachineFunction;
+using x86::Op;
+using x86::RegId;
+
+std::vector<std::size_t> successors_of(const MachineFunction& mf,
+                                       std::size_t block_index) {
+  std::vector<std::size_t> out;
+  auto label_to_index = [&](std::int64_t label) -> std::size_t {
+    for (std::size_t i = 0; i < mf.blocks.size(); ++i)
+      if (mf.blocks[i].label == label) return i;
+    return mf.blocks.size();
+  };
+  const auto& insts = mf.blocks[block_index].insts;
+  for (const Inst& inst : insts) {
+    if (inst.op == Op::Jmp || inst.op == Op::Jcc) {
+      const std::size_t t = label_to_index(inst.target);
+      if (t < mf.blocks.size() &&
+          std::find(out.begin(), out.end(), t) == out.end())
+        out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LivenessResult compute_liveness(const MachineFunction& mf) {
+  LivenessResult result;
+  const std::size_t nblocks = mf.blocks.size();
+
+  // Per-block use/def of virtual registers.
+  std::vector<std::set<RegId>> use(nblocks), def(nblocks), live_in(nblocks),
+      live_out(nblocks);
+  std::vector<std::vector<std::size_t>> succ(nblocks);
+
+  result.block_start_position.resize(nblocks);
+  std::size_t position = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    result.block_start_position[b] = position;
+    position += mf.blocks[b].insts.size();
+    succ[b] = successors_of(mf, b);
+    std::vector<RegId> reads;
+    for (const Inst& inst : mf.blocks[b].insts) {
+      reads.clear();
+      x86::collect_reads(inst, reads);
+      for (RegId r : reads)
+        if (x86::is_virtual(r) && !def[b].count(r)) use[b].insert(r);
+      const RegId d = x86::dest_reg(inst);
+      if (x86::is_virtual(d) && x86::dest_fully_overwrites(inst))
+        def[b].insert(d);
+      else if (x86::is_virtual(d) && !def[b].count(d))
+        use[b].insert(d);  // partial write reads the old value
+    }
+  }
+  result.num_positions = position;
+
+  // Iterative backward dataflow.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = nblocks; b-- > 0;) {
+      std::set<RegId> out;
+      for (std::size_t s : succ[b])
+        out.insert(live_in[s].begin(), live_in[s].end());
+      std::set<RegId> in = use[b];
+      for (RegId r : out)
+        if (!def[b].count(r)) in.insert(r);
+      if (out != live_out[b] || in != live_in[b]) {
+        live_out[b] = std::move(out);
+        live_in[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  // Build intervals.
+  std::map<RegId, LiveInterval> intervals;
+  auto touch = [&](RegId r, std::size_t pos, bool is_use) {
+    auto [it, inserted] = intervals.try_emplace(r);
+    LiveInterval& iv = it->second;
+    if (inserted) {
+      iv.vreg = r;
+      iv.start = pos;
+      iv.end = pos;
+    } else {
+      iv.start = std::min(iv.start, pos);
+      iv.end = std::max(iv.end, pos);
+    }
+    if (is_use) ++iv.uses;
+  };
+
+  std::vector<RegId> reads;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t begin = result.block_start_position[b];
+    const std::size_t last =
+        begin + (mf.blocks[b].insts.empty() ? 0 : mf.blocks[b].insts.size() - 1);
+    for (RegId r : live_in[b]) touch(r, begin, false);
+    for (RegId r : live_out[b]) touch(r, last, false);
+    for (std::size_t i = 0; i < mf.blocks[b].insts.size(); ++i) {
+      const Inst& inst = mf.blocks[b].insts[i];
+      const std::size_t pos = begin + i;
+      reads.clear();
+      x86::collect_reads(inst, reads);
+      for (RegId r : reads)
+        if (x86::is_virtual(r)) touch(r, pos, true);
+      const RegId d = x86::dest_reg(inst);
+      if (x86::is_virtual(d)) touch(d, pos, true);
+    }
+  }
+
+  // Mark call crossings.
+  // Only real calls clobber caller-saved registers: builtins execute as a
+  // single simulated instruction and preserve everything except their
+  // RAX/XMM0 return slot.
+  std::vector<std::size_t> call_positions;
+  for (std::size_t b = 0; b < nblocks; ++b)
+    for (std::size_t i = 0; i < mf.blocks[b].insts.size(); ++i) {
+      if (mf.blocks[b].insts[i].op == Op::Call)
+        call_positions.push_back(result.block_start_position[b] + i);
+    }
+  for (auto& [r, iv] : intervals) {
+    for (std::size_t cp : call_positions)
+      if (iv.start < cp && cp < iv.end) {
+        iv.crosses_call = true;
+        break;
+      }
+  }
+
+  result.intervals.reserve(intervals.size());
+  for (auto& [r, iv] : intervals) result.intervals.push_back(iv);
+  std::sort(result.intervals.begin(), result.intervals.end());
+  return result;
+}
+
+}  // namespace faultlab::backend

@@ -1,0 +1,38 @@
+// Liveness analysis over machine functions (virtual + physical registers),
+// producing the live intervals consumed by the linear-scan allocator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "x86/program.h"
+
+namespace faultlab::backend {
+
+/// Positions number instructions across the whole function in block order
+/// (each instruction occupies one position).
+struct LiveInterval {
+  x86::RegId vreg = x86::kNoReg;
+  std::size_t start = 0;  // first def position
+  std::size_t end = 0;    // last position where the value is live
+  std::size_t uses = 0;   // number of positions touching the register
+  bool crosses_call = false;
+  bool operator<(const LiveInterval& o) const { return start < o.start; }
+
+  /// Spill weight: cheap-to-spill intervals have few uses over a long
+  /// range. Hot loop-carried values score high and stay in registers.
+  double weight() const {
+    return static_cast<double>(uses) / static_cast<double>(end - start + 1);
+  }
+};
+
+struct LivenessResult {
+  std::vector<LiveInterval> intervals;            // virtual registers only
+  std::vector<std::size_t> block_start_position;  // per block
+  std::size_t num_positions = 0;
+};
+
+LivenessResult compute_liveness(const x86::MachineFunction& mf);
+
+}  // namespace faultlab::backend

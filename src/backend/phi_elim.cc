@@ -1,0 +1,105 @@
+#include "backend/phi_elim.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace faultlab::backend {
+
+namespace {
+
+using x86::Inst;
+using x86::MBlock;
+using x86::Op;
+using x86::RegId;
+using x86::SrcKind;
+
+Inst copy_inst(const PhiCopy& c) {
+  Inst i;
+  if (c.is_xmm) {
+    if (c.src_is_imm) {
+      // imm carries the constant-pool address of the double.
+      i.op = Op::MovsdRM;
+      i.dst = c.dest;
+      i.mem.disp = c.imm;
+    } else {
+      i.op = Op::MovsdRR;
+      i.dst = c.dest;
+      i.src = c.src_reg;
+      i.src_kind = SrcKind::Reg;
+    }
+    return i;
+  }
+  if (c.src_is_imm) {
+    i.op = Op::MovRI;
+    i.dst = c.dest;
+    i.imm = c.imm;
+    i.src_kind = SrcKind::Imm;
+    i.width = 8;
+    return i;
+  }
+  i.op = Op::MovRR;
+  i.dst = c.dest;
+  i.src = c.src_reg;
+  i.src_kind = SrcKind::Reg;
+  i.width = 8;
+  return i;
+}
+
+}  // namespace
+
+void eliminate_phis(x86::MachineFunction& mf,
+                    const std::vector<PhiCopy>& copies) {
+  // Group by predecessor block.
+  std::map<std::int64_t, std::vector<PhiCopy>> by_pred;
+  for (const PhiCopy& c : copies) by_pred[c.pred_label].push_back(c);
+
+  for (auto& [label, group] : by_pred) {
+    MBlock* block = mf.block_by_label(label);
+    if (block == nullptr)
+      throw std::logic_error("phi_elim: predecessor block missing");
+
+    // Sequentialize the parallel copy: emit copies whose destination is not
+    // read by any pending copy; break cycles with a temp register.
+    std::vector<Inst> seq;
+    std::vector<PhiCopy> pending = group;
+    while (!pending.empty()) {
+      bool progressed = false;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        const PhiCopy& c = pending[i];
+        const bool dest_read_by_other =
+            std::any_of(pending.begin(), pending.end(), [&](const PhiCopy& o) {
+              return !o.src_is_imm && o.src_reg == c.dest &&
+                     !(o.dest == c.dest && o.src_reg == c.src_reg);
+            });
+        if (!dest_read_by_other) {
+          if (!(c.src_is_imm == false && c.src_reg == c.dest))  // skip self
+            seq.push_back(copy_inst(c));
+          pending.erase(pending.begin() + i);
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) continue;
+      // Cycle: save one pending destination into a temp, redirect readers.
+      PhiCopy& head = pending.front();
+      const RegId temp = head.is_xmm ? mf.fresh_xmm() : mf.fresh_gpr();
+      PhiCopy save;
+      save.pred_label = head.pred_label;
+      save.dest = temp;
+      save.src_reg = head.dest;
+      save.is_xmm = head.is_xmm;
+      seq.push_back(copy_inst(save));
+      for (PhiCopy& o : pending)
+        if (!o.src_is_imm && o.src_reg == head.dest) o.src_reg = temp;
+    }
+
+    block->insts.insert(
+        block->insts.begin() +
+            static_cast<std::ptrdiff_t>(block->terminator_begin),
+        seq.begin(), seq.end());
+    block->terminator_begin += seq.size();
+  }
+}
+
+}  // namespace faultlab::backend

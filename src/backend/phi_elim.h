@@ -1,0 +1,17 @@
+// Phi elimination: lowers the phi-copy schedule produced by instruction
+// selection into explicit register moves at the end of predecessor blocks,
+// honouring parallel-copy semantics (cycles broken with a temporary).
+//
+// These moves — and the spills the register allocator later adds when they
+// raise pressure — are the assembly-level footprint of IR phi nodes that
+// the paper's Table I row 2 describes.
+#pragma once
+
+#include "backend/isel.h"
+
+namespace faultlab::backend {
+
+void eliminate_phis(x86::MachineFunction& mf,
+                    const std::vector<PhiCopy>& copies);
+
+}  // namespace faultlab::backend

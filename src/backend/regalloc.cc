@@ -1,0 +1,372 @@
+#include "backend/regalloc.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace faultlab::backend {
+
+namespace {
+
+using x86::Inst;
+using x86::MachineFunction;
+using x86::Op;
+using x86::RegId;
+using x86::SrcKind;
+
+const RegId kGprPool[] = {x86::RCX, x86::RDX, x86::RSI, x86::RDI,
+                          x86::R8,  x86::R9,  x86::R12, x86::R13,
+                          x86::R14, x86::R15};
+const RegId kXmmPool[] = {x86::kXmmBase + 1,  x86::kXmmBase + 2,
+                          x86::kXmmBase + 3,  x86::kXmmBase + 4,
+                          x86::kXmmBase + 5,  x86::kXmmBase + 6,
+                          x86::kXmmBase + 7,  x86::kXmmBase + 8,
+                          x86::kXmmBase + 9,  x86::kXmmBase + 10,
+                          x86::kXmmBase + 11, x86::kXmmBase + 12};
+const RegId kGprScratch[] = {x86::RBX, x86::R10, x86::R11};
+const RegId kXmmScratch[] = {x86::kXmmBase + 13, x86::kXmmBase + 14,
+                             x86::kXmmBase + 15};
+
+class LinearScan {
+ public:
+  explicit LinearScan(MachineFunction& mf) : mf_(mf) {}
+
+  RegAllocStats run() {
+    const LivenessResult live = compute_liveness(mf_);
+    stats_.vregs = live.intervals.size();
+    collect_hints();
+    scan(live);
+    plan_caller_saves(live);
+    rewrite();
+    return stats_;
+  }
+
+ private:
+  struct Active {
+    LiveInterval interval;
+    RegId phys;
+  };
+
+  /// Register-copy hints: `mov vdst, vsrc` works best when both land in
+  /// the same physical register — the move then drops as an identity copy.
+  void collect_hints() {
+    for (const auto& block : mf_.blocks) {
+      for (const Inst& inst : block.insts) {
+        const bool is_copy =
+            (inst.op == Op::MovRR && inst.width == 8) || inst.op == Op::MovsdRR;
+        if (!is_copy || inst.src_kind != SrcKind::Reg) continue;
+        if (x86::is_virtual(inst.dst) && x86::is_virtual(inst.src))
+          hints_.emplace(inst.dst, inst.src);
+      }
+    }
+  }
+
+  void scan(const LivenessResult& live) {
+    std::vector<Active> active_gpr, active_xmm;
+    std::vector<RegId> free_gpr(std::begin(kGprPool), std::end(kGprPool));
+    std::vector<RegId> free_xmm(std::begin(kXmmPool), std::end(kXmmPool));
+
+    auto expire = [](std::vector<Active>& active, std::vector<RegId>& free,
+                     std::size_t now) {
+      for (std::size_t i = 0; i < active.size();) {
+        if (active[i].interval.end < now) {
+          free.push_back(active[i].phys);
+          active.erase(active.begin() + i);
+        } else {
+          ++i;
+        }
+      }
+    };
+
+    for (const LiveInterval& iv : live.intervals) {
+      const bool xmm = x86::is_xmm_class(iv.vreg);
+      auto& active = xmm ? active_xmm : active_gpr;
+      auto& free = xmm ? free_xmm : free_gpr;
+      expire(active, free, iv.start);
+
+      // Honour a copy hint when the source's register can be taken over:
+      // either it is already free, or the source interval ends exactly at
+      // this copy (the move reads it before the destination is written).
+      if (auto hint = hints_.find(iv.vreg); hint != hints_.end()) {
+        auto assigned = assignment_.find(hint->second);
+        if (assigned != assignment_.end()) {
+          const RegId wanted = assigned->second;
+          auto in_free = std::find(free.begin(), free.end(), wanted);
+          if (in_free != free.end()) {
+            free.erase(in_free);
+            assignment_[iv.vreg] = wanted;
+            active.push_back({iv, wanted});
+            continue;
+          }
+          auto in_active = std::find_if(
+              active.begin(), active.end(), [&](const Active& a) {
+                return a.phys == wanted && a.interval.vreg == hint->second &&
+                       a.interval.end == iv.start;
+              });
+          if (in_active != active.end()) {
+            active.erase(in_active);
+            assignment_[iv.vreg] = wanted;
+            active.push_back({iv, wanted});
+            continue;
+          }
+        }
+      }
+      if (!free.empty()) {
+        const RegId phys = free.back();
+        free.pop_back();
+        assignment_[iv.vreg] = phys;
+        active.push_back({iv, phys});
+        continue;
+      }
+      // Spill the cheapest value: the lowest use-density interval among
+      // the active set and the incoming one (hot loop-carried values have
+      // high density and stay in registers).
+      auto cheapest = std::min_element(
+          active.begin(), active.end(), [](const Active& a, const Active& b) {
+            return a.interval.weight() < b.interval.weight();
+          });
+      if (cheapest != active.end() && cheapest->interval.weight() < iv.weight()) {
+        assignment_[iv.vreg] = cheapest->phys;
+        spill(cheapest->interval.vreg);
+        Active replacement{iv, cheapest->phys};
+        *cheapest = replacement;
+      } else {
+        spill(iv.vreg);
+      }
+    }
+  }
+
+  void spill(RegId vreg) {
+    assignment_.erase(vreg);
+    mf_.frame.size += 8;
+    spill_slot_[vreg] = mf_.frame.size;
+    ++stats_.spilled;
+  }
+
+  /// XMM registers are caller-saved (as in the SysV ABI): an allocated
+  /// double that is live across a call gets saved to a frame slot before
+  /// the call and restored after it. GPRs are callee-saved and cross calls
+  /// freely.
+  void plan_caller_saves(const LivenessResult& live) {
+    std::vector<std::size_t> call_positions;
+    for (std::size_t b = 0; b < mf_.blocks.size(); ++b)
+      for (std::size_t i = 0; i < mf_.blocks[b].insts.size(); ++i)
+        if (mf_.blocks[b].insts[i].op == Op::Call)
+          call_positions.push_back(live.block_start_position[b] + i);
+    if (call_positions.empty()) return;
+
+    for (const LiveInterval& iv : live.intervals) {
+      if (!x86::is_xmm_class(iv.vreg) || !iv.crosses_call) continue;
+      auto phys = assignment_.find(iv.vreg);
+      if (phys == assignment_.end()) continue;  // spilled anyway
+      std::uint64_t slot = 0;
+      for (std::size_t cp : call_positions) {
+        if (!(iv.start < cp && cp < iv.end)) continue;
+        if (slot == 0) {
+          mf_.frame.size += 8;
+          slot = mf_.frame.size;
+        }
+        caller_saves_[cp].push_back({phys->second, slot});
+      }
+    }
+  }
+
+  // -- rewrite ---------------------------------------------------------------
+
+  /// A scratch register known to currently hold a spill slot's value (the
+  /// rewrite-time reload cache: repeated uses of a spilled value in
+  /// straight-line code reuse the scratch instead of reloading).
+  std::map<RegId, std::int64_t> scratch_holds_;
+
+  void invalidate_scratch_cache() { scratch_holds_.clear(); }
+
+  RegId resolve(RegId r, std::vector<Inst>& before, std::vector<Inst>& after,
+                bool is_read, bool is_written,
+                std::map<RegId, RegId>& scratch_map, unsigned& next_gpr_scratch,
+                unsigned& next_xmm_scratch) {
+    if (!x86::is_virtual(r)) return r;
+    auto phys = assignment_.find(r);
+    if (phys != assignment_.end()) return phys->second;
+
+    const bool xmm = x86::is_xmm_class(r);
+    const std::int64_t disp =
+        -static_cast<std::int64_t>(spill_slot_.at(r));
+
+    auto existing = scratch_map.find(r);
+    RegId scratch;
+    bool cache_hit = false;
+    if (existing != scratch_map.end()) {
+      scratch = existing->second;
+    } else {
+      // Reuse a scratch that already holds this slot, if it is not
+      // claimed by another operand of this instruction.
+      for (const auto& [s, held] : scratch_holds_) {
+        if (held != disp || x86::is_xmm_class(s) != xmm) continue;
+        const bool taken = std::any_of(
+            scratch_map.begin(), scratch_map.end(),
+            [&](const auto& kv) { return kv.second == s; });
+        if (!taken) {
+          scratch = s;
+          cache_hit = true;
+          break;
+        }
+      }
+      if (!cache_hit) {
+        // Rotate to a scratch not already claimed this instruction.
+        auto pick = [&](const RegId* pool, std::size_t n,
+                        unsigned& next) -> RegId {
+          while (next < n) {
+            const RegId cand = pool[next++];
+            const bool taken = std::any_of(
+                scratch_map.begin(), scratch_map.end(),
+                [&](const auto& kv) { return kv.second == cand; });
+            if (!taken) return cand;
+          }
+          throw std::logic_error("regalloc: out of scratch registers");
+        };
+        scratch = xmm ? pick(kXmmScratch, std::size(kXmmScratch),
+                             next_xmm_scratch)
+                      : pick(kGprScratch, std::size(kGprScratch),
+                             next_gpr_scratch);
+      }
+      scratch_map[r] = scratch;
+    }
+
+    x86::MemOperand slot;
+    slot.base = x86::RBP;
+    slot.disp = disp;
+    if (is_read && !cache_hit) {
+      Inst load;
+      load.op = xmm ? Op::MovsdRM : Op::MovRM;
+      load.dst = scratch;
+      load.mem = slot;
+      load.width = 8;
+      // Avoid duplicate reloads for the same vreg in one instruction.
+      const bool already = std::any_of(
+          before.begin(), before.end(),
+          [&](const Inst& i) { return i.dst == scratch; });
+      if (!already) before.push_back(load);
+      ++stats_.spill_loads;
+    }
+    if (is_written) {
+      Inst store;
+      store.op = xmm ? Op::MovsdMR : Op::MovMR;
+      store.dst = scratch;
+      store.mem = slot;
+      store.width = 8;
+      after.push_back(store);
+      ++stats_.spill_stores;
+    }
+    // After this instruction the scratch holds the slot's current value
+    // (reloaded before it, or stored back after it).
+    scratch_holds_[scratch] = disp;
+    return scratch;
+  }
+
+  void rewrite() {
+    std::size_t position = 0;  // pre-rewrite numbering (matches liveness)
+    for (auto& block : mf_.blocks) {
+      std::vector<Inst> out;
+      out.reserve(block.insts.size());
+      std::size_t new_terminator_begin = block.terminator_begin;
+      invalidate_scratch_cache();  // blocks are jump targets
+      for (std::size_t idx = 0; idx < block.insts.size(); ++idx, ++position) {
+        if (idx == block.terminator_begin) new_terminator_begin = out.size();
+        Inst inst = block.insts[idx];
+
+        // Calls may clobber the scratch XMMs (they are caller-saved).
+        if (inst.op == Op::Call || inst.op == Op::CallBuiltin)
+          invalidate_scratch_cache();
+
+        // Caller-saved XMM traffic around calls.
+        if (inst.op == Op::Call) {
+          auto cs = caller_saves_.find(position);
+          if (cs != caller_saves_.end()) {
+            for (const auto& [phys, slot] : cs->second) {
+              Inst save;
+              save.op = Op::MovsdMR;
+              save.dst = phys;
+              save.mem.base = x86::RBP;
+              save.mem.disp = -static_cast<std::int64_t>(slot);
+              out.push_back(save);
+            }
+            out.push_back(inst);
+            for (const auto& [phys, slot] : cs->second) {
+              Inst restore;
+              restore.op = Op::MovsdRM;
+              restore.dst = phys;
+              restore.mem.base = x86::RBP;
+              restore.mem.disp = -static_cast<std::int64_t>(slot);
+              out.push_back(restore);
+            }
+            continue;
+          }
+        }
+        std::vector<Inst> before, after;
+        std::map<RegId, RegId> scratch_map;
+        unsigned ng = 0, nx = 0;
+
+        const RegId dest = x86::dest_reg(inst);
+        // Destination: read when the op merges (two-address ALU etc.).
+        std::vector<RegId> reads;
+        x86::collect_reads(inst, reads);
+        auto is_read_reg = [&](RegId r) {
+          return std::find(reads.begin(), reads.end(), r) != reads.end();
+        };
+
+        if (inst.mem.base != x86::kNoReg)
+          inst.mem.base = resolve(inst.mem.base, before, after, true, false,
+                                  scratch_map, ng, nx);
+        if (inst.mem.index != x86::kNoReg)
+          inst.mem.index = resolve(inst.mem.index, before, after, true, false,
+                                   scratch_map, ng, nx);
+        if (inst.src_kind == SrcKind::Reg && inst.src != x86::kNoReg)
+          inst.src = resolve(inst.src, before, after, true, false, scratch_map,
+                             ng, nx);
+        if (inst.dst != x86::kNoReg) {
+          const bool written = dest != x86::kNoReg;
+          const bool read = is_read_reg(block.insts[idx].dst) || !written;
+          inst.dst = resolve(inst.dst, before, after, read, written,
+                             scratch_map, ng, nx);
+        }
+
+        // Drop no-op moves produced by coalescable copies.
+        const bool identity_mov =
+            (inst.op == Op::MovRR || inst.op == Op::MovsdRR) &&
+            inst.src_kind == SrcKind::Reg && inst.dst == inst.src &&
+            before.empty() && after.empty() && (inst.op != Op::MovRR || inst.width == 8);
+        out.insert(out.end(), before.begin(), before.end());
+        if (!identity_mov) out.push_back(inst);
+        out.insert(out.end(), after.begin(), after.end());
+
+        // A program store may alias a spill slot (wild or frame pointers),
+        // so cached reloads are stale after it. Our own spill stores
+        // (emitted in `after`) keep their scratch<->slot pairing valid.
+        if (inst.op == Op::MovMR || inst.op == Op::MovMI ||
+            inst.op == Op::MovsdMR || inst.op == Op::Push)
+          invalidate_scratch_cache();
+      }
+      if (block.terminator_begin >= block.insts.size())
+        new_terminator_begin = out.size();
+      block.insts = std::move(out);
+      block.terminator_begin = new_terminator_begin;
+    }
+  }
+
+  MachineFunction& mf_;
+  std::map<RegId, RegId> assignment_;
+  std::map<RegId, RegId> hints_;
+  std::map<RegId, std::uint64_t> spill_slot_;
+  // call position -> (physical xmm, frame slot) pairs to save/restore
+  std::map<std::size_t, std::vector<std::pair<RegId, std::uint64_t>>>
+      caller_saves_;
+  RegAllocStats stats_;
+};
+
+}  // namespace
+
+RegAllocStats allocate_registers(x86::MachineFunction& mf) {
+  return LinearScan(mf).run();
+}
+
+}  // namespace faultlab::backend

@@ -1,0 +1,29 @@
+// Linear-scan register allocation with spilling.
+//
+// Allocatable GPRs: rcx, rdx, rsi, rdi, r8, r9, r12-r15.
+// Allocatable XMMs: xmm1-xmm12.
+// Reserved: rax/xmm0 (return values), rsp/rbp (stack discipline),
+// rbx/r10/r11 and xmm13-15 (spill-code scratch).
+//
+// Spilled virtual registers get 8-byte frame slots; a rewrite pass loads
+// them into scratch registers at each use and stores after each def. The
+// spill traffic this generates is the assembly-level manifestation of
+// register pressure (the paper's phi/spill discussion, Table I row 2).
+#pragma once
+
+#include "backend/liveness.h"
+#include "x86/program.h"
+
+namespace faultlab::backend {
+
+struct RegAllocStats {
+  std::size_t vregs = 0;
+  std::size_t spilled = 0;
+  std::size_t spill_loads = 0;
+  std::size_t spill_stores = 0;
+};
+
+/// Allocates registers in place; grows mf.frame.size for spill slots.
+RegAllocStats allocate_registers(x86::MachineFunction& mf);
+
+}  // namespace faultlab::backend

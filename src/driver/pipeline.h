@@ -1,0 +1,60 @@
+// Pipeline facade — the public entry point of the FaultLab library.
+//
+// One call takes mini-C source through the whole stack:
+//   source --frontend--> IR --optimizer--> SSA IR --backend--> x86 Program
+// and hands back both executable forms (the IR module for the VM / LLFI,
+// the machine program for the simulator / PINFI) plus compile statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+#include "machine/runtime.h"
+#include "opt/pass.h"
+#include "vm/interpreter.h"
+#include "x86/program.h"
+#include "x86/simulator.h"
+
+namespace faultlab::driver {
+
+struct CompileOptions {
+  bool optimize = true;   ///< run the standard pass pipeline
+  bool verify = true;     ///< verify IR after each stage
+};
+
+/// A fully compiled program: IR + machine code over the same memory layout.
+class CompiledProgram {
+ public:
+  const ir::Module& module() const noexcept { return *module_; }
+  const x86::Program& program() const noexcept { return program_; }
+  const opt::PipelineStats& opt_stats() const noexcept { return opt_stats_; }
+
+  /// Runs the IR on the interpreter (golden or hooked).
+  vm::RunResult run_ir(vm::ExecHook* hook = nullptr,
+                       const vm::RunLimits& limits = {}) const;
+  /// Runs the machine code on the simulator (golden or hooked).
+  x86::SimResult run_asm(x86::SimHook* hook = nullptr,
+                         const x86::SimLimits& limits = {}) const;
+
+ private:
+  friend CompiledProgram compile(const std::string&, const std::string&,
+                                 const CompileOptions&);
+  std::unique_ptr<ir::Module> module_;
+  std::unique_ptr<machine::GlobalLayout> layout_;
+  x86::Program program_;
+  opt::PipelineStats opt_stats_;
+};
+
+/// Compiles mini-C source through the full pipeline. Throws
+/// mc::CompileError on bad source, std::runtime_error on verifier failures.
+CompiledProgram compile(const std::string& source,
+                        const std::string& name = "module",
+                        const CompileOptions& options = {});
+
+/// Lowers an existing (already optimized, verifier-clean) module to machine
+/// code. The module must outlive the returned program.
+x86::Program lower_module(ir::Module& module,
+                          const machine::GlobalLayout& layout);
+
+}  // namespace faultlab::driver

@@ -1,0 +1,58 @@
+// Campaign runner: the paper's experimental procedure (Section V).
+//
+// For one (tool, benchmark, category): profile the dynamic count N, then
+// run `trials` injections, each at a uniformly drawn dynamic instance
+// k in [1, N], flipping one random bit. Outcome percentages are computed
+// over *activated* faults, exactly as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/engine.h"
+#include "support/stats.h"
+
+namespace faultlab::fault {
+
+struct CampaignConfig {
+  std::string app;  ///< benchmark name (reporting only)
+  ir::Category category = ir::Category::All;
+  std::size_t trials = 150;
+  std::uint64_t seed = 0xfa017ab5eedULL;
+  /// Worker threads for the trial loop (0 = hardware concurrency). Results
+  /// are identical for any thread count: every trial's (k, bit) draw is
+  /// generated sequentially up front.
+  std::size_t threads = 0;
+};
+
+struct CampaignResult {
+  std::string app;
+  std::string tool;
+  ir::Category category = ir::Category::All;
+  std::uint64_t profiled_count = 0;  // N (Table IV entry)
+
+  std::size_t crash = 0;
+  std::size_t sdc = 0;
+  std::size_t benign = 0;
+  std::size_t hang = 0;
+  std::size_t not_activated = 0;
+
+  std::size_t activated() const noexcept { return crash + sdc + benign + hang; }
+  Proportion crash_rate() const noexcept { return {crash, activated()}; }
+  Proportion sdc_rate() const noexcept { return {sdc, activated()}; }
+  Proportion benign_rate() const noexcept { return {benign, activated()}; }
+  Proportion hang_rate() const noexcept { return {hang, activated()}; }
+
+  std::vector<TrialRecord> trials;  ///< per-trial details (replayable)
+};
+
+/// Runs one campaign. Deterministic for a fixed (engine, config) pair.
+CampaignResult run_campaign(InjectorEngine& engine,
+                            const CampaignConfig& config);
+
+/// Number of trials per cell, honouring the FAULTLAB_TRIALS environment
+/// variable (the paper uses 1000; the default here keeps laptop turnaround
+/// reasonable).
+std::size_t default_trials();
+
+}  // namespace faultlab::fault

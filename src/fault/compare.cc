@@ -1,0 +1,90 @@
+#include "fault/compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace faultlab::fault {
+
+std::vector<CellComparison> compare_cells(const ResultSet& rs) {
+  std::vector<CellComparison> out;
+  for (const std::string& app : rs.apps()) {
+    for (ir::Category c : ir::kAllCategories) {
+      const CampaignResult* l = rs.find(app, "LLFI", c);
+      const CampaignResult* p = rs.find(app, "PINFI", c);
+      CellComparison cell;
+      cell.app = app;
+      cell.category = c;
+      if (l != nullptr && p != nullptr && l->activated() > 0 &&
+          p->activated() > 0) {
+        cell.valid = true;
+        cell.llfi_sdc = l->sdc_rate().percent();
+        cell.pinfi_sdc = p->sdc_rate().percent();
+        cell.llfi_crash = l->crash_rate().percent();
+        cell.pinfi_crash = p->crash_rate().percent();
+        cell.sdc_ci_overlap =
+            Proportion::overlap95(l->sdc_rate(), p->sdc_rate());
+        cell.crash_delta = std::fabs(cell.llfi_crash - cell.pinfi_crash);
+      }
+      out.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+HeadlineFindings summarize(const ResultSet& rs) {
+  HeadlineFindings h;
+  const auto cells = compare_cells(rs);
+  std::size_t valid = 0, overlapping = 0;
+  std::size_t cmp_cells = 0, other_cells = 0;
+  double cmp_delta_sum = 0.0, other_delta_sum = 0.0;
+  for (const CellComparison& c : cells) {
+    if (!c.valid) continue;
+    ++valid;
+    if (c.sdc_ci_overlap) ++overlapping;
+    if (c.crash_delta > h.max_crash_delta) {
+      h.max_crash_delta = c.crash_delta;
+      h.max_crash_app = c.app;
+      h.max_crash_category = c.category;
+    }
+    if (c.category == ir::Category::Cmp) {
+      ++cmp_cells;
+      cmp_delta_sum += c.crash_delta;
+    } else {
+      ++other_cells;
+      other_delta_sum += c.crash_delta;
+    }
+  }
+  if (valid > 0)
+    h.sdc_agreement_fraction =
+        static_cast<double>(overlapping) / static_cast<double>(valid);
+  if (cmp_cells > 0)
+    h.mean_cmp_crash_delta = cmp_delta_sum / static_cast<double>(cmp_cells);
+  if (other_cells > 0)
+    h.mean_other_crash_delta =
+        other_delta_sum / static_cast<double>(other_cells);
+  return h;
+}
+
+std::string render_summary(const HeadlineFindings& h) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "SDC agreement: LLFI and PINFI 95%% CIs overlap in %.0f%% of "
+                "cells\n",
+                h.sdc_agreement_fraction * 100.0);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "Max crash divergence: %.1f points (%s, %s category)\n",
+                h.max_crash_delta, h.max_crash_app.c_str(),
+                ir::category_name(h.max_crash_category));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "Mean crash divergence: cmp %.1f points vs other categories "
+                "%.1f points\n",
+                h.mean_cmp_crash_delta, h.mean_other_crash_delta);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace faultlab::fault

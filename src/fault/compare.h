@@ -1,0 +1,42 @@
+// LLFI-vs-PINFI comparison analytics — the paper's headline claims,
+// computed from a ResultSet:
+//  * SDC rates agree within 95% confidence intervals for most cells,
+//  * crash rates diverge substantially for every category except 'cmp'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/report.h"
+
+namespace faultlab::fault {
+
+struct CellComparison {
+  std::string app;
+  ir::Category category = ir::Category::All;
+  double llfi_sdc = 0.0, pinfi_sdc = 0.0;    // percent
+  double llfi_crash = 0.0, pinfi_crash = 0.0;
+  bool sdc_ci_overlap = false;
+  double crash_delta = 0.0;  // |llfi - pinfi| in percentage points
+  bool valid = false;        // both tools have activated trials
+};
+
+std::vector<CellComparison> compare_cells(const ResultSet& rs);
+
+struct HeadlineFindings {
+  /// Fraction of valid cells where the LLFI/PINFI SDC CIs overlap.
+  double sdc_agreement_fraction = 0.0;
+  /// Largest crash-rate divergence over valid cells, and where.
+  double max_crash_delta = 0.0;
+  std::string max_crash_app;
+  ir::Category max_crash_category = ir::Category::All;
+  /// Mean crash delta for 'cmp' cells (the paper: small) vs others.
+  double mean_cmp_crash_delta = 0.0;
+  double mean_other_crash_delta = 0.0;
+};
+
+HeadlineFindings summarize(const ResultSet& rs);
+
+std::string render_summary(const HeadlineFindings& h);
+
+}  // namespace faultlab::fault

@@ -1,0 +1,54 @@
+// Injector-engine interface: what a SWiFI tool must provide for the
+// campaign runner. LLFI implements it over the IR interpreter; PINFI over
+// the machine simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/outcome.h"
+#include "ir/category.h"
+#include "support/rng.h"
+
+namespace faultlab::fault {
+
+/// Knobs of the fault model. Defaults reproduce the paper's setup; the
+/// ablation bench flips them individually.
+struct FaultModel {
+  /// PINFI heuristic 1: for compares, flip only the EFLAGS bit(s) the
+  /// following conditional jump reads (Figure 2a).
+  bool pinfi_flag_heuristic = true;
+  /// PINFI heuristic 2: for double-precision ops, prune the 128-bit XMM
+  /// injection space to the low 64 bits (Figure 2b).
+  bool pinfi_xmm_prune = true;
+  /// LLFI flips within the destination *type* width; turning this off
+  /// flips within the full 64-bit register instead (ablation).
+  bool llfi_type_width = true;
+  /// Section VII item 1: treat getelementptr as an arithmetic instruction
+  /// when LLFI selects 'arithmetic' targets (off = paper's default LLFI).
+  bool llfi_gep_as_arithmetic = false;
+};
+
+class InjectorEngine {
+ public:
+  virtual ~InjectorEngine() = default;
+
+  virtual const char* tool_name() const noexcept = 0;
+
+  /// Dynamic count of category instructions in a fault-free run (the
+  /// paper's Table IV entries). Also primes golden output/limits.
+  virtual std::uint64_t profile(ir::Category category) = 0;
+
+  /// Runs one trial, flipping one random bit in the destination of the
+  /// k-th dynamic instance (1-based) of `category`. `rng` drives the bit
+  /// choice only; k comes from the campaign so both tools sample uniformly.
+  virtual TrialRecord inject(ir::Category category, std::uint64_t k,
+                             Rng& rng) = 0;
+
+  /// Output of the fault-free run (SDC reference).
+  virtual const std::string& golden_output() const noexcept = 0;
+  /// Dynamic instruction count of the fault-free run.
+  virtual std::uint64_t golden_instructions() const noexcept = 0;
+};
+
+}  // namespace faultlab::fault

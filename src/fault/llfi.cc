@@ -1,0 +1,138 @@
+#include "fault/llfi.h"
+
+#include <stdexcept>
+
+#include "support/bitutil.h"
+
+namespace faultlab::fault {
+
+namespace {
+
+/// Profiling hook: counts dynamic instances of the target set.
+class ProfileHook final : public vm::ExecHook {
+ public:
+  ProfileHook(ir::Category category, const FaultModel& model)
+      : category_(category), model_(model) {}
+  void on_instruction(const ir::Instruction& instr) override {
+    if (LlfiEngine::is_target(instr, category_, model_)) ++count_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  ir::Category category_;
+  FaultModel model_;
+  std::uint64_t count_ = 0;
+};
+
+/// Injection hook: flips one bit in the destination of dynamic instance k
+/// of the category, then watches for a read of that exact dynamic value
+/// (activation). The bit index is drawn uniformly in [0,64) up front and
+/// folded by the destination's width at injection time, because the width
+/// is only known once the instance is reached.
+class InjectHook final : public vm::ExecHook {
+ public:
+  InjectHook(ir::Category category, std::uint64_t k, unsigned raw_bit,
+             const FaultModel& model)
+      : category_(category),
+        target_k_(k),
+        raw_bit_(raw_bit),
+        model_(model) {}
+
+  void on_instruction(const ir::Instruction& instr) override {
+    if (!injected_ && LlfiEngine::is_target(instr, category_, model_)) {
+      if (++seen_ == target_k_) pending_ = true;
+    }
+  }
+
+  std::uint64_t on_result(const vm::DynValueId& id, std::uint64_t raw) override {
+    if (!pending_) return raw;
+    pending_ = false;
+    injected_ = true;
+    injected_id_ = id;
+    static_site_ = id.def->id();
+    const unsigned width =
+        model_.llfi_type_width ? id.def->type()->register_bits() : 64;
+    bit_ = raw_bit_ % width;
+    return flip_bit(raw, bit_);
+  }
+
+  void on_operand_read(const vm::DynValueId& id,
+                       const ir::Instruction& user) override {
+    (void)user;
+    if (injected_ && !activated_ && id == injected_id_) activated_ = true;
+  }
+
+  bool injected() const noexcept { return injected_; }
+  bool activated() const noexcept { return activated_; }
+  unsigned bit() const noexcept { return bit_; }
+  std::uint64_t static_site() const noexcept { return static_site_; }
+
+ private:
+  ir::Category category_;
+  std::uint64_t target_k_;
+  unsigned raw_bit_;
+  FaultModel model_;
+  std::uint64_t seen_ = 0;
+  bool pending_ = false;
+  bool injected_ = false;
+  bool activated_ = false;
+  unsigned bit_ = 0;
+  vm::DynValueId injected_id_;
+  std::uint64_t static_site_ = 0;
+};
+
+}  // namespace
+
+bool LlfiEngine::is_target(const ir::Instruction& instr, ir::Category category,
+                           const FaultModel& model) {
+  if (!instr.has_uses()) return false;  // LLFI's def-use activation filter
+  if (ir::ir_in_category(instr, category)) return true;
+  // Section VII ablation: count getelementptr as arithmetic.
+  return model.llfi_gep_as_arithmetic &&
+         category == ir::Category::Arithmetic &&
+         instr.opcode() == ir::Opcode::Gep && ir::ir_injectable(instr);
+}
+
+LlfiEngine::LlfiEngine(const ir::Module& module, FaultModel model)
+    : module_(module), model_(model) {
+  vm::Interpreter golden(module_);
+  const vm::RunResult r = golden.run();
+  if (!r.completed())
+    throw std::runtime_error("LLFI: golden run did not complete");
+  golden_output_ = r.output;
+  golden_instructions_ = r.dynamic_instructions;
+}
+
+vm::RunLimits LlfiEngine::faulty_limits() const {
+  // The paper detects hangs as "substantially longer than the golden run".
+  return {golden_instructions_ * 10 + 100'000};
+}
+
+std::uint64_t LlfiEngine::profile(ir::Category category) {
+  ProfileHook hook(category, model_);
+  vm::Interpreter interp(module_, &hook);
+  const vm::RunResult r = interp.run();
+  if (!r.completed())
+    throw std::runtime_error("LLFI: profiling run did not complete");
+  return hook.count();
+}
+
+TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
+                               Rng& rng) {
+  const unsigned raw_bit = static_cast<unsigned>(rng.below(64));
+  InjectHook hook(category, k, raw_bit, model_);
+  vm::Interpreter interp(module_, &hook);
+  const vm::RunResult r = interp.run("main", faulty_limits());
+
+  TrialRecord record;
+  record.dynamic_target = k;
+  record.bit = hook.bit();
+  record.static_site = hook.static_site();
+  record.injected = hook.injected();
+  record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
+                            r.timed_out, r.output, golden_output_);
+  if (r.trapped) record.trap = r.trap;
+  return record;
+}
+
+}  // namespace faultlab::fault

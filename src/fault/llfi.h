@@ -1,0 +1,49 @@
+// LLFI analog: fault injection at the IR level through the interpreter.
+//
+// Target selection follows the paper's LLFI (Section III):
+//  * static candidates are instructions in the requested Table III category
+//    that have a destination register AND at least one user (the def-use
+//    filter that guarantees high activation),
+//  * one dynamic instance is chosen uniformly from the profiled count,
+//  * a single bit of the destination value is flipped, within the
+//    destination type's width,
+//  * activation is tracked exactly: the corrupted SSA value must be read
+//    by some instruction.
+#pragma once
+
+#include "fault/engine.h"
+#include "ir/module.h"
+#include "vm/interpreter.h"
+
+namespace faultlab::fault {
+
+class LlfiEngine final : public InjectorEngine {
+ public:
+  /// The module must outlive the engine.
+  LlfiEngine(const ir::Module& module, FaultModel model = {});
+
+  const char* tool_name() const noexcept override { return "LLFI"; }
+  std::uint64_t profile(ir::Category category) override;
+  TrialRecord inject(ir::Category category, std::uint64_t k,
+                     Rng& rng) override;
+  const std::string& golden_output() const noexcept override {
+    return golden_output_;
+  }
+  std::uint64_t golden_instructions() const noexcept override {
+    return golden_instructions_;
+  }
+
+  /// Static LLFI target predicate (exposed for tests/benches).
+  static bool is_target(const ir::Instruction& instr, ir::Category category,
+                        const FaultModel& model = {});
+
+ private:
+  vm::RunLimits faulty_limits() const;
+
+  const ir::Module& module_;
+  FaultModel model_;
+  std::string golden_output_;
+  std::uint64_t golden_instructions_ = 0;
+};
+
+}  // namespace faultlab::fault

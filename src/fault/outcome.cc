@@ -1,0 +1,24 @@
+#include "fault/outcome.h"
+
+namespace faultlab::fault {
+
+const char* outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Benign: return "benign";
+    case Outcome::SDC: return "sdc";
+    case Outcome::Crash: return "crash";
+    case Outcome::Hang: return "hang";
+    case Outcome::NotActivated: return "not-activated";
+  }
+  return "?";
+}
+
+Outcome classify(bool injected, bool activated, bool trapped, bool timed_out,
+                 const std::string& output, const std::string& golden) {
+  if (!injected || !activated) return Outcome::NotActivated;
+  if (trapped) return Outcome::Crash;
+  if (timed_out) return Outcome::Hang;
+  return output == golden ? Outcome::Benign : Outcome::SDC;
+}
+
+}  // namespace faultlab::fault

@@ -1,0 +1,36 @@
+// Failure taxonomy of the paper (Section V, "Failure categorization").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/trap.h"
+
+namespace faultlab::fault {
+
+enum class Outcome : std::uint8_t {
+  Benign,        // ran to completion, output matches the golden run
+  SDC,           // ran to completion, output differs (silent data corruption)
+  Crash,         // trapped (the simulated OS killed the program)
+  Hang,          // exceeded the timeout (instruction budget)
+  NotActivated,  // the corrupted value was never read before being lost
+};
+
+const char* outcome_name(Outcome o) noexcept;
+
+/// One fault-injection trial.
+struct TrialRecord {
+  Outcome outcome = Outcome::NotActivated;
+  machine::TrapKind trap = machine::TrapKind::UnmappedAccess;  // when Crash
+  std::uint64_t dynamic_target = 0;  // k: which dynamic instance was hit
+  unsigned bit = 0;                  // which bit was flipped
+  std::uint64_t static_site = 0;     // instruction id / code index
+  bool injected = false;             // the target instance was reached
+};
+
+/// Classifies a finished run against the golden output. `activated` and
+/// `injected` come from the injector's tracking.
+Outcome classify(bool injected, bool activated, bool trapped, bool timed_out,
+                 const std::string& output, const std::string& golden);
+
+}  // namespace faultlab::fault

@@ -1,0 +1,258 @@
+#include "fault/pinfi.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/bitutil.h"
+#include "x86/category.h"
+
+namespace faultlab::fault {
+
+namespace {
+
+using x86::Inst;
+using x86::kNoReg;
+using x86::Op;
+using x86::RegId;
+
+/// Width in bits of the destination write (the PINFI injection space).
+unsigned dest_write_bits(const Inst& inst, bool xmm_prune) {
+  const RegId d = x86::dest_reg(inst);
+  if (x86::is_xmm_class(d)) return xmm_prune ? 64 : 128;
+  switch (inst.op) {
+    case Op::MovzxRR: case Op::MovzxRM: case Op::MovsxRR: case Op::MovsxRM:
+    case Op::Lea: case Op::Pop: case Op::MovqRX:
+      return 64;
+    case Op::Setcc:
+      return 8;
+    default:
+      return inst.width * 8u;
+  }
+}
+
+/// Bit mask a register write covers (for killing activation tracking).
+std::uint64_t written_gpr_mask(const Inst& inst) {
+  if (x86::dest_fully_overwrites(inst)) return ~std::uint64_t{0};
+  switch (inst.op) {
+    case Op::Setcc: return 0xff;
+    default:
+      return low_mask(inst.width * 8u);
+  }
+}
+
+class PinfiHook final : public x86::SimHook {
+ public:
+  enum class TargetKind { None, Gpr, Xmm, Flags };
+
+  PinfiHook(const x86::Program& program, ir::Category category,
+            std::uint64_t k, unsigned raw_bit, const FaultModel& model)
+      : program_(program),
+        category_(category),
+        target_k_(k),
+        raw_bit_(raw_bit),
+        model_(model) {}
+
+  void on_before(std::size_t index, const Inst& inst) override {
+    if (!injected_) {
+      const Inst* next = index + 1 < program_.code.size()
+                             ? &program_.code[index + 1]
+                             : nullptr;
+      if (PinfiEngine::is_target(inst, next, category_)) {
+        if (++seen_ == target_k_) {
+          pending_ = true;
+          pending_next_ = next;
+        }
+      }
+      return;
+    }
+    if (!activated_ && tracking_) track(inst);
+  }
+
+  void on_after(std::size_t index, const Inst& inst,
+                x86::MachineState& state) override {
+    if (!pending_) return;
+    pending_ = false;
+    injected_ = true;
+    tracking_ = true;
+    static_site_ = index;
+
+    const RegId d = x86::dest_reg(inst);
+    if (d == kNoReg) {
+      // Compare: inject into EFLAGS, into the bits the following jcc reads
+      // (heuristic 1) or anywhere in the low 16 flag bits without it.
+      kind_ = TargetKind::Flags;
+      if (model_.pinfi_flag_heuristic && pending_next_ != nullptr &&
+          pending_next_->op == Op::Jcc) {
+        const auto bits = x86::cond_flag_bits(pending_next_->cond);
+        flag_bit_ = bits[raw_bit_ % bits.size()];
+      } else {
+        flag_bit_ = raw_bit_ % 16;
+      }
+      bit_ = flag_bit_;
+      state.rflags = flip_bit(state.rflags, flag_bit_);
+      return;
+    }
+    if (x86::is_xmm_class(d)) {
+      kind_ = TargetKind::Xmm;
+      target_reg_ = d;
+      bit_ = raw_bit_ % dest_write_bits(inst, model_.pinfi_xmm_prune);
+      auto& lane = state.xmm[d - x86::kXmmBase][bit_ >= 64 ? 1 : 0];
+      lane = flip_bit(lane, bit_ % 64);
+      return;
+    }
+    kind_ = TargetKind::Gpr;
+    target_reg_ = d;
+    bit_ = raw_bit_ % dest_write_bits(inst, false);
+    state.gpr[d] = flip_bit(state.gpr[d], bit_);
+  }
+
+  bool injected() const noexcept { return injected_; }
+  bool activated() const noexcept { return activated_; }
+  unsigned bit() const noexcept { return bit_; }
+  std::uint64_t static_site() const noexcept { return static_site_; }
+
+ private:
+  void track(const Inst& inst) {
+    switch (kind_) {
+      case TargetKind::Flags:
+        if (x86::reads_flags(inst)) {
+          const auto bits = x86::cond_flag_bits(inst.cond);
+          if (std::find(bits.begin(), bits.end(), flag_bit_) != bits.end()) {
+            activated_ = true;
+            return;
+          }
+        }
+        if (x86::writes_flags(inst)) tracking_ = false;
+        return;
+      case TargetKind::Gpr: {
+        reads_.clear();
+        x86::collect_reads(inst, reads_);
+        if (std::find(reads_.begin(), reads_.end(), target_reg_) !=
+            reads_.end()) {
+          activated_ = true;
+          return;
+        }
+        if (x86::dest_reg(inst) == target_reg_ &&
+            (written_gpr_mask(inst) >> bit_) & 1)
+          tracking_ = false;
+        return;
+      }
+      case TargetKind::Xmm: {
+        reads_.clear();
+        x86::collect_reads(inst, reads_);
+        const bool reads_reg =
+            std::find(reads_.begin(), reads_.end(), target_reg_) !=
+            reads_.end();
+        // Scalar-double code only ever reads the low lane: a high-lane
+        // corruption is never activated — the rationale for heuristic 2.
+        if (reads_reg && bit_ < 64) {
+          activated_ = true;
+          return;
+        }
+        if (x86::dest_reg(inst) == target_reg_) {
+          const bool zeroes_high = inst.op == Op::MovsdRM ||
+                                   inst.op == Op::MovqXR ||
+                                   inst.op == Op::Cvtsi2sd;
+          const bool covers =
+              bit_ < 64 || zeroes_high;  // low lane always rewritten
+          // Two-address SSE arithmetic rewrites the low lane only after
+          // reading it (already handled as a read above).
+          if (covers && !reads_reg) tracking_ = false;
+        }
+        return;
+      }
+      case TargetKind::None:
+        return;
+    }
+  }
+
+  const x86::Program& program_;
+  ir::Category category_;
+  std::uint64_t target_k_;
+  unsigned raw_bit_;
+  FaultModel model_;
+
+  std::uint64_t seen_ = 0;
+  bool pending_ = false;
+  const Inst* pending_next_ = nullptr;
+  bool injected_ = false;
+  bool activated_ = false;
+  bool tracking_ = false;
+  TargetKind kind_ = TargetKind::None;
+  RegId target_reg_ = kNoReg;
+  unsigned bit_ = 0;
+  unsigned flag_bit_ = 0;
+  std::uint64_t static_site_ = 0;
+  std::vector<RegId> reads_;
+};
+
+class ProfileHook final : public x86::SimHook {
+ public:
+  ProfileHook(const x86::Program& program, ir::Category category)
+      : program_(program), category_(category) {}
+  void on_before(std::size_t index, const Inst& inst) override {
+    const Inst* next = index + 1 < program_.code.size()
+                           ? &program_.code[index + 1]
+                           : nullptr;
+    if (PinfiEngine::is_target(inst, next, category_)) ++count_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  const x86::Program& program_;
+  ir::Category category_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+bool PinfiEngine::is_target(const Inst& inst, const Inst* next,
+                            ir::Category category) {
+  // Note: prologue/epilogue and rsp/rbp-writing instructions are included
+  // deliberately — corrupting stack-discipline code is exactly the class of
+  // fault the paper says high-level injectors cannot reach.
+  return x86::asm_in_category(inst, next, category);
+}
+
+PinfiEngine::PinfiEngine(const x86::Program& program, FaultModel model)
+    : program_(program), model_(model) {
+  x86::Simulator golden(program_);
+  const x86::SimResult r = golden.run();
+  if (!r.completed())
+    throw std::runtime_error("PINFI: golden run did not complete");
+  golden_output_ = r.output;
+  golden_instructions_ = r.dynamic_instructions;
+}
+
+x86::SimLimits PinfiEngine::faulty_limits() const {
+  return {golden_instructions_ * 10 + 100'000};
+}
+
+std::uint64_t PinfiEngine::profile(ir::Category category) {
+  ProfileHook hook(program_, category);
+  x86::Simulator sim(program_, &hook);
+  const x86::SimResult r = sim.run();
+  if (!r.completed())
+    throw std::runtime_error("PINFI: profiling run did not complete");
+  return hook.count();
+}
+
+TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
+                                Rng& rng) {
+  const unsigned raw_bit = static_cast<unsigned>(rng.below(128));
+  PinfiHook hook(program_, category, k, raw_bit, model_);
+  x86::Simulator sim(program_, &hook);
+  const x86::SimResult r = sim.run(faulty_limits());
+
+  TrialRecord record;
+  record.dynamic_target = k;
+  record.bit = hook.bit();
+  record.static_site = hook.static_site();
+  record.injected = hook.injected();
+  record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
+                            r.timed_out, r.output, golden_output_);
+  if (r.trapped) record.trap = r.trap;
+  return record;
+}
+
+}  // namespace faultlab::fault

@@ -1,0 +1,52 @@
+// PINFI analog: fault injection at the assembly level through the machine
+// simulator, playing the role Intel PIN plays in the paper.
+//
+// Target selection follows the paper's PINFI (Section IV):
+//  * static candidates are instructions with a register destination in the
+//    requested Table III category, plus flag-writing compares whose next
+//    instruction is a conditional jump,
+//  * one dynamic instance is chosen uniformly from the profiled count,
+//  * a single bit of the destination register is flipped after the
+//    instruction retires; for compares, only the EFLAGS bit(s) the
+//    following jcc reads (heuristic 1); for double-precision results, only
+//    the low 64 XMM bits (heuristic 2),
+//  * activation is tracked architecturally: the corrupted register (or
+//    flag bit) must be read before being overwritten.
+#pragma once
+
+#include "fault/engine.h"
+#include "x86/program.h"
+#include "x86/simulator.h"
+
+namespace faultlab::fault {
+
+class PinfiEngine final : public InjectorEngine {
+ public:
+  /// The program must outlive the engine.
+  PinfiEngine(const x86::Program& program, FaultModel model = {});
+
+  const char* tool_name() const noexcept override { return "PINFI"; }
+  std::uint64_t profile(ir::Category category) override;
+  TrialRecord inject(ir::Category category, std::uint64_t k,
+                     Rng& rng) override;
+  const std::string& golden_output() const noexcept override {
+    return golden_output_;
+  }
+  std::uint64_t golden_instructions() const noexcept override {
+    return golden_instructions_;
+  }
+
+  /// Static PINFI target predicate (exposed for tests/benches).
+  static bool is_target(const x86::Inst& inst, const x86::Inst* next,
+                        ir::Category category);
+
+ private:
+  x86::SimLimits faulty_limits() const;
+
+  const x86::Program& program_;
+  FaultModel model_;
+  std::string golden_output_;
+  std::uint64_t golden_instructions_ = 0;
+};
+
+}  // namespace faultlab::fault

@@ -1,0 +1,70 @@
+// Error-propagation tracing — the LLFI capability the paper's Section III
+// highlights ("LLFI ... enables tracing the propagation of the fault among
+// instructions in the program").
+//
+// After injecting a bit flip, the tracer follows the dynamic forward slice
+// of the corrupted value: any instruction that reads a contaminated value
+// produces a contaminated result; stores contaminate memory bytes; loads
+// from contaminated bytes contaminate their result; branches on
+// contaminated conditions mark control-flow divergence. The result is a
+// quantitative picture of how far one flipped bit spreads before the run
+// ends — the data behind "why did this fault become an SDC?"
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/outcome.h"
+#include "ir/category.h"
+#include "ir/module.h"
+#include "vm/interpreter.h"
+
+namespace faultlab::fault {
+
+/// Aggregate statistics of one traced injection.
+struct PropagationTrace {
+  bool injected = false;
+  Outcome outcome = Outcome::NotActivated;
+
+  /// Dynamic instructions executed after the injection point.
+  std::uint64_t instructions_after_injection = 0;
+  /// Distinct contaminated SSA values, counted per (stack frame,
+  /// instruction) — a loop saturates at its static footprint within one
+  /// frame, while recursion multiplies it. Includes the seed.
+  std::uint64_t contaminated_values = 0;
+  /// Memory bytes that held contaminated data at any point.
+  std::uint64_t contaminated_memory_bytes = 0;
+  /// Conditional branches whose condition was contaminated (potential
+  /// control-flow divergence points).
+  std::uint64_t contaminated_branches = 0;
+  /// Contaminated values passed to output builtins (print_*): the moment
+  /// corruption becomes externally visible (SDC).
+  std::uint64_t contaminated_outputs = 0;
+  /// Static instructions (by per-function id) that ever produced a
+  /// contaminated value — the footprint of the fault in the code.
+  std::set<std::uint64_t> contaminated_sites;
+
+  /// Dynamic distance (instructions) from injection to the first
+  /// contaminated store/branch/output; 0 when none happened.
+  std::uint64_t first_memory_hop = 0;
+  std::uint64_t first_branch_hop = 0;
+  std::uint64_t first_output_hop = 0;
+};
+
+/// Runs one injection on the IR engine with full propagation tracing.
+/// `category`/`k`/`bit` select the target exactly as LlfiEngine::inject
+/// does (k-th dynamic instance of the category, flipping `bit` folded by
+/// the destination width).
+PropagationTrace trace_propagation(const ir::Module& module,
+                                   ir::Category category, std::uint64_t k,
+                                   unsigned bit,
+                                   const std::string& golden_output,
+                                   const vm::RunLimits& limits = {});
+
+/// Renders a short human-readable summary of a trace.
+std::string render_trace(const PropagationTrace& trace);
+
+}  // namespace faultlab::fault

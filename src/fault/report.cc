@@ -1,0 +1,189 @@
+#include "fault/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/table.h"
+
+namespace faultlab::fault {
+
+namespace {
+
+std::string pct(const Proportion& p) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", p.percent());
+  return buf;
+}
+
+std::string pct_ci(const Proportion& p) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f%% ±%.1f", p.percent(),
+                p.margin95() * 100.0);
+  return buf;
+}
+
+const ir::Category kSubCategories[] = {
+    ir::Category::Arithmetic, ir::Category::Cast, ir::Category::Cmp,
+    ir::Category::Load};
+
+}  // namespace
+
+const CampaignResult* ResultSet::find(const std::string& app,
+                                      const std::string& tool,
+                                      ir::Category category) const noexcept {
+  for (const auto& r : results_)
+    if (r.app == app && r.tool == tool && r.category == category) return &r;
+  return nullptr;
+}
+
+std::vector<std::string> ResultSet::apps() const {
+  std::vector<std::string> out;
+  for (const auto& r : results_)
+    if (std::find(out.begin(), out.end(), r.app) == out.end())
+      out.push_back(r.app);
+  return out;
+}
+
+std::string render_figure3(const ResultSet& rs) {
+  TextTable table({"Benchmark", "Tool", "Crash", "SDC", "Benign", "Hang",
+                   "activated trials"});
+  double crash_sum[2] = {0, 0}, sdc_sum[2] = {0, 0};
+  int counts[2] = {0, 0};
+  for (const std::string& app : rs.apps()) {
+    for (int t = 0; t < 2; ++t) {
+      const char* tool = t == 0 ? "LLFI" : "PINFI";
+      const CampaignResult* r = rs.find(app, tool, ir::Category::All);
+      if (r == nullptr) continue;
+      table.add_row({app, tool, pct(r->crash_rate()), pct(r->sdc_rate()),
+                     pct(r->benign_rate()), pct(r->hang_rate()),
+                     std::to_string(r->activated())});
+      crash_sum[t] += r->crash_rate().percent();
+      sdc_sum[t] += r->sdc_rate().percent();
+      ++counts[t];
+    }
+  }
+  for (int t = 0; t < 2; ++t) {
+    if (counts[t] == 0) continue;
+    char crash[16], sdc[16];
+    std::snprintf(crash, sizeof crash, "%.1f%%", crash_sum[t] / counts[t]);
+    std::snprintf(sdc, sizeof sdc, "%.1f%%", sdc_sum[t] / counts[t]);
+    table.add_row({"average", t == 0 ? "LLFI" : "PINFI", crash, sdc, "", "",
+                   ""});
+  }
+  std::ostringstream os;
+  os << "Figure 3: aggregated fault injection results (crash/SDC/benign), "
+        "'all' instructions\n"
+     << table.to_string();
+  return os.str();
+}
+
+std::string render_table4(const ResultSet& rs) {
+  TextTable table({"Program", "Tool", "All", "Arithmetic", "Cast", "Cmp",
+                   "Load"});
+  for (const std::string& app : rs.apps()) {
+    for (const char* tool : {"LLFI", "PINFI"}) {
+      const CampaignResult* all = rs.find(app, tool, ir::Category::All);
+      if (all == nullptr) continue;
+      std::vector<std::string> row{app, tool,
+                                   format_count(all->profiled_count)};
+      for (ir::Category c : kSubCategories) {
+        const CampaignResult* r = rs.find(app, tool, c);
+        if (r == nullptr) {
+          row.push_back("-");
+          continue;
+        }
+        char buf[48];
+        const double share =
+            all->profiled_count == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(r->profiled_count) /
+                      static_cast<double>(all->profiled_count);
+        std::snprintf(buf, sizeof buf, "%s (%.0f%%)",
+                      format_count(r->profiled_count).c_str(), share);
+        row.push_back(buf);
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::ostringstream os;
+  os << "Table IV: runtime (dynamic) instructions per category\n"
+     << table.to_string();
+  return os.str();
+}
+
+std::string render_figure4(const ResultSet& rs) {
+  std::ostringstream os;
+  os << "Figure 4: SDC percentage (among activated faults) with 95% CI\n";
+  const ir::Category order[] = {ir::Category::Arithmetic, ir::Category::Cast,
+                                ir::Category::Cmp, ir::Category::Load,
+                                ir::Category::All};
+  const char* names[] = {"(a) arithmetic", "(b) cast", "(c) cmp", "(d) load",
+                         "(e) all"};
+  for (std::size_t i = 0; i < std::size(order); ++i) {
+    TextTable table({"Benchmark", "LLFI SDC", "PINFI SDC", "CIs overlap"});
+    for (const std::string& app : rs.apps()) {
+      const CampaignResult* l = rs.find(app, "LLFI", order[i]);
+      const CampaignResult* p = rs.find(app, "PINFI", order[i]);
+      std::vector<std::string> row{app};
+      row.push_back(l != nullptr ? pct_ci(l->sdc_rate()) : "-");
+      row.push_back(p != nullptr ? pct_ci(p->sdc_rate()) : "-");
+      if (l != nullptr && p != nullptr && l->activated() > 0 &&
+          p->activated() > 0)
+        row.push_back(
+            Proportion::overlap95(l->sdc_rate(), p->sdc_rate()) ? "yes" : "NO");
+      else
+        row.push_back("-");
+      table.add_row(std::move(row));
+    }
+    os << names[i] << "\n" << table.to_string();
+  }
+  return os.str();
+}
+
+std::string render_table5(const ResultSet& rs) {
+  TextTable table({"Program", "All L/P", "arith L/P", "Cast L/P", "Cmp L/P",
+                   "Load L/P"});
+  const ir::Category order[] = {ir::Category::All, ir::Category::Arithmetic,
+                                ir::Category::Cast, ir::Category::Cmp,
+                                ir::Category::Load};
+  for (const std::string& app : rs.apps()) {
+    std::vector<std::string> row{app};
+    for (ir::Category c : order) {
+      const CampaignResult* l = rs.find(app, "LLFI", c);
+      const CampaignResult* p = rs.find(app, "PINFI", c);
+      std::string cell;
+      cell += l != nullptr && l->activated() > 0 ? pct(l->crash_rate()) : "-";
+      cell += " / ";
+      cell += p != nullptr && p->activated() > 0 ? pct(p->crash_rate()) : "-";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << "Table V: crash percentage (LLFI / PINFI)\n" << table.to_string();
+  return os.str();
+}
+
+CsvWriter results_csv(const ResultSet& rs) {
+  CsvWriter csv({"app", "tool", "category", "profiled_count", "trials",
+                 "activated", "crash", "sdc", "benign", "hang",
+                 "not_activated", "crash_pct", "sdc_pct", "sdc_margin95"});
+  for (const auto& r : rs.all()) {
+    char crash[24], sdc[24], margin[24];
+    std::snprintf(crash, sizeof crash, "%.4f", r.crash_rate().percent());
+    std::snprintf(sdc, sizeof sdc, "%.4f", r.sdc_rate().percent());
+    std::snprintf(margin, sizeof margin, "%.4f",
+                  r.sdc_rate().margin95() * 100.0);
+    csv.add_row({r.app, r.tool, ir::category_name(r.category),
+                 std::to_string(r.profiled_count),
+                 std::to_string(r.trials.size()),
+                 std::to_string(r.activated()), std::to_string(r.crash),
+                 std::to_string(r.sdc), std::to_string(r.benign),
+                 std::to_string(r.hang), std::to_string(r.not_activated),
+                 crash, sdc, margin});
+  }
+  return csv;
+}
+
+}  // namespace faultlab::fault

@@ -1,0 +1,43 @@
+// Report generation: renders campaign results in the shapes of the paper's
+// evaluation artifacts (Figure 3, Table IV, Figure 4, Table V) plus CSV for
+// downstream tooling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "support/csv.h"
+
+namespace faultlab::fault {
+
+/// A bag of campaign results across (app × tool × category).
+class ResultSet {
+ public:
+  void add(CampaignResult result) { results_.push_back(std::move(result)); }
+  const std::vector<CampaignResult>& all() const noexcept { return results_; }
+
+  const CampaignResult* find(const std::string& app, const std::string& tool,
+                             ir::Category category) const noexcept;
+
+  std::vector<std::string> apps() const;  ///< in insertion order, unique
+
+ private:
+  std::vector<CampaignResult> results_;
+};
+
+/// Figure 3: aggregated crash/SDC/benign breakdown, 'all' category.
+std::string render_figure3(const ResultSet& rs);
+/// Table IV: dynamic instruction counts per category for both tools (each
+/// non-'all' category also shown as a percentage of its tool's 'all').
+std::string render_table4(const ResultSet& rs);
+/// Figure 4 (a-e): SDC percentage with 95% CI per category.
+std::string render_figure4(const ResultSet& rs);
+/// Table V: crash percentage per category.
+std::string render_table5(const ResultSet& rs);
+
+/// Full machine-readable dump (one row per campaign).
+CsvWriter results_csv(const ResultSet& rs);
+
+}  // namespace faultlab::fault

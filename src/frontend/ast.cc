@@ -1,0 +1,19 @@
+#include "frontend/ast.h"
+
+namespace faultlab::mc {
+
+std::unique_ptr<Expr> make_expr(ExprKind kind, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Stmt> make_stmt(StmtKind kind, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->line = line;
+  return s;
+}
+
+}  // namespace faultlab::mc

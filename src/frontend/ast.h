@@ -1,0 +1,162 @@
+// Abstract syntax tree for mini-C.
+//
+// The parser produces this tree with purely syntactic type annotations
+// (AstType). Sema resolves module-level declarations against the module's
+// TypeContext; codegen walks function bodies, computing expression types as
+// it lowers (IR values carry their types, so no separate annotation pass is
+// needed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace faultlab::mc {
+
+// ---------------------------------------------------------------------------
+// Syntactic types
+
+enum class BaseType : std::uint8_t {
+  Void, Char, Short, Int, Long, Double, Struct,
+};
+
+/// A parsed type: base type + pointer depth (arrays are handled at the
+/// declarator level, not inside AstType).
+struct AstType {
+  BaseType base = BaseType::Int;
+  std::string struct_name;  // when base == Struct
+  int pointer_depth = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, StringLit,
+  Ident,
+  Unary, Postfix, Binary, Assign, Conditional,
+  Call, Index, Member, Cast, SizeofType,
+};
+
+enum class UnaryOp : std::uint8_t {
+  Neg, LogicalNot, BitNot, Deref, AddrOf, PreInc, PreDec,
+};
+enum class PostfixOp : std::uint8_t { PostInc, PostDec };
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+};
+enum class AssignOp : std::uint8_t {
+  Plain, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // IntLit / FloatLit / StringLit
+  std::uint64_t int_value = 0;
+  bool int_is_long = false;  // 'L' suffix or does not fit in 32 bits
+  double float_value = 0.0;
+  std::string str_value;
+
+  // Ident / Member (field name) / Call (callee name)
+  std::string name;
+
+  // operators
+  UnaryOp unary_op{};
+  PostfixOp postfix_op{};
+  BinaryOp binary_op{};
+  AssignOp assign_op{};
+  bool member_is_arrow = false;
+
+  // Cast / SizeofType target
+  AstType ast_type;
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  Expr* child(std::size_t i) const { return children.at(i).get(); }
+};
+
+std::unique_ptr<Expr> make_expr(ExprKind kind, int line);
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class StmtKind : std::uint8_t {
+  Expr, Decl, Block, If, While, DoWhile, For, Return, Break, Continue, Empty,
+};
+
+struct Stmt;
+
+/// A local variable declaration (one declarator).
+struct LocalDecl {
+  AstType type;
+  std::string name;
+  std::vector<std::int64_t> array_dims;  // outermost first; empty = scalar
+  std::unique_ptr<Expr> init;            // optional
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::unique_ptr<Expr> expr;         // Expr / Return value / If / While cond
+  std::vector<LocalDecl> decls;       // Decl
+  std::vector<std::unique_ptr<Stmt>> body;  // Block
+  std::unique_ptr<Stmt> then_branch;  // If / While / For / DoWhile body
+  std::unique_ptr<Stmt> else_branch;  // If
+  std::unique_ptr<Stmt> for_init;     // For (Decl or Expr statement)
+  std::unique_ptr<Expr> for_step;     // For
+};
+
+std::unique_ptr<Stmt> make_stmt(StmtKind kind, int line);
+
+// ---------------------------------------------------------------------------
+// Top-level declarations
+
+struct ParamDecl {
+  AstType type;
+  std::string name;
+};
+
+struct FuncDecl {
+  AstType return_type;
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<Stmt> body;  // always a Block
+  int line = 0;
+};
+
+struct FieldDecl {
+  AstType type;
+  std::string name;
+  std::vector<std::int64_t> array_dims;  // outermost first; empty = scalar
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  int line = 0;
+};
+
+struct GlobalDecl {
+  AstType type;
+  std::string name;
+  std::vector<std::int64_t> array_dims;  // outermost first; empty = scalar
+  std::vector<std::unique_ptr<Expr>> init;  // scalar (1) or array init list
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<StructDecl> structs;
+  std::vector<GlobalDecl> globals;
+  std::vector<FuncDecl> functions;
+};
+
+}  // namespace faultlab::mc

@@ -1,0 +1,869 @@
+#include "frontend/codegen.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "ir/irbuilder.h"
+#include "ir/verifier.h"
+
+namespace faultlab::mc {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+/// An addressable location: pointer to storage plus the stored value type.
+struct LValue {
+  Value* address = nullptr;
+  const Type* type = nullptr;  // pointee type (may be array/struct)
+};
+
+class CodeGen {
+ public:
+  CodeGen(SemaContext& sema) : sema_(sema), builder_(sema.module()) {}
+
+  void run() {
+    for (const auto& fn : sema_.tu().functions) emit_function(fn);
+  }
+
+ private:
+  [[noreturn]] void error(int line, const std::string& msg) const {
+    throw CompileError(msg, line, 1);
+  }
+
+  ir::TypeContext& types() { return sema_.types(); }
+  ir::Module& module() { return sema_.module(); }
+
+  // -- scope handling --------------------------------------------------
+
+  struct Local {
+    Value* slot = nullptr;      // alloca result (T*)
+    const Type* type = nullptr; // T (may be array)
+  };
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  Local* lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  Local& declare_local(const std::string& name, const Type* type, int line) {
+    auto& scope = scopes_.back();
+    if (scope.count(name))
+      error(line, "redefinition of '" + name + "' in the same scope");
+    // Allocas live at the head of the entry block so that mem2reg sees them
+    // all in one place, mirroring clang's output.
+    auto alloca = std::make_unique<ir::AllocaInst>(types().ptr_to(type), type,
+                                                   name + ".addr");
+    Value* slot =
+        function_->entry()->insert(num_entry_allocas_++, std::move(alloca));
+    scope[name] = Local{slot, type};
+    return scope[name];
+  }
+
+  // -- conversions ------------------------------------------------------
+
+  Value* convert(Value* v, const Type* to, int line, bool explicit_cast) {
+    const Type* from = v->type();
+    if (from == to) return v;
+    auto& t = types();
+    if (from->is_int() && to->is_int()) {
+      if (from->int_bits() > to->int_bits())
+        return builder_.cast(Opcode::Trunc, v, to);
+      if (from->is_bool())
+        return builder_.cast(Opcode::ZExt, v, to);  // i1 is 0/1
+      return builder_.cast(Opcode::SExt, v, to);
+    }
+    if (from->is_int() && to->is_double()) {
+      Value* wide = from->int_bits() < 64
+                        ? convert(v, t.i64(), line, explicit_cast)
+                        : v;
+      return builder_.cast(Opcode::SIToFP, wide, to);
+    }
+    if (from->is_double() && to->is_int()) {
+      Value* as_i64 = builder_.cast(Opcode::FPToSI, v, t.i64());
+      return convert(as_i64, to, line, explicit_cast);
+    }
+    if (from->is_ptr() && to->is_ptr()) {
+      if (!explicit_cast)
+        error(line, "incompatible pointer types need an explicit cast (" +
+                        from->to_string() + " -> " + to->to_string() + ")");
+      return builder_.cast(Opcode::Bitcast, v, to);
+    }
+    if (from->is_int() && to->is_ptr()) {
+      if (auto* ci = dynamic_cast<ir::ConstantInt*>(v); ci && ci->raw() == 0)
+        return module().const_null(to);
+      if (!explicit_cast)
+        error(line, "integer to pointer needs an explicit cast");
+      Value* wide = from->int_bits() < 64 ? convert(v, t.i64(), line, true) : v;
+      return builder_.cast(Opcode::IntToPtr, wide, to);
+    }
+    if (from->is_ptr() && to->is_int()) {
+      if (!explicit_cast) error(line, "pointer to integer needs an explicit cast");
+      Value* as_i64 = builder_.cast(Opcode::PtrToInt, v, t.i64());
+      return convert(as_i64, to, line, true);
+    }
+    error(line, "cannot convert " + from->to_string() + " to " + to->to_string());
+  }
+
+  /// Converts a value to i1 for use as a branch condition.
+  Value* to_condition(Value* v, int line) {
+    const Type* ty = v->type();
+    if (ty->is_bool()) return v;
+    if (ty->is_int())
+      return builder_.icmp(ir::ICmpPred::NE, v, module().const_int(ty, 0));
+    if (ty->is_double())
+      return builder_.fcmp(ir::FCmpPred::ONE, v, module().const_double(0.0));
+    if (ty->is_ptr())
+      return builder_.icmp(ir::ICmpPred::NE, v, module().const_null(ty));
+    error(line, "condition must be scalar");
+  }
+
+  // -- expressions ------------------------------------------------------
+
+  LValue gen_lvalue(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Ident: {
+        if (Local* local = lookup(e.name))
+          return {local->slot, local->type};
+        if (ir::GlobalVariable* g = module().find_global(e.name))
+          return {g, g->value_type()};
+        error(e.line, "undeclared identifier '" + e.name + "'");
+      }
+      case ExprKind::Unary: {
+        if (e.unary_op != UnaryOp::Deref) break;
+        Value* p = gen_rvalue(*e.child(0));
+        if (!p->type()->is_ptr()) error(e.line, "dereference of non-pointer");
+        return {p, p->type()->pointee()};
+      }
+      case ExprKind::Index: {
+        return gen_index_address(e);
+      }
+      case ExprKind::Member: {
+        return gen_member_address(e);
+      }
+      default:
+        break;
+    }
+    error(e.line, "expression is not assignable");
+  }
+
+  LValue gen_index_address(const Expr& e) {
+    const Expr& base = *e.child(0);
+    Value* index = gen_rvalue(*e.child(1));
+    if (!index->type()->is_int()) error(e.line, "array index must be integer");
+    index = convert(index, types().i64(), e.line, false);
+
+    // Array lvalue: gep [N x T]* with leading 0 index.
+    if (is_aggregate_lvalue(base)) {
+      LValue lv = gen_lvalue(base);
+      if (lv.type->is_array()) {
+        Value* addr = builder_.gep(lv.address, {module().const_i64(0), index});
+        return {addr, lv.type->array_element()};
+      }
+      // fall through: struct lvalue indexed? invalid
+    }
+    Value* p = gen_rvalue(base);
+    if (!p->type()->is_ptr()) error(e.line, "indexing a non-pointer");
+    Value* addr = builder_.gep(p, {index});
+    return {addr, p->type()->pointee()};
+  }
+
+  LValue gen_member_address(const Expr& e) {
+    const Expr& base = *e.child(0);
+    LValue agg;
+    if (e.member_is_arrow) {
+      Value* p = gen_rvalue(base);
+      if (!p->type()->is_ptr() || !p->type()->pointee()->is_struct())
+        error(e.line, "-> on non-struct-pointer");
+      agg = {p, p->type()->pointee()};
+    } else {
+      agg = gen_lvalue(base);
+      if (!agg.type->is_struct()) error(e.line, ". on non-struct");
+    }
+    const unsigned idx = sema_.field_index(agg.type, e.name, e.line);
+    Value* addr = builder_.gep(
+        agg.address, {module().const_i64(0), module().const_i32(idx)});
+    const Type* field = agg.type->struct_fields()[idx];
+    return {addr, field};
+  }
+
+  /// True when the expression denotes storage of array/struct type that
+  /// must be accessed by address (no scalar rvalue exists).
+  bool is_aggregate_lvalue(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Ident: {
+        if (Local* local = lookup(e.name)) return !local->type->is_scalar();
+        if (ir::GlobalVariable* g = module().find_global(e.name))
+          return !g->value_type()->is_scalar();
+        return false;
+      }
+      case ExprKind::Index:
+      case ExprKind::Member: {
+        // Type of the element/field decides; compute cheaply via dry typing.
+        return !scalar_access_type(e);
+      }
+      case ExprKind::Unary:
+        return false;
+      default:
+        return false;
+    }
+  }
+
+  /// Returns true when Index/Member denotes a scalar element.
+  bool scalar_access_type(const Expr& e) {
+    // Conservative dry-run: resolve base aggregate type without emitting IR.
+    const Type* t = static_type_of(e);
+    return t != nullptr && t->is_scalar();
+  }
+
+  /// Best-effort static type of an lvalue expression without emitting IR.
+  /// Returns null for expressions whose type needs evaluation (then we fall
+  /// back to scalar handling, which reports precise errors).
+  const Type* static_type_of(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Ident: {
+        if (Local* local = lookup(e.name)) return local->type;
+        if (ir::GlobalVariable* g = module().find_global(e.name))
+          return g->value_type();
+        return nullptr;
+      }
+      case ExprKind::Index: {
+        const Type* base = static_type_of(*e.child(0));
+        if (base == nullptr) return nullptr;
+        if (base->is_array()) return base->array_element();
+        if (base->is_ptr()) return base->pointee();
+        return nullptr;
+      }
+      case ExprKind::Member: {
+        const Type* base = static_type_of(*e.child(0));
+        if (base == nullptr) return nullptr;
+        if (e.member_is_arrow) {
+          if (!base->is_ptr()) return nullptr;
+          base = base->pointee();
+        }
+        if (!base->is_struct()) return nullptr;
+        const unsigned idx = sema_.field_index(base, e.name, e.line);
+        return base->struct_fields()[idx];
+      }
+      case ExprKind::Unary:
+        if (e.unary_op == UnaryOp::Deref) {
+          const Type* p = static_type_of(*e.child(0));
+          return p != nullptr && p->is_ptr() ? p->pointee() : nullptr;
+        }
+        return nullptr;
+      default:
+        return nullptr;
+    }
+  }
+
+  /// Loads an lvalue; arrays decay to element pointers instead of loading.
+  Value* load_or_decay(const LValue& lv, int line) {
+    if (lv.type->is_array()) {
+      return builder_.gep(lv.address,
+                          {module().const_i64(0), module().const_i64(0)});
+    }
+    if (lv.type->is_struct())
+      error(line, "struct value used where a scalar is required");
+    return builder_.load(lv.address);
+  }
+
+  Value* gen_rvalue(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return module().const_int(e.int_is_long ? types().i64() : types().i32(),
+                                  e.int_value);
+      case ExprKind::FloatLit:
+        return module().const_double(e.float_value);
+      case ExprKind::StringLit:
+        return gen_string_literal(e);
+      case ExprKind::SizeofType:
+        return module().const_i64(static_cast<std::int64_t>(
+            sema_.resolve(e.ast_type, e.line)->size_in_bytes()));
+      case ExprKind::Ident:
+      case ExprKind::Index:
+      case ExprKind::Member: {
+        LValue lv = gen_lvalue(e);
+        return load_or_decay(lv, e.line);
+      }
+      case ExprKind::Unary:
+        return gen_unary(e);
+      case ExprKind::Postfix:
+        return gen_incdec(*e.child(0), e.postfix_op == PostfixOp::PostInc,
+                          /*return_old=*/true, e.line);
+      case ExprKind::Binary:
+        return gen_binary(e);
+      case ExprKind::Assign:
+        return gen_assign(e);
+      case ExprKind::Conditional:
+        return gen_conditional(e);
+      case ExprKind::Call:
+        return gen_call(e);
+      case ExprKind::Cast: {
+        const Type* to = sema_.resolve(e.ast_type, e.line);
+        if (to->is_void())
+          error(e.line, "void value used where a value is required");
+        Value* v = gen_rvalue(*e.child(0));
+        return convert(v, to, e.line, /*explicit_cast=*/true);
+      }
+    }
+    error(e.line, "internal: unhandled expression kind");
+  }
+
+  /// Like gen_rvalue but permits void calls (for expression statements).
+  Value* gen_rvalue_or_void(const Expr& e) {
+    if (e.kind == ExprKind::Call) return gen_call(e);
+    if (e.kind == ExprKind::Cast &&
+        sema_.resolve(e.ast_type, e.line)->is_void()) {
+      gen_rvalue_or_void(*e.child(0));
+      return nullptr;
+    }
+    return gen_rvalue(e);
+  }
+
+  Value* gen_string_literal(const Expr& e) {
+    std::vector<std::uint8_t> bytes(e.str_value.begin(), e.str_value.end());
+    bytes.push_back(0);
+    const Type* arr = types().array_of(types().i8(), bytes.size());
+    ir::GlobalVariable* g = module().create_global(
+        arr, ".str" + std::to_string(next_string_id_++), std::move(bytes));
+    return builder_.gep(g, {module().const_i64(0), module().const_i64(0)});
+  }
+
+  Value* gen_unary(const Expr& e) {
+    const Expr& operand = *e.child(0);
+    switch (e.unary_op) {
+      case UnaryOp::Neg: {
+        Value* v = gen_rvalue(operand);
+        if (v->type()->is_double())
+          return builder_.binary(Opcode::FSub, module().const_double(0.0), v);
+        if (!v->type()->is_int()) error(e.line, "negating non-arithmetic value");
+        v = promote(v);
+        return builder_.binary(Opcode::Sub, module().const_int(v->type(), 0), v);
+      }
+      case UnaryOp::BitNot: {
+        Value* v = gen_rvalue(operand);
+        if (!v->type()->is_int()) error(e.line, "~ on non-integer");
+        v = promote(v);
+        return builder_.binary(Opcode::Xor, v,
+                               module().const_int(v->type(), ~std::uint64_t{0}));
+      }
+      case UnaryOp::LogicalNot: {
+        Value* cond = to_condition(gen_rvalue(operand), e.line);
+        Value* inverted = builder_.icmp(ir::ICmpPred::EQ, cond, module().const_i1(false));
+        return convert(inverted, types().i32(), e.line, false);
+      }
+      case UnaryOp::Deref: {
+        Value* p = gen_rvalue(operand);
+        if (!p->type()->is_ptr()) error(e.line, "dereference of non-pointer");
+        LValue lv{p, p->type()->pointee()};
+        return load_or_decay(lv, e.line);
+      }
+      case UnaryOp::AddrOf: {
+        LValue lv = gen_lvalue(operand);
+        return lv.address;
+      }
+      case UnaryOp::PreInc:
+        return gen_incdec(operand, true, /*return_old=*/false, e.line);
+      case UnaryOp::PreDec:
+        return gen_incdec(operand, false, /*return_old=*/false, e.line);
+    }
+    error(e.line, "internal: unhandled unary op");
+  }
+
+  Value* gen_incdec(const Expr& target, bool increment, bool return_old,
+                    int line) {
+    LValue lv = gen_lvalue(target);
+    if (lv.type->is_array() || lv.type->is_struct())
+      error(line, "++/-- on aggregate");
+    Value* old_value = builder_.load(lv.address);
+    Value* new_value = nullptr;
+    if (lv.type->is_ptr()) {
+      new_value = builder_.gep(old_value,
+                               {module().const_i64(increment ? 1 : -1)});
+    } else if (lv.type->is_double()) {
+      new_value = builder_.binary(increment ? Opcode::FAdd : Opcode::FSub,
+                                  old_value, module().const_double(1.0));
+    } else {
+      new_value = builder_.binary(increment ? Opcode::Add : Opcode::Sub,
+                                  old_value, module().const_int(lv.type, 1));
+    }
+    builder_.store(new_value, lv.address);
+    return return_old ? old_value : new_value;
+  }
+
+  /// Integer promotion: everything below i32 computes as i32.
+  Value* promote(Value* v) {
+    if (v->type()->is_int() && v->type()->int_bits() < 32)
+      return convert(v, types().i32(), 0, false);
+    return v;
+  }
+
+  Value* gen_binary(const Expr& e) {
+    switch (e.binary_op) {
+      case BinaryOp::LogicalAnd:
+      case BinaryOp::LogicalOr:
+        return gen_logical(e);
+      default:
+        break;
+    }
+    Value* lhs = gen_rvalue(*e.child(0));
+    Value* rhs = gen_rvalue(*e.child(1));
+    return gen_binary_values(e.binary_op, lhs, rhs, e.line);
+  }
+
+  Value* gen_binary_values(BinaryOp op, Value* lhs, Value* rhs, int line) {
+    // Pointer arithmetic and comparisons.
+    if (lhs->type()->is_ptr() || rhs->type()->is_ptr()) {
+      return gen_pointer_binary(op, lhs, rhs, line);
+    }
+
+    const bool comparison = op == BinaryOp::Lt || op == BinaryOp::Le ||
+                            op == BinaryOp::Gt || op == BinaryOp::Ge ||
+                            op == BinaryOp::Eq || op == BinaryOp::Ne;
+
+    const Type* common = sema_.usual_arithmetic(lhs->type(), rhs->type());
+    lhs = convert(promote(lhs), common, line, false);
+    rhs = convert(promote(rhs), common, line, false);
+
+    if (comparison) {
+      Value* flag;
+      if (common->is_double()) {
+        ir::FCmpPred pred;
+        switch (op) {
+          case BinaryOp::Lt: pred = ir::FCmpPred::OLT; break;
+          case BinaryOp::Le: pred = ir::FCmpPred::OLE; break;
+          case BinaryOp::Gt: pred = ir::FCmpPred::OGT; break;
+          case BinaryOp::Ge: pred = ir::FCmpPred::OGE; break;
+          case BinaryOp::Eq: pred = ir::FCmpPred::OEQ; break;
+          default: pred = ir::FCmpPred::ONE; break;
+        }
+        flag = builder_.fcmp(pred, lhs, rhs);
+      } else {
+        ir::ICmpPred pred;
+        switch (op) {
+          case BinaryOp::Lt: pred = ir::ICmpPred::SLT; break;
+          case BinaryOp::Le: pred = ir::ICmpPred::SLE; break;
+          case BinaryOp::Gt: pred = ir::ICmpPred::SGT; break;
+          case BinaryOp::Ge: pred = ir::ICmpPred::SGE; break;
+          case BinaryOp::Eq: pred = ir::ICmpPred::EQ; break;
+          default: pred = ir::ICmpPred::NE; break;
+        }
+        flag = builder_.icmp(pred, lhs, rhs);
+      }
+      return convert(flag, types().i32(), line, false);
+    }
+
+    if (common->is_double()) {
+      Opcode opc;
+      switch (op) {
+        case BinaryOp::Add: opc = Opcode::FAdd; break;
+        case BinaryOp::Sub: opc = Opcode::FSub; break;
+        case BinaryOp::Mul: opc = Opcode::FMul; break;
+        case BinaryOp::Div: opc = Opcode::FDiv; break;
+        default:
+          error(line, "invalid operands of double type");
+      }
+      return builder_.binary(opc, lhs, rhs);
+    }
+
+    Opcode opc;
+    switch (op) {
+      case BinaryOp::Add: opc = Opcode::Add; break;
+      case BinaryOp::Sub: opc = Opcode::Sub; break;
+      case BinaryOp::Mul: opc = Opcode::Mul; break;
+      case BinaryOp::Div: opc = Opcode::SDiv; break;
+      case BinaryOp::Rem: opc = Opcode::SRem; break;
+      case BinaryOp::And: opc = Opcode::And; break;
+      case BinaryOp::Or: opc = Opcode::Or; break;
+      case BinaryOp::Xor: opc = Opcode::Xor; break;
+      case BinaryOp::Shl: opc = Opcode::Shl; break;
+      case BinaryOp::Shr: opc = Opcode::AShr; break;
+      default:
+        error(line, "internal: unhandled binary op");
+    }
+    return builder_.binary(opc, lhs, rhs);
+  }
+
+  Value* gen_pointer_binary(BinaryOp op, Value* lhs, Value* rhs, int line) {
+    auto as_index = [&](Value* v) { return convert(v, types().i64(), line, false); };
+    switch (op) {
+      case BinaryOp::Add:
+        if (lhs->type()->is_ptr() && rhs->type()->is_int())
+          return builder_.gep(lhs, {as_index(rhs)});
+        if (lhs->type()->is_int() && rhs->type()->is_ptr())
+          return builder_.gep(rhs, {as_index(lhs)});
+        error(line, "invalid pointer addition");
+      case BinaryOp::Sub: {
+        if (lhs->type()->is_ptr() && rhs->type()->is_int()) {
+          Value* neg = builder_.binary(Opcode::Sub, module().const_i64(0),
+                                       as_index(rhs));
+          return builder_.gep(lhs, {neg});
+        }
+        if (lhs->type()->is_ptr() && rhs->type() == lhs->type()) {
+          Value* a = builder_.cast(Opcode::PtrToInt, lhs, types().i64());
+          Value* b = builder_.cast(Opcode::PtrToInt, rhs, types().i64());
+          Value* diff = builder_.binary(Opcode::Sub, a, b);
+          const std::uint64_t size = lhs->type()->pointee()->size_in_bytes();
+          return builder_.binary(Opcode::SDiv, diff,
+                                 module().const_i64(static_cast<std::int64_t>(size)));
+        }
+        error(line, "invalid pointer subtraction");
+      }
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge: {
+        // Allow comparing pointer to 0 (null).
+        if (lhs->type()->is_ptr() && !rhs->type()->is_ptr())
+          rhs = convert(rhs, lhs->type(), line, false);
+        if (rhs->type()->is_ptr() && !lhs->type()->is_ptr())
+          lhs = convert(lhs, rhs->type(), line, false);
+        if (lhs->type() != rhs->type())
+          error(line, "comparison of distinct pointer types");
+        ir::ICmpPred pred;
+        switch (op) {
+          case BinaryOp::Eq: pred = ir::ICmpPred::EQ; break;
+          case BinaryOp::Ne: pred = ir::ICmpPred::NE; break;
+          case BinaryOp::Lt: pred = ir::ICmpPred::ULT; break;
+          case BinaryOp::Le: pred = ir::ICmpPred::ULE; break;
+          case BinaryOp::Gt: pred = ir::ICmpPred::UGT; break;
+          default: pred = ir::ICmpPred::UGE; break;
+        }
+        Value* flag = builder_.icmp(pred, lhs, rhs);
+        return convert(flag, types().i32(), line, false);
+      }
+      default:
+        error(line, "invalid operands to binary operator (pointer)");
+    }
+  }
+
+  Value* gen_logical(const Expr& e) {
+    const bool is_and = e.binary_op == BinaryOp::LogicalAnd;
+    BasicBlock* rhs_bb = function_->create_block(is_and ? "land.rhs" : "lor.rhs");
+    BasicBlock* merge_bb = function_->create_block(is_and ? "land.end" : "lor.end");
+
+    Value* lhs = to_condition(gen_rvalue(*e.child(0)), e.line);
+    BasicBlock* lhs_bb = builder_.insert_block();
+    if (is_and)
+      builder_.cond_br(lhs, rhs_bb, merge_bb);
+    else
+      builder_.cond_br(lhs, merge_bb, rhs_bb);
+
+    builder_.set_insert_point(rhs_bb);
+    Value* rhs = to_condition(gen_rvalue(*e.child(1)), e.line);
+    BasicBlock* rhs_end = builder_.insert_block();
+    builder_.br(merge_bb);
+
+    builder_.set_insert_point(merge_bb);
+    ir::PhiInst* phi = builder_.phi(types().i1());
+    phi->add_incoming(module().const_i1(!is_and), lhs_bb);
+    phi->add_incoming(rhs, rhs_end);
+    return convert(phi, types().i32(), e.line, false);
+  }
+
+  Value* gen_assign(const Expr& e) {
+    LValue lv = gen_lvalue(*e.child(0));
+    if (lv.type->is_array() || lv.type->is_struct())
+      error(e.line, "cannot assign to aggregate (copy fields/elements)");
+    Value* value;
+    if (e.assign_op == AssignOp::Plain) {
+      value = gen_rvalue(*e.child(1));
+    } else {
+      BinaryOp op;
+      switch (e.assign_op) {
+        case AssignOp::Add: op = BinaryOp::Add; break;
+        case AssignOp::Sub: op = BinaryOp::Sub; break;
+        case AssignOp::Mul: op = BinaryOp::Mul; break;
+        case AssignOp::Div: op = BinaryOp::Div; break;
+        case AssignOp::Rem: op = BinaryOp::Rem; break;
+        case AssignOp::And: op = BinaryOp::And; break;
+        case AssignOp::Or: op = BinaryOp::Or; break;
+        case AssignOp::Xor: op = BinaryOp::Xor; break;
+        case AssignOp::Shl: op = BinaryOp::Shl; break;
+        default: op = BinaryOp::Shr; break;
+      }
+      Value* current = builder_.load(lv.address);
+      Value* rhs = gen_rvalue(*e.child(1));
+      value = gen_binary_values(op, current, rhs, e.line);
+    }
+    value = convert(value, lv.type, e.line, false);
+    builder_.store(value, lv.address);
+    return value;
+  }
+
+  Value* gen_conditional(const Expr& e) {
+    BasicBlock* then_bb = function_->create_block("cond.true");
+    BasicBlock* else_bb = function_->create_block("cond.false");
+    BasicBlock* merge_bb = function_->create_block("cond.end");
+
+    Value* cond = to_condition(gen_rvalue(*e.child(0)), e.line);
+    builder_.cond_br(cond, then_bb, else_bb);
+
+    builder_.set_insert_point(then_bb);
+    Value* tv = gen_rvalue(*e.child(1));
+    BasicBlock* then_end = builder_.insert_block();
+
+    builder_.set_insert_point(else_bb);
+    Value* fv = gen_rvalue(*e.child(2));
+    BasicBlock* else_end = builder_.insert_block();
+
+    const Type* result_type;
+    if (tv->type() == fv->type()) {
+      result_type = tv->type();
+    } else if (tv->type()->is_ptr() || fv->type()->is_ptr()) {
+      result_type = tv->type()->is_ptr() ? tv->type() : fv->type();
+    } else {
+      result_type = sema_.usual_arithmetic(tv->type(), fv->type());
+    }
+
+    builder_.set_insert_point(then_end);
+    tv = convert(tv, result_type, e.line, false);
+    builder_.br(merge_bb);
+    then_end = builder_.insert_block();
+
+    builder_.set_insert_point(else_end);
+    fv = convert(fv, result_type, e.line, false);
+    builder_.br(merge_bb);
+    else_end = builder_.insert_block();
+
+    builder_.set_insert_point(merge_bb);
+    ir::PhiInst* phi = builder_.phi(result_type);
+    phi->add_incoming(tv, then_end);
+    phi->add_incoming(fv, else_end);
+    return phi;
+  }
+
+  Value* gen_call(const Expr& e) {
+    ir::Function* callee = module().find_function(e.name);
+    if (callee == nullptr)
+      error(e.line, "call to undeclared function '" + e.name + "'");
+    const auto& params = callee->func_type()->func_params();
+    if (params.size() != e.children.size())
+      error(e.line, "wrong number of arguments to '" + e.name + "' (expected " +
+                        std::to_string(params.size()) + ")");
+    std::vector<Value*> args;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      Value* a = gen_rvalue(*e.child(i));
+      args.push_back(convert(a, params[i], e.line, false));
+    }
+    return builder_.call(callee, std::move(args));
+  }
+
+  // -- statements -------------------------------------------------------
+
+  void gen_stmt(const Stmt& s) {
+    if (builder_.block_terminated()) {
+      // Unreachable code after return/break/continue: skip, mirroring the
+      // "no dead IR" shape a real compiler's CFG simplification produces.
+      return;
+    }
+    switch (s.kind) {
+      case StmtKind::Empty:
+        return;
+      case StmtKind::Expr:
+        gen_rvalue_or_void(*s.expr);
+        return;
+      case StmtKind::Decl: {
+        for (const auto& d : s.decls) {
+          const Type* t = sema_.resolve(d.type, s.line);
+          if (t->is_void()) error(s.line, "variable of void type");
+          t = sema_.apply_dims(t, d.array_dims);
+          if (t->is_struct() && t->struct_fields().empty())
+            error(s.line, "variable of incomplete struct type");
+          Local& local = declare_local(d.name, t, s.line);
+          if (d.init) {
+            if (!t->is_scalar()) error(s.line, "aggregate initializers not supported");
+            Value* init = gen_rvalue(*d.init);
+            builder_.store(convert(init, t, s.line, false), local.slot);
+          }
+        }
+        return;
+      }
+      case StmtKind::Block: {
+        push_scope();
+        for (const auto& sub : s.body) gen_stmt(*sub);
+        pop_scope();
+        return;
+      }
+      case StmtKind::If: {
+        BasicBlock* then_bb = function_->create_block("if.then");
+        BasicBlock* merge_bb = function_->create_block("if.end");
+        BasicBlock* else_bb =
+            s.else_branch ? function_->create_block("if.else") : merge_bb;
+        Value* cond = to_condition(gen_rvalue(*s.expr), s.line);
+        builder_.cond_br(cond, then_bb, else_bb);
+        builder_.set_insert_point(then_bb);
+        gen_stmt(*s.then_branch);
+        if (!builder_.block_terminated()) builder_.br(merge_bb);
+        if (s.else_branch) {
+          builder_.set_insert_point(else_bb);
+          gen_stmt(*s.else_branch);
+          if (!builder_.block_terminated()) builder_.br(merge_bb);
+        }
+        builder_.set_insert_point(merge_bb);
+        return;
+      }
+      case StmtKind::While: {
+        BasicBlock* cond_bb = function_->create_block("while.cond");
+        BasicBlock* body_bb = function_->create_block("while.body");
+        BasicBlock* end_bb = function_->create_block("while.end");
+        builder_.br(cond_bb);
+        builder_.set_insert_point(cond_bb);
+        Value* cond = to_condition(gen_rvalue(*s.expr), s.line);
+        builder_.cond_br(cond, body_bb, end_bb);
+        builder_.set_insert_point(body_bb);
+        loop_stack_.push_back({end_bb, cond_bb});
+        gen_stmt(*s.then_branch);
+        loop_stack_.pop_back();
+        if (!builder_.block_terminated()) builder_.br(cond_bb);
+        builder_.set_insert_point(end_bb);
+        return;
+      }
+      case StmtKind::DoWhile: {
+        BasicBlock* body_bb = function_->create_block("do.body");
+        BasicBlock* cond_bb = function_->create_block("do.cond");
+        BasicBlock* end_bb = function_->create_block("do.end");
+        builder_.br(body_bb);
+        builder_.set_insert_point(body_bb);
+        loop_stack_.push_back({end_bb, cond_bb});
+        gen_stmt(*s.then_branch);
+        loop_stack_.pop_back();
+        if (!builder_.block_terminated()) builder_.br(cond_bb);
+        builder_.set_insert_point(cond_bb);
+        Value* cond = to_condition(gen_rvalue(*s.expr), s.line);
+        builder_.cond_br(cond, body_bb, end_bb);
+        builder_.set_insert_point(end_bb);
+        return;
+      }
+      case StmtKind::For: {
+        push_scope();
+        if (s.for_init) gen_stmt(*s.for_init);
+        BasicBlock* cond_bb = function_->create_block("for.cond");
+        BasicBlock* body_bb = function_->create_block("for.body");
+        BasicBlock* step_bb = function_->create_block("for.step");
+        BasicBlock* end_bb = function_->create_block("for.end");
+        builder_.br(cond_bb);
+        builder_.set_insert_point(cond_bb);
+        if (s.expr) {
+          Value* cond = to_condition(gen_rvalue(*s.expr), s.line);
+          builder_.cond_br(cond, body_bb, end_bb);
+        } else {
+          builder_.br(body_bb);
+        }
+        builder_.set_insert_point(body_bb);
+        loop_stack_.push_back({end_bb, step_bb});
+        gen_stmt(*s.then_branch);
+        loop_stack_.pop_back();
+        if (!builder_.block_terminated()) builder_.br(step_bb);
+        builder_.set_insert_point(step_bb);
+        if (s.for_step) gen_rvalue_or_void(*s.for_step);
+        builder_.br(cond_bb);
+        builder_.set_insert_point(end_bb);
+        pop_scope();
+        return;
+      }
+      case StmtKind::Return: {
+        const Type* ret = function_->return_type();
+        if (ret->is_void()) {
+          if (s.expr) error(s.line, "void function returning a value");
+          builder_.ret_void();
+        } else {
+          if (!s.expr) error(s.line, "non-void function needs a return value");
+          Value* v = gen_rvalue(*s.expr);
+          builder_.ret(convert(v, ret, s.line, false));
+        }
+        return;
+      }
+      case StmtKind::Break:
+        if (loop_stack_.empty()) error(s.line, "break outside loop");
+        builder_.br(loop_stack_.back().break_target);
+        return;
+      case StmtKind::Continue:
+        if (loop_stack_.empty()) error(s.line, "continue outside loop");
+        builder_.br(loop_stack_.back().continue_target);
+        return;
+    }
+  }
+
+  void emit_function(const FuncDecl& fn) {
+    function_ = module().find_function(fn.name);
+    assert(function_ != nullptr);
+    num_entry_allocas_ = 0;
+    BasicBlock* entry = function_->create_block("entry");
+    builder_.set_insert_point(entry);
+
+    push_scope();
+    // Copy arguments into stack slots (clang -O0 shape; mem2reg cleans up).
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      const Type* pt = function_->func_type()->func_params()[i];
+      Local& local = declare_local(fn.params[i].name, pt, fn.line);
+      builder_.store(function_->arg(i), local.slot);
+    }
+    gen_stmt(*fn.body);
+    pop_scope();
+
+    // Close any fall-through path.
+    seal_open_blocks();
+    function_->renumber();
+    function_ = nullptr;
+  }
+
+  void seal_open_blocks() {
+    for (const auto& bb : function_->blocks()) {
+      if (bb->terminator() != nullptr) continue;
+      builder_.set_insert_point(bb.get());
+      const Type* ret = function_->return_type();
+      if (ret->is_void()) {
+        builder_.ret_void();
+      } else if (ret->is_double()) {
+        builder_.ret(module().const_double(0.0));
+      } else if (ret->is_ptr()) {
+        builder_.ret(module().const_null(ret));
+      } else {
+        builder_.ret(module().const_int(ret, 0));
+      }
+    }
+  }
+
+  struct LoopTargets {
+    BasicBlock* break_target;
+    BasicBlock* continue_target;
+  };
+
+  SemaContext& sema_;
+  IRBuilder builder_;
+  ir::Function* function_ = nullptr;
+  std::vector<std::map<std::string, Local>> scopes_;
+  std::vector<LoopTargets> loop_stack_;
+  std::size_t num_entry_allocas_ = 0;
+  unsigned next_string_id_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Module> compile_to_ir(const std::string& source,
+                                          const std::string& module_name) {
+  TranslationUnit tu = parse(source);
+  auto module = std::make_unique<ir::Module>(module_name);
+  SemaContext sema(*module, tu);
+  CodeGen(sema).run();
+  ir::verify_or_throw(*module);
+  return module;
+}
+
+}  // namespace faultlab::mc

@@ -1,0 +1,22 @@
+// Code generation: lowers a type-checked mini-C translation unit to IR.
+//
+// Locals are lowered clang-style: every variable gets an entry-block alloca
+// with explicit load/store at each access; the mem2reg pass later promotes
+// scalars to SSA registers (introducing the phi nodes whose lowering the
+// paper's Table I discusses).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/sema.h"
+#include "ir/module.h"
+
+namespace faultlab::mc {
+
+/// Compiles mini-C source into a fresh IR module (unoptimized, verifier
+/// clean). Throws CompileError on any lexical/syntactic/semantic error.
+std::unique_ptr<ir::Module> compile_to_ir(const std::string& source,
+                                          const std::string& module_name);
+
+}  // namespace faultlab::mc

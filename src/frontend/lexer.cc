@@ -1,0 +1,341 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace faultlab::mc {
+
+CompileError::CompileError(std::string message, int line, int column)
+    : line_(line), column_(column) {
+  std::ostringstream os;
+  os << "line " << line << ":" << column << ": " << message;
+  formatted_ = os.str();
+}
+
+const char* token_name(Tok t) noexcept {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::CharLit: return "char literal";
+    case Tok::StringLit: return "string literal";
+    case Tok::Ident: return "identifier";
+    case Tok::KwVoid: return "void";
+    case Tok::KwChar: return "char";
+    case Tok::KwShort: return "short";
+    case Tok::KwInt: return "int";
+    case Tok::KwLong: return "long";
+    case Tok::KwDouble: return "double";
+    case Tok::KwUnsigned: return "unsigned";
+    case Tok::KwStruct: return "struct";
+    case Tok::KwIf: return "if";
+    case Tok::KwElse: return "else";
+    case Tok::KwWhile: return "while";
+    case Tok::KwFor: return "for";
+    case Tok::KwDo: return "do";
+    case Tok::KwReturn: return "return";
+    case Tok::KwBreak: return "break";
+    case Tok::KwContinue: return "continue";
+    case Tok::KwSizeof: return "sizeof";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Comma: return ",";
+    case Tok::Semi: return ";";
+    case Tok::Colon: return ":";
+    case Tok::Question: return "?";
+    case Tok::Dot: return ".";
+    case Tok::Arrow: return "->";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Amp: return "&";
+    case Tok::Pipe: return "|";
+    case Tok::Caret: return "^";
+    case Tok::Tilde: return "~";
+    case Tok::Bang: return "!";
+    case Tok::Shl: return "<<";
+    case Tok::Shr: return ">>";
+    case Tok::Lt: return "<";
+    case Tok::Gt: return ">";
+    case Tok::Le: return "<=";
+    case Tok::Ge: return ">=";
+    case Tok::EqEq: return "==";
+    case Tok::NotEq: return "!=";
+    case Tok::AmpAmp: return "&&";
+    case Tok::PipePipe: return "||";
+    case Tok::Assign: return "=";
+    case Tok::PlusAssign: return "+=";
+    case Tok::MinusAssign: return "-=";
+    case Tok::StarAssign: return "*=";
+    case Tok::SlashAssign: return "/=";
+    case Tok::PercentAssign: return "%=";
+    case Tok::AmpAssign: return "&=";
+    case Tok::PipeAssign: return "|=";
+    case Tok::CaretAssign: return "^=";
+    case Tok::ShlAssign: return "<<=";
+    case Tok::ShrAssign: return ">>=";
+    case Tok::PlusPlus: return "++";
+    case Tok::MinusMinus: return "--";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"void", Tok::KwVoid},       {"char", Tok::KwChar},
+      {"short", Tok::KwShort},     {"int", Tok::KwInt},
+      {"long", Tok::KwLong},       {"double", Tok::KwDouble},
+      {"unsigned", Tok::KwUnsigned}, {"struct", Tok::KwStruct},
+      {"if", Tok::KwIf},           {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+      {"do", Tok::KwDo},           {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"sizeof", Tok::KwSizeof},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_whitespace_and_comments();
+      Token t = next();
+      out.push_back(t);
+      if (t.kind == Tok::End) break;
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& msg) {
+    throw CompileError(msg, line_, column_);
+  }
+
+  bool eof() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  bool match(char c) {
+    if (peek() == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!eof()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!eof() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (eof()) error("unterminated block comment");
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token make(Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  char escape_char() {
+    char c = advance();
+    if (c != '\\') return c;
+    char e = advance();
+    switch (e) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        error(std::string("unknown escape \\") + e);
+    }
+  }
+
+  Token next() {
+    if (eof()) return make(Tok::End);
+    Token t = make(Tok::End);
+    char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+        ident.push_back(advance());
+      auto it = keywords().find(ident);
+      t.kind = it != keywords().end() ? it->second : Tok::Ident;
+      t.text = std::move(ident);
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(t);
+
+    if (c == '\'') {
+      advance();
+      if (eof()) error("unterminated char literal");
+      char value = escape_char();
+      if (!match('\'')) error("unterminated char literal");
+      t.kind = Tok::CharLit;
+      t.int_value = static_cast<std::uint64_t>(static_cast<unsigned char>(value));
+      return t;
+    }
+
+    if (c == '"') {
+      advance();
+      std::string s;
+      while (!eof() && peek() != '"') s.push_back(escape_char());
+      if (!match('"')) error("unterminated string literal");
+      t.kind = Tok::StringLit;
+      t.text = std::move(s);
+      return t;
+    }
+
+    advance();
+    switch (c) {
+      case '(': t.kind = Tok::LParen; return t;
+      case ')': t.kind = Tok::RParen; return t;
+      case '{': t.kind = Tok::LBrace; return t;
+      case '}': t.kind = Tok::RBrace; return t;
+      case '[': t.kind = Tok::LBracket; return t;
+      case ']': t.kind = Tok::RBracket; return t;
+      case ',': t.kind = Tok::Comma; return t;
+      case ';': t.kind = Tok::Semi; return t;
+      case ':': t.kind = Tok::Colon; return t;
+      case '?': t.kind = Tok::Question; return t;
+      case '.': t.kind = Tok::Dot; return t;
+      case '~': t.kind = Tok::Tilde; return t;
+      case '+':
+        t.kind = match('+') ? Tok::PlusPlus
+               : match('=') ? Tok::PlusAssign : Tok::Plus;
+        return t;
+      case '-':
+        t.kind = match('-') ? Tok::MinusMinus
+               : match('>') ? Tok::Arrow
+               : match('=') ? Tok::MinusAssign : Tok::Minus;
+        return t;
+      case '*': t.kind = match('=') ? Tok::StarAssign : Tok::Star; return t;
+      case '/': t.kind = match('=') ? Tok::SlashAssign : Tok::Slash; return t;
+      case '%': t.kind = match('=') ? Tok::PercentAssign : Tok::Percent; return t;
+      case '&':
+        t.kind = match('&') ? Tok::AmpAmp
+               : match('=') ? Tok::AmpAssign : Tok::Amp;
+        return t;
+      case '|':
+        t.kind = match('|') ? Tok::PipePipe
+               : match('=') ? Tok::PipeAssign : Tok::Pipe;
+        return t;
+      case '^': t.kind = match('=') ? Tok::CaretAssign : Tok::Caret; return t;
+      case '!': t.kind = match('=') ? Tok::NotEq : Tok::Bang; return t;
+      case '=': t.kind = match('=') ? Tok::EqEq : Tok::Assign; return t;
+      case '<':
+        if (match('<'))
+          t.kind = match('=') ? Tok::ShlAssign : Tok::Shl;
+        else
+          t.kind = match('=') ? Tok::Le : Tok::Lt;
+        return t;
+      case '>':
+        if (match('>'))
+          t.kind = match('=') ? Tok::ShrAssign : Tok::Shr;
+        else
+          t.kind = match('=') ? Tok::Ge : Tok::Gt;
+        return t;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token number(Token t) {
+    std::string digits;
+    bool is_float = false;
+    bool is_hex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      is_hex = true;
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        digits.push_back(advance());
+      if (digits.empty()) error("empty hex literal");
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        digits.push_back(advance());
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        digits.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          digits.push_back(advance());
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        digits.push_back(advance());
+        if (peek() == '+' || peek() == '-') digits.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          digits.push_back(advance());
+      }
+    }
+    if (is_float) {
+      t.kind = Tok::FloatLit;
+      t.float_value = std::strtod(digits.c_str(), nullptr);
+      return t;
+    }
+    t.kind = Tok::IntLit;
+    t.int_value = std::strtoull(digits.c_str(), nullptr, is_hex ? 16 : 10);
+    // Optional suffixes (order-insensitive combination of L and U); the
+    // parser decides the literal's type from `text`.
+    while (peek() == 'L' || peek() == 'l' || peek() == 'U' || peek() == 'u')
+      t.text.push_back(static_cast<char>(std::toupper(advance())));
+    return t;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace faultlab::mc

@@ -1,0 +1,30 @@
+// Hand-written lexer for mini-C. Supports //- and /* */-style comments,
+// decimal and hex integer literals (optional L/U suffixes), floating-point
+// literals, char literals with the usual escapes, and string literals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace faultlab::mc {
+
+/// Thrown on any lexical or syntactic error, with source position.
+class CompileError : public std::exception {
+ public:
+  CompileError(std::string message, int line, int column);
+  const char* what() const noexcept override { return formatted_.c_str(); }
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  std::string formatted_;
+  int line_;
+  int column_;
+};
+
+/// Tokenizes the whole input eagerly; throws CompileError on bad input.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace faultlab::mc

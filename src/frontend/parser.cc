@@ -1,0 +1,557 @@
+#include "frontend/parser.h"
+
+#include <cstdint>
+
+#include "frontend/lexer.h"
+
+namespace faultlab::mc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  TranslationUnit run() {
+    TranslationUnit tu;
+    while (peek().kind != Tok::End) {
+      if (peek().kind == Tok::KwStruct && peek(2).kind == Tok::LBrace) {
+        tu.structs.push_back(parse_struct());
+        continue;
+      }
+      // Global variable or function: parse type + name, disambiguate on '('.
+      AstType type = parse_type();
+      Token name = expect(Tok::Ident, "declaration name");
+      if (peek().kind == Tok::LParen) {
+        tu.functions.push_back(parse_function(type, name));
+      } else {
+        parse_global(tu, type, name);
+      }
+    }
+    return tu;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& advance() { return toks_[pos_++]; }
+  bool check(Tok kind) const { return peek().kind == kind; }
+  bool match(Tok kind) {
+    if (check(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok kind, const std::string& what) {
+    if (!check(kind))
+      error("expected " + std::string(token_name(kind)) + " (" + what +
+            "), found " + token_name(peek().kind));
+    return advance();
+  }
+  [[noreturn]] void error(const std::string& msg) const {
+    throw CompileError(msg, peek().line, peek().column);
+  }
+
+  bool at_type_start() const {
+    switch (peek().kind) {
+      case Tok::KwVoid:
+      case Tok::KwChar:
+      case Tok::KwShort:
+      case Tok::KwInt:
+      case Tok::KwLong:
+      case Tok::KwDouble:
+      case Tok::KwUnsigned:
+        return true;
+      case Tok::KwStruct:
+        return peek(1).kind == Tok::Ident;
+      default:
+        return false;
+    }
+  }
+
+  /// Parses zero or more `[N]` suffixes (outermost dimension first).
+  std::vector<std::int64_t> parse_array_dims() {
+    std::vector<std::int64_t> dims;
+    while (match(Tok::LBracket)) {
+      dims.push_back(static_cast<std::int64_t>(
+          expect(Tok::IntLit, "array size").int_value));
+      expect(Tok::RBracket, "array size");
+    }
+    return dims;
+  }
+
+  AstType parse_type() {
+    AstType t;
+    if (check(Tok::KwUnsigned)) {
+      error("unsigned types are not supported in mini-C; use masking on "
+            "signed integers instead");
+    }
+    {
+      switch (peek().kind) {
+        case Tok::KwVoid: advance(); t.base = BaseType::Void; break;
+        case Tok::KwChar: advance(); t.base = BaseType::Char; break;
+        case Tok::KwShort: advance(); t.base = BaseType::Short; break;
+        case Tok::KwInt: advance(); t.base = BaseType::Int; break;
+        case Tok::KwLong: advance(); t.base = BaseType::Long; break;
+        case Tok::KwDouble: advance(); t.base = BaseType::Double; break;
+        case Tok::KwStruct: {
+          advance();
+          t.base = BaseType::Struct;
+          t.struct_name = expect(Tok::Ident, "struct name").text;
+          break;
+        }
+        default:
+          error("expected a type");
+      }
+    }
+    while (match(Tok::Star)) ++t.pointer_depth;
+    return t;
+  }
+
+  StructDecl parse_struct() {
+    StructDecl decl;
+    decl.line = peek().line;
+    expect(Tok::KwStruct, "struct");
+    decl.name = expect(Tok::Ident, "struct name").text;
+    expect(Tok::LBrace, "struct body");
+    while (!match(Tok::RBrace)) {
+      FieldDecl field;
+      field.type = parse_type();
+      field.name = expect(Tok::Ident, "field name").text;
+      field.array_dims = parse_array_dims();
+      expect(Tok::Semi, "field");
+      decl.fields.push_back(std::move(field));
+    }
+    expect(Tok::Semi, "struct declaration");
+    return decl;
+  }
+
+  void parse_global(TranslationUnit& tu, AstType type, const Token& name) {
+    GlobalDecl g;
+    g.line = name.line;
+    g.type = type;
+    g.name = name.text;
+    g.array_dims = parse_array_dims();
+    if (match(Tok::Assign)) {
+      if (match(Tok::LBrace)) {
+        while (!check(Tok::RBrace)) {
+          g.init.push_back(parse_assignment());
+          if (!match(Tok::Comma)) break;
+        }
+        expect(Tok::RBrace, "initializer list");
+      } else {
+        g.init.push_back(parse_assignment());
+      }
+    }
+    expect(Tok::Semi, "global declaration");
+    tu.globals.push_back(std::move(g));
+  }
+
+  FuncDecl parse_function(AstType ret, const Token& name) {
+    FuncDecl fn;
+    fn.line = name.line;
+    fn.return_type = ret;
+    fn.name = name.text;
+    expect(Tok::LParen, "parameter list");
+    if (!check(Tok::RParen)) {
+      if (check(Tok::KwVoid) && peek(1).kind == Tok::RParen) {
+        advance();  // (void)
+      } else {
+        do {
+          ParamDecl p;
+          p.type = parse_type();
+          p.name = expect(Tok::Ident, "parameter name").text;
+          fn.params.push_back(std::move(p));
+        } while (match(Tok::Comma));
+      }
+    }
+    expect(Tok::RParen, "parameter list");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  std::unique_ptr<Stmt> parse_block() {
+    auto block = make_stmt(StmtKind::Block, peek().line);
+    expect(Tok::LBrace, "block");
+    while (!match(Tok::RBrace)) block->body.push_back(parse_statement());
+    return block;
+  }
+
+  std::unique_ptr<Stmt> parse_statement() {
+    const int line = peek().line;
+    switch (peek().kind) {
+      case Tok::LBrace:
+        return parse_block();
+      case Tok::Semi:
+        advance();
+        return make_stmt(StmtKind::Empty, line);
+      case Tok::KwIf: {
+        advance();
+        auto s = make_stmt(StmtKind::If, line);
+        expect(Tok::LParen, "if condition");
+        s->expr = parse_expression();
+        expect(Tok::RParen, "if condition");
+        s->then_branch = parse_statement();
+        if (match(Tok::KwElse)) s->else_branch = parse_statement();
+        return s;
+      }
+      case Tok::KwWhile: {
+        advance();
+        auto s = make_stmt(StmtKind::While, line);
+        expect(Tok::LParen, "while condition");
+        s->expr = parse_expression();
+        expect(Tok::RParen, "while condition");
+        s->then_branch = parse_statement();
+        return s;
+      }
+      case Tok::KwDo: {
+        advance();
+        auto s = make_stmt(StmtKind::DoWhile, line);
+        s->then_branch = parse_statement();
+        expect(Tok::KwWhile, "do-while");
+        expect(Tok::LParen, "do-while condition");
+        s->expr = parse_expression();
+        expect(Tok::RParen, "do-while condition");
+        expect(Tok::Semi, "do-while");
+        return s;
+      }
+      case Tok::KwFor: {
+        advance();
+        auto s = make_stmt(StmtKind::For, line);
+        expect(Tok::LParen, "for header");
+        if (!check(Tok::Semi)) {
+          if (at_type_start())
+            s->for_init = parse_declaration_statement();
+          else {
+            s->for_init = make_stmt(StmtKind::Expr, peek().line);
+            s->for_init->expr = parse_expression();
+            expect(Tok::Semi, "for init");
+          }
+        } else {
+          advance();
+        }
+        if (!check(Tok::Semi)) s->expr = parse_expression();
+        expect(Tok::Semi, "for condition");
+        if (!check(Tok::RParen)) s->for_step = parse_expression();
+        expect(Tok::RParen, "for header");
+        s->then_branch = parse_statement();
+        return s;
+      }
+      case Tok::KwReturn: {
+        advance();
+        auto s = make_stmt(StmtKind::Return, line);
+        if (!check(Tok::Semi)) s->expr = parse_expression();
+        expect(Tok::Semi, "return");
+        return s;
+      }
+      case Tok::KwBreak:
+        advance();
+        expect(Tok::Semi, "break");
+        return make_stmt(StmtKind::Break, line);
+      case Tok::KwContinue:
+        advance();
+        expect(Tok::Semi, "continue");
+        return make_stmt(StmtKind::Continue, line);
+      default:
+        break;
+    }
+    if (at_type_start()) return parse_declaration_statement();
+    auto s = make_stmt(StmtKind::Expr, line);
+    s->expr = parse_expression();
+    expect(Tok::Semi, "expression statement");
+    return s;
+  }
+
+  /// `int x = 1, *p, buf[10];`
+  std::unique_ptr<Stmt> parse_declaration_statement() {
+    const int line = peek().line;
+    auto s = make_stmt(StmtKind::Decl, line);
+    AstType base = parse_type();
+    const int base_ptr_depth = base.pointer_depth;
+    while (true) {
+      LocalDecl d;
+      d.type = base;
+      d.type.pointer_depth = base_ptr_depth;
+      // Additional stars bind to the declarator in C; we accept them here.
+      while (match(Tok::Star)) ++d.type.pointer_depth;
+      d.name = expect(Tok::Ident, "variable name").text;
+      d.array_dims = parse_array_dims();
+      if (match(Tok::Assign)) d.init = parse_assignment();
+      s->decls.push_back(std::move(d));
+      if (!match(Tok::Comma)) break;
+    }
+    expect(Tok::Semi, "declaration");
+    return s;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  std::unique_ptr<Expr> parse_expression() { return parse_assignment(); }
+
+  std::unique_ptr<Expr> parse_assignment() {
+    auto lhs = parse_conditional();
+    AssignOp op;
+    switch (peek().kind) {
+      case Tok::Assign: op = AssignOp::Plain; break;
+      case Tok::PlusAssign: op = AssignOp::Add; break;
+      case Tok::MinusAssign: op = AssignOp::Sub; break;
+      case Tok::StarAssign: op = AssignOp::Mul; break;
+      case Tok::SlashAssign: op = AssignOp::Div; break;
+      case Tok::PercentAssign: op = AssignOp::Rem; break;
+      case Tok::AmpAssign: op = AssignOp::And; break;
+      case Tok::PipeAssign: op = AssignOp::Or; break;
+      case Tok::CaretAssign: op = AssignOp::Xor; break;
+      case Tok::ShlAssign: op = AssignOp::Shl; break;
+      case Tok::ShrAssign: op = AssignOp::Shr; break;
+      default:
+        return lhs;
+    }
+    const int line = peek().line;
+    advance();
+    auto e = make_expr(ExprKind::Assign, line);
+    e->assign_op = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(parse_assignment());  // right associative
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_conditional() {
+    auto cond = parse_binary(0);
+    if (!check(Tok::Question)) return cond;
+    const int line = peek().line;
+    advance();
+    auto e = make_expr(ExprKind::Conditional, line);
+    e->children.push_back(std::move(cond));
+    e->children.push_back(parse_expression());
+    expect(Tok::Colon, "conditional");
+    e->children.push_back(parse_assignment());
+    return e;
+  }
+
+  static int binary_precedence(Tok t) {
+    switch (t) {
+      case Tok::PipePipe: return 1;
+      case Tok::AmpAmp: return 2;
+      case Tok::Pipe: return 3;
+      case Tok::Caret: return 4;
+      case Tok::Amp: return 5;
+      case Tok::EqEq:
+      case Tok::NotEq: return 6;
+      case Tok::Lt:
+      case Tok::Le:
+      case Tok::Gt:
+      case Tok::Ge: return 7;
+      case Tok::Shl:
+      case Tok::Shr: return 8;
+      case Tok::Plus:
+      case Tok::Minus: return 9;
+      case Tok::Star:
+      case Tok::Slash:
+      case Tok::Percent: return 10;
+      default: return -1;
+    }
+  }
+
+  static BinaryOp binary_op(Tok t) {
+    switch (t) {
+      case Tok::PipePipe: return BinaryOp::LogicalOr;
+      case Tok::AmpAmp: return BinaryOp::LogicalAnd;
+      case Tok::Pipe: return BinaryOp::Or;
+      case Tok::Caret: return BinaryOp::Xor;
+      case Tok::Amp: return BinaryOp::And;
+      case Tok::EqEq: return BinaryOp::Eq;
+      case Tok::NotEq: return BinaryOp::Ne;
+      case Tok::Lt: return BinaryOp::Lt;
+      case Tok::Le: return BinaryOp::Le;
+      case Tok::Gt: return BinaryOp::Gt;
+      case Tok::Ge: return BinaryOp::Ge;
+      case Tok::Shl: return BinaryOp::Shl;
+      case Tok::Shr: return BinaryOp::Shr;
+      case Tok::Plus: return BinaryOp::Add;
+      case Tok::Minus: return BinaryOp::Sub;
+      case Tok::Star: return BinaryOp::Mul;
+      case Tok::Slash: return BinaryOp::Div;
+      case Tok::Percent: return BinaryOp::Rem;
+      default: return BinaryOp::Add;
+    }
+  }
+
+  std::unique_ptr<Expr> parse_binary(int min_prec) {
+    auto lhs = parse_unary();
+    while (true) {
+      const int prec = binary_precedence(peek().kind);
+      if (prec < 0 || prec < min_prec) return lhs;
+      const Tok op_tok = peek().kind;
+      const int line = peek().line;
+      advance();
+      auto rhs = parse_binary(prec + 1);
+      auto e = make_expr(ExprKind::Binary, line);
+      e->binary_op = binary_op(op_tok);
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  bool at_cast() const {
+    if (!check(Tok::LParen)) return false;
+    switch (peek(1).kind) {
+      case Tok::KwVoid:
+      case Tok::KwChar:
+      case Tok::KwShort:
+      case Tok::KwInt:
+      case Tok::KwLong:
+      case Tok::KwDouble:
+      case Tok::KwUnsigned:
+      case Tok::KwStruct:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    const int line = peek().line;
+    auto make_unary = [&](UnaryOp op) {
+      advance();
+      auto e = make_expr(ExprKind::Unary, line);
+      e->unary_op = op;
+      e->children.push_back(parse_unary());
+      return e;
+    };
+    switch (peek().kind) {
+      case Tok::Minus: return make_unary(UnaryOp::Neg);
+      case Tok::Bang: return make_unary(UnaryOp::LogicalNot);
+      case Tok::Tilde: return make_unary(UnaryOp::BitNot);
+      case Tok::Star: return make_unary(UnaryOp::Deref);
+      case Tok::Amp: return make_unary(UnaryOp::AddrOf);
+      case Tok::PlusPlus: return make_unary(UnaryOp::PreInc);
+      case Tok::MinusMinus: return make_unary(UnaryOp::PreDec);
+      case Tok::KwSizeof: {
+        advance();
+        expect(Tok::LParen, "sizeof");
+        auto e = make_expr(ExprKind::SizeofType, line);
+        e->ast_type = parse_type();
+        expect(Tok::RParen, "sizeof");
+        return e;
+      }
+      default:
+        break;
+    }
+    if (at_cast()) {
+      advance();  // (
+      auto e = make_expr(ExprKind::Cast, line);
+      e->ast_type = parse_type();
+      expect(Tok::RParen, "cast");
+      e->children.push_back(parse_unary());
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  std::unique_ptr<Expr> parse_postfix() {
+    auto e = parse_primary();
+    while (true) {
+      const int line = peek().line;
+      if (match(Tok::LBracket)) {
+        auto idx = make_expr(ExprKind::Index, line);
+        idx->children.push_back(std::move(e));
+        idx->children.push_back(parse_expression());
+        expect(Tok::RBracket, "index");
+        e = std::move(idx);
+      } else if (match(Tok::Dot)) {
+        auto m = make_expr(ExprKind::Member, line);
+        m->name = expect(Tok::Ident, "member name").text;
+        m->children.push_back(std::move(e));
+        e = std::move(m);
+      } else if (match(Tok::Arrow)) {
+        auto m = make_expr(ExprKind::Member, line);
+        m->member_is_arrow = true;
+        m->name = expect(Tok::Ident, "member name").text;
+        m->children.push_back(std::move(e));
+        e = std::move(m);
+      } else if (check(Tok::PlusPlus) || check(Tok::MinusMinus)) {
+        const bool inc = check(Tok::PlusPlus);
+        advance();
+        auto p = make_expr(ExprKind::Postfix, line);
+        p->postfix_op = inc ? PostfixOp::PostInc : PostfixOp::PostDec;
+        p->children.push_back(std::move(e));
+        e = std::move(p);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_primary() {
+    const int line = peek().line;
+    switch (peek().kind) {
+      case Tok::IntLit: {
+        const Token& t = advance();
+        auto e = make_expr(ExprKind::IntLit, line);
+        e->int_value = t.int_value;
+        e->int_is_long = t.text.find('L') != std::string::npos ||
+                         t.int_value > 0x7fffffffULL;
+        return e;
+      }
+      case Tok::CharLit: {
+        const Token& t = advance();
+        auto e = make_expr(ExprKind::IntLit, line);
+        e->int_value = t.int_value;
+        return e;
+      }
+      case Tok::FloatLit: {
+        const Token& t = advance();
+        auto e = make_expr(ExprKind::FloatLit, line);
+        e->float_value = t.float_value;
+        return e;
+      }
+      case Tok::StringLit: {
+        const Token& t = advance();
+        auto e = make_expr(ExprKind::StringLit, line);
+        e->str_value = t.text;
+        return e;
+      }
+      case Tok::Ident: {
+        const Token& t = advance();
+        if (check(Tok::LParen)) {
+          advance();
+          auto call = make_expr(ExprKind::Call, line);
+          call->name = t.text;
+          if (!check(Tok::RParen)) {
+            do {
+              call->children.push_back(parse_assignment());
+            } while (match(Tok::Comma));
+          }
+          expect(Tok::RParen, "call");
+          return call;
+        }
+        auto e = make_expr(ExprKind::Ident, line);
+        e->name = t.text;
+        return e;
+      }
+      case Tok::LParen: {
+        advance();
+        auto e = parse_expression();
+        expect(Tok::RParen, "parenthesized expression");
+        return e;
+      }
+      default:
+        error(std::string("unexpected token ") + token_name(peek().kind));
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TranslationUnit parse(const std::string& source) {
+  return Parser(tokenize(source)).run();
+}
+
+}  // namespace faultlab::mc

@@ -1,0 +1,13 @@
+// Recursive-descent parser for mini-C.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace faultlab::mc {
+
+/// Parses a full translation unit; throws CompileError on syntax errors.
+TranslationUnit parse(const std::string& source);
+
+}  // namespace faultlab::mc

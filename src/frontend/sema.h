@@ -1,0 +1,76 @@
+// Semantic analysis for mini-C: module-level declaration processing (structs,
+// globals, function signatures, builtins) and the type rules shared with
+// codegen (arithmetic conversions, assignability, struct field lookup).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "ir/module.h"
+
+namespace faultlab::mc {
+
+/// Names and semantics of the runtime builtins every mini-C program can
+/// call. The VM and the x86 simulator dispatch these to machine::Runtime.
+struct BuiltinSpec {
+  const char* name;
+  const char* signature;  // human-readable, for docs
+};
+const std::vector<BuiltinSpec>& builtin_specs();
+
+class SemaContext {
+ public:
+  /// Declares all module-level entities into `module` and records side
+  /// tables. Throws CompileError on semantic errors.
+  SemaContext(ir::Module& module, const TranslationUnit& tu);
+
+  ir::Module& module() noexcept { return module_; }
+  ir::TypeContext& types() noexcept { return module_.types(); }
+
+  /// Resolves a syntactic type to an IR type (value type, not decayed).
+  const ir::Type* resolve(const AstType& t, int line) const;
+
+  /// Wraps `elem` in array types for the declarator dims (outermost first).
+  const ir::Type* apply_dims(const ir::Type* elem,
+                             const std::vector<std::int64_t>& dims) const;
+
+  /// Field index within a struct; throws when absent.
+  unsigned field_index(const ir::Type* struct_type, const std::string& name,
+                       int line) const;
+
+  /// C's usual arithmetic conversions restricted to our type set:
+  /// if either side is double -> double; otherwise the wider integer type,
+  /// at least i32.
+  const ir::Type* usual_arithmetic(const ir::Type* a, const ir::Type* b) const;
+
+  /// True when a value of `from` implicitly converts to `to` (int<->int,
+  /// int<->double, identical pointers, null-literal rules are handled by
+  /// codegen).
+  bool implicitly_convertible(const ir::Type* from, const ir::Type* to) const;
+
+  const TranslationUnit& tu() const noexcept { return tu_; }
+
+ private:
+  void declare_structs();
+  void declare_builtins();
+  void declare_functions();
+  void define_globals();
+
+  /// Constant-evaluates a global initializer expression.
+  struct ConstValue {
+    bool is_double = false;
+    std::int64_t i = 0;
+    double d = 0.0;
+  };
+  ConstValue eval_const(const Expr& e) const;
+  void encode_scalar(std::vector<std::uint8_t>& bytes, std::size_t offset,
+                     const ir::Type* type, const ConstValue& v) const;
+
+  ir::Module& module_;
+  const TranslationUnit& tu_;
+  std::map<const ir::Type*, std::vector<std::string>> struct_field_names_;
+};
+
+}  // namespace faultlab::mc

@@ -1,0 +1,42 @@
+// Token definitions for the mini-C front-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace faultlab::mc {
+
+enum class Tok : std::uint8_t {
+  End,
+  // literals / identifiers
+  IntLit, FloatLit, CharLit, StringLit, Ident,
+  // keywords
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwDouble, KwUnsigned, KwStruct,
+  KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak, KwContinue,
+  KwSizeof,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Colon, Question, Dot, Arrow,
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  AmpAmp, PipePipe,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  PlusPlus, MinusMinus,
+};
+
+const char* token_name(Tok t) noexcept;
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier / literal spelling
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace faultlab::mc

@@ -1,0 +1,62 @@
+#include "ir/basic_block.h"
+
+#include <cassert>
+
+namespace faultlab::ir {
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> instr) {
+  instr->parent_ = this;
+  instructions_.push_back(std::move(instr));
+  return instructions_.back().get();
+}
+
+Instruction* BasicBlock::insert(std::size_t index,
+                                std::unique_ptr<Instruction> instr) {
+  assert(index <= instructions_.size());
+  instr->parent_ = this;
+  auto it = instructions_.insert(instructions_.begin() + index, std::move(instr));
+  return it->get();
+}
+
+void BasicBlock::erase(std::size_t index) {
+  assert(index < instructions_.size());
+  assert(!instructions_[index]->has_uses() && "erasing instruction with uses");
+  instructions_.erase(instructions_.begin() + index);
+}
+
+std::unique_ptr<Instruction> BasicBlock::take(std::size_t index) {
+  assert(index < instructions_.size());
+  std::unique_ptr<Instruction> out = std::move(instructions_[index]);
+  instructions_.erase(instructions_.begin() + index);
+  out->parent_ = nullptr;
+  return out;
+}
+
+std::size_t BasicBlock::index_of(const Instruction* instr) const {
+  for (std::size_t i = 0; i < instructions_.size(); ++i)
+    if (instructions_[i].get() == instr) return i;
+  assert(false && "instruction not in block");
+  return instructions_.size();
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  std::vector<BasicBlock*> out;
+  if (auto* br = dynamic_cast<BranchInst*>(terminator())) {
+    out.push_back(br->true_target());
+    if (br->is_conditional() && br->false_target() != br->true_target())
+      out.push_back(br->false_target());
+  }
+  return out;
+}
+
+std::vector<PhiInst*> BasicBlock::phis() const {
+  std::vector<PhiInst*> out;
+  for (const auto& instr : instructions_) {
+    auto* phi = dynamic_cast<PhiInst*>(instr.get());
+    if (phi == nullptr) break;
+    out.push_back(phi);
+  }
+  return out;
+}
+
+}  // namespace faultlab::ir

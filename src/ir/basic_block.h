@@ -1,0 +1,65 @@
+// Basic blocks: ordered instruction sequences ending in a terminator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace faultlab::ir {
+
+class Function;
+
+class BasicBlock {
+ public:
+  BasicBlock(Function* parent, std::string name)
+      : parent_(parent), name_(std::move(name)) {}
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  Function* parent() const noexcept { return parent_; }
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  unsigned id() const noexcept { return id_; }
+
+  bool empty() const noexcept { return instructions_.empty(); }
+  std::size_t size() const noexcept { return instructions_.size(); }
+  Instruction* instr(std::size_t i) const { return instructions_.at(i).get(); }
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const noexcept {
+    return instructions_;
+  }
+
+  Instruction* terminator() const noexcept {
+    if (instructions_.empty()) return nullptr;
+    Instruction* last = instructions_.back().get();
+    return last->is_terminator() ? last : nullptr;
+  }
+
+  /// Appends `instr` and returns a raw pointer to it.
+  Instruction* append(std::unique_ptr<Instruction> instr);
+  /// Inserts at position `index` (0 == front, used for phi placement).
+  Instruction* insert(std::size_t index, std::unique_ptr<Instruction> instr);
+  /// Removes (and destroys) the instruction at `index`. The instruction
+  /// must have no remaining uses.
+  void erase(std::size_t index);
+  /// Removes and returns the instruction at `index` without destroying it.
+  std::unique_ptr<Instruction> take(std::size_t index);
+  /// Index of `instr` within this block; asserts if absent.
+  std::size_t index_of(const Instruction* instr) const;
+
+  /// Successor blocks, derived from the terminator (empty if none).
+  std::vector<BasicBlock*> successors() const;
+
+  /// Leading phi instructions of this block.
+  std::vector<PhiInst*> phis() const;
+
+ private:
+  friend class Function;
+  Function* parent_;
+  std::string name_;
+  unsigned id_ = 0;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+}  // namespace faultlab::ir

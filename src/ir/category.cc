@@ -1,0 +1,46 @@
+#include "ir/category.h"
+
+namespace faultlab::ir {
+
+const char* category_name(Category c) noexcept {
+  switch (c) {
+    case Category::Arithmetic: return "arithmetic";
+    case Category::Cast: return "cast";
+    case Category::Cmp: return "cmp";
+    case Category::Load: return "load";
+    case Category::All: return "all";
+  }
+  return "?";
+}
+
+std::optional<Category> category_from_name(const std::string& name) noexcept {
+  for (Category c : kAllCategories)
+    if (name == category_name(c)) return c;
+  return std::nullopt;
+}
+
+bool ir_injectable(const Instruction& instr) noexcept {
+  if (!instr.has_result()) return false;
+  if (!instr.type()->is_scalar()) return false;
+  return instr.opcode() != Opcode::Alloca;
+}
+
+bool ir_in_category(const Instruction& instr, Category c) noexcept {
+  if (!ir_injectable(instr)) return false;
+  const Opcode op = instr.opcode();
+  switch (c) {
+    case Category::Arithmetic:
+      return is_int_binary(op) || is_fp_binary(op);
+    case Category::Cast:
+      return is_conversion_cast(op);
+    case Category::Cmp:
+      return op == Opcode::ICmp || op == Opcode::FCmp;
+    case Category::Load:
+      return op == Opcode::Load;
+    case Category::All:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace faultlab::ir

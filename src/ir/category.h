@@ -1,0 +1,40 @@
+// Instruction categories of the paper's Table III, on the IR side.
+//
+// The LLFI injector selects its static targets with these predicates:
+//   arithmetic — integer/fp arithmetic and logic ops (GEP is *not* counted,
+//                mirroring LLVM where getelementptr is not arithmetic; this
+//                asymmetry drives the paper's bzip2 'arithmetic' divergence)
+//   cast       — conversion casts only (trunc/zext/sext/fptosi/sitofp),
+//                the paper's Table I row-5 mitigation
+//   cmp        — icmp and fcmp
+//   load       — load
+//   all        — every instruction with a destination register
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/instruction.h"
+
+namespace faultlab::ir {
+
+enum class Category : std::uint8_t { Arithmetic, Cast, Cmp, Load, All };
+
+inline constexpr Category kAllCategories[] = {
+    Category::Arithmetic, Category::Cast, Category::Cmp, Category::Load,
+    Category::All};
+
+const char* category_name(Category c) noexcept;
+std::optional<Category> category_from_name(const std::string& name) noexcept;
+
+/// True when `instr` belongs to category `c` for LLFI target selection.
+/// 'All' matches every instruction that has a destination register.
+bool ir_in_category(const Instruction& instr, Category c) noexcept;
+
+/// True when the instruction can be an injection target at all (produces a
+/// scalar register value). Allocas are excluded: their result is the frame
+/// address, which at the assembly level is produced by the (uninstrumented)
+/// stack-pointer adjustment, not by a destination-register write.
+bool ir_injectable(const Instruction& instr) noexcept;
+
+}  // namespace faultlab::ir

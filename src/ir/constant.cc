@@ -1,0 +1,11 @@
+#include "ir/constant.h"
+
+#include "support/bitutil.h"
+
+namespace faultlab::ir {
+
+std::int64_t ConstantInt::signed_value() const noexcept {
+  return sign_extend(bits_, type()->int_bits());
+}
+
+}  // namespace faultlab::ir

@@ -1,0 +1,74 @@
+// IR constants and global variables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace faultlab::ir {
+
+/// Integer constant; the payload is stored sign-agnostically as the raw
+/// two's-complement bit pattern truncated to the type width.
+class ConstantInt final : public Value {
+ public:
+  ConstantInt(const Type* type, std::uint64_t bits)
+      : Value(ValueKind::ConstantInt, type, ""), bits_(bits) {
+    assert(type->is_int());
+  }
+  /// Raw (zero-extended) bit pattern.
+  std::uint64_t raw() const noexcept { return bits_; }
+  /// Value interpreted as signed.
+  std::int64_t signed_value() const noexcept;
+
+ private:
+  std::uint64_t bits_;
+};
+
+class ConstantDouble final : public Value {
+ public:
+  ConstantDouble(const Type* type, double value)
+      : Value(ValueKind::ConstantDouble, type, ""), value_(value) {
+    assert(type->is_double());
+  }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Null pointer constant of a specific pointer type.
+class ConstantNull final : public Value {
+ public:
+  explicit ConstantNull(const Type* type)
+      : Value(ValueKind::ConstantNull, type, "") {
+    assert(type->is_ptr());
+  }
+};
+
+/// A module-level variable. Its Value type is a *pointer* to the value
+/// type; the initializer is stored as raw little-endian bytes laid out with
+/// the same rules the machine uses, so the VM and the x86 simulator can
+/// both materialize it by copying bytes.
+class GlobalVariable final : public Value {
+ public:
+  GlobalVariable(const Type* ptr_type, const Type* value_type,
+                 std::string name, std::vector<std::uint8_t> init)
+      : Value(ValueKind::GlobalVariable, ptr_type, std::move(name)),
+        value_type_(value_type),
+        init_(std::move(init)) {
+    assert(ptr_type->is_ptr() && ptr_type->pointee() == value_type);
+    if (init_.empty()) init_.resize(value_type->size_in_bytes(), 0);
+    assert(init_.size() == value_type->size_in_bytes());
+  }
+
+  const Type* value_type() const noexcept { return value_type_; }
+  const std::vector<std::uint8_t>& initializer() const noexcept { return init_; }
+  std::vector<std::uint8_t>& mutable_initializer() noexcept { return init_; }
+
+ private:
+  const Type* value_type_;
+  std::vector<std::uint8_t> init_;
+};
+
+}  // namespace faultlab::ir

@@ -1,0 +1,118 @@
+#include "ir/dominance.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace faultlab::ir {
+
+namespace {
+
+void postorder(const BasicBlock* bb, std::set<const BasicBlock*>& seen,
+               std::vector<const BasicBlock*>& out) {
+  if (!seen.insert(bb).second) return;
+  for (const BasicBlock* succ : bb->successors()) postorder(succ, seen, out);
+  out.push_back(bb);
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Function& function) {
+  const BasicBlock* entry = function.entry();
+  if (entry == nullptr) return;
+
+  std::set<const BasicBlock*> seen;
+  std::vector<const BasicBlock*> po;
+  postorder(entry, seen, po);
+  rpo_.assign(po.rbegin(), po.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i) order_index_[rpo_[i]] = i;
+
+  // Predecessors restricted to reachable blocks.
+  std::map<const BasicBlock*, std::vector<const BasicBlock*>> preds;
+  for (const BasicBlock* bb : rpo_)
+    for (const BasicBlock* succ : bb->successors())
+      if (order_index_.count(succ)) preds[succ].push_back(bb);
+
+  // Cooper–Harvey–Kennedy iteration.
+  idom_[entry] = entry;
+  auto intersect = [&](const BasicBlock* a, const BasicBlock* b) {
+    while (a != b) {
+      while (order_index_.at(a) > order_index_.at(b)) a = idom_.at(a);
+      while (order_index_.at(b) > order_index_.at(a)) b = idom_.at(b);
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock* bb : rpo_) {
+      if (bb == entry) continue;
+      const BasicBlock* new_idom = nullptr;
+      for (const BasicBlock* p : preds[bb]) {
+        if (!idom_.count(p)) continue;
+        new_idom = new_idom == nullptr ? p : intersect(p, new_idom);
+      }
+      assert(new_idom != nullptr && "reachable block with no processed pred");
+      auto it = idom_.find(bb);
+      if (it == idom_.end() || it->second != new_idom) {
+        idom_[bb] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Dominance frontiers.
+  for (const BasicBlock* bb : rpo_) {
+    const auto& ps = preds[bb];
+    if (ps.size() < 2) continue;
+    for (const BasicBlock* p : ps) {
+      const BasicBlock* runner = p;
+      while (runner != idom_.at(bb)) {
+        frontier_[runner].insert(bb);
+        runner = idom_.at(runner);
+      }
+    }
+  }
+}
+
+const BasicBlock* DominatorTree::idom(const BasicBlock* bb) const {
+  auto it = idom_.find(bb);
+  if (it == idom_.end() || it->second == bb) return nullptr;
+  return it->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  if (!reachable(b)) return true;  // vacuous: nothing executes there
+  const BasicBlock* cur = b;
+  while (true) {
+    if (cur == a) return true;
+    auto it = idom_.find(cur);
+    if (it == idom_.end() || it->second == cur) return false;
+    cur = it->second;
+  }
+}
+
+bool DominatorTree::value_dominates(const Instruction* def,
+                                    const Instruction* use) const {
+  const BasicBlock* def_bb = def->parent();
+  const BasicBlock* use_bb = use->parent();
+  if (auto* phi = dynamic_cast<const PhiInst*>(use)) {
+    // A phi reads its i-th operand at the end of the i-th incoming block.
+    for (unsigned i = 0; i < phi->num_incoming(); ++i)
+      if (phi->incoming_value(i) == def &&
+          !dominates(def_bb, phi->incoming_block(i)))
+        return false;
+    return true;
+  }
+  if (def_bb == use_bb) {
+    return def_bb->index_of(def) < use_bb->index_of(use);
+  }
+  return dominates(def_bb, use_bb);
+}
+
+const std::set<const BasicBlock*>& DominatorTree::frontier(
+    const BasicBlock* bb) const {
+  auto it = frontier_.find(bb);
+  return it == frontier_.end() ? empty_ : it->second;
+}
+
+}  // namespace faultlab::ir

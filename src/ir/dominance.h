@@ -1,0 +1,47 @@
+// Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy algorithm),
+// used by mem2reg for phi placement and by the verifier for SSA checking.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace faultlab::ir {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Function& function);
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  const BasicBlock* idom(const BasicBlock* bb) const;
+
+  /// True when `a` dominates `b` (reflexive).
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  /// True when instruction `def`'s value is available at (strictly before)
+  /// instruction `use`. Phis are treated as reading on incoming edges.
+  bool value_dominates(const Instruction* def, const Instruction* use) const;
+
+  /// Dominance frontier of `bb`.
+  const std::set<const BasicBlock*>& frontier(const BasicBlock* bb) const;
+
+  bool reachable(const BasicBlock* bb) const {
+    return order_index_.count(bb) != 0;
+  }
+
+  /// Blocks in reverse postorder over the CFG (entry first).
+  const std::vector<const BasicBlock*>& reverse_postorder() const noexcept {
+    return rpo_;
+  }
+
+ private:
+  std::vector<const BasicBlock*> rpo_;
+  std::map<const BasicBlock*, std::size_t> order_index_;  // rpo position
+  std::map<const BasicBlock*, const BasicBlock*> idom_;
+  std::map<const BasicBlock*, std::set<const BasicBlock*>> frontier_;
+  std::set<const BasicBlock*> empty_;
+};
+
+}  // namespace faultlab::ir

@@ -1,0 +1,90 @@
+#include "ir/function.h"
+
+#include <cassert>
+
+#include "ir/module.h"
+
+namespace faultlab::ir {
+
+Function::Function(Module* parent, const Type* func_type, std::string name,
+                   bool is_builtin)
+    : parent_(parent),
+      type_(func_type),
+      name_(std::move(name)),
+      builtin_(is_builtin) {
+  assert(func_type->is_func());
+  const auto& params = func_type->func_params();
+  args_.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    args_.push_back(std::make_unique<Argument>(
+        params[i], "arg" + std::to_string(i), static_cast<unsigned>(i)));
+  }
+}
+
+BasicBlock* Function::create_block(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(this, std::move(name)));
+  blocks_.back()->id_ = next_block_id_++;
+  return blocks_.back().get();
+}
+
+void Function::erase_block(BasicBlock* bb) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == bb) {
+      // Drop instructions back-to-front so intra-block uses disappear
+      // before their defs do.
+      while (!bb->empty()) {
+        assert(!bb->instr(bb->size() - 1)->has_uses() &&
+               "erasing block with live results");
+        bb->erase(bb->size() - 1);
+      }
+      blocks_.erase(it);
+      return;
+    }
+  }
+  assert(false && "block not in function");
+}
+
+void Function::reorder_blocks(const std::vector<const BasicBlock*>& order) {
+  std::vector<std::unique_ptr<BasicBlock>> reordered;
+  reordered.reserve(blocks_.size());
+  for (const BasicBlock* want : order) {
+    for (auto& slot : blocks_) {
+      if (slot.get() == want) {
+        reordered.push_back(std::move(slot));
+        break;
+      }
+    }
+  }
+  for (auto& slot : blocks_)
+    if (slot != nullptr) reordered.push_back(std::move(slot));
+  assert(reordered.size() == blocks_.size());
+  blocks_ = std::move(reordered);
+  renumber();
+}
+
+std::map<const BasicBlock*, std::vector<BasicBlock*>> Function::predecessors()
+    const {
+  std::map<const BasicBlock*, std::vector<BasicBlock*>> preds;
+  for (const auto& bb : blocks_) preds[bb.get()];  // ensure every key exists
+  for (const auto& bb : blocks_)
+    for (BasicBlock* succ : bb->successors()) preds[succ].push_back(bb.get());
+  return preds;
+}
+
+void Function::renumber() {
+  unsigned next = 0;
+  unsigned block_id = 0;
+  for (const auto& bb : blocks_) {
+    bb->id_ = block_id++;
+    for (const auto& instr : bb->instructions()) instr->id_ = next++;
+  }
+  next_block_id_ = block_id;
+}
+
+std::size_t Function::num_instructions() const noexcept {
+  std::size_t n = 0;
+  for (const auto& bb : blocks_) n += bb->size();
+  return n;
+}
+
+}  // namespace faultlab::ir

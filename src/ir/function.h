@@ -1,0 +1,75 @@
+// Functions: argument lists plus an owned CFG of basic blocks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/value.h"
+
+namespace faultlab::ir {
+
+class Module;
+
+class Function {
+ public:
+  Function(Module* parent, const Type* func_type, std::string name,
+           bool is_builtin);
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  Module* parent() const noexcept { return parent_; }
+  const std::string& name() const noexcept { return name_; }
+  const Type* func_type() const noexcept { return type_; }
+  const Type* return_type() const noexcept { return type_->func_return(); }
+
+  /// Builtins (print/malloc/sqrt/...) have no body; the VM and simulator
+  /// dispatch them to the shared runtime.
+  bool is_builtin() const noexcept { return builtin_; }
+
+  std::size_t num_args() const noexcept { return args_.size(); }
+  Argument* arg(std::size_t i) const { return args_.at(i).get(); }
+
+  BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  std::size_t num_blocks() const noexcept { return blocks_.size(); }
+  BasicBlock* block(std::size_t i) const { return blocks_.at(i).get(); }
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const noexcept {
+    return blocks_;
+  }
+
+  BasicBlock* create_block(std::string name);
+  /// Destroys `bb`, which must have no predecessors and whose instruction
+  /// results must be unused.
+  void erase_block(BasicBlock* bb);
+
+  /// Permutes the block list into the given order; blocks not mentioned
+  /// keep their relative order after the mentioned ones. Used to normalize
+  /// to reverse postorder (so defs precede uses in list order) before
+  /// instruction selection.
+  void reorder_blocks(const std::vector<const BasicBlock*>& order);
+
+  /// Map from block to its predecessor blocks (recomputed on each call).
+  std::map<const BasicBlock*, std::vector<BasicBlock*>> predecessors() const;
+
+  /// Assigns sequential ids to blocks and value-producing instructions;
+  /// called by the printer, verifier and injectors.
+  void renumber();
+
+  /// Total instruction count across all blocks.
+  std::size_t num_instructions() const noexcept;
+
+ private:
+  Module* parent_;
+  const Type* type_;
+  std::string name_;
+  bool builtin_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  unsigned next_block_id_ = 0;
+};
+
+}  // namespace faultlab::ir

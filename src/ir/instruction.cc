@@ -1,0 +1,288 @@
+#include "ir/instruction.h"
+
+#include <stdexcept>
+
+#include "ir/basic_block.h"
+#include "ir/constant.h"
+#include "ir/function.h"
+
+namespace faultlab::ir {
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::UDiv: return "udiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::URem: return "urem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "getelementptr";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::Bitcast: return "bitcast";
+    case Opcode::PtrToInt: return "ptrtoint";
+    case Opcode::IntToPtr: return "inttoptr";
+    case Opcode::Phi: return "phi";
+    case Opcode::Select: return "select";
+    case Opcode::Call: return "call";
+    case Opcode::Br: return "br";
+    case Opcode::Ret: return "ret";
+  }
+  return "?";
+}
+
+bool is_int_binary(Opcode op) noexcept {
+  return op >= Opcode::Add && op <= Opcode::AShr;
+}
+
+bool is_fp_binary(Opcode op) noexcept {
+  return op >= Opcode::FAdd && op <= Opcode::FDiv;
+}
+
+bool is_cast(Opcode op) noexcept {
+  return op >= Opcode::Trunc && op <= Opcode::IntToPtr;
+}
+
+bool is_conversion_cast(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::FPToSI:
+    case Opcode::SIToFP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* icmp_pred_name(ICmpPred p) noexcept {
+  switch (p) {
+    case ICmpPred::EQ: return "eq";
+    case ICmpPred::NE: return "ne";
+    case ICmpPred::SLT: return "slt";
+    case ICmpPred::SLE: return "sle";
+    case ICmpPred::SGT: return "sgt";
+    case ICmpPred::SGE: return "sge";
+    case ICmpPred::ULT: return "ult";
+    case ICmpPred::ULE: return "ule";
+    case ICmpPred::UGT: return "ugt";
+    case ICmpPred::UGE: return "uge";
+  }
+  return "?";
+}
+
+const char* fcmp_pred_name(FCmpPred p) noexcept {
+  switch (p) {
+    case FCmpPred::OEQ: return "oeq";
+    case FCmpPred::ONE: return "one";
+    case FCmpPred::OLT: return "olt";
+    case FCmpPred::OLE: return "ole";
+    case FCmpPred::OGT: return "ogt";
+    case FCmpPred::OGE: return "oge";
+  }
+  return "?";
+}
+
+Instruction::Instruction(Opcode op, const Type* type,
+                         std::vector<Value*> operands, std::string name)
+    : Value(ValueKind::Instruction, type, std::move(name)),
+      op_(op),
+      operands_(std::move(operands)) {
+  for (unsigned i = 0; i < operands_.size(); ++i) {
+    assert(operands_[i] != nullptr);
+    operands_[i]->add_use(this, i);
+  }
+}
+
+Instruction::~Instruction() {
+  for (unsigned i = 0; i < operands_.size(); ++i)
+    if (operands_[i] != nullptr) operands_[i]->remove_use(this, i);
+}
+
+void Instruction::set_operand(unsigned i, Value* value) {
+  assert(i < operands_.size() && value != nullptr);
+  operands_[i]->remove_use(this, i);
+  operands_[i] = value;
+  value->add_use(this, i);
+}
+
+Function* Instruction::function() const noexcept {
+  return parent_ != nullptr ? parent_->parent() : nullptr;
+}
+
+void Instruction::clear_operands() {
+  for (unsigned i = 0; i < operands_.size(); ++i)
+    operands_[i]->remove_use(this, i);
+  operands_.clear();
+}
+
+void Instruction::append_operand(Value* value) {
+  assert(value != nullptr);
+  operands_.push_back(value);
+  value->add_use(this, static_cast<unsigned>(operands_.size() - 1));
+}
+
+void Instruction::remove_operand(unsigned i) {
+  assert(i < operands_.size());
+  // Later operands shift down by one; their recorded use indices must too.
+  operands_[i]->remove_use(this, i);
+  for (unsigned j = i + 1; j < operands_.size(); ++j) {
+    operands_[j]->remove_use(this, j);
+  }
+  operands_.erase(operands_.begin() + i);
+  for (unsigned j = i; j < operands_.size(); ++j) {
+    operands_[j]->add_use(this, j);
+  }
+}
+
+BinaryInst::BinaryInst(Opcode op, Value* lhs, Value* rhs, std::string name)
+    : Instruction(op, lhs->type(), {lhs, rhs}, std::move(name)) {
+  assert(is_int_binary(op) || is_fp_binary(op));
+  assert(lhs->type() == rhs->type());
+}
+
+ICmpInst::ICmpInst(const Type* i1, ICmpPred pred, Value* lhs, Value* rhs,
+                   std::string name)
+    : Instruction(Opcode::ICmp, i1, {lhs, rhs}, std::move(name)), pred_(pred) {
+  assert(lhs->type() == rhs->type());
+  assert(lhs->type()->is_int() || lhs->type()->is_ptr());
+}
+
+FCmpInst::FCmpInst(const Type* i1, FCmpPred pred, Value* lhs, Value* rhs,
+                   std::string name)
+    : Instruction(Opcode::FCmp, i1, {lhs, rhs}, std::move(name)), pred_(pred) {
+  assert(lhs->type()->is_double() && rhs->type()->is_double());
+}
+
+CastInst::CastInst(Opcode op, Value* value, const Type* to, std::string name)
+    : Instruction(op, to, {value}, std::move(name)) {
+  assert(is_cast(op));
+}
+
+AllocaInst::AllocaInst(const Type* ptr_type, const Type* allocated,
+                       std::string name)
+    : Instruction(Opcode::Alloca, ptr_type, {}, std::move(name)),
+      allocated_(allocated) {
+  assert(ptr_type->is_ptr() && ptr_type->pointee() == allocated);
+}
+
+LoadInst::LoadInst(Value* pointer, std::string name)
+    : Instruction(Opcode::Load, pointer->type()->pointee(), {pointer},
+                  std::move(name)) {
+  assert(pointer->type()->is_ptr());
+  assert(type()->is_scalar());
+}
+
+StoreInst::StoreInst(const Type* void_type, Value* value, Value* pointer)
+    : Instruction(Opcode::Store, void_type, {value, pointer}) {
+  assert(pointer->type()->is_ptr());
+  assert(pointer->type()->pointee() == value->type());
+}
+
+GepInst::GepInst(const Type* result_ptr_type, Value* base,
+                 std::vector<Value*> indices, std::string name)
+    : Instruction(Opcode::Gep, result_ptr_type,
+                  [&] {
+                    std::vector<Value*> ops{base};
+                    ops.insert(ops.end(), indices.begin(), indices.end());
+                    return ops;
+                  }(),
+                  std::move(name)) {
+  assert(base->type()->is_ptr());
+  assert(!indices.empty());
+}
+
+const Type* GepInst::result_type(TypeContext& ctx, const Type* base_ptr,
+                                 const std::vector<Value*>& indices) {
+  assert(base_ptr->is_ptr());
+  const Type* current = base_ptr->pointee();
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    if (current->is_array()) {
+      current = current->array_element();
+    } else if (current->is_struct()) {
+      auto* ci = dynamic_cast<ConstantInt*>(indices[i]);
+      if (ci == nullptr)
+        throw std::invalid_argument("struct GEP index must be constant");
+      current = current->struct_fields().at(static_cast<std::size_t>(ci->raw()));
+    } else {
+      throw std::invalid_argument("GEP drills into non-aggregate type");
+    }
+  }
+  return ctx.ptr_to(current);
+}
+
+PhiInst::PhiInst(const Type* type, std::string name)
+    : Instruction(Opcode::Phi, type, {}, std::move(name)) {}
+
+void PhiInst::add_incoming(Value* value, BasicBlock* pred) {
+  assert(value->type() == type());
+  append_operand(value);
+  blocks_.push_back(pred);
+}
+
+Value* PhiInst::value_for_block(const BasicBlock* pred) const noexcept {
+  for (unsigned i = 0; i < num_incoming(); ++i)
+    if (blocks_[i] == pred) return incoming_value(i);
+  return nullptr;
+}
+
+void PhiInst::remove_incoming(unsigned i) {
+  assert(i < num_incoming());
+  remove_operand(i);
+  blocks_.erase(blocks_.begin() + i);
+}
+
+SelectInst::SelectInst(Value* cond, Value* if_true, Value* if_false,
+                       std::string name)
+    : Instruction(Opcode::Select, if_true->type(), {cond, if_true, if_false},
+                  std::move(name)) {
+  assert(cond->type()->is_bool());
+  assert(if_true->type() == if_false->type());
+}
+
+CallInst::CallInst(const Type* result, Function* callee,
+                   std::vector<Value*> args, std::string name)
+    : Instruction(Opcode::Call, result, std::move(args), std::move(name)),
+      callee_(callee) {
+  assert(callee != nullptr);
+}
+
+BranchInst::BranchInst(const Type* void_type, BasicBlock* target)
+    : Instruction(Opcode::Br, void_type, {}) {
+  targets_[0] = target;
+}
+
+BranchInst::BranchInst(const Type* void_type, Value* cond, BasicBlock* if_true,
+                       BasicBlock* if_false)
+    : Instruction(Opcode::Br, void_type, {cond}) {
+  assert(cond->type()->is_bool());
+  targets_[0] = if_true;
+  targets_[1] = if_false;
+}
+
+RetInst::RetInst(const Type* void_type, Value* value)
+    : Instruction(Opcode::Ret, void_type,
+                  value != nullptr ? std::vector<Value*>{value}
+                                   : std::vector<Value*>{}) {}
+
+}  // namespace faultlab::ir

@@ -1,0 +1,255 @@
+// Instruction classes of the FaultLab IR.
+//
+// The opcode inventory mirrors the subset of LLVM IR the paper's analysis
+// depends on: integer and floating-point arithmetic, icmp/fcmp,
+// alloca/load/store/getelementptr, the full conversion-cast family, phi,
+// select, direct calls, branches and return.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace faultlab::ir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode : std::uint8_t {
+  // Integer binary ops.
+  Add, Sub, Mul, SDiv, UDiv, SRem, URem, And, Or, Xor, Shl, LShr, AShr,
+  // Floating-point binary ops.
+  FAdd, FSub, FMul, FDiv,
+  // Comparisons (produce i1).
+  ICmp, FCmp,
+  // Memory.
+  Alloca, Load, Store, Gep,
+  // Casts.
+  Trunc, ZExt, SExt, FPToSI, SIToFP, Bitcast, PtrToInt, IntToPtr,
+  // Other.
+  Phi, Select, Call, Br, Ret,
+};
+
+const char* opcode_name(Opcode op) noexcept;
+
+bool is_int_binary(Opcode op) noexcept;
+bool is_fp_binary(Opcode op) noexcept;
+bool is_cast(Opcode op) noexcept;
+/// Casts that convert between integer widths or int<->fp — the subset the
+/// paper's LLFI treats as the 'cast' injection category (Table I row 5).
+bool is_conversion_cast(Opcode op) noexcept;
+
+enum class ICmpPred : std::uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+enum class FCmpPred : std::uint8_t { OEQ, ONE, OLT, OLE, OGT, OGE };
+
+const char* icmp_pred_name(ICmpPred p) noexcept;
+const char* fcmp_pred_name(FCmpPred p) noexcept;
+
+class Instruction : public Value {
+ public:
+  ~Instruction() override;
+
+  Opcode opcode() const noexcept { return op_; }
+  BasicBlock* parent() const noexcept { return parent_; }
+  Function* function() const noexcept;
+
+  unsigned num_operands() const noexcept {
+    return static_cast<unsigned>(operands_.size());
+  }
+  Value* operand(unsigned i) const {
+    assert(i < operands_.size());
+    return operands_[i];
+  }
+  void set_operand(unsigned i, Value* value);
+
+  bool is_terminator() const noexcept {
+    return op_ == Opcode::Br || op_ == Opcode::Ret;
+  }
+  /// Has a destination register, i.e. produces a non-void SSA value. This
+  /// is the paper's precondition for being a fault-injection target.
+  bool has_result() const noexcept { return !type()->is_void(); }
+
+  /// Per-function sequential id assigned by Function::renumber(); used by
+  /// the printer and by the injectors to name static injection points.
+  unsigned id() const noexcept { return id_; }
+
+  /// Detaches all operands WITH proper use-list maintenance (used when
+  /// deleting instructions that may form cycles, e.g. unreachable code).
+  void clear_operands();
+
+  /// Detaches all operands WITHOUT maintaining use lists. Only Module's
+  /// destructor may call this (values are destroyed in arbitrary order at
+  /// teardown, so the usual bookkeeping would touch freed objects).
+  void drop_operands_for_teardown() noexcept { operands_.clear(); }
+
+ protected:
+  Instruction(Opcode op, const Type* type, std::vector<Value*> operands,
+              std::string name = "");
+  /// Used by PhiInst to grow/shrink its incoming list.
+  void append_operand(Value* value);
+  void remove_operand(unsigned i);
+
+ private:
+  friend class BasicBlock;
+  friend class Function;
+  Opcode op_;
+  BasicBlock* parent_ = nullptr;
+  std::vector<Value*> operands_;
+  unsigned id_ = 0;
+};
+
+/// Integer or floating-point two-operand arithmetic.
+class BinaryInst final : public Instruction {
+ public:
+  BinaryInst(Opcode op, Value* lhs, Value* rhs, std::string name = "");
+  Value* lhs() const { return operand(0); }
+  Value* rhs() const { return operand(1); }
+};
+
+class ICmpInst final : public Instruction {
+ public:
+  ICmpInst(const Type* i1, ICmpPred pred, Value* lhs, Value* rhs,
+           std::string name = "");
+  ICmpPred predicate() const noexcept { return pred_; }
+  Value* lhs() const { return operand(0); }
+  Value* rhs() const { return operand(1); }
+
+ private:
+  ICmpPred pred_;
+};
+
+class FCmpInst final : public Instruction {
+ public:
+  FCmpInst(const Type* i1, FCmpPred pred, Value* lhs, Value* rhs,
+           std::string name = "");
+  FCmpPred predicate() const noexcept { return pred_; }
+  Value* lhs() const { return operand(0); }
+  Value* rhs() const { return operand(1); }
+
+ private:
+  FCmpPred pred_;
+};
+
+class CastInst final : public Instruction {
+ public:
+  CastInst(Opcode op, Value* value, const Type* to, std::string name = "");
+  Value* source() const { return operand(0); }
+};
+
+/// Stack slot of fixed type; result is a pointer into the current frame.
+class AllocaInst final : public Instruction {
+ public:
+  AllocaInst(const Type* ptr_type, const Type* allocated, std::string name = "");
+  const Type* allocated_type() const noexcept { return allocated_; }
+
+ private:
+  const Type* allocated_;
+};
+
+class LoadInst final : public Instruction {
+ public:
+  explicit LoadInst(Value* pointer, std::string name = "");
+  Value* pointer() const { return operand(0); }
+};
+
+class StoreInst final : public Instruction {
+ public:
+  StoreInst(const Type* void_type, Value* value, Value* pointer);
+  Value* stored_value() const { return operand(0); }
+  Value* pointer() const { return operand(1); }
+};
+
+/// Address computation. Semantics follow LLVM's getelementptr: the first
+/// index steps over whole pointees; subsequent indices drill into
+/// arrays/structs. Struct field indices must be ConstantInt.
+class GepInst final : public Instruction {
+ public:
+  GepInst(const Type* result_ptr_type, Value* base, std::vector<Value*> indices,
+          std::string name = "");
+  Value* base() const { return operand(0); }
+  unsigned num_indices() const noexcept { return num_operands() - 1; }
+  Value* index(unsigned i) const { return operand(i + 1); }
+
+  /// Computes the result pointer type for the given base type and indices.
+  static const Type* result_type(TypeContext& ctx, const Type* base_ptr,
+                                 const std::vector<Value*>& indices);
+};
+
+class PhiInst final : public Instruction {
+ public:
+  PhiInst(const Type* type, std::string name = "");
+  void add_incoming(Value* value, BasicBlock* pred);
+  unsigned num_incoming() const noexcept { return num_operands(); }
+  Value* incoming_value(unsigned i) const { return operand(i); }
+  BasicBlock* incoming_block(unsigned i) const { return blocks_.at(i); }
+  /// Value flowing in from `pred`; null when `pred` is not an incoming edge.
+  Value* value_for_block(const BasicBlock* pred) const noexcept;
+  void set_incoming_block(unsigned i, BasicBlock* b) { blocks_.at(i) = b; }
+  void remove_incoming(unsigned i);
+
+ private:
+  std::vector<BasicBlock*> blocks_;
+};
+
+class SelectInst final : public Instruction {
+ public:
+  SelectInst(Value* cond, Value* if_true, Value* if_false, std::string name = "");
+  Value* condition() const { return operand(0); }
+  Value* true_value() const { return operand(1); }
+  Value* false_value() const { return operand(2); }
+};
+
+/// Direct call. The callee is a Function (no function pointers).
+class CallInst final : public Instruction {
+ public:
+  CallInst(const Type* result, Function* callee, std::vector<Value*> args,
+           std::string name = "");
+  Function* callee() const noexcept { return callee_; }
+  unsigned num_args() const noexcept { return num_operands(); }
+  Value* arg(unsigned i) const { return operand(i); }
+
+ private:
+  Function* callee_;
+};
+
+class BranchInst final : public Instruction {
+ public:
+  /// Unconditional branch.
+  BranchInst(const Type* void_type, BasicBlock* target);
+  /// Conditional branch on an i1.
+  BranchInst(const Type* void_type, Value* cond, BasicBlock* if_true,
+             BasicBlock* if_false);
+
+  bool is_conditional() const noexcept { return num_operands() == 1; }
+  Value* condition() const {
+    assert(is_conditional());
+    return operand(0);
+  }
+  BasicBlock* true_target() const noexcept { return targets_[0]; }
+  BasicBlock* false_target() const noexcept {
+    assert(is_conditional());
+    return targets_[1];
+  }
+  unsigned num_targets() const noexcept { return is_conditional() ? 2 : 1; }
+  BasicBlock* target(unsigned i) const { return targets_[i]; }
+  void set_target(unsigned i, BasicBlock* b) { targets_[i] = b; }
+
+ private:
+  BasicBlock* targets_[2] = {nullptr, nullptr};
+};
+
+class RetInst final : public Instruction {
+ public:
+  /// `value` may be null for `ret void`.
+  RetInst(const Type* void_type, Value* value);
+  bool has_value() const noexcept { return num_operands() == 1; }
+  Value* value() const {
+    assert(has_value());
+    return operand(0);
+  }
+};
+
+}  // namespace faultlab::ir

@@ -1,0 +1,91 @@
+#include "ir/irbuilder.h"
+
+#include <cassert>
+
+namespace faultlab::ir {
+
+Instruction* IRBuilder::append(std::unique_ptr<Instruction> instr) {
+  assert(bb_ != nullptr && "no insert point");
+  assert(bb_->terminator() == nullptr && "appending after terminator");
+  return bb_->append(std::move(instr));
+}
+
+Value* IRBuilder::binary(Opcode op, Value* lhs, Value* rhs, std::string name) {
+  return append(std::make_unique<BinaryInst>(op, lhs, rhs, std::move(name)));
+}
+
+Value* IRBuilder::icmp(ICmpPred pred, Value* lhs, Value* rhs, std::string name) {
+  return append(std::make_unique<ICmpInst>(types().i1(), pred, lhs, rhs,
+                                           std::move(name)));
+}
+
+Value* IRBuilder::fcmp(FCmpPred pred, Value* lhs, Value* rhs, std::string name) {
+  return append(std::make_unique<FCmpInst>(types().i1(), pred, lhs, rhs,
+                                           std::move(name)));
+}
+
+Value* IRBuilder::cast(Opcode op, Value* value, const Type* to,
+                       std::string name) {
+  return append(std::make_unique<CastInst>(op, value, to, std::move(name)));
+}
+
+Value* IRBuilder::alloca_of(const Type* allocated, std::string name) {
+  return append(std::make_unique<AllocaInst>(types().ptr_to(allocated),
+                                             allocated, std::move(name)));
+}
+
+Value* IRBuilder::load(Value* pointer, std::string name) {
+  return append(std::make_unique<LoadInst>(pointer, std::move(name)));
+}
+
+void IRBuilder::store(Value* value, Value* pointer) {
+  append(std::make_unique<StoreInst>(types().void_type(), value, pointer));
+}
+
+Value* IRBuilder::gep(Value* base, std::vector<Value*> indices,
+                      std::string name) {
+  const Type* result =
+      GepInst::result_type(types(), base->type(), indices);
+  return append(std::make_unique<GepInst>(result, base, std::move(indices),
+                                          std::move(name)));
+}
+
+PhiInst* IRBuilder::phi(const Type* type, std::string name) {
+  // Phis belong at the head of the block, before any non-phi instruction.
+  assert(bb_ != nullptr);
+  std::size_t pos = 0;
+  while (pos < bb_->size() && bb_->instr(pos)->opcode() == Opcode::Phi) ++pos;
+  return static_cast<PhiInst*>(
+      bb_->insert(pos, std::make_unique<PhiInst>(type, std::move(name))));
+}
+
+Value* IRBuilder::select(Value* cond, Value* if_true, Value* if_false,
+                         std::string name) {
+  return append(std::make_unique<SelectInst>(cond, if_true, if_false,
+                                             std::move(name)));
+}
+
+Value* IRBuilder::call(Function* callee, std::vector<Value*> args,
+                       std::string name) {
+  return append(std::make_unique<CallInst>(callee->return_type(), callee,
+                                           std::move(args), std::move(name)));
+}
+
+void IRBuilder::br(BasicBlock* target) {
+  append(std::make_unique<BranchInst>(types().void_type(), target));
+}
+
+void IRBuilder::cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false) {
+  append(std::make_unique<BranchInst>(types().void_type(), cond, if_true,
+                                      if_false));
+}
+
+void IRBuilder::ret(Value* value) {
+  append(std::make_unique<RetInst>(types().void_type(), value));
+}
+
+void IRBuilder::ret_void() {
+  append(std::make_unique<RetInst>(types().void_type(), nullptr));
+}
+
+}  // namespace faultlab::ir

@@ -1,0 +1,61 @@
+// IRBuilder: convenience factory that appends instructions to a basic block
+// and computes result types. The mini-C codegen and hand-written tests use
+// this exclusively.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace faultlab::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() noexcept { return module_; }
+  TypeContext& types() noexcept { return module_.types(); }
+
+  void set_insert_point(BasicBlock* bb) { bb_ = bb; }
+  BasicBlock* insert_block() const noexcept { return bb_; }
+
+  /// True when the current block already ends in a terminator (codegen uses
+  /// this to avoid emitting dead instructions after return/break).
+  bool block_terminated() const noexcept {
+    return bb_ != nullptr && bb_->terminator() != nullptr;
+  }
+
+  Value* binary(Opcode op, Value* lhs, Value* rhs, std::string name = "");
+  Value* add(Value* a, Value* b) { return binary(Opcode::Add, a, b); }
+  Value* sub(Value* a, Value* b) { return binary(Opcode::Sub, a, b); }
+  Value* mul(Value* a, Value* b) { return binary(Opcode::Mul, a, b); }
+
+  Value* icmp(ICmpPred pred, Value* lhs, Value* rhs, std::string name = "");
+  Value* fcmp(FCmpPred pred, Value* lhs, Value* rhs, std::string name = "");
+
+  Value* cast(Opcode op, Value* value, const Type* to, std::string name = "");
+
+  Value* alloca_of(const Type* allocated, std::string name = "");
+  Value* load(Value* pointer, std::string name = "");
+  void store(Value* value, Value* pointer);
+  Value* gep(Value* base, std::vector<Value*> indices, std::string name = "");
+
+  PhiInst* phi(const Type* type, std::string name = "");
+  Value* select(Value* cond, Value* if_true, Value* if_false,
+                std::string name = "");
+  Value* call(Function* callee, std::vector<Value*> args, std::string name = "");
+
+  void br(BasicBlock* target);
+  void cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false);
+  void ret(Value* value);
+  void ret_void();
+
+ private:
+  Instruction* append(std::unique_ptr<Instruction> instr);
+  Module& module_;
+  BasicBlock* bb_ = nullptr;
+};
+
+}  // namespace faultlab::ir

@@ -1,0 +1,29 @@
+// Textual IR parser: reads the exact dialect ir::to_string(Module) emits,
+// producing a fresh verifier-clean Module. Print -> parse -> print is a
+// fixed point, which the test suite exploits for round-trip property
+// testing, and which makes IR dumps a practical interchange/debug format.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "ir/module.h"
+
+namespace faultlab::ir {
+
+class IrParseError : public std::runtime_error {
+ public:
+  IrParseError(const std::string& message, std::size_t line);
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a whole module; throws IrParseError on malformed input. The
+/// result is renumbered and verifier-clean.
+std::unique_ptr<Module> parse_module(const std::string& text,
+                                     const std::string& name = "parsed");
+
+}  // namespace faultlab::ir

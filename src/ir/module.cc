@@ -1,0 +1,90 @@
+#include "ir/module.h"
+
+#include <stdexcept>
+
+#include "support/bitutil.h"
+
+namespace faultlab::ir {
+
+Module::~Module() {
+  // Values are destroyed in member/vector order, which does not respect
+  // def-use edges; detach every operand first so no destructor touches a
+  // freed value's use list.
+  for (const auto& f : functions_)
+    for (const auto& bb : f->blocks())
+      for (const auto& instr : bb->instructions())
+        instr->drop_operands_for_teardown();
+}
+
+Function* Module::create_function(const Type* func_type, std::string name,
+                                  bool is_builtin) {
+  if (find_function(name) != nullptr)
+    throw std::invalid_argument("duplicate function: " + name);
+  functions_.push_back(
+      std::make_unique<Function>(this, func_type, std::move(name), is_builtin));
+  return functions_.back().get();
+}
+
+Function* Module::find_function(const std::string& name) const noexcept {
+  for (const auto& f : functions_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+GlobalVariable* Module::create_global(const Type* value_type, std::string name,
+                                      std::vector<std::uint8_t> init) {
+  if (find_global(name) != nullptr)
+    throw std::invalid_argument("duplicate global: " + name);
+  globals_.push_back(std::make_unique<GlobalVariable>(
+      types_.ptr_to(value_type), value_type, std::move(name), std::move(init)));
+  return globals_.back().get();
+}
+
+GlobalVariable* Module::find_global(const std::string& name) const noexcept {
+  for (const auto& g : globals_)
+    if (g->name() == name) return g.get();
+  return nullptr;
+}
+
+ConstantInt* Module::const_int(const Type* type, std::uint64_t raw_bits) {
+  raw_bits = truncate(raw_bits, type->int_bits());
+  for (const auto& c : constants_) {
+    auto* ci = dynamic_cast<ConstantInt*>(c.get());
+    if (ci != nullptr && ci->type() == type && ci->raw() == raw_bits) return ci;
+  }
+  constants_.push_back(std::make_unique<ConstantInt>(type, raw_bits));
+  return static_cast<ConstantInt*>(constants_.back().get());
+}
+
+ConstantInt* Module::const_i1(bool value) {
+  return const_int(types_.i1(), value ? 1 : 0);
+}
+
+ConstantInt* Module::const_i32(std::int32_t value) {
+  return const_int(types_.i32(), static_cast<std::uint64_t>(
+                                     static_cast<std::int64_t>(value)));
+}
+
+ConstantInt* Module::const_i64(std::int64_t value) {
+  return const_int(types_.i64(), static_cast<std::uint64_t>(value));
+}
+
+ConstantDouble* Module::const_double(double value) {
+  for (const auto& c : constants_) {
+    auto* cd = dynamic_cast<ConstantDouble*>(c.get());
+    if (cd != nullptr && bits_of(cd->value()) == bits_of(value)) return cd;
+  }
+  constants_.push_back(std::make_unique<ConstantDouble>(types_.double_type(), value));
+  return static_cast<ConstantDouble*>(constants_.back().get());
+}
+
+ConstantNull* Module::const_null(const Type* ptr_type) {
+  for (const auto& c : constants_) {
+    auto* cn = dynamic_cast<ConstantNull*>(c.get());
+    if (cn != nullptr && cn->type() == ptr_type) return cn;
+  }
+  constants_.push_back(std::make_unique<ConstantNull>(ptr_type));
+  return static_cast<ConstantNull*>(constants_.back().get());
+}
+
+}  // namespace faultlab::ir

@@ -1,0 +1,56 @@
+// Module: the IR translation unit — owns the type context, all functions,
+// globals, and interned constants.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/constant.h"
+#include "ir/function.h"
+#include "ir/type.h"
+
+namespace faultlab::ir {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  ~Module();
+
+  const std::string& name() const noexcept { return name_; }
+  TypeContext& types() noexcept { return types_; }
+  const TypeContext& types() const noexcept { return types_; }
+
+  Function* create_function(const Type* func_type, std::string name,
+                            bool is_builtin = false);
+  Function* find_function(const std::string& name) const noexcept;
+  const std::vector<std::unique_ptr<Function>>& functions() const noexcept {
+    return functions_;
+  }
+
+  GlobalVariable* create_global(const Type* value_type, std::string name,
+                                std::vector<std::uint8_t> init = {});
+  GlobalVariable* find_global(const std::string& name) const noexcept;
+  const std::vector<std::unique_ptr<GlobalVariable>>& globals() const noexcept {
+    return globals_;
+  }
+
+  /// Interned constants (stable addresses for the lifetime of the module).
+  ConstantInt* const_int(const Type* type, std::uint64_t raw_bits);
+  ConstantInt* const_i1(bool value);
+  ConstantInt* const_i32(std::int32_t value);
+  ConstantInt* const_i64(std::int64_t value);
+  ConstantDouble* const_double(double value);
+  ConstantNull* const_null(const Type* ptr_type);
+
+ private:
+  std::string name_;
+  TypeContext types_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::vector<std::unique_ptr<Value>> constants_;
+};
+
+}  // namespace faultlab::ir

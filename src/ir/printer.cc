@@ -1,0 +1,215 @@
+#include "ir/printer.h"
+
+#include <iomanip>
+#include <algorithm>
+#include <sstream>
+
+#include "support/bitutil.h"
+
+namespace faultlab::ir {
+
+namespace {
+
+std::string value_ref(const Value& v) {
+  switch (v.vkind()) {
+    case ValueKind::ConstantInt: {
+      const auto& ci = static_cast<const ConstantInt&>(v);
+      return std::to_string(ci.signed_value());
+    }
+    case ValueKind::ConstantDouble: {
+      // max_digits10 keeps the constant bit-exact across print/parse.
+      std::ostringstream os;
+      os << std::setprecision(17)
+         << static_cast<const ConstantDouble&>(v).value();
+      return os.str();
+    }
+    case ValueKind::ConstantNull:
+      return "null";
+    case ValueKind::GlobalVariable:
+      return "@" + v.name();
+    case ValueKind::Argument:
+      return "%" + v.name();
+    case ValueKind::Instruction: {
+      // Always id-based: user-assigned names (mem2reg phis etc.) are not
+      // guaranteed unique, and the parser needs unambiguous references.
+      return "%t" + std::to_string(static_cast<const Instruction&>(v).id());
+    }
+  }
+  return "?";
+}
+
+std::string typed_ref(const Value& v) {
+  return v.type()->to_string() + " " + value_ref(v);
+}
+
+std::string block_ref(const BasicBlock& bb) {
+  // Id-based: source-level block names (for.cond etc.) repeat across
+  // nested loops, and the parser needs unambiguous targets. The original
+  // name is shown as a comment on the label line.
+  return "%bb" + std::to_string(bb.id());
+}
+
+void print_instruction(std::ostringstream& os, const Instruction& instr) {
+  if (instr.has_result()) os << value_ref(instr) << " = ";
+  switch (instr.opcode()) {
+    case Opcode::ICmp: {
+      const auto& cmp = static_cast<const ICmpInst&>(instr);
+      os << "icmp " << icmp_pred_name(cmp.predicate()) << " "
+         << typed_ref(*cmp.lhs()) << ", " << value_ref(*cmp.rhs());
+      return;
+    }
+    case Opcode::FCmp: {
+      const auto& cmp = static_cast<const FCmpInst&>(instr);
+      os << "fcmp " << fcmp_pred_name(cmp.predicate()) << " "
+         << typed_ref(*cmp.lhs()) << ", " << value_ref(*cmp.rhs());
+      return;
+    }
+    case Opcode::Alloca: {
+      const auto& al = static_cast<const AllocaInst&>(instr);
+      os << "alloca " << al.allocated_type()->to_string();
+      return;
+    }
+    case Opcode::Load:
+      os << "load " << instr.type()->to_string() << ", "
+         << typed_ref(*instr.operand(0));
+      return;
+    case Opcode::Store:
+      os << "store " << typed_ref(*instr.operand(0)) << ", "
+         << typed_ref(*instr.operand(1));
+      return;
+    case Opcode::Gep: {
+      const auto& gep = static_cast<const GepInst&>(instr);
+      os << "getelementptr " << typed_ref(*gep.base());
+      for (unsigned i = 0; i < gep.num_indices(); ++i)
+        os << ", " << typed_ref(*gep.index(i));
+      return;
+    }
+    case Opcode::Phi: {
+      const auto& phi = static_cast<const PhiInst&>(instr);
+      os << "phi " << instr.type()->to_string() << " ";
+      for (unsigned i = 0; i < phi.num_incoming(); ++i) {
+        if (i) os << ", ";
+        os << "[ " << value_ref(*phi.incoming_value(i)) << ", "
+           << block_ref(*phi.incoming_block(i)) << " ]";
+      }
+      return;
+    }
+    case Opcode::Select:
+      os << "select " << typed_ref(*instr.operand(0)) << ", "
+         << typed_ref(*instr.operand(1)) << ", " << typed_ref(*instr.operand(2));
+      return;
+    case Opcode::Call: {
+      const auto& call = static_cast<const CallInst&>(instr);
+      os << "call " << call.callee()->return_type()->to_string() << " @"
+         << call.callee()->name() << "(";
+      for (unsigned i = 0; i < call.num_args(); ++i) {
+        if (i) os << ", ";
+        os << typed_ref(*call.arg(i));
+      }
+      os << ")";
+      return;
+    }
+    case Opcode::Br: {
+      const auto& br = static_cast<const BranchInst&>(instr);
+      if (br.is_conditional()) {
+        os << "br " << typed_ref(*br.condition()) << ", label "
+           << block_ref(*br.true_target()) << ", label "
+           << block_ref(*br.false_target());
+      } else {
+        os << "br label " << block_ref(*br.true_target());
+      }
+      return;
+    }
+    case Opcode::Ret: {
+      const auto& ret = static_cast<const RetInst&>(instr);
+      if (ret.has_value())
+        os << "ret " << typed_ref(*ret.value());
+      else
+        os << "ret void";
+      return;
+    }
+    default:
+      break;
+  }
+  if (is_cast(instr.opcode())) {
+    os << opcode_name(instr.opcode()) << " " << typed_ref(*instr.operand(0))
+       << " to " << instr.type()->to_string();
+    return;
+  }
+  // Binary operations.
+  os << opcode_name(instr.opcode()) << " " << typed_ref(*instr.operand(0))
+     << ", " << value_ref(*instr.operand(1));
+}
+
+}  // namespace
+
+std::string to_string(const Instruction& instr) {
+  std::ostringstream os;
+  print_instruction(os, instr);
+  return os.str();
+}
+
+std::string to_string(const Function& function) {
+  std::ostringstream os;
+  os << (function.is_builtin() ? "declare " : "define ")
+     << function.return_type()->to_string() << " @" << function.name() << "(";
+  for (std::size_t i = 0; i < function.num_args(); ++i) {
+    if (i) os << ", ";
+    os << typed_ref(*function.arg(i));
+  }
+  os << ")";
+  if (function.is_builtin()) {
+    os << "\n";
+    return os.str();
+  }
+  os << " {\n";
+  for (const auto& bb : function.blocks()) {
+    os << "bb" << bb->id() << ":";
+    if (!bb->name().empty()) os << "  ; " << bb->name();
+    os << "\n";
+    for (const auto& instr : bb->instructions()) {
+      os << "  ";
+      print_instruction(os, *instr);
+      os << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_string(const Module& module) {
+  std::ostringstream os;
+  os << "; module " << module.name() << "\n";
+  for (const Type* s : module.types().struct_types()) {
+    os << "%" << s->struct_name() << " = type { ";
+    for (std::size_t i = 0; i < s->struct_fields().size(); ++i) {
+      if (i) os << ", ";
+      os << s->struct_fields()[i]->to_string();
+    }
+    os << " }\n";
+  }
+  for (const auto& g : module.globals()) {
+    os << "@" << g->name() << " = global " << g->value_type()->to_string()
+       << " ";
+    const auto& init = g->initializer();
+    const bool all_zero =
+        std::all_of(init.begin(), init.end(), [](auto b) { return b == 0; });
+    if (all_zero) {
+      os << "zeroinitializer\n";
+    } else {
+      os << "x\"";
+      static const char* hex = "0123456789abcdef";
+      for (std::uint8_t b : init) os << hex[b >> 4] << hex[b & 0xf];
+      os << "\"\n";
+    }
+  }
+  os << "\n";
+  for (const auto& f : module.functions()) {
+    // renumber so temporaries print with stable ids
+    const_cast<Function&>(*f).renumber();
+    os << to_string(*f) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace faultlab::ir

@@ -1,0 +1,15 @@
+// Textual IR printer (LLVM-flavoured), used by tests, the compiler-explorer
+// example, and debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace faultlab::ir {
+
+std::string to_string(const Module& module);
+std::string to_string(const Function& function);
+std::string to_string(const Instruction& instr);
+
+}  // namespace faultlab::ir

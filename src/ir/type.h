@@ -1,0 +1,126 @@
+// Type system for the FaultLab IR.
+//
+// The IR is strictly typed in the style of (pre-opaque-pointer) LLVM IR:
+// integers of several widths, double-precision floats, typed pointers,
+// fixed-size arrays, named structs, and function types. Types are uniqued
+// and owned by a TypeContext; all Type pointers are interned and may be
+// compared by address.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace faultlab::ir {
+
+class TypeContext;
+
+enum class TypeKind : std::uint8_t {
+  Void,
+  Int,     // i1, i8, i16, i32, i64
+  Double,  // IEEE-754 binary64
+  Ptr,     // typed pointer
+  Array,   // fixed element count
+  Struct,  // named, with ordered fields
+  Func,    // return type + parameter types
+};
+
+/// An interned, immutable type. Obtain instances through TypeContext.
+class Type {
+ public:
+  TypeKind kind() const noexcept { return kind_; }
+
+  bool is_void() const noexcept { return kind_ == TypeKind::Void; }
+  bool is_int() const noexcept { return kind_ == TypeKind::Int; }
+  bool is_double() const noexcept { return kind_ == TypeKind::Double; }
+  bool is_ptr() const noexcept { return kind_ == TypeKind::Ptr; }
+  bool is_array() const noexcept { return kind_ == TypeKind::Array; }
+  bool is_struct() const noexcept { return kind_ == TypeKind::Struct; }
+  bool is_func() const noexcept { return kind_ == TypeKind::Func; }
+  bool is_bool() const noexcept { return is_int() && bits_ == 1; }
+  /// First-class scalar value representable in a (virtual) register.
+  bool is_scalar() const noexcept { return is_int() || is_double() || is_ptr(); }
+
+  /// Integer width in bits. Precondition: is_int().
+  unsigned int_bits() const noexcept { return bits_; }
+
+  /// Width in bits when held in a register: int width, 64 for ptr/double.
+  unsigned register_bits() const noexcept {
+    return is_int() ? bits_ : 64;
+  }
+
+  /// Pointee type. Precondition: is_ptr().
+  const Type* pointee() const noexcept { return pointee_; }
+
+  /// Array element type / count. Precondition: is_array().
+  const Type* array_element() const noexcept { return elem_; }
+  std::uint64_t array_count() const noexcept { return count_; }
+
+  /// Struct name/fields. Precondition: is_struct().
+  const std::string& struct_name() const noexcept { return name_; }
+  const std::vector<const Type*>& struct_fields() const noexcept { return fields_; }
+  /// Byte offset of field `index` accounting for natural alignment padding.
+  std::uint64_t struct_field_offset(std::size_t index) const;
+
+  /// Function signature. Precondition: is_func().
+  const Type* func_return() const noexcept { return return_type_; }
+  const std::vector<const Type*>& func_params() const noexcept { return fields_; }
+
+  /// Storage size in bytes (natural alignment layout). Void/Func have size 0.
+  std::uint64_t size_in_bytes() const;
+  /// Natural alignment in bytes (1 for void).
+  std::uint64_t alignment() const;
+
+  std::string to_string() const;
+
+ private:
+  friend class TypeContext;
+  Type() = default;
+
+  TypeKind kind_ = TypeKind::Void;
+  unsigned bits_ = 0;
+  const Type* pointee_ = nullptr;
+  const Type* elem_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::vector<const Type*> fields_;  // struct fields or function params
+  const Type* return_type_ = nullptr;
+  std::string name_;
+};
+
+/// Owns and uniques all Types of one Module.
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  const Type* void_type() const noexcept { return void_; }
+  const Type* double_type() const noexcept { return double_; }
+  const Type* int_type(unsigned bits);  ///< bits in {1,8,16,32,64}
+  const Type* i1() { return int_type(1); }
+  const Type* i8() { return int_type(8); }
+  const Type* i16() { return int_type(16); }
+  const Type* i32() { return int_type(32); }
+  const Type* i64() { return int_type(64); }
+  const Type* ptr_to(const Type* pointee);
+  const Type* array_of(const Type* element, std::uint64_t count);
+  /// Creates a fresh named struct; names must be unique per context.
+  const Type* make_struct(std::string name, std::vector<const Type*> fields);
+  /// Two-phase creation for self-referential structs: declare first (body
+  /// empty), then define exactly once.
+  const Type* declare_struct(std::string name);
+  void define_struct(const Type* declared, std::vector<const Type*> fields);
+  const Type* struct_by_name(const std::string& name) const noexcept;
+  /// All named struct types, in creation order.
+  std::vector<const Type*> struct_types() const;
+  const Type* func_type(const Type* ret, std::vector<const Type*> params);
+
+ private:
+  Type* intern();
+  std::vector<std::unique_ptr<Type>> pool_;
+  const Type* void_ = nullptr;
+  const Type* double_ = nullptr;
+};
+
+}  // namespace faultlab::ir

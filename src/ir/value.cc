@@ -1,0 +1,28 @@
+#include "ir/value.h"
+
+#include "ir/instruction.h"
+
+namespace faultlab::ir {
+
+Value::~Value() = default;
+
+void Value::remove_use(Instruction* user, unsigned index) {
+  for (auto it = uses_.begin(); it != uses_.end(); ++it) {
+    if (it->user == user && it->index == index) {
+      uses_.erase(it);
+      return;
+    }
+  }
+  assert(false && "use not found");
+}
+
+void Value::replace_all_uses_with(Value* replacement) {
+  assert(replacement != this);
+  // set_operand mutates our use list; drain from the back.
+  while (!uses_.empty()) {
+    const Use use = uses_.back();
+    use.user->set_operand(use.index, replacement);
+  }
+}
+
+}  // namespace faultlab::ir

@@ -1,0 +1,89 @@
+// Value base class and use-list machinery for the FaultLab IR.
+//
+// Every SSA value (argument, constant, global, instruction result) derives
+// from Value. Instructions reference their operand Values; each Value keeps
+// a use-list of (instruction, operand-index) pairs, which the optimizer
+// (mem2reg, DCE, CSE) and the LLFI injector's "has users" activation filter
+// depend on.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace faultlab::ir {
+
+class Instruction;
+
+enum class ValueKind : std::uint8_t {
+  Argument,
+  ConstantInt,
+  ConstantDouble,
+  ConstantNull,
+  GlobalVariable,
+  Instruction,
+};
+
+/// One operand slot of an instruction that reads this value.
+struct Use {
+  Instruction* user = nullptr;
+  unsigned index = 0;
+};
+
+class Value {
+ public:
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+  virtual ~Value();
+
+  ValueKind vkind() const noexcept { return vkind_; }
+  const Type* type() const noexcept { return type_; }
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Use>& uses() const noexcept { return uses_; }
+  bool has_uses() const noexcept { return !uses_.empty(); }
+
+  /// Rewrites every use of this value to refer to `replacement` instead.
+  void replace_all_uses_with(Value* replacement);
+
+  bool is_constant() const noexcept {
+    return vkind_ == ValueKind::ConstantInt ||
+           vkind_ == ValueKind::ConstantDouble ||
+           vkind_ == ValueKind::ConstantNull;
+  }
+
+ protected:
+  Value(ValueKind vkind, const Type* type, std::string name)
+      : vkind_(vkind), type_(type), name_(std::move(name)) {
+    assert(type != nullptr);
+  }
+
+ private:
+  friend class Instruction;
+  void add_use(Instruction* user, unsigned index) {
+    uses_.push_back({user, index});
+  }
+  void remove_use(Instruction* user, unsigned index);
+
+  ValueKind vkind_;
+  const Type* type_;
+  std::string name_;
+  std::vector<Use> uses_;
+};
+
+/// A formal parameter of a Function.
+class Argument final : public Value {
+ public:
+  Argument(const Type* type, std::string name, unsigned index)
+      : Value(ValueKind::Argument, type, std::move(name)), index_(index) {}
+  unsigned index() const noexcept { return index_; }
+
+ private:
+  unsigned index_;
+};
+
+}  // namespace faultlab::ir

@@ -1,0 +1,153 @@
+#include "ir/verifier.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "ir/dominance.h"
+#include "ir/printer.h"
+
+namespace faultlab::ir {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const Module& m) : module_(m) {}
+
+  std::vector<std::string> run() {
+    for (const auto& f : module_.functions()) {
+      if (f->is_builtin()) {
+        if (f->num_blocks() != 0)
+          fail(*f, "builtin function has a body");
+        continue;
+      }
+      check_function(*f);
+    }
+    return std::move(errors_);
+  }
+
+ private:
+  void fail(const Function& f, const std::string& msg) {
+    errors_.push_back("function @" + f.name() + ": " + msg);
+  }
+  void fail(const Instruction& i, const std::string& msg) {
+    const Function* f = i.function();
+    errors_.push_back("function @" + (f ? f->name() : "?") + ": '" +
+                      to_string(i) + "': " + msg);
+  }
+
+  void check_function(const Function& f) {
+    if (f.num_blocks() == 0) {
+      fail(f, "no body");
+      return;
+    }
+    const_cast<Function&>(f).renumber();
+
+    auto preds = f.predecessors();
+    if (!preds.at(f.entry()).empty()) fail(f, "entry block has predecessors");
+
+    // Collect all instructions for operand-scoping checks.
+    std::set<const Value*> defined;
+    for (const auto& bb : f.blocks())
+      for (const auto& instr : bb->instructions()) defined.insert(instr.get());
+    for (std::size_t i = 0; i < f.num_args(); ++i) defined.insert(f.arg(i));
+
+    DominatorTree dom(f);
+
+    for (const auto& bb : f.blocks()) {
+      if (bb->terminator() == nullptr) {
+        fail(f, "block " + bb->name() + " lacks a terminator");
+        continue;
+      }
+      bool seen_non_phi = false;
+      for (std::size_t i = 0; i < bb->size(); ++i) {
+        const Instruction* instr = bb->instr(i);
+        if (instr->is_terminator() && i + 1 != bb->size())
+          fail(*instr, "terminator not at end of block");
+        if (instr->opcode() == Opcode::Phi) {
+          if (seen_non_phi) fail(*instr, "phi after non-phi instruction");
+        } else {
+          seen_non_phi = true;
+        }
+        check_instruction(f, *instr, defined, preds, dom);
+      }
+    }
+  }
+
+  void check_instruction(
+      const Function& f, const Instruction& instr,
+      const std::set<const Value*>& defined,
+      const std::map<const BasicBlock*, std::vector<BasicBlock*>>& preds,
+      const DominatorTree& dom) {
+    for (unsigned i = 0; i < instr.num_operands(); ++i) {
+      const Value* op = instr.operand(i);
+      if (op->vkind() == ValueKind::Instruction) {
+        const auto* def = static_cast<const Instruction*>(op);
+        if (defined.count(op) == 0) {
+          fail(instr, "operand defined in another function");
+        } else if (dom.reachable(instr.parent()) &&
+                   !dom.value_dominates(def, &instr)) {
+          fail(instr, "use not dominated by def");
+        }
+      } else if (op->vkind() == ValueKind::Argument) {
+        if (defined.count(op) == 0) fail(instr, "argument of another function");
+      }
+    }
+    if (const auto* phi = dynamic_cast<const PhiInst*>(&instr)) {
+      const auto& expected = preds.at(instr.parent());
+      if (phi->num_incoming() != expected.size()) {
+        fail(instr, "phi incoming count != predecessor count");
+      } else {
+        for (unsigned i = 0; i < phi->num_incoming(); ++i) {
+          if (std::find(expected.begin(), expected.end(),
+                        phi->incoming_block(i)) == expected.end())
+            fail(instr, "phi incoming block is not a predecessor");
+        }
+      }
+    }
+    if (const auto* call = dynamic_cast<const CallInst*>(&instr)) {
+      const Function* callee = call->callee();
+      if (callee->parent() != &module_) {
+        fail(instr, "callee belongs to another module");
+        return;
+      }
+      const auto& params = callee->func_type()->func_params();
+      if (params.size() != call->num_args()) {
+        fail(instr, "argument count mismatch");
+      } else {
+        for (unsigned i = 0; i < call->num_args(); ++i)
+          if (call->arg(i)->type() != params[i])
+            fail(instr, "argument type mismatch at position " + std::to_string(i));
+      }
+    }
+    if (const auto* ret = dynamic_cast<const RetInst*>(&instr)) {
+      if (f.return_type()->is_void() != !ret->has_value()) {
+        fail(instr, "return arity does not match function type");
+      } else if (ret->has_value() && ret->value()->type() != f.return_type()) {
+        fail(instr, "return type mismatch");
+      }
+    }
+  }
+
+  const Module& module_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Module& module) {
+  return Checker(module).run();
+}
+
+void verify_or_throw(const Module& module) {
+  auto errors = verify(module);
+  if (errors.empty()) return;
+  std::ostringstream os;
+  os << "IR verification failed (" << errors.size() << " errors):\n";
+  for (const auto& e : errors) os << "  " << e << "\n";
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace faultlab::ir

@@ -1,0 +1,19 @@
+// IR verifier: structural and SSA well-formedness checks. Run after
+// frontend codegen and after every optimizer pass in debug pipelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace faultlab::ir {
+
+/// Returns a list of human-readable violations; empty means the module is
+/// well formed.
+std::vector<std::string> verify(const Module& module);
+
+/// Throws std::runtime_error listing violations if verification fails.
+void verify_or_throw(const Module& module);
+
+}  // namespace faultlab::ir

@@ -1,0 +1,116 @@
+#include "machine/memory.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace faultlab::machine {
+
+const char* trap_kind_name(TrapKind kind) noexcept {
+  switch (kind) {
+    case TrapKind::UnmappedAccess: return "unmapped-access";
+    case TrapKind::DivideByZero: return "divide-by-zero";
+    case TrapKind::InvalidJump: return "invalid-jump";
+    case TrapKind::StackOverflow: return "stack-overflow";
+    case TrapKind::BadFree: return "bad-free";
+    case TrapKind::Unreachable: return "unreachable";
+  }
+  return "?";
+}
+
+TrapException::TrapException(TrapKind kind, std::uint64_t address,
+                             std::string detail)
+    : kind_(kind), address_(address) {
+  std::ostringstream os;
+  os << "trap: " << trap_kind_name(kind) << " at 0x" << std::hex << address;
+  if (!detail.empty()) os << " (" << detail << ")";
+  message_ = os.str();
+}
+
+void Memory::map_range(std::uint64_t addr, std::uint64_t size) {
+  if (size == 0) return;
+  const std::uint64_t first = addr >> kPageBits;
+  const std::uint64_t last = (addr + size - 1) >> kPageBits;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    auto& slot = pages_[p];
+    if (!slot) {
+      slot = std::make_unique<Page>();
+      std::memset(slot->bytes, 0, kPageSize);
+    }
+  }
+}
+
+bool Memory::is_mapped(std::uint64_t addr) const noexcept {
+  return pages_.count(addr >> kPageBits) != 0;
+}
+
+const Memory::Page* Memory::page_for(std::uint64_t addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  if (it == pages_.end())
+    throw TrapException(TrapKind::UnmappedAccess, addr);
+  return it->second.get();
+}
+
+Memory::Page* Memory::mutable_page_for(std::uint64_t addr) {
+  auto it = pages_.find(addr >> kPageBits);
+  if (it == pages_.end())
+    throw TrapException(TrapKind::UnmappedAccess, addr);
+  return it->second.get();
+}
+
+std::uint64_t Memory::read(std::uint64_t addr, unsigned size) const {
+  const std::uint64_t offset = addr & (kPageSize - 1);
+  if (offset + size <= kPageSize) {
+    const Page* page = page_for(addr);
+    std::uint64_t value = 0;
+    std::memcpy(&value, page->bytes + offset, size);  // little-endian host
+    return value;
+  }
+  // Page-straddling access.
+  std::uint8_t buf[8] = {0};
+  read_bytes(addr, buf, size);
+  std::uint64_t value = 0;
+  std::memcpy(&value, buf, size);
+  return value;
+}
+
+void Memory::write(std::uint64_t addr, unsigned size, std::uint64_t value) {
+  const std::uint64_t offset = addr & (kPageSize - 1);
+  if (offset + size <= kPageSize) {
+    Page* page = mutable_page_for(addr);
+    std::memcpy(page->bytes + offset, &value, size);
+    return;
+  }
+  std::uint8_t buf[8];
+  std::memcpy(buf, &value, sizeof buf);
+  write_bytes(addr, buf, size);
+}
+
+void Memory::write_bytes(std::uint64_t addr, const std::uint8_t* data,
+                         std::uint64_t size) {
+  while (size > 0) {
+    const std::uint64_t offset = addr & (kPageSize - 1);
+    const std::uint64_t chunk = std::min(size, kPageSize - offset);
+    Page* page = mutable_page_for(addr);
+    std::memcpy(page->bytes + offset, data, chunk);
+    addr += chunk;
+    data += chunk;
+    size -= chunk;
+  }
+}
+
+void Memory::read_bytes(std::uint64_t addr, std::uint8_t* out,
+                        std::uint64_t size) const {
+  while (size > 0) {
+    const std::uint64_t offset = addr & (kPageSize - 1);
+    const std::uint64_t chunk = std::min(size, kPageSize - offset);
+    const Page* page = page_for(addr);
+    std::memcpy(out, page->bytes + offset, chunk);
+    addr += chunk;
+    out += chunk;
+    size -= chunk;
+  }
+}
+
+void Memory::reset() { pages_.clear(); }
+
+}  // namespace faultlab::machine

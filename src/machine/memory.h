@@ -1,0 +1,70 @@
+// Sparse paged memory shared by the IR interpreter and the x86 simulator.
+//
+// Both engines run programs in the same 64-bit address space with the same
+// layout, so a bit-flip that lands in a pointer has a comparable
+// probability of hitting unmapped memory (and thus crashing) at both
+// levels — any crash-rate difference between LLFI and PINFI then stems
+// from the IR<->assembly mapping, which is what the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/trap.h"
+
+namespace faultlab::machine {
+
+/// Address-space layout (all engines use these constants).
+struct Layout {
+  static constexpr std::uint64_t kGlobalBase = 0x0001'0000;
+  static constexpr std::uint64_t kHeapBase = 0x0100'0000;
+  static constexpr std::uint64_t kHeapLimit = 0x0800'0000;  // 112 MiB heap
+  static constexpr std::uint64_t kStackTop = 0x7fff'0000;
+  static constexpr std::uint64_t kStackSize = 4ull << 20;  // 4 MiB
+  static constexpr std::uint64_t kStackLimit = kStackTop - kStackSize;
+  /// Simulated code addresses live here (x86 simulator instruction index
+  /// scaled by 16); data accesses to this region trap.
+  static constexpr std::uint64_t kCodeBase = 0x0040'0000'0000;
+};
+
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+
+  Memory() = default;
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+  /// Maps all pages covering [addr, addr+size) as zero-filled.
+  void map_range(std::uint64_t addr, std::uint64_t size);
+  bool is_mapped(std::uint64_t addr) const noexcept;
+
+  /// Little-endian scalar access; size in {1,2,4,8}. Traps on unmapped.
+  std::uint64_t read(std::uint64_t addr, unsigned size) const;
+  void write(std::uint64_t addr, unsigned size, std::uint64_t value);
+
+  /// Bulk access (still traps on unmapped pages).
+  void write_bytes(std::uint64_t addr, const std::uint8_t* data,
+                   std::uint64_t size);
+  void read_bytes(std::uint64_t addr, std::uint8_t* out,
+                  std::uint64_t size) const;
+
+  /// Releases every mapping (used between trials).
+  void reset();
+
+  std::size_t mapped_pages() const noexcept { return pages_.size(); }
+
+ private:
+  struct Page {
+    std::uint8_t bytes[kPageSize];
+  };
+  const Page* page_for(std::uint64_t addr) const;
+  Page* mutable_page_for(std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace faultlab::machine

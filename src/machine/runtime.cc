@@ -1,0 +1,123 @@
+#include "machine/runtime.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "support/bitutil.h"
+
+namespace faultlab::machine {
+
+namespace {
+std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+}  // namespace
+
+GlobalLayout::GlobalLayout(const ir::Module& module) : module_(module) {
+  std::uint64_t cursor = Layout::kGlobalBase;
+  for (const auto& g : module.globals()) {
+    cursor = align_up(cursor, std::max<std::uint64_t>(g->value_type()->alignment(), 1));
+    addresses_[g.get()] = cursor;
+    cursor += g->value_type()->size_in_bytes();
+  }
+  total_size_ = cursor - Layout::kGlobalBase;
+}
+
+std::uint64_t GlobalLayout::address_of(const ir::GlobalVariable* g) const {
+  auto it = addresses_.find(g);
+  if (it == addresses_.end())
+    throw std::logic_error("global not in layout: " + g->name());
+  return it->second;
+}
+
+void GlobalLayout::materialize(Memory& memory) const {
+  memory.map_range(Layout::kGlobalBase, std::max<std::uint64_t>(total_size_, 1));
+  for (const auto& g : module_.globals()) {
+    const auto& init = g->initializer();
+    if (!init.empty())
+      memory.write_bytes(addresses_.at(g.get()), init.data(), init.size());
+  }
+}
+
+void Runtime::reset() {
+  output_.clear();
+  heap_next_ = Layout::kHeapBase;
+  live_allocations_.clear();
+}
+
+std::uint64_t Runtime::heap_alloc(std::uint64_t size) {
+  if (size == 0) size = 1;
+  const std::uint64_t addr = align_up(heap_next_, 16);
+  if (size > Layout::kHeapLimit - addr) return 0;  // out of heap: null
+  memory_->map_range(addr, size);
+  heap_next_ = addr + size;
+  live_allocations_[addr] = size;
+  return addr;
+}
+
+void Runtime::heap_free(std::uint64_t addr) {
+  if (addr == 0) return;
+  auto it = live_allocations_.find(addr);
+  if (it == live_allocations_.end())
+    throw TrapException(TrapKind::BadFree, addr);
+  live_allocations_.erase(it);
+  // Bump allocator: memory is not recycled; pages stay mapped. This keeps
+  // trials deterministic and free() bugs detectable.
+}
+
+bool Runtime::is_builtin(const std::string& name) {
+  return name == "print_int" || name == "print_double" ||
+         name == "print_char" || name == "print_str" || name == "malloc" ||
+         name == "free" || name == "sqrt" || name == "fabs" || name == "floor";
+}
+
+std::uint64_t Runtime::call_builtin(const std::string& name,
+                                    const std::vector<std::uint64_t>& args) {
+  auto arg = [&](std::size_t i) -> std::uint64_t {
+    if (i >= args.size())
+      throw std::logic_error("builtin " + name + ": missing argument");
+    return args[i];
+  };
+  if (name == "print_int") {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(arg(0))));
+    output_ += buf;
+    output_ += '\n';
+    return 0;
+  }
+  if (name == "print_double") {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", double_of(arg(0)));
+    output_ += buf;
+    output_ += '\n';
+    return 0;
+  }
+  if (name == "print_char") {
+    output_ += static_cast<char>(arg(0) & 0xff);
+    return 0;
+  }
+  if (name == "print_str") {
+    std::uint64_t p = arg(0);
+    // Reads through simulated memory so a corrupted pointer traps, exactly
+    // like a real puts() would segfault.
+    for (std::uint64_t guard = 0; guard < (1u << 20); ++guard) {
+      const std::uint64_t byte = memory_->read(p++, 1);
+      if (byte == 0) return 0;
+      output_ += static_cast<char>(byte);
+    }
+    throw TrapException(TrapKind::UnmappedAccess, p, "unterminated string");
+  }
+  if (name == "malloc") return heap_alloc(arg(0));
+  if (name == "free") {
+    heap_free(arg(0));
+    return 0;
+  }
+  if (name == "sqrt") return bits_of(std::sqrt(double_of(arg(0))));
+  if (name == "fabs") return bits_of(std::fabs(double_of(arg(0))));
+  if (name == "floor") return bits_of(std::floor(double_of(arg(0))));
+  throw std::logic_error("unknown builtin: " + name);
+}
+
+}  // namespace faultlab::machine

@@ -1,0 +1,49 @@
+// Trap model shared by the IR interpreter and the x86 simulator.
+//
+// Traps play the role OS signals play in the paper's experiments: a trial
+// that traps is classified as a Crash. Exceeding the instruction budget
+// plays the role of the paper's timeout detector (Hang).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace faultlab::machine {
+
+enum class TrapKind : std::uint8_t {
+  UnmappedAccess,   // load/store/fetch outside any mapped region (≈ SIGSEGV)
+  DivideByZero,     // integer division by zero (≈ SIGFPE)
+  InvalidJump,      // control transfer to a non-instruction address
+  StackOverflow,    // simulated stack exhausted
+  BadFree,          // free() of a pointer malloc never returned
+  Unreachable,      // executed an operation with no defined semantics
+};
+
+const char* trap_kind_name(TrapKind kind) noexcept;
+
+/// Thrown by the memory model / simulators; engines catch it and classify
+/// the run as a Crash.
+class TrapException : public std::exception {
+ public:
+  TrapException(TrapKind kind, std::uint64_t address, std::string detail = "");
+  const char* what() const noexcept override { return message_.c_str(); }
+  TrapKind kind() const noexcept { return kind_; }
+  std::uint64_t address() const noexcept { return address_; }
+
+ private:
+  TrapKind kind_;
+  std::uint64_t address_;
+  std::string message_;
+};
+
+/// Thrown when a run exceeds its dynamic instruction budget; engines
+/// classify it as a Hang.
+class TimeoutException : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "instruction budget exceeded (hang)";
+  }
+};
+
+}  // namespace faultlab::machine

@@ -1,0 +1,204 @@
+// Constant folding for integer/fp arithmetic, comparisons, casts and
+// selects whose operands are all constants. Division traps are NOT folded
+// (they must still trap at runtime).
+#include <cmath>
+#include <limits>
+
+#include "opt/pass.h"
+#include "support/bitutil.h"
+
+namespace faultlab::opt {
+
+namespace {
+
+using ir::ConstantDouble;
+using ir::ConstantInt;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+const ConstantInt* as_int(const Value* v) {
+  return dynamic_cast<const ConstantInt*>(v);
+}
+const ConstantDouble* as_double(const Value* v) {
+  return dynamic_cast<const ConstantDouble*>(v);
+}
+
+/// Folds `instr` to a constant, or returns null when not foldable.
+Value* fold(ir::Module& module, const Instruction& instr) {
+  const Opcode op = instr.opcode();
+
+  if (ir::is_int_binary(op)) {
+    const ConstantInt* a = as_int(instr.operand(0));
+    const ConstantInt* b = as_int(instr.operand(1));
+    if (a == nullptr || b == nullptr) return nullptr;
+    const unsigned bits = instr.type()->int_bits();
+    const std::uint64_t ua = a->raw();
+    const std::uint64_t ub = b->raw();
+    const std::int64_t sa = a->signed_value();
+    const std::int64_t sb = b->signed_value();
+    const unsigned shift = static_cast<unsigned>(ub & (bits >= 64 ? 63 : 31));
+    std::uint64_t r;
+    switch (op) {
+      case Opcode::Add: r = ua + ub; break;
+      case Opcode::Sub: r = ua - ub; break;
+      case Opcode::Mul: r = ua * ub; break;
+      case Opcode::And: r = ua & ub; break;
+      case Opcode::Or: r = ua | ub; break;
+      case Opcode::Xor: r = ua ^ ub; break;
+      case Opcode::Shl: r = ua << shift; break;
+      case Opcode::LShr: r = ua >> shift; break;
+      case Opcode::AShr: r = static_cast<std::uint64_t>(sa >> shift); break;
+      case Opcode::SDiv:
+        if (sb == 0 || (sb == -1 && ua == (std::uint64_t{1} << (bits - 1))))
+          return nullptr;  // would trap; leave it
+        r = static_cast<std::uint64_t>(sa / sb);
+        break;
+      case Opcode::SRem:
+        if (sb == 0 || (sb == -1 && ua == (std::uint64_t{1} << (bits - 1))))
+          return nullptr;
+        r = static_cast<std::uint64_t>(sa % sb);
+        break;
+      case Opcode::UDiv:
+        if (ub == 0) return nullptr;
+        r = ua / ub;
+        break;
+      case Opcode::URem:
+        if (ub == 0) return nullptr;
+        r = ua % ub;
+        break;
+      default:
+        return nullptr;
+    }
+    return module.const_int(instr.type(), r);
+  }
+
+  if (ir::is_fp_binary(op)) {
+    const ConstantDouble* a = as_double(instr.operand(0));
+    const ConstantDouble* b = as_double(instr.operand(1));
+    if (a == nullptr || b == nullptr) return nullptr;
+    double r;
+    switch (op) {
+      case Opcode::FAdd: r = a->value() + b->value(); break;
+      case Opcode::FSub: r = a->value() - b->value(); break;
+      case Opcode::FMul: r = a->value() * b->value(); break;
+      case Opcode::FDiv: r = a->value() / b->value(); break;
+      default: return nullptr;
+    }
+    return module.const_double(r);
+  }
+
+  switch (op) {
+    case Opcode::ICmp: {
+      const auto& cmp = static_cast<const ir::ICmpInst&>(instr);
+      const ConstantInt* a = as_int(cmp.lhs());
+      const ConstantInt* b = as_int(cmp.rhs());
+      if (a == nullptr || b == nullptr) return nullptr;
+      const std::uint64_t ua = a->raw(), ub = b->raw();
+      const std::int64_t sa = a->signed_value(), sb = b->signed_value();
+      bool r;
+      switch (cmp.predicate()) {
+        case ir::ICmpPred::EQ: r = ua == ub; break;
+        case ir::ICmpPred::NE: r = ua != ub; break;
+        case ir::ICmpPred::SLT: r = sa < sb; break;
+        case ir::ICmpPred::SLE: r = sa <= sb; break;
+        case ir::ICmpPred::SGT: r = sa > sb; break;
+        case ir::ICmpPred::SGE: r = sa >= sb; break;
+        case ir::ICmpPred::ULT: r = ua < ub; break;
+        case ir::ICmpPred::ULE: r = ua <= ub; break;
+        case ir::ICmpPred::UGT: r = ua > ub; break;
+        case ir::ICmpPred::UGE: r = ua >= ub; break;
+        default: return nullptr;
+      }
+      return module.const_i1(r);
+    }
+    case Opcode::FCmp: {
+      const auto& cmp = static_cast<const ir::FCmpInst&>(instr);
+      const ConstantDouble* a = as_double(cmp.lhs());
+      const ConstantDouble* b = as_double(cmp.rhs());
+      if (a == nullptr || b == nullptr) return nullptr;
+      const double x = a->value(), y = b->value();
+      bool r;
+      switch (cmp.predicate()) {
+        case ir::FCmpPred::OEQ: r = x == y; break;
+        case ir::FCmpPred::ONE: r = x < y || x > y; break;
+        case ir::FCmpPred::OLT: r = x < y; break;
+        case ir::FCmpPred::OLE: r = x <= y; break;
+        case ir::FCmpPred::OGT: r = x > y; break;
+        case ir::FCmpPred::OGE: r = x >= y; break;
+        default: return nullptr;
+      }
+      return module.const_i1(r);
+    }
+    case Opcode::Trunc: {
+      const ConstantInt* a = as_int(instr.operand(0));
+      if (a == nullptr) return nullptr;
+      return module.const_int(instr.type(), a->raw());
+    }
+    case Opcode::ZExt: {
+      const ConstantInt* a = as_int(instr.operand(0));
+      if (a == nullptr) return nullptr;
+      return module.const_int(instr.type(), a->raw());
+    }
+    case Opcode::SExt: {
+      const ConstantInt* a = as_int(instr.operand(0));
+      if (a == nullptr) return nullptr;
+      return module.const_int(instr.type(),
+                              static_cast<std::uint64_t>(a->signed_value()));
+    }
+    case Opcode::SIToFP: {
+      const ConstantInt* a = as_int(instr.operand(0));
+      if (a == nullptr) return nullptr;
+      return module.const_double(static_cast<double>(a->signed_value()));
+    }
+    case Opcode::FPToSI: {
+      const ConstantDouble* a = as_double(instr.operand(0));
+      if (a == nullptr) return nullptr;
+      const double d = a->value();
+      std::int64_t out;
+      if (std::isnan(d) || d >= 9.2233720368547758e18 ||
+          d < -9.2233720368547758e18)
+        out = std::numeric_limits<std::int64_t>::min();
+      else
+        out = static_cast<std::int64_t>(d);
+      return module.const_int(instr.type(), static_cast<std::uint64_t>(out));
+    }
+    case Opcode::Select: {
+      const ConstantInt* cond = as_int(instr.operand(0));
+      if (cond == nullptr) return nullptr;
+      return cond->raw() & 1 ? instr.operand(1) : instr.operand(2);
+    }
+    default:
+      return nullptr;
+  }
+}
+
+class ConstFold final : public Pass {
+ public:
+  const char* name() const noexcept override { return "constfold"; }
+  bool run(Function& fn) override {
+    ir::Module& module = *fn.parent();
+    bool changed = false;
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = 0; i < bb->size();) {
+        Instruction* instr = bb->instr(i);
+        Value* folded = instr->has_result() ? fold(module, *instr) : nullptr;
+        if (folded != nullptr) {
+          instr->replace_all_uses_with(folded);
+          bb->erase(i);
+          changed = true;
+          continue;
+        }
+        ++i;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_const_fold() { return std::make_unique<ConstFold>(); }
+
+}  // namespace faultlab::opt

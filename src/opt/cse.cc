@@ -1,0 +1,115 @@
+// Local common-subexpression elimination (per basic block), with a memory
+// clobber model for loads: a load is reusable until the next store or call.
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "opt/pass.h"
+
+namespace faultlab::opt {
+
+namespace {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+/// Structural key identifying a pure expression within one block.
+struct ExprKey {
+  Opcode op;
+  int subkind;  // cmp predicate or 0
+  const ir::Type* type;
+  std::vector<const Value*> operands;
+
+  auto tie() const { return std::tie(op, subkind, type, operands); }
+  bool operator<(const ExprKey& other) const { return tie() < other.tie(); }
+};
+
+bool is_pure_candidate(const Instruction& instr) {
+  const Opcode op = instr.opcode();
+  if (ir::is_int_binary(op)) {
+    // Division can trap; still safe to CSE (same operands, same behaviour),
+    // but re-using avoids the second trap site — identical semantics.
+    return true;
+  }
+  if (ir::is_fp_binary(op) || ir::is_cast(op)) return true;
+  switch (op) {
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+    case Opcode::Gep:
+    case Opcode::Select:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int subkind_of(const Instruction& instr) {
+  if (instr.opcode() == Opcode::ICmp)
+    return 1 + static_cast<int>(
+                   static_cast<const ir::ICmpInst&>(instr).predicate());
+  if (instr.opcode() == Opcode::FCmp)
+    return 100 + static_cast<int>(
+                     static_cast<const ir::FCmpInst&>(instr).predicate());
+  return 0;
+}
+
+class Cse final : public Pass {
+ public:
+  const char* name() const noexcept override { return "cse"; }
+
+  bool run(Function& fn) override {
+    bool changed = false;
+    for (const auto& bb : fn.blocks()) {
+      std::map<ExprKey, Instruction*> available;
+      std::map<const Value*, Instruction*> available_loads;  // by address
+      for (std::size_t i = 0; i < bb->size();) {
+        Instruction* instr = bb->instr(i);
+        const Opcode op = instr->opcode();
+
+        if (op == Opcode::Store || op == Opcode::Call) {
+          available_loads.clear();  // conservative clobber
+          ++i;
+          continue;
+        }
+        if (op == Opcode::Load) {
+          const Value* addr = instr->operand(0);
+          auto it = available_loads.find(addr);
+          if (it != available_loads.end() && it->second->type() == instr->type()) {
+            instr->replace_all_uses_with(it->second);
+            bb->erase(i);
+            changed = true;
+            continue;
+          }
+          available_loads[addr] = instr;
+          ++i;
+          continue;
+        }
+        if (!is_pure_candidate(*instr)) {
+          ++i;
+          continue;
+        }
+        ExprKey key{op, subkind_of(*instr), instr->type(), {}};
+        for (unsigned k = 0; k < instr->num_operands(); ++k)
+          key.operands.push_back(instr->operand(k));
+        auto it = available.find(key);
+        if (it != available.end()) {
+          instr->replace_all_uses_with(it->second);
+          bb->erase(i);
+          changed = true;
+          continue;
+        }
+        available.emplace(std::move(key), instr);
+        ++i;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_cse() { return std::make_unique<Cse>(); }
+
+}  // namespace faultlab::opt

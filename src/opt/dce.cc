@@ -1,0 +1,88 @@
+// Dead-code elimination: removes unused, side-effect-free instructions,
+// including dead phi webs (phis only used by other dead phis).
+#include <set>
+
+#include "opt/pass.h"
+
+namespace faultlab::opt {
+
+namespace {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+bool has_side_effects(const Instruction& instr) {
+  switch (instr.opcode()) {
+    case Opcode::Store:
+    case Opcode::Call:
+    case Opcode::Br:
+    case Opcode::Ret:
+      return true;
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+    case Opcode::SRem:
+    case Opcode::URem:
+      return true;  // may trap; removing would change behaviour
+    default:
+      return false;
+  }
+}
+
+class Dce final : public Pass {
+ public:
+  const char* name() const noexcept override { return "dce"; }
+
+  bool run(Function& fn) override {
+    // Mark: every side-effecting instruction is a root; everything it
+    // transitively reads is live. This sweeps dead phi cycles too.
+    std::set<const Instruction*> live;
+    std::vector<const Instruction*> work;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        if (has_side_effects(*instr)) {
+          live.insert(instr.get());
+          work.push_back(instr.get());
+        }
+      }
+    }
+    while (!work.empty()) {
+      const Instruction* instr = work.back();
+      work.pop_back();
+      for (unsigned i = 0; i < instr->num_operands(); ++i) {
+        const auto* def =
+            dynamic_cast<const Instruction*>(instr->operand(i));
+        if (def != nullptr && live.insert(def).second) work.push_back(def);
+      }
+    }
+
+    bool changed = false;
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = bb->size(); i-- > 0;) {
+        Instruction* instr = bb->instr(i);
+        if (live.count(instr)) continue;
+        instr->clear_operands();  // may be part of a dead phi cycle
+        if (instr->has_uses()) continue;  // used by another dead instr; next pass
+        bb->erase(i);
+        changed = true;
+      }
+    }
+    // Second sweep for freshly unreferenced dead instructions.
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = bb->size(); i-- > 0;) {
+        Instruction* instr = bb->instr(i);
+        if (!live.count(instr) && !instr->has_uses()) {
+          bb->erase(i);
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dce() { return std::make_unique<Dce>(); }
+
+}  // namespace faultlab::opt

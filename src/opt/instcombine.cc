@@ -1,0 +1,125 @@
+// Light algebraic simplification: identity/absorbing elements and a few
+// strength reductions. Runs before constant folding so produced constants
+// propagate.
+#include "opt/pass.h"
+#include "support/bitutil.h"
+
+namespace faultlab::opt {
+
+namespace {
+
+using ir::ConstantInt;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+bool is_int_const(const Value* v, std::uint64_t value) {
+  const auto* c = dynamic_cast<const ConstantInt*>(v);
+  return c != nullptr && c->raw() == value;
+}
+
+bool is_all_ones(const Value* v) {
+  const auto* c = dynamic_cast<const ConstantInt*>(v);
+  if (c == nullptr) return false;
+  const unsigned bits = c->type()->int_bits();
+  return c->raw() == faultlab::low_mask(bits);
+}
+
+/// Returns the replacement value, or null when nothing applies.
+Value* simplify(ir::Module& module, Instruction& instr) {
+  Value* a = instr.num_operands() > 0 ? instr.operand(0) : nullptr;
+  Value* b = instr.num_operands() > 1 ? instr.operand(1) : nullptr;
+  switch (instr.opcode()) {
+    case Opcode::Add:
+      if (is_int_const(b, 0)) return a;
+      if (is_int_const(a, 0)) return b;
+      return nullptr;
+    case Opcode::Sub:
+      if (is_int_const(b, 0)) return a;
+      if (a == b) return module.const_int(instr.type(), 0);
+      return nullptr;
+    case Opcode::Mul:
+      if (is_int_const(b, 1)) return a;
+      if (is_int_const(a, 1)) return b;
+      if (is_int_const(b, 0) || is_int_const(a, 0))
+        return module.const_int(instr.type(), 0);
+      return nullptr;
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+      if (is_int_const(b, 1)) return a;
+      return nullptr;
+    case Opcode::And:
+      if (is_int_const(b, 0) || is_int_const(a, 0))
+        return module.const_int(instr.type(), 0);
+      if (is_all_ones(b)) return a;
+      if (is_all_ones(a)) return b;
+      if (a == b) return a;
+      return nullptr;
+    case Opcode::Or:
+      if (is_int_const(b, 0)) return a;
+      if (is_int_const(a, 0)) return b;
+      if (a == b) return a;
+      return nullptr;
+    case Opcode::Xor:
+      if (is_int_const(b, 0)) return a;
+      if (is_int_const(a, 0)) return b;
+      if (a == b) return module.const_int(instr.type(), 0);
+      return nullptr;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      if (is_int_const(b, 0)) return a;
+      return nullptr;
+    case Opcode::Select:
+      if (instr.operand(1) == instr.operand(2)) return instr.operand(1);
+      return nullptr;
+    case Opcode::ICmp: {
+      // icmp ne (zext i1 %x), 0  ->  %x
+      // This undoes the front-end's bool->int->bool roundtrip, matching the
+      // cmp+branch shape a production compiler emits (important for the
+      // paper's 'cmp' category counts).
+      const auto& cmp = static_cast<const ir::ICmpInst&>(instr);
+      if (cmp.predicate() != ir::ICmpPred::NE || !is_int_const(b, 0))
+        return nullptr;
+      auto* zext = dynamic_cast<Instruction*>(a);
+      if (zext != nullptr && zext->opcode() == Opcode::ZExt &&
+          zext->operand(0)->type()->is_bool())
+        return zext->operand(0);
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+class InstCombine final : public Pass {
+ public:
+  const char* name() const noexcept override { return "instcombine"; }
+  bool run(Function& fn) override {
+    ir::Module& module = *fn.parent();
+    bool changed = false;
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = 0; i < bb->size();) {
+        Instruction* instr = bb->instr(i);
+        Value* repl = instr->has_result() ? simplify(module, *instr) : nullptr;
+        if (repl != nullptr && repl != instr) {
+          instr->replace_all_uses_with(repl);
+          bb->erase(i);
+          changed = true;
+          continue;
+        }
+        ++i;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_inst_combine() {
+  return std::make_unique<InstCombine>();
+}
+
+}  // namespace faultlab::opt

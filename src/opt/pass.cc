@@ -1,0 +1,62 @@
+#include "opt/pass.h"
+
+#include "ir/verifier.h"
+
+namespace faultlab::opt {
+
+namespace {
+
+std::size_t count_opcode(const ir::Module& module, ir::Opcode op) {
+  std::size_t n = 0;
+  for (const auto& f : module.functions())
+    for (const auto& bb : f->blocks())
+      for (const auto& instr : bb->instructions())
+        if (instr->opcode() == op) ++n;
+  return n;
+}
+
+std::size_t count_instructions(const ir::Module& module) {
+  std::size_t n = 0;
+  for (const auto& f : module.functions()) n += f->num_instructions();
+  return n;
+}
+
+}  // namespace
+
+PipelineStats run_standard_pipeline(ir::Module& module) {
+  PipelineStats stats;
+  stats.instructions_before = count_instructions(module);
+  stats.allocas_before = count_opcode(module, ir::Opcode::Alloca);
+
+  std::vector<std::unique_ptr<Pass>> pipeline;
+  pipeline.push_back(make_simplify_cfg());
+  pipeline.push_back(make_inline());
+  pipeline.push_back(make_mem2reg());
+  pipeline.push_back(make_inst_combine());
+  pipeline.push_back(make_const_fold());
+  pipeline.push_back(make_cse());
+  pipeline.push_back(make_dce());
+  pipeline.push_back(make_simplify_cfg());
+
+  constexpr std::size_t kMaxIterations = 8;
+  bool changed = true;
+  while (changed && stats.iterations < kMaxIterations) {
+    changed = false;
+    ++stats.iterations;
+    for (const auto& f : module.functions()) {
+      if (f->is_builtin()) continue;
+      for (auto& pass : pipeline)
+        changed |= pass->run(*f);
+    }
+  }
+
+  for (const auto& f : module.functions()) f->renumber();
+  ir::verify_or_throw(module);
+
+  stats.instructions_after = count_instructions(module);
+  stats.allocas_after = count_opcode(module, ir::Opcode::Alloca);
+  stats.phis_after = count_opcode(module, ir::Opcode::Phi);
+  return stats;
+}
+
+}  // namespace faultlab::opt

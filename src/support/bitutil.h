@@ -1,0 +1,40 @@
+// Bit-manipulation helpers shared by the fault injectors and simulators.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace faultlab {
+
+/// Flip bit `bit` (0 = LSB) of `value`. Precondition: bit < 64.
+constexpr std::uint64_t flip_bit(std::uint64_t value, unsigned bit) noexcept {
+  return value ^ (std::uint64_t{1} << bit);
+}
+
+/// Mask covering the low `bits` bits; bits == 64 yields all ones.
+constexpr std::uint64_t low_mask(unsigned bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Sign-extend the low `bits` bits of `value` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned bits) noexcept {
+  if (bits >= 64) return static_cast<std::int64_t>(value);
+  const std::uint64_t m = std::uint64_t{1} << (bits - 1);
+  value &= low_mask(bits);
+  return static_cast<std::int64_t>((value ^ m) - m);
+}
+
+/// Truncate `value` to the low `bits` bits.
+constexpr std::uint64_t truncate(std::uint64_t value, unsigned bits) noexcept {
+  return value & low_mask(bits);
+}
+
+/// Reinterpret a double as its IEEE-754 bit pattern and back.
+constexpr std::uint64_t bits_of(double d) noexcept {
+  return std::bit_cast<std::uint64_t>(d);
+}
+constexpr double double_of(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace faultlab

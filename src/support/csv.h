@@ -1,0 +1,27 @@
+// Minimal CSV writer for machine-readable experiment output (consumed by
+// EXPERIMENTS.md generation and by downstream plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace faultlab {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  /// Write to `path`; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace faultlab

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for fault-injection
+// campaigns. Every experiment in FaultLab is seeded so that campaigns are
+// exactly replayable; we use xoshiro256** (public-domain algorithm by
+// Blackman & Vigna) seeded through SplitMix64, which gives high-quality
+// 64-bit streams with a tiny state that is cheap to fork per trial.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace faultlab {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also usable standalone as a fast hash/mixer.
+constexpr std::uint64_t split_mix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = split_mix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-trial streams).
+  Rng fork() noexcept { return Rng((*this)() ^ 0x6a09e667f3bcc909ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace faultlab

@@ -1,0 +1,86 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace faultlab {
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;  // two-sided 95% normal quantile
+}
+
+double Proportion::margin95() const noexcept {
+  if (trials == 0) return 0.0;
+  const double p = value();
+  const double n = static_cast<double>(trials);
+  return kZ95 * std::sqrt(p * (1.0 - p) / n);
+}
+
+Proportion::Interval Proportion::wilson95() const noexcept {
+  if (trials == 0) return {};
+  const double n = static_cast<double>(trials);
+  const double p = value();
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      kZ95 * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+bool Proportion::overlap95(const Proportion& a, const Proportion& b) noexcept {
+  const auto ia = a.wilson95();
+  const auto ib = b.wilson95();
+  return ia.lo <= ib.hi && ib.lo <= ia.hi;
+}
+
+double Proportion::z_statistic(const Proportion& a, const Proportion& b) noexcept {
+  if (a.trials == 0 || b.trials == 0) return 0.0;
+  const double na = static_cast<double>(a.trials);
+  const double nb = static_cast<double>(b.trials);
+  const double pooled =
+      static_cast<double>(a.hits + b.hits) / (na + nb);
+  const double se = std::sqrt(pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb));
+  if (se == 0.0) return 0.0;
+  return (a.value() - b.value()) / se;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_count(std::size_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace faultlab

@@ -1,0 +1,63 @@
+// Small statistics toolkit for fault-injection campaigns: binomial
+// proportions with 95% confidence intervals (the error bars of the paper's
+// Figure 4), plus running mean/variance for the perf benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace faultlab {
+
+/// A binomial proportion estimate: `hits` successes out of `trials`.
+struct Proportion {
+  std::size_t hits = 0;
+  std::size_t trials = 0;
+
+  double value() const noexcept {
+    return trials == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(trials);
+  }
+  double percent() const noexcept { return value() * 100.0; }
+
+  /// Half-width of the normal-approximation 95% CI (what the paper plots).
+  double margin95() const noexcept;
+
+  /// Wilson score interval — better behaved near 0/1 and small n.
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  Interval wilson95() const noexcept;
+
+  /// True when the two proportions' 95% CIs overlap — the paper's criterion
+  /// for "LLFI and PINFI agree within measurement error".
+  static bool overlap95(const Proportion& a, const Proportion& b) noexcept;
+
+  /// Two-proportion z-test statistic (pooled). Returns 0 when either side
+  /// has no trials.
+  static double z_statistic(const Proportion& a, const Proportion& b) noexcept;
+};
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Format helpers used by the report writers.
+std::string format_percent(double fraction, int decimals = 1);
+std::string format_count(std::size_t n);  ///< digit-grouped, e.g. 1,234,567
+
+}  // namespace faultlab

@@ -1,0 +1,33 @@
+// ASCII table writer used by the experiment harnesses to print the paper's
+// tables (IV, V, ...) and figure data series in a readable fixed-width form.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace faultlab {
+
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Column alignment (default: first column left, rest right).
+  void set_align(std::size_t column, Align align);
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+}  // namespace faultlab

@@ -1,0 +1,477 @@
+#include "vm/interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "support/bitutil.h"
+
+namespace faultlab::vm {
+
+namespace {
+
+using ir::Opcode;
+using machine::Layout;
+using machine::TrapException;
+using machine::TrapKind;
+
+std::uint64_t type_mask(const ir::Type* t) {
+  return faultlab::low_mask(t->register_bits());
+}
+
+}  // namespace
+
+class Interpreter::Impl {
+ public:
+  Impl(const ir::Module& module, const machine::GlobalLayout& layout,
+       ExecHook* hook, const RunLimits& limits)
+      : module_(module),
+        layout_(layout),
+        hook_(hook),
+        limits_(limits),
+        runtime_(memory_) {}
+
+  RunResult run(const std::string& entry) {
+    RunResult result;
+    const ir::Function* main_fn = module_.find_function(entry);
+    if (main_fn == nullptr || main_fn->is_builtin())
+      throw std::invalid_argument("no such entry function: " + entry);
+
+    layout_.materialize(memory_);
+    memory_.map_range(Layout::kStackLimit, Layout::kStackSize);
+    sp_ = Layout::kStackTop;
+
+    try {
+      const std::uint64_t ret = call_function(*main_fn, {});
+      const ir::Type* rt = main_fn->return_type();
+      result.exit_value = rt->is_int()
+                              ? sign_extend(ret, rt->int_bits())
+                              : static_cast<std::int64_t>(ret);
+    } catch (const TrapException& trap) {
+      result.trapped = true;
+      result.trap = trap.kind();
+    } catch (const machine::TimeoutException&) {
+      result.timed_out = true;
+    }
+    result.dynamic_instructions = executed_;
+    result.output = runtime_.output();
+    return result;
+  }
+
+ private:
+  struct Frame {
+    const ir::Function* function = nullptr;
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> regs;       // indexed by Instruction::id()
+    std::vector<std::uint64_t> args;
+    std::vector<std::uint64_t> alloca_addr;  // per alloca ordinal
+  };
+
+  std::uint64_t read_operand(Frame& frame, const ir::Instruction& user,
+                             const ir::Value* v) {
+    switch (v->vkind()) {
+      case ir::ValueKind::ConstantInt:
+        return static_cast<const ir::ConstantInt*>(v)->raw();
+      case ir::ValueKind::ConstantDouble:
+        return bits_of(static_cast<const ir::ConstantDouble*>(v)->value());
+      case ir::ValueKind::ConstantNull:
+        return 0;
+      case ir::ValueKind::GlobalVariable:
+        return layout_.address_of(static_cast<const ir::GlobalVariable*>(v));
+      case ir::ValueKind::Argument: {
+        const auto* arg = static_cast<const ir::Argument*>(v);
+        if (hook_ != nullptr)
+          hook_->on_argument_read(frame.id, arg->index(), user);
+        return frame.args[arg->index()];
+      }
+      case ir::ValueKind::Instruction: {
+        const auto* def = static_cast<const ir::Instruction*>(v);
+        if (hook_ != nullptr)
+          hook_->on_operand_read({frame.id, def}, user);
+        return frame.regs[def->id()];
+      }
+    }
+    return 0;
+  }
+
+  [[noreturn]] void trap(TrapKind kind, std::uint64_t addr,
+                         const char* detail = "") {
+    throw TrapException(kind, addr, detail);
+  }
+
+  void bump_instruction_count() {
+    if (++executed_ > limits_.max_instructions)
+      throw machine::TimeoutException();
+  }
+
+  std::uint64_t call_function(const ir::Function& fn,
+                              std::vector<std::uint64_t> args,
+                              const ir::CallInst* site = nullptr,
+                              std::uint64_t caller_frame = 0) {
+    if (fn.is_builtin()) return runtime_.call_builtin(fn.name(), args);
+    if (++call_depth_ > kMaxCallDepth)
+      trap(TrapKind::StackOverflow, sp_, "call depth");
+
+    Frame frame;
+    frame.function = &fn;
+    frame.id = next_frame_id_++;
+    frame.args = std::move(args);
+    if (hook_ != nullptr && site != nullptr)
+      hook_->on_call(*site, caller_frame, frame.id);
+    frame.regs.assign(fn.num_instructions(), 0);
+
+    // Allocate the frame's stack slots (allocas) in one adjustment, the way
+    // a real prologue would.
+    std::uint64_t frame_size = 0;
+    std::vector<const ir::AllocaInst*> allocas;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        if (auto* al = dynamic_cast<const ir::AllocaInst*>(instr.get())) {
+          const auto align = std::max<std::uint64_t>(al->allocated_type()->alignment(), 1);
+          frame_size = (frame_size + align - 1) / align * align;
+          frame_size += al->allocated_type()->size_in_bytes();
+          allocas.push_back(al);
+        }
+      }
+    }
+    frame_size = (frame_size + 15) / 16 * 16;
+    if (sp_ < Layout::kStackLimit + frame_size)
+      trap(TrapKind::StackOverflow, sp_);
+    const std::uint64_t old_sp = sp_;
+    sp_ -= frame_size;
+    std::uint64_t cursor = sp_;
+    for (const ir::AllocaInst* al : allocas) {
+      const auto align = std::max<std::uint64_t>(al->allocated_type()->alignment(), 1);
+      cursor = (cursor + align - 1) / align * align;
+      frame.regs[al->id()] = cursor;
+      cursor += al->allocated_type()->size_in_bytes();
+    }
+
+    const std::uint64_t ret = execute(frame);
+    sp_ = old_sp;
+    --call_depth_;
+    return ret;
+  }
+
+  std::uint64_t execute(Frame& frame) {
+    const ir::BasicBlock* block = frame.function->entry();
+    const ir::BasicBlock* prev_block = nullptr;
+    std::size_t index = 0;
+
+    while (true) {
+      const ir::Instruction& instr = *block->instr(index);
+      bump_instruction_count();
+      if (hook_ != nullptr) hook_->on_instruction(instr);
+
+      switch (instr.opcode()) {
+        case Opcode::Phi: {
+          // Evaluate the whole phi group atomically against prev_block.
+          std::vector<std::pair<const ir::Instruction*, std::uint64_t>> updates;
+          while (true) {
+            const auto& phi = static_cast<const ir::PhiInst&>(*block->instr(index));
+            const ir::Value* in = phi.value_for_block(prev_block);
+            assert(in != nullptr && "phi has no edge for predecessor");
+            updates.emplace_back(&phi, read_operand(frame, phi, in));
+            if (index + 1 >= block->size() ||
+                block->instr(index + 1)->opcode() != Opcode::Phi)
+              break;
+            ++index;
+            bump_instruction_count();
+            if (hook_ != nullptr) hook_->on_instruction(*block->instr(index));
+          }
+          for (auto& [phi, raw] : updates) set_result(frame, *phi, raw);
+          ++index;
+          continue;
+        }
+        case Opcode::Br: {
+          const auto& br = static_cast<const ir::BranchInst&>(instr);
+          const ir::BasicBlock* next;
+          if (br.is_conditional()) {
+            const std::uint64_t cond =
+                read_operand(frame, instr, br.condition()) & 1;
+            next = cond ? br.true_target() : br.false_target();
+          } else {
+            next = br.true_target();
+          }
+          prev_block = block;
+          block = next;
+          index = 0;
+          continue;
+        }
+        case Opcode::Ret: {
+          const auto& ret = static_cast<const ir::RetInst&>(instr);
+          return ret.has_value() ? read_operand(frame, instr, ret.value()) : 0;
+        }
+        case Opcode::Store: {
+          const std::uint64_t value =
+              read_operand(frame, instr, instr.operand(0));
+          const std::uint64_t addr =
+              read_operand(frame, instr, instr.operand(1));
+          const ir::Type* t = instr.operand(0)->type();
+          const auto size = static_cast<unsigned>(t->size_in_bytes());
+          if (hook_ != nullptr)
+            hook_->on_memory_access(instr, addr, size, /*is_store=*/true);
+          memory_.write(addr, size, value & type_mask(t));
+          ++index;
+          continue;
+        }
+        case Opcode::Call: {
+          const auto& call = static_cast<const ir::CallInst&>(instr);
+          std::vector<std::uint64_t> args;
+          args.reserve(call.num_args());
+          for (unsigned i = 0; i < call.num_args(); ++i)
+            args.push_back(read_operand(frame, instr, call.arg(i)));
+          const std::uint64_t raw =
+              call_function(*call.callee(), std::move(args), &call, frame.id);
+          if (instr.has_result()) set_result(frame, instr, raw);
+          ++index;
+          continue;
+        }
+        default: {
+          const std::uint64_t raw = evaluate(frame, instr);
+          set_result(frame, instr, raw);
+          ++index;
+          continue;
+        }
+      }
+    }
+  }
+
+  void set_result(Frame& frame, const ir::Instruction& instr,
+                  std::uint64_t raw) {
+    raw &= type_mask(instr.type());
+    if (hook_ != nullptr) {
+      raw = hook_->on_result({frame.id, &instr}, raw);
+      raw &= type_mask(instr.type());
+    }
+    frame.regs[instr.id()] = raw;
+  }
+
+  std::uint64_t evaluate(Frame& frame, const ir::Instruction& instr) {
+    const Opcode op = instr.opcode();
+    if (ir::is_int_binary(op)) return eval_int_binary(frame, instr);
+    if (ir::is_fp_binary(op)) return eval_fp_binary(frame, instr);
+    if (ir::is_cast(op)) return eval_cast(frame, instr);
+    switch (op) {
+      case Opcode::ICmp: return eval_icmp(frame, instr);
+      case Opcode::FCmp: return eval_fcmp(frame, instr);
+      case Opcode::Alloca:
+        return frame.regs[instr.id()];  // address assigned at frame setup
+      case Opcode::Load: {
+        const std::uint64_t addr = read_operand(frame, instr, instr.operand(0));
+        const ir::Type* t = instr.type();
+        const auto size = static_cast<unsigned>(t->size_in_bytes());
+        if (hook_ != nullptr)
+          hook_->on_memory_access(instr, addr, size, /*is_store=*/false);
+        return memory_.read(addr, size) & type_mask(t);
+      }
+      case Opcode::Gep: return eval_gep(frame, instr);
+      case Opcode::Select: {
+        const std::uint64_t cond = read_operand(frame, instr, instr.operand(0)) & 1;
+        // Both arms are read (they are data dependences, not control).
+        const std::uint64_t tv = read_operand(frame, instr, instr.operand(1));
+        const std::uint64_t fv = read_operand(frame, instr, instr.operand(2));
+        return cond ? tv : fv;
+      }
+      default:
+        trap(TrapKind::Unreachable, 0, ir::opcode_name(op));
+    }
+  }
+
+  std::uint64_t eval_int_binary(Frame& frame, const ir::Instruction& instr) {
+    const unsigned bits = instr.type()->int_bits();
+    const std::uint64_t mask = faultlab::low_mask(bits);
+    const std::uint64_t a = read_operand(frame, instr, instr.operand(0)) & mask;
+    const std::uint64_t b = read_operand(frame, instr, instr.operand(1)) & mask;
+    const std::int64_t sa = sign_extend(a, bits);
+    const std::int64_t sb = sign_extend(b, bits);
+    switch (instr.opcode()) {
+      case Opcode::Add: return (a + b) & mask;
+      case Opcode::Sub: return (a - b) & mask;
+      case Opcode::Mul: return (a * b) & mask;
+      case Opcode::SDiv: {
+        if (sb == 0) trap(TrapKind::DivideByZero, 0);
+        if (sb == -1 && sa == int_min_of(bits))
+          trap(TrapKind::DivideByZero, 0, "division overflow");  // x86 #DE
+        return static_cast<std::uint64_t>(sa / sb) & mask;
+      }
+      case Opcode::UDiv:
+        if (b == 0) trap(TrapKind::DivideByZero, 0);
+        return (a / b) & mask;
+      case Opcode::SRem: {
+        if (sb == 0) trap(TrapKind::DivideByZero, 0);
+        if (sb == -1 && sa == int_min_of(bits))
+          trap(TrapKind::DivideByZero, 0, "division overflow");  // x86 #DE
+        return static_cast<std::uint64_t>(sa % sb) & mask;
+      }
+      case Opcode::URem:
+        if (b == 0) trap(TrapKind::DivideByZero, 0);
+        return (a % b) & mask;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: {
+        const unsigned amount = shift_amount(b, bits);
+        return (a << amount) & mask;
+      }
+      case Opcode::LShr: {
+        const unsigned amount = shift_amount(b, bits);
+        return (a >> amount) & mask;
+      }
+      case Opcode::AShr: {
+        const unsigned amount = shift_amount(b, bits);
+        return static_cast<std::uint64_t>(sa >> amount) & mask;
+      }
+      default:
+        trap(TrapKind::Unreachable, 0);
+    }
+  }
+
+  /// x86-style shift-count masking so VM and simulator agree.
+  static unsigned shift_amount(std::uint64_t b, unsigned bits) {
+    return static_cast<unsigned>(b & (bits >= 64 ? 63 : 31));
+  }
+
+  static std::int64_t int_min_of(unsigned bits) {
+    return bits >= 64 ? std::numeric_limits<std::int64_t>::min()
+                      : -(std::int64_t{1} << (bits - 1));
+  }
+
+  std::uint64_t eval_fp_binary(Frame& frame, const ir::Instruction& instr) {
+    const double a = double_of(read_operand(frame, instr, instr.operand(0)));
+    const double b = double_of(read_operand(frame, instr, instr.operand(1)));
+    switch (instr.opcode()) {
+      case Opcode::FAdd: return bits_of(a + b);
+      case Opcode::FSub: return bits_of(a - b);
+      case Opcode::FMul: return bits_of(a * b);
+      case Opcode::FDiv: return bits_of(a / b);  // IEEE: inf/NaN, no trap
+      default:
+        trap(TrapKind::Unreachable, 0);
+    }
+  }
+
+  std::uint64_t eval_icmp(Frame& frame, const ir::Instruction& instr) {
+    const auto& cmp = static_cast<const ir::ICmpInst&>(instr);
+    const ir::Type* t = cmp.lhs()->type();
+    const unsigned bits = t->register_bits();
+    const std::uint64_t mask = faultlab::low_mask(bits);
+    const std::uint64_t a = read_operand(frame, instr, cmp.lhs()) & mask;
+    const std::uint64_t b = read_operand(frame, instr, cmp.rhs()) & mask;
+    const std::int64_t sa = sign_extend(a, bits);
+    const std::int64_t sb = sign_extend(b, bits);
+    bool r = false;
+    switch (cmp.predicate()) {
+      case ir::ICmpPred::EQ: r = a == b; break;
+      case ir::ICmpPred::NE: r = a != b; break;
+      case ir::ICmpPred::SLT: r = sa < sb; break;
+      case ir::ICmpPred::SLE: r = sa <= sb; break;
+      case ir::ICmpPred::SGT: r = sa > sb; break;
+      case ir::ICmpPred::SGE: r = sa >= sb; break;
+      case ir::ICmpPred::ULT: r = a < b; break;
+      case ir::ICmpPred::ULE: r = a <= b; break;
+      case ir::ICmpPred::UGT: r = a > b; break;
+      case ir::ICmpPred::UGE: r = a >= b; break;
+    }
+    return r ? 1 : 0;
+  }
+
+  std::uint64_t eval_fcmp(Frame& frame, const ir::Instruction& instr) {
+    const auto& cmp = static_cast<const ir::FCmpInst&>(instr);
+    const double a = double_of(read_operand(frame, instr, cmp.lhs()));
+    const double b = double_of(read_operand(frame, instr, cmp.rhs()));
+    bool r = false;
+    switch (cmp.predicate()) {  // ordered: NaN compares false
+      case ir::FCmpPred::OEQ: r = a == b; break;
+      case ir::FCmpPred::ONE: r = a < b || a > b; break;
+      case ir::FCmpPred::OLT: r = a < b; break;
+      case ir::FCmpPred::OLE: r = a <= b; break;
+      case ir::FCmpPred::OGT: r = a > b; break;
+      case ir::FCmpPred::OGE: r = a >= b; break;
+    }
+    return r ? 1 : 0;
+  }
+
+  std::uint64_t eval_cast(Frame& frame, const ir::Instruction& instr) {
+    const std::uint64_t v = read_operand(frame, instr, instr.operand(0));
+    const ir::Type* from = instr.operand(0)->type();
+    const ir::Type* to = instr.type();
+    switch (instr.opcode()) {
+      case Opcode::Trunc:
+        return v & type_mask(to);
+      case Opcode::ZExt:
+        return v & type_mask(from);
+      case Opcode::SExt:
+        return static_cast<std::uint64_t>(
+                   sign_extend(v, from->int_bits())) & type_mask(to);
+      case Opcode::FPToSI: {
+        const double d = double_of(v);
+        std::int64_t out;
+        // cvttsd2si semantics: out-of-range / NaN -> "integer indefinite".
+        if (std::isnan(d) || d >= 9.2233720368547758e18 ||
+            d < -9.2233720368547758e18) {
+          out = std::numeric_limits<std::int64_t>::min();
+        } else {
+          out = static_cast<std::int64_t>(d);
+        }
+        return static_cast<std::uint64_t>(out) & type_mask(to);
+      }
+      case Opcode::SIToFP:
+        return bits_of(static_cast<double>(
+            sign_extend(v, from->int_bits())));
+      case Opcode::Bitcast:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+        return v & type_mask(to);
+      default:
+        trap(TrapKind::Unreachable, 0);
+    }
+  }
+
+  std::uint64_t eval_gep(Frame& frame, const ir::Instruction& instr) {
+    const auto& gep = static_cast<const ir::GepInst&>(instr);
+    std::uint64_t addr = read_operand(frame, instr, gep.base());
+    const ir::Type* current = gep.base()->type()->pointee();
+    for (unsigned i = 0; i < gep.num_indices(); ++i) {
+      const std::uint64_t raw = read_operand(frame, instr, gep.index(i));
+      const std::int64_t idx =
+          sign_extend(raw, gep.index(i)->type()->register_bits());
+      if (i == 0) {
+        addr += static_cast<std::uint64_t>(
+            idx * static_cast<std::int64_t>(current->size_in_bytes()));
+      } else if (current->is_array()) {
+        current = current->array_element();
+        addr += static_cast<std::uint64_t>(
+            idx * static_cast<std::int64_t>(current->size_in_bytes()));
+      } else {  // struct: verifier guarantees constant index
+        addr += current->struct_field_offset(static_cast<std::size_t>(idx));
+        current = current->struct_fields()[static_cast<std::size_t>(idx)];
+      }
+    }
+    return addr;
+  }
+
+  static constexpr unsigned kMaxCallDepth = 4096;
+
+  const ir::Module& module_;
+  const machine::GlobalLayout& layout_;
+  ExecHook* hook_;
+  RunLimits limits_;
+  machine::Memory memory_;
+  machine::Runtime runtime_;
+  std::uint64_t sp_ = Layout::kStackTop;
+  std::uint64_t executed_ = 0;
+  std::uint64_t next_frame_id_ = 1;
+  unsigned call_depth_ = 0;
+};
+
+Interpreter::Interpreter(const ir::Module& module, ExecHook* hook)
+    : module_(module), hook_(hook), layout_(module) {}
+
+RunResult Interpreter::run(const std::string& entry, const RunLimits& limits) {
+  Impl impl(module_, layout_, hook_, limits);
+  return impl.run(entry);
+}
+
+}  // namespace faultlab::vm

@@ -1,0 +1,108 @@
+// IR interpreter ("the hardware LLFI sees").
+//
+// Executes a verified IR module directly, with an instrumentation hook that
+// observes every dynamic instruction, can rewrite the destination value of
+// any value-producing instruction (fault injection), and observes operand
+// reads (activation tracking). Runtime values are raw 64-bit patterns;
+// their interpretation follows the instruction's static type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/module.h"
+#include "machine/memory.h"
+#include "machine/runtime.h"
+
+namespace faultlab::vm {
+
+/// Identifies a dynamic SSA value: which frame produced it and which
+/// instruction defined it.
+struct DynValueId {
+  std::uint64_t frame = 0;
+  const ir::Instruction* def = nullptr;
+  bool operator==(const DynValueId&) const = default;
+};
+
+/// Instrumentation interface. The default implementation is a no-op, so
+/// plain runs pay almost nothing.
+class ExecHook {
+ public:
+  virtual ~ExecHook() = default;
+  /// Called before executing each dynamic instruction.
+  virtual void on_instruction(const ir::Instruction& instr) { (void)instr; }
+  /// Called with the raw result of a value-producing instruction; the
+  /// returned value is what gets written to the virtual register.
+  virtual std::uint64_t on_result(const DynValueId& id, std::uint64_t raw) {
+    (void)id;
+    return raw;
+  }
+  /// Called when `user` reads the value identified by `id`.
+  virtual void on_operand_read(const DynValueId& id,
+                               const ir::Instruction& user) {
+    (void)id;
+    (void)user;
+  }
+  /// Called when `user` reads formal argument `index` of frame `frame`.
+  virtual void on_argument_read(std::uint64_t frame, unsigned index,
+                                const ir::Instruction& user) {
+    (void)frame;
+    (void)index;
+    (void)user;
+  }
+  /// Called after a load/store computed its address (before the access).
+  virtual void on_memory_access(const ir::Instruction& instr,
+                                std::uint64_t address, unsigned size,
+                                bool is_store) {
+    (void)instr;
+    (void)address;
+    (void)size;
+    (void)is_store;
+  }
+  /// Called when `call` creates callee frame `callee_frame` (after the
+  /// argument operands were read, before the body runs).
+  virtual void on_call(const ir::CallInst& call, std::uint64_t caller_frame,
+                       std::uint64_t callee_frame) {
+    (void)call;
+    (void)caller_frame;
+    (void)callee_frame;
+  }
+};
+
+struct RunLimits {
+  std::uint64_t max_instructions = 200'000'000;
+};
+
+struct RunResult {
+  bool trapped = false;
+  machine::TrapKind trap = machine::TrapKind::UnmappedAccess;
+  bool timed_out = false;
+  std::int64_t exit_value = 0;
+  std::uint64_t dynamic_instructions = 0;
+  std::string output;
+
+  bool completed() const noexcept { return !trapped && !timed_out; }
+};
+
+class Interpreter {
+ public:
+  /// The module must outlive the interpreter, be verifier-clean, and have
+  /// instruction ids assigned (Function::renumber — the frontend, the pass
+  /// pipeline and the verifier all leave modules renumbered). Keeping the
+  /// module logically const here makes concurrent interpreters over one
+  /// module safe, which the campaign runner's thread pool relies on.
+  explicit Interpreter(const ir::Module& module, ExecHook* hook = nullptr);
+
+  /// Executes `entry` (no arguments) to completion; every call starts from
+  /// a fresh memory image.
+  RunResult run(const std::string& entry = "main",
+                const RunLimits& limits = {});
+
+ private:
+  class Impl;
+  const ir::Module& module_;
+  ExecHook* hook_;
+  machine::GlobalLayout layout_;
+};
+
+}  // namespace faultlab::vm

@@ -1,0 +1,56 @@
+#include "x86/category.h"
+
+namespace faultlab::x86 {
+
+namespace {
+
+bool is_arithmetic(const Inst& inst) {
+  switch (inst.op) {
+    case Op::Add: case Op::Sub: case Op::Imul: case Op::And: case Op::Or:
+    case Op::Xor: case Op::Shl: case Op::Sar: case Op::Shr: case Op::Neg:
+    case Op::Not: case Op::Idiv: case Op::Irem:
+    case Op::Lea:  // address arithmetic
+    case Op::Addsd: case Op::Subsd: case Op::Mulsd: case Op::Divsd:
+    case Op::Sqrtsd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cast(const Inst& inst) {
+  return inst.op == Op::Cvtsi2sd || inst.op == Op::Cvttsd2si;
+}
+
+bool is_compare(const Inst& inst) {
+  return inst.op == Op::Cmp || inst.op == Op::Test || inst.op == Op::Ucomisd;
+}
+
+bool is_load(const Inst& inst) {
+  return inst.op == Op::MovRM || inst.op == Op::MovsdRM;
+}
+
+}  // namespace
+
+bool asm_injectable(const Inst& inst, const Inst* next) {
+  if (dest_reg(inst) != kNoReg) return true;
+  return is_compare(inst) && next != nullptr && next->op == Op::Jcc;
+}
+
+bool asm_in_category(const Inst& inst, const Inst* next, Category category) {
+  switch (category) {
+    case Category::Arithmetic:
+      return is_arithmetic(inst);
+    case Category::Cast:
+      return is_cast(inst);
+    case Category::Cmp:
+      return is_compare(inst) && next != nullptr && next->op == Op::Jcc;
+    case Category::Load:
+      return is_load(inst);
+    case Category::All:
+      return dest_reg(inst) != kNoReg;
+  }
+  return false;
+}
+
+}  // namespace faultlab::x86

@@ -1,0 +1,34 @@
+// PINFI's instruction categories (paper Table III, assembly side).
+//
+//   arithmetic — ALU and SSE arithmetic ops, including lea and the
+//                add/imul chains that implement address computation (this
+//                is why PINFI counts *more* arithmetic than LLFI: GEPs
+//                lower to these).
+//   cast       — the 'convert' category: cvtsi2sd / cvttsd2si (movsx/movzx
+//                are data transfer in XED terms and are NOT casts here,
+//                which is why PINFI sees far fewer casts than LLFI).
+//   cmp        — cmp/test/ucomisd whose *next executed instruction* is a
+//                conditional branch (the paper's selection criterion).
+//   load       — mov with memory source and register destination (movsd
+//                loads included).
+//   all        — every instruction with a register destination.
+#pragma once
+
+#include "ir/category.h"  // reuse the Category enum (names match Table III)
+#include "x86/isa.h"
+
+namespace faultlab::x86 {
+
+using ir::Category;
+
+/// True when `inst` belongs to `category`. `next` is the following
+/// instruction in program order (null at function end) — needed for the
+/// 'cmp' category's next-is-conditional-branch rule.
+bool asm_in_category(const Inst& inst, const Inst* next, Category category);
+
+/// True when the instruction can be a PINFI injection target at all:
+/// either it has a register destination, or it is a flag-writing compare
+/// followed by a conditional branch (injected via its dependent flag bits).
+bool asm_injectable(const Inst& inst, const Inst* next);
+
+}  // namespace faultlab::x86

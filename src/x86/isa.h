@@ -1,0 +1,175 @@
+// x86-64-flavoured ISA used by the backend and the machine simulator.
+//
+// The instruction inventory and semantics follow x86-64 where it matters to
+// the paper's study: [base + index*scale + disp] addressing, an EFLAGS
+// register with CF/PF/ZF/SF/OF at their real bit positions, cmp/test + jcc
+// pairs, push/pop/call/ret through simulated stack memory, 32-bit ops
+// zero-extending into 64-bit registers, and SSE scalar doubles in 128-bit
+// XMM registers (of which double ops use only the low 64 bits — the target
+// of PINFI's pruning heuristic).
+//
+// Documented deviations from real x86 (none affect the studied phenomena):
+//  * idiv/irem are two-address pseudos (dst = dst op src) instead of using
+//    implicit RDX:RAX, and variable shift counts may come from any register
+//    (like BMI2 shlx). This avoids pre-colored registers in the allocator.
+//  * fcmp-oeq/one lower to ucomisd plus a fused condition (ZF && !PF);
+//    real compilers emit a two-jump sequence for the same flag bits.
+//  * The calling convention passes arguments on the stack and treats every
+//    register as callee-saved (prologue pushes / epilogue pops each one the
+//    function touches); return values travel in RAX / XMM0. This produces
+//    the caller/callee save traffic of the paper's Table I row 3
+//    explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultlab::x86 {
+
+// ---------------------------------------------------------------------------
+// Registers
+
+/// General-purpose registers; values < kNumGprs are physical.
+using RegId = std::uint32_t;
+
+inline constexpr RegId RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5,
+                       RSI = 6, RDI = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11,
+                       R12 = 12, R13 = 13, R14 = 14, R15 = 15;
+inline constexpr unsigned kNumGprs = 16;
+inline constexpr unsigned kNumXmms = 16;
+
+/// XMM registers use the same RegId space offset by kXmmBase (physical
+/// XMMi == kXmmBase + i). Virtual registers start at the bases below and
+/// are eliminated by register allocation before emission.
+inline constexpr RegId kXmmBase = 32;
+inline constexpr RegId kVGprBase = 1u << 10;
+inline constexpr RegId kVXmmBase = 1u << 20;
+inline constexpr RegId kNoReg = 0xffffffff;
+
+inline bool is_phys_gpr(RegId r) { return r < kNumGprs; }
+inline bool is_phys_xmm(RegId r) { return r >= kXmmBase && r < kXmmBase + kNumXmms; }
+inline bool is_virtual(RegId r) { return r >= kVGprBase && r != kNoReg; }
+inline bool is_gpr_class(RegId r) {
+  return is_phys_gpr(r) || (r >= kVGprBase && r < kVXmmBase);
+}
+inline bool is_xmm_class(RegId r) {
+  return is_phys_xmm(r) || r >= kVXmmBase;
+}
+
+std::string reg_name(RegId r, unsigned width_bytes = 8);
+
+// ---------------------------------------------------------------------------
+// Flags (bit positions as in real RFLAGS)
+
+inline constexpr unsigned kFlagCF = 0;
+inline constexpr unsigned kFlagPF = 2;
+inline constexpr unsigned kFlagZF = 6;
+inline constexpr unsigned kFlagSF = 7;
+inline constexpr unsigned kFlagOF = 11;
+
+// ---------------------------------------------------------------------------
+// Conditions
+
+enum class Cond : std::uint8_t {
+  E, NE, L, LE, G, GE, B, BE, A, AE, P, NP,
+  FpEq,  // ZF && !PF   (ordered double equality, fused)
+  FpNe,  // !ZF && !PF  (ordered inequality: false when unordered)
+};
+
+const char* cond_name(Cond c) noexcept;
+/// EFLAGS bit positions this condition reads (PINFI's flag-dependence set).
+std::vector<unsigned> cond_flag_bits(Cond c);
+/// Evaluates the condition against an RFLAGS value.
+bool cond_holds(Cond c, std::uint64_t rflags) noexcept;
+
+// ---------------------------------------------------------------------------
+// Memory operands:  [base + index*scale + disp]
+
+struct MemOperand {
+  RegId base = kNoReg;   // kNoReg => absolute addressing (globals)
+  RegId index = kNoReg;
+  std::uint8_t scale = 1;  // 1, 2, 4 or 8
+  std::int64_t disp = 0;
+
+  bool has_base() const noexcept { return base != kNoReg; }
+  bool has_index() const noexcept { return index != kNoReg; }
+};
+
+// ---------------------------------------------------------------------------
+// Opcodes
+
+enum class Op : std::uint8_t {
+  // Data movement (integer).
+  MovRR, MovRI,
+  MovRM,   // load: reg <- [mem]
+  MovMR,   // store: [mem] <- reg
+  MovMI,   // store immediate
+  MovzxRR, MovzxRM, MovsxRR, MovsxRM,  // src_width-sized source
+  Lea,
+  Push, Pop,
+  // Integer ALU (two-address: dst = dst op src, src = reg/imm/mem).
+  Add, Sub, Imul, And, Or, Xor, Shl, Sar, Shr,
+  Neg, Not,                 // one-address
+  Idiv, Irem,               // pseudo two-address (see header comment)
+  Cmp, Test,                // flags only
+  Setcc, Cmov,
+  // Control flow.
+  Jmp, Jcc, Call, CallBuiltin, Ret,
+  // SSE scalar double.
+  MovsdRR, MovsdRM, MovsdMR,
+  Addsd, Subsd, Mulsd, Divsd,  // two-address on xmm, src = xmm/mem
+  Sqrtsd,                      // dst = sqrt(src)
+  Ucomisd,                     // flags only, src = xmm/mem
+  Cvtsi2sd,  // xmm <- gpr (width-sized signed int)
+  Cvttsd2si, // gpr <- xmm (truncating)
+  MovqXR,    // xmm <- gpr raw bits
+  MovqRX,    // gpr <- xmm raw bits
+};
+
+const char* op_name(Op op) noexcept;
+
+enum class SrcKind : std::uint8_t { None, Reg, Imm, Mem };
+
+/// One decoded instruction. The backend builds these with virtual register
+/// ids and label-valued jump targets; emission resolves both.
+struct Inst {
+  Op op{};
+  std::uint8_t width = 8;      // operand width in bytes (int ops): 1,2,4,8
+  std::uint8_t src_width = 0;  // movzx/movsx/cvtsi2sd source width
+  SrcKind src_kind = SrcKind::None;
+  Cond cond = Cond::E;
+
+  RegId dst = kNoReg;  // GPR or XMM depending on op
+  RegId src = kNoReg;
+  MemOperand mem;      // load/store/lea target or memory source
+  std::int64_t imm = 0;
+
+  /// Jcc/Jmp: block label before emission, instruction index after.
+  /// Call: callee function ordinal before emission, entry index after.
+  /// CallBuiltin: builtin ordinal (stable).
+  std::int64_t target = -1;
+
+  /// Number of 8-byte argument slots a Call/CallBuiltin consumes; used by
+  /// the simulator to locate builtin args at [rsp..].
+  std::uint16_t arg_slots = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Structural queries (used by liveness, the register allocator, the
+// categorizer and PINFI's activation tracking).
+
+/// Registers read by the instruction (including address registers).
+void collect_reads(const Inst& inst, std::vector<RegId>& out);
+/// Register written by the instruction, or kNoReg. (Our ISA has at most one
+/// explicit register destination per instruction.)
+RegId dest_reg(const Inst& inst) noexcept;
+/// True when the destination write fully overwrites the register (width >=
+/// 4 for GPRs due to x86 zero-extension; 1/2-byte writes merge).
+bool dest_fully_overwrites(const Inst& inst) noexcept;
+/// True when the instruction writes EFLAGS.
+bool writes_flags(const Inst& inst) noexcept;
+/// True when the instruction reads EFLAGS (Jcc/Setcc/Cmov).
+bool reads_flags(const Inst& inst) noexcept;
+
+}  // namespace faultlab::x86

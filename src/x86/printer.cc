@@ -1,0 +1,159 @@
+#include "x86/printer.h"
+
+#include <sstream>
+
+namespace faultlab::x86 {
+
+namespace {
+
+std::string mem_str(const MemOperand& mem) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  if (mem.has_base()) {
+    os << reg_name(mem.base);
+    first = false;
+  }
+  if (mem.has_index()) {
+    if (!first) os << " + ";
+    os << reg_name(mem.index);
+    if (mem.scale != 1) os << "*" << static_cast<int>(mem.scale);
+    first = false;
+  }
+  if (mem.disp != 0 || first) {
+    if (!first) os << (mem.disp >= 0 ? " + " : " - ");
+    os << "0x" << std::hex << (mem.disp >= 0 ? mem.disp : -mem.disp);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string src_str(const Inst& inst, bool xmm_src) {
+  switch (inst.src_kind) {
+    case SrcKind::Reg:
+      return reg_name(inst.src, xmm_src ? 8 : inst.width);
+    case SrcKind::Imm:
+      return std::to_string(inst.imm);
+    case SrcKind::Mem:
+      return mem_str(inst.mem);
+    case SrcKind::None:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string to_string(const Inst& inst) {
+  std::ostringstream os;
+  const unsigned w = inst.width;
+  switch (inst.op) {
+    case Op::MovRR: case Op::MovRI:
+      os << "mov " << reg_name(inst.dst, w) << ", " << src_str(inst, false);
+      break;
+    case Op::MovRM:
+      os << "mov " << reg_name(inst.dst, w) << ", " << mem_str(inst.mem);
+      break;
+    case Op::MovMR:
+      os << "mov " << mem_str(inst.mem) << ", " << reg_name(inst.dst, w);
+      break;
+    case Op::MovMI:
+      os << "mov" << (w == 8 ? " qword " : w == 4 ? " dword " : w == 2 ? " word " : " byte ")
+         << mem_str(inst.mem) << ", " << inst.imm;
+      break;
+    case Op::MovzxRR: case Op::MovsxRR:
+      os << op_name(inst.op) << " " << reg_name(inst.dst, 8) << ", "
+         << reg_name(inst.src, inst.src_width);
+      break;
+    case Op::MovzxRM: case Op::MovsxRM:
+      os << op_name(inst.op) << " " << reg_name(inst.dst, 8) << ", "
+         << (inst.src_width == 1 ? "byte " : inst.src_width == 2 ? "word " : "dword ")
+         << mem_str(inst.mem);
+      break;
+    case Op::Lea:
+      os << "lea " << reg_name(inst.dst, 8) << ", " << mem_str(inst.mem);
+      break;
+    case Op::Push: os << "push " << reg_name(inst.dst, 8); break;
+    case Op::Pop: os << "pop " << reg_name(inst.dst, 8); break;
+    case Op::Add: case Op::Sub: case Op::Imul: case Op::And: case Op::Or:
+    case Op::Xor: case Op::Shl: case Op::Sar: case Op::Shr: case Op::Idiv:
+    case Op::Irem: case Op::Cmp: case Op::Test: case Op::Cmov:
+      os << op_name(inst.op);
+      if (inst.op == Op::Cmov) os << cond_name(inst.cond);
+      os << " " << reg_name(inst.dst, w) << ", " << src_str(inst, false);
+      break;
+    case Op::Neg: case Op::Not:
+      os << op_name(inst.op) << " " << reg_name(inst.dst, w);
+      break;
+    case Op::Setcc:
+      os << "set" << cond_name(inst.cond) << " " << reg_name(inst.dst, 1);
+      break;
+    case Op::Jmp:
+      os << "jmp L" << inst.target;
+      break;
+    case Op::Jcc:
+      os << "j" << cond_name(inst.cond) << " L" << inst.target;
+      break;
+    case Op::Call:
+      os << "call F" << inst.target << " (" << inst.arg_slots << " slots)";
+      break;
+    case Op::CallBuiltin:
+      os << "callb B" << inst.target << " (" << inst.arg_slots << " slots)";
+      break;
+    case Op::Ret:
+      os << "ret";
+      break;
+    case Op::MovsdRR:
+      os << "movsd " << reg_name(inst.dst) << ", " << reg_name(inst.src);
+      break;
+    case Op::MovsdRM:
+      os << "movsd " << reg_name(inst.dst) << ", " << mem_str(inst.mem);
+      break;
+    case Op::MovsdMR:
+      os << "movsd " << mem_str(inst.mem) << ", " << reg_name(inst.dst);
+      break;
+    case Op::Addsd: case Op::Subsd: case Op::Mulsd: case Op::Divsd:
+    case Op::Sqrtsd: case Op::Ucomisd:
+      os << op_name(inst.op) << " " << reg_name(inst.dst) << ", "
+         << src_str(inst, true);
+      break;
+    case Op::Cvtsi2sd:
+      os << "cvtsi2sd " << reg_name(inst.dst) << ", "
+         << reg_name(inst.src, inst.src_width);
+      break;
+    case Op::Cvttsd2si:
+      os << "cvttsd2si " << reg_name(inst.dst, w) << ", " << reg_name(inst.src);
+      break;
+    case Op::MovqXR:
+      os << "movq " << reg_name(inst.dst) << ", " << reg_name(inst.src, 8);
+      break;
+    case Op::MovqRX:
+      os << "movq " << reg_name(inst.dst, 8) << ", " << reg_name(inst.src);
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const MachineFunction& mf) {
+  std::ostringstream os;
+  os << mf.name << ":\n";
+  for (const auto& block : mf.blocks) {
+    os << "L" << block.label;
+    if (!block.name.empty()) os << " (" << block.name << ")";
+    os << ":\n";
+    for (const auto& inst : block.insts) os << "  " << to_string(inst) << "\n";
+  }
+  return os.str();
+}
+
+std::string to_string(const Program& program) {
+  std::ostringstream os;
+  for (const auto& fn : program.functions) {
+    os << fn.name << ":  ; entry=" << fn.entry << "\n";
+    for (std::size_t i = fn.entry; i < fn.entry + fn.size; ++i)
+      os << "  " << i << ": " << to_string(program.code[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace faultlab::x86

@@ -1,0 +1,15 @@
+// Textual disassembly (Intel-ish syntax) for machine functions and emitted
+// programs; used by tests and the compiler-explorer example.
+#pragma once
+
+#include <string>
+
+#include "x86/program.h"
+
+namespace faultlab::x86 {
+
+std::string to_string(const Inst& inst);
+std::string to_string(const MachineFunction& mf);
+std::string to_string(const Program& program);
+
+}  // namespace faultlab::x86

@@ -1,0 +1,32 @@
+#include "x86/program.h"
+
+#include "machine/memory.h"
+
+namespace faultlab::x86 {
+
+MBlock* MachineFunction::block_by_label(std::int64_t label) {
+  for (auto& b : blocks)
+    if (b.label == label) return &b;
+  return nullptr;
+}
+
+std::uint64_t Program::address_of_index(std::size_t index) {
+  return machine::Layout::kCodeBase + 16 * static_cast<std::uint64_t>(index);
+}
+
+std::int64_t Program::index_of_address(std::uint64_t address) const {
+  if (address < machine::Layout::kCodeBase) return -1;
+  const std::uint64_t offset = address - machine::Layout::kCodeBase;
+  if (offset % 16 != 0) return -1;
+  const std::uint64_t index = offset / 16;
+  if (index >= code.size()) return -1;
+  return static_cast<std::int64_t>(index);
+}
+
+const FunctionInfo* Program::function_by_name(const std::string& name) const {
+  for (const auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+}  // namespace faultlab::x86

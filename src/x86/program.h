@@ -1,0 +1,89 @@
+// Machine program containers.
+//
+// The backend builds MachineFunctions (blocks of Insts with virtual
+// registers and label-valued jumps); after register allocation and frame
+// lowering, emission flattens everything into a Program the simulator
+// executes directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "x86/isa.h"
+
+namespace faultlab::x86 {
+
+/// A machine basic block; `label` is referenced by Jmp/Jcc targets.
+struct MBlock {
+  std::int64_t label = 0;
+  std::string name;
+  std::vector<Inst> insts;
+  /// Index of the first instruction of the terminator sequence (cmp+jcc,
+  /// jmp, or ret with its preceding return-value move). Phi copies insert
+  /// before this point.
+  std::size_t terminator_begin = 0;
+};
+
+struct FrameInfo {
+  /// Total frame bytes below RBP (allocas + spill slots), 16-aligned.
+  std::uint64_t size = 0;
+  /// Physical GPRs the function must save/restore (computed post-RA).
+  std::vector<RegId> saved_gprs;
+};
+
+struct MachineFunction {
+  std::string name;
+  std::size_t func_ordinal = 0;  // index within the module/program
+  std::vector<MBlock> blocks;
+  FrameInfo frame;
+  RegId next_vgpr = kVGprBase;
+  RegId next_vxmm = kVXmmBase;
+
+  RegId fresh_gpr() { return next_vgpr++; }
+  RegId fresh_xmm() { return next_vxmm++; }
+  MBlock* block_by_label(std::int64_t label);
+};
+
+/// Signature info the simulator needs to marshal builtin arguments.
+struct BuiltinSig {
+  std::string name;
+  bool returns_double = false;
+  bool returns_value = false;
+  std::vector<bool> arg_is_double;
+};
+
+struct FunctionInfo {
+  std::string name;
+  std::size_t entry = 0;  // instruction index of the prologue
+  std::size_t size = 0;   // number of instructions
+};
+
+/// Flat executable image. `code[i]`'s simulated address is
+/// machine::Layout::kCodeBase + 16*i (return addresses on the simulated
+/// stack use these addresses, so corrupted return addresses trap
+/// realistically).
+struct DataSegment {
+  std::uint64_t address = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct Program {
+  std::vector<Inst> code;
+  std::vector<FunctionInfo> functions;
+  std::vector<BuiltinSig> builtins;
+  /// Initialized data (the module's globals), materialized at startup.
+  std::vector<DataSegment> data;
+  std::uint64_t data_size = 0;  // total global region size
+  std::size_t entry_index = 0;  // main's prologue
+
+  static std::uint64_t address_of_index(std::size_t index);
+  /// Returns the instruction index for a simulated code address, or -1 when
+  /// the address is not a valid instruction boundary.
+  std::int64_t index_of_address(std::uint64_t address) const;
+
+  const FunctionInfo* function_by_name(const std::string& name) const;
+};
+
+}  // namespace faultlab::x86

@@ -1,0 +1,70 @@
+// Machine simulator for the x86-flavoured ISA — the "hardware + PIN" that
+// PINFI instruments. Executes a Program against the shared memory model,
+// with a hook interface that can observe every dynamic instruction and
+// mutate machine state after an instruction retires (fault injection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/memory.h"
+#include "machine/runtime.h"
+#include "x86/program.h"
+
+namespace faultlab::x86 {
+
+/// Full architectural state, exposed to hooks so injectors can flip bits in
+/// destination registers, XMM lanes, or EFLAGS.
+struct MachineState {
+  std::uint64_t gpr[kNumGprs] = {};
+  std::uint64_t xmm[kNumXmms][2] = {};  // [0] = low 64 bits, [1] = high
+  std::uint64_t rflags = 0;
+  std::uint64_t rip_index = 0;  // instruction index, not byte address
+};
+
+class SimHook {
+ public:
+  virtual ~SimHook() = default;
+  /// Called before executing instruction `code[index]`.
+  virtual void on_before(std::size_t index, const Inst& inst) {
+    (void)index;
+    (void)inst;
+  }
+  /// Called after the instruction retires; the hook may mutate `state`
+  /// (this is where PINFI's bit flips land).
+  virtual void on_after(std::size_t index, const Inst& inst,
+                        MachineState& state) {
+    (void)index;
+    (void)inst;
+    (void)state;
+  }
+};
+
+struct SimLimits {
+  std::uint64_t max_instructions = 400'000'000;
+};
+
+struct SimResult {
+  bool trapped = false;
+  machine::TrapKind trap = machine::TrapKind::UnmappedAccess;
+  bool timed_out = false;
+  std::int64_t exit_value = 0;
+  std::uint64_t dynamic_instructions = 0;
+  std::string output;
+
+  bool completed() const noexcept { return !trapped && !timed_out; }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Program& program, SimHook* hook = nullptr);
+
+  /// Runs the program's entry function to completion on a fresh machine.
+  SimResult run(const SimLimits& limits = {});
+
+ private:
+  const Program& program_;
+  SimHook* hook_;
+};
+
+}  // namespace faultlab::x86

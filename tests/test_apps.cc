@@ -1,0 +1,188 @@
+// Benchmark application tests: every mini app compiles, runs to completion
+// on both engines with identical output, produces its self-check values,
+// and exposes a healthy instruction-category mix for the experiments.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/apps.h"
+#include "driver/pipeline.h"
+#include "fault/llfi.h"
+#include "fault/pinfi.h"
+
+namespace faultlab::apps {
+namespace {
+
+class AppCase : public ::testing::TestWithParam<const char*> {
+ protected:
+  driver::CompiledProgram compile_app() {
+    return driver::compile(benchmark(GetParam()).source, GetParam());
+  }
+};
+
+TEST_P(AppCase, CompilesAndRunsOnBothEngines) {
+  auto prog = compile_app();
+  const auto r_ir = prog.run_ir();
+  const auto r_asm = prog.run_asm();
+  ASSERT_TRUE(r_ir.completed()) << "IR run failed";
+  ASSERT_TRUE(r_asm.completed()) << "ASM run failed";
+  EXPECT_EQ(r_ir.output, r_asm.output);
+  EXPECT_EQ(r_ir.exit_value, r_asm.exit_value);
+  EXPECT_FALSE(r_ir.output.empty());
+}
+
+TEST_P(AppCase, DeterministicAcrossRuns) {
+  auto prog = compile_app();
+  EXPECT_EQ(prog.run_ir().output, prog.run_ir().output);
+  EXPECT_EQ(prog.run_asm().output, prog.run_asm().output);
+}
+
+TEST_P(AppCase, ReasonableDynamicSize) {
+  // Large enough for meaningful injection sampling, small enough for
+  // thousand-trial campaigns.
+  auto prog = compile_app();
+  const auto r = prog.run_ir();
+  EXPECT_GT(r.dynamic_instructions, 100'000u);
+  EXPECT_LT(r.dynamic_instructions, 50'000'000u);
+}
+
+TEST_P(AppCase, HasInjectionTargetsInMainCategories) {
+  auto prog = compile_app();
+  fault::LlfiEngine llfi(prog.module());
+  fault::PinfiEngine pinfi(prog.program());
+  for (ir::Category c : {ir::Category::Arithmetic, ir::Category::Cmp,
+                         ir::Category::Load, ir::Category::All}) {
+    EXPECT_GT(llfi.profile(c), 0u) << ir::category_name(c);
+    EXPECT_GT(pinfi.profile(c), 0u) << ir::category_name(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppCase,
+                         ::testing::Values("bzip2", "libquantum", "ocean",
+                                           "hmmer", "mcf", "raytrace"));
+
+TEST(AppsRegistry, HasSixInPaperOrder) {
+  const auto& all = all_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "bzip2");
+  EXPECT_EQ(all[1].name, "libquantum");
+  EXPECT_EQ(all[2].name, "ocean");
+  EXPECT_EQ(all[3].name, "hmmer");
+  EXPECT_EQ(all[4].name, "mcf");
+  EXPECT_EQ(all[5].name, "raytrace");
+  EXPECT_THROW(benchmark("gcc"), std::out_of_range);
+  for (const auto& b : all) {
+    EXPECT_FALSE(b.description.empty());
+    EXPECT_FALSE(b.suite.empty());
+    EXPECT_FALSE(b.input.empty());
+  }
+}
+
+TEST(AppBzip2, RoundTripIsLossless) {
+  auto prog = driver::compile(benchmark("bzip2").source, "bzip2");
+  const auto r = prog.run_ir();
+  ASSERT_TRUE(r.completed());
+  // Exit code is the mismatch count; the compressed stream must decode
+  // back to the exact input.
+  EXPECT_EQ(r.exit_value, 0);
+  // Compression actually compresses: packed size (3rd line) < input (1st).
+  std::istringstream in(r.output);
+  long n = 0, rle_n = 0, packed_n = 0;
+  in >> n >> rle_n >> packed_n;
+  EXPECT_EQ(n, 4096);
+  EXPECT_LT(rle_n, n);
+  EXPECT_LT(packed_n, n);
+}
+
+TEST(AppLibquantum, GroverAmplifiesMarkedState) {
+  auto prog = driver::compile(benchmark("libquantum").source, "libquantum");
+  const auto r = prog.run_ir();
+  ASSERT_TRUE(r.completed());
+  std::istringstream in(r.output);
+  long p_marked = 0, total = 0;
+  in >> p_marked >> total;
+  // Marked-state probability far above uniform (1/256 ~ 3906 ppm).
+  EXPECT_GT(p_marked, 500000);  // > 50%
+  // Norm is preserved (~1.0 in ppm).
+  EXPECT_NEAR(total, 1000000, 2000);
+}
+
+TEST(AppOcean, RelaxationReducesResidual) {
+  auto prog = driver::compile(benchmark("ocean").source, "ocean");
+  const auto r = prog.run_ir();
+  ASSERT_TRUE(r.completed());
+  std::istringstream in(r.output);
+  long first_ppb = 0, final_ppb = 0;
+  in >> first_ppb >> final_ppb;
+  // Relaxation must shrink the residual by orders of magnitude.
+  EXPECT_GT(first_ppb, 0);
+  EXPECT_LT(final_ppb, first_ppb / 10);
+}
+
+TEST(AppHmmer, HomologousSequencesScoreHigher) {
+  auto prog = driver::compile(benchmark("hmmer").source, "hmmer");
+  const auto r = prog.run_ir();
+  ASSERT_TRUE(r.completed());
+  std::istringstream in(r.output);
+  long nseq = 0, hits = 0, best = 0, best_seq = 0;
+  in >> nseq >> hits >> best >> best_seq;
+  EXPECT_EQ(nseq, 12);
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, nseq);       // only the biased third scores high
+  EXPECT_EQ(best_seq % 3, 0);  // a homologous (biased) sequence wins
+}
+
+TEST(AppMcf, FlowIsConsistent) {
+  auto prog = driver::compile(benchmark("mcf").source, "mcf");
+  const auto r = prog.run_ir();
+  ASSERT_TRUE(r.completed());
+  std::istringstream in(r.output);
+  long flow = 0, cost = 0, augmentations = 0, violations = 0;
+  in >> flow >> cost >> augmentations >> violations;
+  EXPECT_GT(flow, 0);
+  EXPECT_GT(cost, 0);
+  EXPECT_GT(augmentations, 0);
+  EXPECT_EQ(violations, 0);  // conservation holds at every internal node
+}
+
+TEST(AppRaytrace, ImageHasStructure) {
+  auto prog = driver::compile(benchmark("raytrace").source, "raytrace");
+  const auto r = prog.run_ir();
+  ASSERT_TRUE(r.completed());
+  std::istringstream in(r.output);
+  long check = 0, bright = 0, center = 0, corner = 0;
+  in >> check >> bright >> center >> corner;
+  // Center pixel hits the main sphere; a corner sees mostly sky.
+  EXPECT_GT(center, 0);
+  EXPECT_NE(center, corner);
+  EXPECT_GT(bright, 784);  // not a black image
+  EXPECT_LT(bright, 784 * 255);  // not saturated
+}
+
+TEST(Apps, CategoryMixMatchesPaperShape) {
+  // Aggregate over all six apps: LLFI sees more 'all' and 'load'
+  // instructions than PINFI; cmp counts are comparable (Table IV).
+  std::uint64_t llfi_all = 0, pinfi_all = 0;
+  std::uint64_t llfi_load = 0, pinfi_load = 0;
+  std::uint64_t llfi_cmp = 0, pinfi_cmp = 0;
+  for (const auto& b : all_benchmarks()) {
+    auto prog = driver::compile(b.source, b.name);
+    fault::LlfiEngine llfi(prog.module());
+    fault::PinfiEngine pinfi(prog.program());
+    llfi_all += llfi.profile(ir::Category::All);
+    pinfi_all += pinfi.profile(ir::Category::All);
+    llfi_load += llfi.profile(ir::Category::Load);
+    pinfi_load += pinfi.profile(ir::Category::Load);
+    llfi_cmp += llfi.profile(ir::Category::Cmp);
+    pinfi_cmp += pinfi.profile(ir::Category::Cmp);
+  }
+  EXPECT_GT(llfi_all, pinfi_all);
+  EXPECT_GT(llfi_load, pinfi_load);
+  const double cmp_ratio =
+      static_cast<double>(llfi_cmp) / static_cast<double>(pinfi_cmp);
+  EXPECT_GT(cmp_ratio, 0.7);
+  EXPECT_LT(cmp_ratio, 1.4);
+}
+
+}  // namespace
+}  // namespace faultlab::apps

@@ -1,0 +1,164 @@
+// Unit tests for dominator tree and dominance frontier computation.
+#include <gtest/gtest.h>
+
+#include "ir/dominance.h"
+#include "ir/irbuilder.h"
+
+namespace faultlab::ir {
+namespace {
+
+/// Diamond: entry -> (a, b) -> merge -> exit.
+struct Diamond {
+  Module m{"t"};
+  Function* f = nullptr;
+  BasicBlock *entry, *a, *b, *merge, *exit;
+
+  Diamond() {
+    auto& t = m.types();
+    f = m.create_function(t.func_type(t.void_type(), {}), "f");
+    entry = f->create_block("entry");
+    a = f->create_block("a");
+    b = f->create_block("b");
+    merge = f->create_block("merge");
+    exit = f->create_block("exit");
+    IRBuilder builder(m);
+    builder.set_insert_point(entry);
+    builder.cond_br(m.const_i1(true), a, b);
+    builder.set_insert_point(a);
+    builder.br(merge);
+    builder.set_insert_point(b);
+    builder.br(merge);
+    builder.set_insert_point(merge);
+    builder.br(exit);
+    builder.set_insert_point(exit);
+    builder.ret_void();
+    f->renumber();
+  }
+};
+
+TEST(Dominance, DiamondIdoms) {
+  Diamond d;
+  DominatorTree dom(*d.f);
+  EXPECT_EQ(dom.idom(d.entry), nullptr);
+  EXPECT_EQ(dom.idom(d.a), d.entry);
+  EXPECT_EQ(dom.idom(d.b), d.entry);
+  EXPECT_EQ(dom.idom(d.merge), d.entry);  // not a, not b
+  EXPECT_EQ(dom.idom(d.exit), d.merge);
+}
+
+TEST(Dominance, DominatesIsReflexiveAndTransitive) {
+  Diamond d;
+  DominatorTree dom(*d.f);
+  EXPECT_TRUE(dom.dominates(d.entry, d.entry));
+  EXPECT_TRUE(dom.dominates(d.entry, d.exit));
+  EXPECT_TRUE(dom.dominates(d.merge, d.exit));
+  EXPECT_FALSE(dom.dominates(d.a, d.merge));
+  EXPECT_FALSE(dom.dominates(d.a, d.b));
+}
+
+TEST(Dominance, DiamondFrontiers) {
+  Diamond d;
+  DominatorTree dom(*d.f);
+  EXPECT_EQ(dom.frontier(d.a), std::set<const BasicBlock*>{d.merge});
+  EXPECT_EQ(dom.frontier(d.b), std::set<const BasicBlock*>{d.merge});
+  EXPECT_TRUE(dom.frontier(d.entry).empty());
+  EXPECT_TRUE(dom.frontier(d.merge).empty());
+}
+
+TEST(Dominance, LoopFrontierIncludesHeader) {
+  // entry -> header -> body -> header (back edge); header -> exit.
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.void_type(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* header = f->create_block("header");
+  BasicBlock* body = f->create_block("body");
+  BasicBlock* exit = f->create_block("exit");
+  IRBuilder b(m);
+  b.set_insert_point(entry);
+  b.br(header);
+  b.set_insert_point(header);
+  b.cond_br(m.const_i1(true), body, exit);
+  b.set_insert_point(body);
+  b.br(header);
+  b.set_insert_point(exit);
+  b.ret_void();
+  f->renumber();
+
+  DominatorTree dom(*f);
+  EXPECT_EQ(dom.idom(body), header);
+  EXPECT_EQ(dom.idom(exit), header);
+  // The body's frontier contains the loop header (phi placement point).
+  EXPECT_TRUE(dom.frontier(body).count(header));
+  EXPECT_TRUE(dom.frontier(header).count(header));
+}
+
+TEST(Dominance, UnreachableBlocksHandled) {
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.void_type(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* dead = f->create_block("dead");
+  IRBuilder b(m);
+  b.set_insert_point(entry);
+  b.ret_void();
+  b.set_insert_point(dead);
+  b.ret_void();
+  f->renumber();
+
+  DominatorTree dom(*f);
+  EXPECT_TRUE(dom.reachable(entry));
+  EXPECT_FALSE(dom.reachable(dead));
+  EXPECT_EQ(dom.reverse_postorder().size(), 1u);
+}
+
+TEST(Dominance, ValueDominatesWithinBlock) {
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.i32(), {t.i32()}), "f");
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Value* x = b.add(f->arg(0), m.const_i32(1));
+  Value* y = b.mul(x, m.const_i32(2));
+  b.ret(y);
+  f->renumber();
+
+  DominatorTree dom(*f);
+  auto* xi = static_cast<Instruction*>(x);
+  auto* yi = static_cast<Instruction*>(y);
+  EXPECT_TRUE(dom.value_dominates(xi, yi));
+  EXPECT_FALSE(dom.value_dominates(yi, xi));
+}
+
+TEST(Dominance, PhiUsesReadOnIncomingEdges) {
+  // Loop phi that uses a value defined in the body: the def must dominate
+  // the body (the incoming block), not the phi itself.
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.i32(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* header = f->create_block("header");
+  BasicBlock* body = f->create_block("body");
+  BasicBlock* exit = f->create_block("exit");
+  IRBuilder b(m);
+  b.set_insert_point(entry);
+  b.br(header);
+  b.set_insert_point(header);
+  PhiInst* phi = b.phi(t.i32());
+  Value* cond = b.icmp(ICmpPred::SLT, phi, m.const_i32(10));
+  b.cond_br(cond, body, exit);
+  b.set_insert_point(body);
+  Value* next = b.add(phi, m.const_i32(1));
+  b.br(header);
+  b.set_insert_point(exit);
+  b.ret(phi);
+  phi->add_incoming(m.const_i32(0), entry);
+  phi->add_incoming(next, body);
+  f->renumber();
+
+  DominatorTree dom(*f);
+  EXPECT_TRUE(dom.value_dominates(static_cast<Instruction*>(next), phi));
+}
+
+}  // namespace
+}  // namespace faultlab::ir

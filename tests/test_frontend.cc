@@ -1,0 +1,428 @@
+// Frontend tests: lexer tokens, parser structure/errors, sema rules, and
+// codegen behaviour checked by executing small programs on the VM.
+#include <gtest/gtest.h>
+
+#include "frontend/codegen.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "vm/interpreter.h"
+
+namespace faultlab::mc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(Lexer, TokenizesOperatorsGreedily) {
+  auto toks = tokenize("a <<= b >> c <= d < e -> f ->");
+  std::vector<Tok> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds[1], Tok::ShlAssign);
+  EXPECT_EQ(kinds[3], Tok::Shr);
+  EXPECT_EQ(kinds[5], Tok::Le);
+  EXPECT_EQ(kinds[7], Tok::Lt);
+  EXPECT_EQ(kinds[9], Tok::Arrow);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto toks = tokenize("0 42 0x1F 123L 7l");
+  EXPECT_EQ(toks[0].int_value, 0u);
+  EXPECT_EQ(toks[1].int_value, 42u);
+  EXPECT_EQ(toks[2].int_value, 31u);
+  EXPECT_EQ(toks[3].int_value, 123u);
+  EXPECT_EQ(toks[3].text, "L");
+  EXPECT_EQ(toks[4].text, "L");
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto toks = tokenize("1.5 2.0e3 4e-2");
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 0.04);
+}
+
+TEST(Lexer, CharAndStringEscapes) {
+  auto toks = tokenize(R"('a' '\n' '\0' "hi\tthere")");
+  EXPECT_EQ(toks[0].int_value, static_cast<std::uint64_t>('a'));
+  EXPECT_EQ(toks[1].int_value, static_cast<std::uint64_t>('\n'));
+  EXPECT_EQ(toks[2].int_value, 0u);
+  EXPECT_EQ(toks[3].text, "hi\tthere");
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto toks = tokenize("a // line comment\n /* block\n comment */ b");
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].kind, Tok::End);
+}
+
+TEST(Lexer, ErrorsCarryPosition) {
+  try {
+    tokenize("abc\n   $");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(Parser, BuildsTranslationUnit) {
+  auto tu = parse(R"(
+    struct Point { int x; int y; };
+    int g = 5;
+    double arr[4] = { 1.0, 2.0 };
+    int main() { return 0; }
+  )");
+  ASSERT_EQ(tu.structs.size(), 1u);
+  EXPECT_EQ(tu.structs[0].fields.size(), 2u);
+  ASSERT_EQ(tu.globals.size(), 2u);
+  ASSERT_EQ(tu.globals[1].array_dims.size(), 1u);
+  EXPECT_EQ(tu.globals[1].array_dims[0], 4);
+  EXPECT_EQ(tu.globals[1].init.size(), 2u);
+  ASSERT_EQ(tu.functions.size(), 1u);
+}
+
+TEST(Parser, PrecedenceShapesTree) {
+  auto tu = parse("int f() { return 1 + 2 * 3; }");
+  const Stmt& ret = *tu.functions[0].body->body[0];
+  const Expr& add = *ret.expr;
+  ASSERT_EQ(add.kind, ExprKind::Binary);
+  EXPECT_EQ(add.binary_op, BinaryOp::Add);
+  EXPECT_EQ(add.child(1)->binary_op, BinaryOp::Mul);
+}
+
+TEST(Parser, RejectsUnsigned) {
+  EXPECT_THROW(parse("unsigned int x;"), CompileError);
+}
+
+TEST(Parser, RejectsBadSyntax) {
+  EXPECT_THROW(parse("int f( { }"), CompileError);
+  EXPECT_THROW(parse("int f() { int ; }"), CompileError);
+  EXPECT_THROW(parse("int f() { 1 + ; }"), CompileError);
+  EXPECT_THROW(parse("int f() { if 1 ) {} }"), CompileError);
+  EXPECT_THROW(parse("int f() { return 0; "), CompileError);
+}
+
+TEST(Parser, ForHeaderVariants) {
+  EXPECT_NO_THROW(parse("int f() { for (;;) break; return 0; }"));
+  EXPECT_NO_THROW(parse("int f() { int i; for (i=0; i<3; i++) {} return 0; }"));
+  EXPECT_NO_THROW(parse("int f() { for (int i=0; i<3; i++) {} return 0; }"));
+}
+
+// ---------------------------------------------------------------------------
+// Sema / codegen errors
+
+TEST(Sema, RejectsUnknownIdentifier) {
+  EXPECT_THROW(compile_to_ir("int f() { return nope; }", "t"), CompileError);
+}
+
+TEST(Sema, RejectsUnknownStruct) {
+  EXPECT_THROW(compile_to_ir("struct Missing* p;", "t"), CompileError);
+}
+
+TEST(Sema, RejectsCallArity) {
+  EXPECT_THROW(
+      compile_to_ir("int g(int a) { return a; } int f() { return g(); }", "t"),
+      CompileError);
+}
+
+TEST(Sema, RejectsImplicitPointerConversion) {
+  EXPECT_THROW(
+      compile_to_ir("int f(int* p) { double* q; q = p; return 0; }", "t"),
+      CompileError);
+}
+
+TEST(Sema, AllowsExplicitPointerCast) {
+  EXPECT_NO_THROW(compile_to_ir(
+      "int f(int* p) { double* q; q = (double*)p; return 0; }", "t"));
+}
+
+TEST(Sema, RejectsBreakOutsideLoop) {
+  EXPECT_THROW(compile_to_ir("int f() { break; return 0; }", "t"),
+               CompileError);
+}
+
+TEST(Sema, RejectsRedefinition) {
+  EXPECT_THROW(compile_to_ir("int f() { int x; int x; return 0; }", "t"),
+               CompileError);
+  EXPECT_THROW(compile_to_ir("int f() { return 0; } int f() { return 1; }", "t"),
+               CompileError);
+}
+
+TEST(Sema, RejectsVoidPointer) {
+  EXPECT_THROW(compile_to_ir("void* p;", "t"), CompileError);
+}
+
+TEST(Sema, RejectsAssignToAggregate) {
+  EXPECT_THROW(
+      compile_to_ir("int f() { int a[3]; int b[3]; a = b; return 0; }", "t"),
+      CompileError);
+}
+
+TEST(Sema, BuiltinsAreDeclared) {
+  auto m = compile_to_ir("int main() { print_int(1); return 0; }", "t");
+  EXPECT_NE(m->find_function("print_int"), nullptr);
+  EXPECT_TRUE(m->find_function("malloc")->is_builtin());
+}
+
+// ---------------------------------------------------------------------------
+// Codegen behaviour (executed on the VM)
+
+std::string run_output(const std::string& src) {
+  auto m = compile_to_ir(src, "t");
+  vm::Interpreter vm(*m);
+  auto r = vm.run();
+  EXPECT_FALSE(r.trapped) << "program trapped";
+  EXPECT_FALSE(r.timed_out);
+  return r.output;
+}
+
+std::int64_t run_exit(const std::string& src) {
+  auto m = compile_to_ir(src, "t");
+  vm::Interpreter vm(*m);
+  auto r = vm.run();
+  EXPECT_FALSE(r.trapped);
+  return r.exit_value;
+}
+
+TEST(Codegen, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run_exit("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
+  EXPECT_EQ(run_exit("int main() { return (2 + 3) * 4 % 7; }"), 6);
+  EXPECT_EQ(run_exit("int main() { return -17 / 5; }"), -3);   // C truncation
+  EXPECT_EQ(run_exit("int main() { return -17 % 5; }"), -2);
+}
+
+TEST(Codegen, BitwiseAndShifts) {
+  EXPECT_EQ(run_exit("int main() { return (0xF0 | 0x0F) & 0x3C; }"), 0x3C);
+  EXPECT_EQ(run_exit("int main() { return 1 << 10; }"), 1024);
+  EXPECT_EQ(run_exit("int main() { return -8 >> 1; }"), -4);  // arithmetic
+  EXPECT_EQ(run_exit("int main() { return ~0 & 0xFF; }"), 0xFF);
+  EXPECT_EQ(run_exit("int main() { return 5 ^ 3; }"), 6);
+}
+
+TEST(Codegen, ComparisonsYieldInt) {
+  EXPECT_EQ(run_exit("int main() { return (3 < 5) + (5 <= 5) + (6 > 7); }"), 2);
+  EXPECT_EQ(run_exit("int main() { return (1 == 1) * 10 + (1 != 1); }"), 10);
+}
+
+TEST(Codegen, ShortCircuitEvaluation) {
+  // The right operand must not run when the left decides.
+  const std::string src = R"(
+    int calls = 0;
+    int bump() { calls++; return 1; }
+    int main() {
+      int a = 0 && bump();
+      int b = 1 || bump();
+      print_int(calls);
+      print_int(a);
+      print_int(b);
+      return 0;
+    }
+  )";
+  EXPECT_EQ(run_output(src), "0\n0\n1\n");
+}
+
+TEST(Codegen, TernaryAndNestedConditionals) {
+  EXPECT_EQ(run_exit("int main() { return 1 ? 2 : 3; }"), 2);
+  EXPECT_EQ(run_exit("int main() { int x = 7; return x > 5 ? x > 6 ? 10 : 20 : 30; }"),
+            10);
+}
+
+TEST(Codegen, LoopsAndControlFlow) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    int s = 0; int i;
+    for (i = 0; i < 10; i++) { if (i == 3) continue; if (i == 8) break; s += i; }
+    return s; })"),
+            0 + 1 + 2 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(run_exit(R"(int main() {
+    int n = 0; do { n++; } while (n < 5); return n; })"),
+            5);
+  EXPECT_EQ(run_exit(R"(int main() {
+    int n = 100; while (n > 3) n /= 2; return n; })"),
+            3);
+}
+
+TEST(Codegen, IncrementDecrementSemantics) {
+  EXPECT_EQ(run_exit("int main() { int x = 5; int y = x++; return x * 10 + y; }"),
+            65);
+  EXPECT_EQ(run_exit("int main() { int x = 5; int y = ++x; return x * 10 + y; }"),
+            66);
+  EXPECT_EQ(run_exit("int main() { int x = 5; return x-- - --x; }"), 2);
+}
+
+TEST(Codegen, CompoundAssignments) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x <<= 3; x |= 1;
+    return x; })"),
+            17);
+}
+
+TEST(Codegen, PointerDerefAndAddressOf) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    int x = 41; int* p = &x; *p = *p + 1; return x; })"),
+            42);
+}
+
+TEST(Codegen, PointerArithmeticAndDifference) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    int a[10]; int i;
+    for (i = 0; i < 10; i++) a[i] = i * i;
+    int* p = a; int* q = p + 7;
+    long d = q - p;
+    return *q + (int)d; })"),
+            49 + 7);
+}
+
+TEST(Codegen, ArraysAndNestedIndexing) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    int m[3][4]; int r; int c; int s = 0;
+    for (r = 0; r < 3; r++) for (c = 0; c < 4; c++) m[r][c] = r * 10 + c;
+    for (r = 0; r < 3; r++) s += m[r][r];
+    return s; })"),
+            0 + 11 + 22);
+}
+
+TEST(Codegen, StructFieldsAndArrow) {
+  EXPECT_EQ(run_exit(R"(
+    struct Pair { int a; long b; };
+    int main() {
+      struct Pair p;
+      p.a = 3; p.b = 4;
+      struct Pair* q = &p;
+      q->a += 10;
+      return q->a + (int)q->b;
+    })"),
+            17);
+}
+
+TEST(Codegen, StructArraysAndPointerChains) {
+  EXPECT_EQ(run_exit(R"(
+    struct Node { int v; struct Node* next; };
+    int main() {
+      struct Node nodes[4];
+      int i;
+      for (i = 0; i < 4; i++) { nodes[i].v = i + 1; nodes[i].next = 0; }
+      for (i = 0; i < 3; i++) nodes[i].next = &nodes[i + 1];
+      int sum = 0;
+      struct Node* p = &nodes[0];
+      while (p != 0) { sum += p->v; p = p->next; }
+      return sum;
+    })"),
+            10);
+}
+
+TEST(Codegen, DoubleArithmeticAndConversions) {
+  EXPECT_EQ(run_output(R"(int main() {
+    double d = 7.5; int i = (int)d; double e = (double)i / 2.0;
+    print_int(i); print_double(e);
+    print_double(sqrt(2.0) * sqrt(2.0));
+    return 0; })"),
+            "7\n3.5\n2\n");
+}
+
+TEST(Codegen, CharTypeNarrowing) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    char c = 200;        // wraps to -56 as signed char
+    int i = c;
+    return i == -56; })"),
+            1);
+}
+
+TEST(Codegen, ShortType) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    short s = 40000;     // wraps to -25536
+    return s < 0; })"),
+            1);
+}
+
+TEST(Codegen, LongArithmetic64Bit) {
+  EXPECT_EQ(run_output(R"(int main() {
+    long big = 1L << 40;
+    print_int(big + 5);
+    long prod = 1000000L * 1000000L;
+    print_int(prod);
+    return 0; })"),
+            "1099511627781\n1000000000000\n");
+}
+
+TEST(Codegen, GlobalInitializers) {
+  EXPECT_EQ(run_output(R"(
+    int scalar = -7;
+    long big = 1099511627776;
+    double d = 2.5;
+    int arr[5] = { 10, 20, 30 };
+    int main() {
+      print_int(scalar); print_int(big); print_double(d);
+      print_int(arr[0] + arr[1] + arr[2] + arr[3] + arr[4]);
+      return 0; })"),
+            "-7\n1099511627776\n2.5\n60\n");
+}
+
+TEST(Codegen, StringsAndChars) {
+  EXPECT_EQ(run_output(R"(int main() {
+    char* s = "ab\n";
+    print_str(s);
+    print_char('x'); print_char('\n');
+    return 0; })"),
+            "ab\nx\n");
+}
+
+TEST(Codegen, RecursionAndMutualCalls) {
+  // Mini-C needs no prototypes: all signatures are declared before any
+  // body is compiled, so mutual recursion works without forward decls.
+  EXPECT_EQ(run_exit(R"(
+    int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+    int main() { return is_even(10) * 10 + is_odd(7); }
+  )"),
+            11);
+}
+
+TEST(Codegen, MallocFreeRoundTrip) {
+  EXPECT_EQ(run_exit(R"(int main() {
+    long* p = (long*)malloc(8 * sizeof(long));
+    int i;
+    for (i = 0; i < 8; i++) p[i] = i * 100;
+    long sum = 0;
+    for (i = 0; i < 8; i++) sum += p[i];
+    free((char*)p);
+    return (int)(sum / 100); })"),
+            28);
+}
+
+TEST(Codegen, SizeofValues) {
+  EXPECT_EQ(run_output(R"(
+    struct S { char c; long l; int i; };
+    int main() {
+      print_int(sizeof(char)); print_int(sizeof(short));
+      print_int(sizeof(int)); print_int(sizeof(long));
+      print_int(sizeof(double)); print_int(sizeof(int*));
+      print_int(sizeof(struct S));
+      return 0; })"),
+            "1\n2\n4\n8\n8\n8\n24\n");
+}
+
+TEST(Codegen, LogicalNotAndUnaryOps) {
+  EXPECT_EQ(run_exit("int main() { return !0 * 10 + !5 + -(-3); }"), 13);
+}
+
+TEST(Codegen, DivisionByZeroTraps) {
+  auto m = compile_to_ir("int main() { int z = 0; return 5 / z; }", "t");
+  vm::Interpreter vm(*m);
+  auto r = vm.run();
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, machine::TrapKind::DivideByZero);
+}
+
+TEST(Codegen, NullDerefTraps) {
+  auto m = compile_to_ir("int main() { int* p = 0; return *p; }", "t");
+  vm::Interpreter vm(*m);
+  auto r = vm.run();
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, machine::TrapKind::UnmappedAccess);
+}
+
+}  // namespace
+}  // namespace faultlab::mc

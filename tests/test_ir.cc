@@ -1,0 +1,289 @@
+// Unit tests for the IR core: type system, use lists, builder, printer,
+// verifier.
+#include <gtest/gtest.h>
+
+#include "ir/category.h"
+#include "ir/irbuilder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace faultlab::ir {
+namespace {
+
+TEST(TypeSystem, IntWidthsAndUniquing) {
+  TypeContext ctx;
+  const Type* i32 = ctx.i32();
+  EXPECT_TRUE(i32->is_int());
+  EXPECT_EQ(i32->int_bits(), 32u);
+  EXPECT_EQ(i32, ctx.int_type(32));          // interned
+  EXPECT_NE(i32, ctx.i64());
+  EXPECT_THROW(ctx.int_type(13), std::invalid_argument);
+}
+
+TEST(TypeSystem, SizesAndAlignment) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.i8()->size_in_bytes(), 1u);
+  EXPECT_EQ(ctx.i16()->size_in_bytes(), 2u);
+  EXPECT_EQ(ctx.i32()->size_in_bytes(), 4u);
+  EXPECT_EQ(ctx.i64()->size_in_bytes(), 8u);
+  EXPECT_EQ(ctx.i1()->size_in_bytes(), 1u);
+  EXPECT_EQ(ctx.double_type()->size_in_bytes(), 8u);
+  EXPECT_EQ(ctx.ptr_to(ctx.i8())->size_in_bytes(), 8u);
+  EXPECT_EQ(ctx.array_of(ctx.i32(), 10)->size_in_bytes(), 40u);
+}
+
+TEST(TypeSystem, StructLayoutWithPadding) {
+  TypeContext ctx;
+  // { i8, i64, i32 } -> offsets 0, 8, 16; size 24 (8-aligned).
+  const Type* s =
+      ctx.make_struct("S", {ctx.i8(), ctx.i64(), ctx.i32()});
+  EXPECT_EQ(s->struct_field_offset(0), 0u);
+  EXPECT_EQ(s->struct_field_offset(1), 8u);
+  EXPECT_EQ(s->struct_field_offset(2), 16u);
+  EXPECT_EQ(s->size_in_bytes(), 24u);
+  EXPECT_EQ(s->alignment(), 8u);
+}
+
+TEST(TypeSystem, SelfReferentialStruct) {
+  TypeContext ctx;
+  const Type* node = ctx.declare_struct("Node");
+  ctx.define_struct(node, {ctx.i32(), ctx.ptr_to(node)});
+  EXPECT_EQ(node->struct_fields().size(), 2u);
+  EXPECT_EQ(node->struct_fields()[1]->pointee(), node);
+  EXPECT_EQ(node->size_in_bytes(), 16u);
+  EXPECT_THROW(ctx.define_struct(node, {}), std::invalid_argument);
+  EXPECT_THROW(ctx.declare_struct("Node"), std::invalid_argument);
+}
+
+TEST(TypeSystem, PointerUniquing) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.ptr_to(ctx.i32()), ctx.ptr_to(ctx.i32()));
+  EXPECT_NE(ctx.ptr_to(ctx.i32()), ctx.ptr_to(ctx.i64()));
+  EXPECT_EQ(ctx.ptr_to(ctx.i32())->to_string(), "i32*");
+}
+
+TEST(Constants, InternedByValueAndType) {
+  Module m("t");
+  EXPECT_EQ(m.const_i32(5), m.const_i32(5));
+  EXPECT_NE(m.const_i32(5), m.const_i32(6));
+  EXPECT_NE(static_cast<Value*>(m.const_i32(5)),
+            static_cast<Value*>(m.const_i64(5)));
+  EXPECT_EQ(m.const_double(1.5), m.const_double(1.5));
+  EXPECT_EQ(m.const_i32(-1)->raw(), 0xffffffffull);  // truncated to width
+  EXPECT_EQ(m.const_i32(-1)->signed_value(), -1);
+}
+
+/// Builds `int add3(int a) { return a + 3; }` by hand.
+std::unique_ptr<Module> make_add3() {
+  auto m = std::make_unique<Module>("t");
+  auto& t = m->types();
+  Function* f = m->create_function(t.func_type(t.i32(), {t.i32()}), "add3");
+  IRBuilder b(*m);
+  b.set_insert_point(f->create_block("entry"));
+  Value* sum = b.add(f->arg(0), m->const_i32(3));
+  b.ret(sum);
+  f->renumber();
+  return m;
+}
+
+TEST(UseLists, TrackUsers) {
+  auto m = make_add3();
+  Function* f = m->find_function("add3");
+  Instruction* add = f->entry()->instr(0);
+  EXPECT_EQ(add->opcode(), Opcode::Add);
+  EXPECT_TRUE(add->has_uses());
+  EXPECT_EQ(add->uses().size(), 1u);
+  EXPECT_EQ(add->uses()[0].user->opcode(), Opcode::Ret);
+  EXPECT_EQ(f->arg(0)->uses().size(), 1u);
+}
+
+TEST(UseLists, ReplaceAllUsesWith) {
+  auto m = make_add3();
+  Function* f = m->find_function("add3");
+  Instruction* add = f->entry()->instr(0);
+  Value* c = m->const_i32(99);
+  add->replace_all_uses_with(c);
+  EXPECT_FALSE(add->has_uses());
+  auto* ret = static_cast<RetInst*>(f->entry()->instr(1));
+  EXPECT_EQ(ret->value(), c);
+}
+
+TEST(UseLists, SetOperandMaintainsBothSides) {
+  auto m = make_add3();
+  Function* f = m->find_function("add3");
+  Instruction* add = f->entry()->instr(0);
+  Value* c5 = m->const_i32(5);
+  const std::size_t before = c5->uses().size();
+  add->set_operand(1, c5);
+  EXPECT_EQ(c5->uses().size(), before + 1);
+  EXPECT_EQ(m->const_i32(3)->uses().size(), 0u);
+}
+
+TEST(UseLists, PhiIncomingRemoval) {
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.i32(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* a = f->create_block("a");
+  BasicBlock* b = f->create_block("b");
+  BasicBlock* merge = f->create_block("merge");
+  IRBuilder builder(m);
+  builder.set_insert_point(entry);
+  builder.cond_br(m.const_i1(true), a, b);
+  builder.set_insert_point(a);
+  builder.br(merge);
+  builder.set_insert_point(b);
+  builder.br(merge);
+  builder.set_insert_point(merge);
+  PhiInst* phi = builder.phi(t.i32());
+  phi->add_incoming(m.const_i32(1), a);
+  phi->add_incoming(m.const_i32(2), b);
+  builder.ret(phi);
+  f->renumber();
+  EXPECT_TRUE(verify(m).empty()) << verify(m)[0];
+
+  phi->remove_incoming(0);
+  EXPECT_EQ(phi->num_incoming(), 1u);
+  EXPECT_EQ(phi->incoming_block(0), b);
+  EXPECT_EQ(phi->incoming_value(0), m.const_i32(2));
+  EXPECT_EQ(m.const_i32(1)->uses().size(), 0u);
+}
+
+TEST(Printer, RendersFunction) {
+  auto m = make_add3();
+  const std::string text = to_string(*m->find_function("add3"));
+  EXPECT_NE(text.find("define i32 @add3"), std::string::npos);
+  EXPECT_NE(text.find("add i32"), std::string::npos);
+  EXPECT_NE(text.find("ret i32"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  auto m = make_add3();
+  EXPECT_TRUE(verify(*m).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.void_type(), {}), "f");
+  f->create_block("entry");  // empty block, no terminator
+  const auto errors = verify(m);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUseNotDominatedByDef) {
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.i32(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* a = f->create_block("a");
+  BasicBlock* b = f->create_block("b");
+  IRBuilder builder(m);
+  builder.set_insert_point(entry);
+  builder.cond_br(m.const_i1(true), a, b);
+  builder.set_insert_point(a);
+  Value* x = builder.add(m.const_i32(1), m.const_i32(2));
+  builder.ret(x);
+  builder.set_insert_point(b);
+  builder.ret(x);  // x does not dominate this use
+  f->renumber();
+  const auto errors = verify(m);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("dominated"), std::string::npos);
+}
+
+TEST(Verifier, RejectsArgumentCountMismatch) {
+  Module m("t");
+  auto& t = m.types();
+  Function* callee = m.create_function(t.func_type(t.i32(), {t.i32()}), "g");
+  {
+    IRBuilder gb(m);
+    gb.set_insert_point(callee->create_block("entry"));
+    gb.ret(callee->arg(0));
+  }
+  Function* f = m.create_function(t.func_type(t.i32(), {}), "f");
+  IRBuilder builder(m);
+  builder.set_insert_point(f->create_block("entry"));
+  Value* r = builder.call(m.find_function("g"), {});  // missing argument
+  builder.ret(r);
+  f->renumber();
+  const auto errors = verify(m);
+  ASSERT_FALSE(errors.empty());
+  bool found = false;
+  for (const auto& e : errors)
+    found |= e.find("argument count") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, RejectsPhiPredMismatch) {
+  Module m("t");
+  auto& t = m.types();
+  Function* f = m.create_function(t.func_type(t.i32(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* merge = f->create_block("merge");
+  IRBuilder builder(m);
+  builder.set_insert_point(entry);
+  builder.br(merge);
+  builder.set_insert_point(merge);
+  PhiInst* phi = builder.phi(t.i32());
+  phi->add_incoming(m.const_i32(1), entry);
+  phi->add_incoming(m.const_i32(2), merge);  // merge is not a pred
+  builder.ret(phi);
+  f->renumber();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Instructions, CategoriesFollowTable3) {
+  auto m = make_add3();
+  Function* f = m->find_function("add3");
+  Instruction* add = f->entry()->instr(0);
+  EXPECT_TRUE(ir_in_category(*add, Category::Arithmetic));
+  EXPECT_TRUE(ir_in_category(*add, Category::All));
+  EXPECT_FALSE(ir_in_category(*add, Category::Load));
+  EXPECT_FALSE(ir_in_category(*add, Category::Cast));
+  Instruction* ret = f->entry()->instr(1);
+  EXPECT_FALSE(ir_in_category(*ret, Category::All));  // no dest register
+}
+
+TEST(Instructions, GepResultTypeComputation) {
+  Module m("t");
+  auto& t = m.types();
+  const Type* s = t.make_struct("S", {t.i32(), t.double_type()});
+  const Type* arr = t.array_of(s, 4);
+  Function* f =
+      m.create_function(t.func_type(t.void_type(), {t.ptr_to(arr)}), "f");
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Value* gep = b.gep(f->arg(0),
+                     {m.const_i64(0), m.const_i64(2), m.const_i32(1)});
+  EXPECT_EQ(gep->type(), t.ptr_to(t.double_type()));
+  b.ret_void();
+  f->renumber();
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Instructions, ConversionCastSubset) {
+  EXPECT_TRUE(is_conversion_cast(Opcode::SExt));
+  EXPECT_TRUE(is_conversion_cast(Opcode::FPToSI));
+  EXPECT_FALSE(is_conversion_cast(Opcode::Bitcast));
+  EXPECT_FALSE(is_conversion_cast(Opcode::PtrToInt));
+  EXPECT_FALSE(is_conversion_cast(Opcode::IntToPtr));
+}
+
+TEST(Module, GlobalCreationAndInit) {
+  Module m("t");
+  auto& t = m.types();
+  GlobalVariable* g = m.create_global(t.array_of(t.i32(), 3), "g",
+                                      {1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0});
+  EXPECT_EQ(g->value_type()->array_count(), 3u);
+  EXPECT_TRUE(g->type()->is_ptr());
+  EXPECT_EQ(m.find_global("g"), g);
+  EXPECT_THROW(m.create_global(t.i32(), "g"), std::invalid_argument);
+  // Default initializer is zero-filled to the type size.
+  GlobalVariable* z = m.create_global(t.i64(), "z");
+  EXPECT_EQ(z->initializer().size(), 8u);
+}
+
+}  // namespace
+}  // namespace faultlab::ir

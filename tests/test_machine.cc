@@ -1,0 +1,183 @@
+// Machine substrate tests: paged memory, traps, runtime builtins, global
+// layout.
+#include <gtest/gtest.h>
+
+#include "frontend/sema.h"
+#include "machine/memory.h"
+#include "machine/runtime.h"
+#include "support/bitutil.h"
+
+namespace faultlab::machine {
+namespace {
+
+std::uint64_t low_mask_for(unsigned size) {
+  return size >= 8 ? ~0ull : ((1ull << (size * 8)) - 1);
+}
+
+TEST(Memory, UnmappedAccessTraps) {
+  Memory mem;
+  EXPECT_THROW(mem.read(0x5000, 4), TrapException);
+  EXPECT_THROW(mem.write(0x5000, 4, 1), TrapException);
+  try {
+    mem.read(0x1234, 1);
+    FAIL();
+  } catch (const TrapException& e) {
+    EXPECT_EQ(e.kind(), TrapKind::UnmappedAccess);
+    EXPECT_EQ(e.address(), 0x1234u);
+  }
+}
+
+TEST(Memory, NullPageNeverMapped) {
+  Memory mem;
+  mem.map_range(Layout::kGlobalBase, 4096);
+  EXPECT_THROW(mem.read(0, 8), TrapException);
+  EXPECT_THROW(mem.read(8, 8), TrapException);
+}
+
+TEST(Memory, ReadWriteRoundTripAllWidths) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  for (unsigned size : {1u, 2u, 4u, 8u}) {
+    const std::uint64_t value = 0x1122334455667788ull & low_mask_for(size);
+    mem.write(0x10040, size, value);
+    EXPECT_EQ(mem.read(0x10040, size), value) << "size " << size;
+  }
+}
+
+TEST(Memory, LittleEndianLayout) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 4, 0x0A0B0C0D);
+  EXPECT_EQ(mem.read(0x10000, 1), 0x0Du);
+  EXPECT_EQ(mem.read(0x10003, 1), 0x0Au);
+}
+
+TEST(Memory, PageStraddlingAccess) {
+  Memory mem;
+  mem.map_range(0x10000, 2 * Memory::kPageSize);
+  const std::uint64_t addr = 0x10000 + Memory::kPageSize - 3;
+  mem.write(addr, 8, 0x1122334455667788ull);
+  EXPECT_EQ(mem.read(addr, 8), 0x1122334455667788ull);
+}
+
+TEST(Memory, PartiallyUnmappedStraddleTraps) {
+  Memory mem;
+  mem.map_range(0x10000, Memory::kPageSize);  // only the first page
+  const std::uint64_t addr = 0x10000 + Memory::kPageSize - 3;
+  EXPECT_THROW(mem.write(addr, 8, 1), TrapException);
+}
+
+TEST(Memory, BulkBytes) {
+  Memory mem;
+  mem.map_range(0x20000, 8192);
+  std::vector<std::uint8_t> data(5000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  mem.write_bytes(0x20000, data.data(), data.size());
+  std::vector<std::uint8_t> back(5000);
+  mem.read_bytes(0x20000, back.data(), back.size());
+  EXPECT_EQ(data, back);
+}
+
+TEST(Memory, ResetClearsMappings) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 42);
+  mem.reset();
+  EXPECT_EQ(mem.mapped_pages(), 0u);
+  EXPECT_THROW(mem.read(0x10000, 8), TrapException);
+}
+
+TEST(Runtime, HeapAllocAlignmentAndGrowth) {
+  Memory mem;
+  Runtime rt(mem);
+  const std::uint64_t a = rt.heap_alloc(10);
+  const std::uint64_t b = rt.heap_alloc(1);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_GT(b, a);
+  mem.write(a, 8, 7);  // allocation is mapped
+  EXPECT_EQ(mem.read(a, 8), 7u);
+}
+
+TEST(Runtime, HeapExhaustionReturnsNull) {
+  Memory mem;
+  Runtime rt(mem);
+  EXPECT_EQ(rt.heap_alloc(1ull << 40), 0u);
+}
+
+TEST(Runtime, DoubleFreeAndBadFreeTrap) {
+  Memory mem;
+  Runtime rt(mem);
+  const std::uint64_t a = rt.heap_alloc(16);
+  rt.heap_free(a);
+  EXPECT_THROW(rt.heap_free(a), TrapException);
+  EXPECT_THROW(rt.heap_free(0x123456), TrapException);
+  rt.heap_free(0);  // free(NULL) is a no-op
+}
+
+TEST(Runtime, PrintBuiltinsFormat) {
+  Memory mem;
+  Runtime rt(mem);
+  rt.call_builtin("print_int", {static_cast<std::uint64_t>(-42)});
+  rt.call_builtin("print_double", {bits_of(2.5)});
+  rt.call_builtin("print_char", {'x'});
+  EXPECT_EQ(rt.output(), "-42\n2.5\nx");
+}
+
+TEST(Runtime, PrintStrReadsSimulatedMemoryAndTraps) {
+  Memory mem;
+  Runtime rt(mem);
+  const std::uint64_t a = rt.heap_alloc(8);
+  const char* s = "hey";
+  mem.write_bytes(a, reinterpret_cast<const std::uint8_t*>(s), 4);
+  rt.call_builtin("print_str", {a});
+  EXPECT_EQ(rt.output(), "hey");
+  EXPECT_THROW(rt.call_builtin("print_str", {0x40}), TrapException);
+}
+
+TEST(Runtime, MathBuiltins) {
+  Memory mem;
+  Runtime rt(mem);
+  EXPECT_DOUBLE_EQ(double_of(rt.call_builtin("sqrt", {bits_of(9.0)})), 3.0);
+  EXPECT_DOUBLE_EQ(double_of(rt.call_builtin("fabs", {bits_of(-2.5)})), 2.5);
+  EXPECT_DOUBLE_EQ(double_of(rt.call_builtin("floor", {bits_of(2.9)})), 2.0);
+}
+
+TEST(Runtime, IsBuiltinMatchesSemaList) {
+  for (const auto& spec : mc::builtin_specs())
+    EXPECT_TRUE(Runtime::is_builtin(spec.name)) << spec.name;
+  EXPECT_FALSE(Runtime::is_builtin("nonsense"));
+}
+
+TEST(GlobalLayout, AssignsAlignedNonOverlappingAddresses) {
+  ir::Module m("t");
+  auto& t = m.types();
+  auto* a = m.create_global(t.i8(), "a");
+  auto* b = m.create_global(t.double_type(), "b");
+  auto* c = m.create_global(t.array_of(t.i32(), 10), "c");
+  GlobalLayout layout(m);
+  EXPECT_EQ(layout.address_of(a), Layout::kGlobalBase);
+  EXPECT_EQ(layout.address_of(b) % 8, 0u);
+  EXPECT_GE(layout.address_of(c), layout.address_of(b) + 8);
+  EXPECT_GE(layout.total_size(), 1u + 8u + 40u);
+}
+
+TEST(GlobalLayout, MaterializesInitializers) {
+  ir::Module m("t");
+  auto& t = m.types();
+  m.create_global(t.i32(), "x", {0x78, 0x56, 0x34, 0x12});
+  GlobalLayout layout(m);
+  Memory mem;
+  layout.materialize(mem);
+  EXPECT_EQ(mem.read(Layout::kGlobalBase, 4), 0x12345678u);
+}
+
+TEST(Trap, NamesAreStable) {
+  EXPECT_STREQ(trap_kind_name(TrapKind::UnmappedAccess), "unmapped-access");
+  EXPECT_STREQ(trap_kind_name(TrapKind::DivideByZero), "divide-by-zero");
+  EXPECT_STREQ(trap_kind_name(TrapKind::InvalidJump), "invalid-jump");
+}
+
+}  // namespace
+}  // namespace faultlab::machine

@@ -1,0 +1,259 @@
+// Error-propagation tracer tests: taint seeding, value/memory/control
+// flow, call-boundary transfer, and consistency with outcome
+// classification.
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.h"
+#include "fault/llfi.h"
+#include "fault/propagation.h"
+
+namespace faultlab::fault {
+namespace {
+
+struct Compiled {
+  driver::CompiledProgram prog;
+  std::string golden;
+
+  explicit Compiled(const char* src)
+      : prog(driver::compile(src, "t")), golden(prog.run_ir().output) {}
+
+  PropagationTrace trace(ir::Category cat, std::uint64_t k, unsigned bit) {
+    return trace_propagation(prog.module(), cat, k, bit, golden);
+  }
+
+  std::uint64_t targets(ir::Category cat) {
+    LlfiEngine engine(prog.module());
+    return engine.profile(cat);
+  }
+};
+
+TEST(Propagation, SeedCountsAsContaminated) {
+  Compiled c(R"(
+    int main() {
+      int x = 40 + 2;  // folds; keep live work below
+      int i; long s = 0;
+      for (i = 0; i < 10; i++) s += i;
+      print_int(s + x);
+      return 0;
+    }
+  )");
+  const std::uint64_t n = c.targets(ir::Category::All);
+  ASSERT_GT(n, 0u);
+  const PropagationTrace t = c.trace(ir::Category::All, 1, 0);
+  EXPECT_TRUE(t.injected);
+  EXPECT_GE(t.contaminated_values, 1u);
+}
+
+TEST(Propagation, ArithmeticChainSpreadsTaint) {
+  // A value feeding a long dependent chain must contaminate many values.
+  Compiled c(R"(
+    int main() {
+      long acc = 3;
+      int i;
+      for (i = 0; i < 50; i++) acc = acc * 3 + 1;
+      print_int(acc & 0xffff);
+      return 0;
+    }
+  )");
+  // Inject into an early 'arithmetic' instance: the loop-carried
+  // dependency drags the taint through every later iteration.
+  const PropagationTrace t = c.trace(ir::Category::Arithmetic, 2, 3);
+  ASSERT_TRUE(t.injected);
+  // Values dedupe per (frame, instruction): the loop body runs in one
+  // frame, so the footprint saturates at its static size — but the taint
+  // must keep flowing around the loop, visible as contaminated branches.
+  EXPECT_GE(t.contaminated_values, 5u);
+  EXPECT_GT(t.contaminated_branches, 20u);
+  EXPECT_EQ(t.outcome == Outcome::SDC || t.outcome == Outcome::Benign ||
+                t.outcome == Outcome::Crash,
+            true);
+}
+
+TEST(Propagation, TaintFlowsThroughMemory) {
+  Compiled c(R"(
+    int buf[16];
+    int main() {
+      int i;
+      for (i = 0; i < 16; i++) buf[i] = i;
+      long s = 0;
+      for (i = 0; i < 16; i++) s += buf[i];
+      print_int(s);
+      return 0;
+    }
+  )");
+  // Inject into an arithmetic result in the fill loop: the store puts the
+  // taint into buf, the sum loop loads it back out.
+  const PropagationTrace t = c.trace(ir::Category::Arithmetic, 3, 1);
+  ASSERT_TRUE(t.injected);
+  if (t.outcome == Outcome::SDC) {
+    EXPECT_GT(t.contaminated_memory_bytes, 0u);
+    EXPECT_GT(t.first_memory_hop, 0u);
+    EXPECT_GT(t.contaminated_outputs, 0u);
+  }
+}
+
+TEST(Propagation, BranchContaminationDetected) {
+  Compiled c(R"(
+    int main() {
+      int i; long s = 0;
+      for (i = 0; i < 32; i++) {
+        if ((i & 3) == 0) s += 5;
+        else s += 1;
+      }
+      print_int(s);
+      return 0;
+    }
+  )");
+  // cmp-category injections flip branch decisions directly.
+  const std::uint64_t n = c.targets(ir::Category::Cmp);
+  ASSERT_GT(n, 0u);
+  bool saw_branch_taint = false;
+  for (std::uint64_t k = 1; k <= std::min<std::uint64_t>(n, 8); ++k) {
+    const PropagationTrace t = c.trace(ir::Category::Cmp, k, 0);
+    if (t.contaminated_branches > 0) saw_branch_taint = true;
+  }
+  EXPECT_TRUE(saw_branch_taint);
+}
+
+TEST(Propagation, TaintCrossesCallBoundary) {
+  Compiled c(R"(
+    long mystery(long v) { if (v > 100) return v * 3; return v + 7; }
+    int main() {
+      long x = 50;
+      int i;
+      for (i = 0; i < 8; i++) x = mystery(x);
+      print_int(x);
+      return 0;
+    }
+  )");
+  // NOTE: mystery is small enough to be inlined by the pipeline, which is
+  // fine — the taint then flows intra-procedurally. To force a real call,
+  // check the unoptimized module instead.
+  driver::CompileOptions opts;
+  opts.optimize = false;
+  auto raw = driver::compile(R"(
+    long mystery9(long v) {
+      long a0 = v + 1;  long a1 = a0 * 3; long a2 = a1 ^ 5;
+      if (a2 > 1000000) return a2;
+      return a2 + v;
+    }
+    int main() {
+      long x = 3;
+      int i;
+      for (i = 0; i < 6; i++) x = mystery9(x);
+      print_int(x);
+      return 0;
+    }
+  )", "t", opts);
+  const std::string golden = raw.run_ir().output;
+  LlfiEngine engine(raw.module());
+  const std::uint64_t n = engine.profile(ir::Category::Arithmetic);
+  ASSERT_GT(n, 0u);
+  bool spread_through_call = false;
+  for (std::uint64_t k = 1; k <= std::min<std::uint64_t>(n, 10); ++k) {
+    const PropagationTrace t =
+        trace_propagation(raw.module(), ir::Category::Arithmetic, k, 2, golden);
+    // Values contaminated across several call frames show up as a larger
+    // footprint than one function body could produce alone.
+    if (t.contaminated_values > 12) spread_through_call = true;
+  }
+  EXPECT_TRUE(spread_through_call);
+}
+
+TEST(Propagation, SdcImpliesContaminatedOutput) {
+  Compiled c(R"(
+    int main() {
+      long s = 1;
+      int i;
+      for (i = 1; i <= 12; i++) s *= i;
+      print_int(s);
+      return 0;
+    }
+  )");
+  const std::uint64_t n = c.targets(ir::Category::Arithmetic);
+  int checked = 0;
+  for (std::uint64_t k = 1; k <= n && checked < 24; ++k, ++checked) {
+    const PropagationTrace t = c.trace(ir::Category::Arithmetic, k, 7);
+    if (t.outcome == Outcome::SDC) {
+      // Corruption that reached the output must have been traced there.
+      EXPECT_GT(t.contaminated_outputs, 0u)
+          << "SDC with no traced output contamination (k=" << k << ")";
+    }
+  }
+}
+
+TEST(Propagation, BenignFaultsHaveBoundedSpread) {
+  // Flip a value that is immediately overwritten/masked: spread stays tiny.
+  Compiled c(R"(
+    int main() {
+      int i; long s = 0;
+      for (i = 0; i < 20; i++) {
+        int dead = i * 17;      // used once, then discarded
+        s += (dead & 0);        // masked to zero: taint dies at the and
+        s += i;
+      }
+      print_int(s);
+      return 0;
+    }
+  )");
+  // The `dead & 0` instcombines away under -O; compile unoptimized.
+  driver::CompileOptions opts;
+  opts.optimize = false;
+  auto raw = driver::compile(R"(
+    int main() {
+      int i; long s = 0;
+      for (i = 0; i < 20; i++) {
+        int dead = i * 17;
+        s += (dead & 0);
+        s += i;
+      }
+      print_int(s);
+      return 0;
+    }
+  )", "t", opts);
+  const std::string golden = raw.run_ir().output;
+  // dead's result feeds only the and-with-zero; taint cannot escape it.
+  LlfiEngine engine(raw.module());
+  (void)engine;
+  const PropagationTrace t =
+      trace_propagation(raw.module(), ir::Category::All, 5, 1, golden);
+  EXPECT_TRUE(t.injected);
+  EXPECT_EQ(t.outcome != Outcome::Crash, true);
+}
+
+TEST(Propagation, RenderTraceIsReadable) {
+  PropagationTrace t;
+  t.injected = true;
+  t.outcome = Outcome::SDC;
+  t.instructions_after_injection = 1234;
+  t.contaminated_values = 56;
+  t.contaminated_sites = {1, 2, 3};
+  t.contaminated_memory_bytes = 8;
+  t.contaminated_outputs = 1;
+  t.first_output_hop = 900;
+  const std::string s = render_trace(t);
+  EXPECT_NE(s.find("sdc"), std::string::npos);
+  EXPECT_NE(s.find("56"), std::string::npos);
+  EXPECT_NE(s.find("3 static sites"), std::string::npos);
+  EXPECT_NE(s.find("900"), std::string::npos);
+}
+
+TEST(Propagation, DeterministicForSameDraw) {
+  Compiled c(R"(
+    int main() {
+      long h = 7; int i;
+      for (i = 0; i < 64; i++) h = h * 31 + i;
+      print_int(h & 0xffffff);
+      return 0;
+    }
+  )");
+  const PropagationTrace a = c.trace(ir::Category::All, 17, 5);
+  const PropagationTrace b = c.trace(ir::Category::All, 17, 5);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.contaminated_values, b.contaminated_values);
+  EXPECT_EQ(a.contaminated_memory_bytes, b.contaminated_memory_bytes);
+  EXPECT_EQ(a.instructions_after_injection, b.instructions_after_injection);
+}
+
+}  // namespace
+}  // namespace faultlab::fault

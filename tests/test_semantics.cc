@@ -1,0 +1,300 @@
+// Systematic instruction-semantics parity: for every integer/fp opcode,
+// width, and comparison predicate, build a minimal IR function over random
+// and boundary operand values and require the IR interpreter and the x86
+// simulator to compute identical results. This pins down the semantic
+// contract (wrapping, shift masking, division traps, IEEE behaviour,
+// conversion saturation) that both LLFI and PINFI campaigns rely on for
+// byte-identical golden runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "driver/pipeline.h"
+#include "ir/verifier.h"
+#include "support/bitutil.h"
+#include "ir/irbuilder.h"
+#include "machine/runtime.h"
+#include "support/rng.h"
+#include "vm/interpreter.h"
+#include "x86/simulator.h"
+
+namespace faultlab {
+namespace {
+
+using ir::Opcode;
+
+/// Builds `i64 main() { print_int(sext(op(a, b))); ret 0 }` over width
+/// `bits` and runs it on both engines; returns {ir ok, equal}.
+struct BinaryCase {
+  Opcode op;
+  unsigned bits;
+  std::uint64_t a, b;
+};
+
+std::pair<bool, bool> run_binary_case(const BinaryCase& c) {
+  auto m = std::make_unique<ir::Module>("t");
+  auto& t = m->types();
+  // print_int so the result flows through the shared runtime.
+  auto* print_int =
+      m->create_function(t.func_type(t.void_type(), {t.i64()}), "print_int",
+                         /*is_builtin=*/true);
+  auto* main_fn = m->create_function(t.func_type(t.i32(), {}), "main");
+  ir::IRBuilder b(*m);
+  b.set_insert_point(main_fn->create_block("entry"));
+  const ir::Type* ty = t.int_type(c.bits);
+  ir::Value* r = b.binary(c.op, m->const_int(ty, c.a), m->const_int(ty, c.b));
+  ir::Value* wide =
+      c.bits == 64 ? r : b.cast(Opcode::SExt, r, t.i64());
+  b.call(print_int, {wide});
+  b.ret(m->const_i32(0));
+  main_fn->renumber();
+  ir::verify_or_throw(*m);
+
+  vm::Interpreter vm(*m);
+  const auto r_ir = vm.run();
+
+  machine::GlobalLayout layout(*m);
+  const x86::Program prog = driver::lower_module(*m, layout);
+  x86::Simulator sim(prog);
+  const auto r_asm = sim.run();
+
+  const bool both_trap = r_ir.trapped && r_asm.trapped;
+  if (both_trap) return {true, r_ir.trap == r_asm.trap};
+  if (r_ir.trapped != r_asm.trapped) return {true, false};
+  return {true, r_ir.output == r_asm.output};
+}
+
+class IntBinaryParity
+    : public ::testing::TestWithParam<std::tuple<Opcode, unsigned>> {};
+
+TEST_P(IntBinaryParity, RandomAndBoundaryOperands) {
+  const auto [op, bits] = GetParam();
+  Rng rng(0xBEEF ^ (static_cast<std::uint64_t>(op) << 8) ^ bits);
+  const std::uint64_t mask = low_mask(bits);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cases;
+  // Boundaries: zero, one, minus-one, sign bit, mixed.
+  const std::uint64_t specials[] = {0, 1, mask, std::uint64_t{1} << (bits - 1),
+                                    mask >> 1, 2};
+  for (std::uint64_t x : specials)
+    for (std::uint64_t y : specials) cases.emplace_back(x & mask, y & mask);
+  for (int i = 0; i < 40; ++i)
+    cases.emplace_back(rng() & mask, rng() & mask);
+
+  for (const auto& [a, b] : cases) {
+    const auto [ok, equal] = run_binary_case({op, bits, a, b});
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(equal) << ir::opcode_name(op) << " i" << bits << " a=" << a
+                       << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndWidths, IntBinaryParity,
+    ::testing::Combine(::testing::Values(Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                         Opcode::SDiv, Opcode::SRem,
+                                         Opcode::And, Opcode::Or, Opcode::Xor,
+                                         Opcode::Shl, Opcode::LShr,
+                                         Opcode::AShr),
+                       ::testing::Values(8u, 16u, 32u, 64u)),
+    [](const auto& info) {
+      return std::string(ir::opcode_name(std::get<0>(info.param))) + "_i" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Floating point: arithmetic and ordered comparisons, including specials.
+
+class FpParity : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(FpParity, ArithmeticOverSpecials) {
+  const Opcode op = GetParam();
+  const double specials[] = {0.0,   -0.0,  1.0,    -1.5,   1e300,
+                             -1e300, 1e-300, 0.1,   3.5,    -2.25};
+  for (double a : specials) {
+    for (double b : specials) {
+      auto m = std::make_unique<ir::Module>("t");
+      auto& t = m->types();
+      auto* print_double = m->create_function(
+          t.func_type(t.void_type(), {t.double_type()}), "print_double", true);
+      auto* main_fn = m->create_function(t.func_type(t.i32(), {}), "main");
+      ir::IRBuilder builder(*m);
+      builder.set_insert_point(main_fn->create_block("entry"));
+      ir::Value* r =
+          builder.binary(op, m->const_double(a), m->const_double(b));
+      builder.call(print_double, {r});
+      builder.ret(m->const_i32(0));
+      main_fn->renumber();
+      ir::verify_or_throw(*m);
+
+      vm::Interpreter vm(*m);
+      const auto r_ir = vm.run();
+      machine::GlobalLayout layout(*m);
+      const x86::Program prog = driver::lower_module(*m, layout);
+      x86::Simulator sim(prog);
+      const auto r_asm = sim.run();
+      ASSERT_TRUE(r_ir.completed());
+      ASSERT_TRUE(r_asm.completed());
+      EXPECT_EQ(r_ir.output, r_asm.output)
+          << ir::opcode_name(op) << " " << a << ", " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FpOps, FpParity,
+                         ::testing::Values(Opcode::FAdd, Opcode::FSub,
+                                           Opcode::FMul, Opcode::FDiv),
+                         [](const auto& info) {
+                           return ir::opcode_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Comparison predicates, both int (all ten) and fp (all six, incl. NaN).
+
+class ICmpParity : public ::testing::TestWithParam<ir::ICmpPred> {};
+
+TEST_P(ICmpParity, AllPredicatesAgree) {
+  const ir::ICmpPred pred = GetParam();
+  Rng rng(static_cast<std::uint64_t>(pred) + 99);
+  const std::int64_t specials[] = {0, 1, -1, INT64_MAX, INT64_MIN, 42, -42};
+  std::vector<std::pair<std::int64_t, std::int64_t>> cases;
+  for (auto x : specials)
+    for (auto y : specials) cases.emplace_back(x, y);
+  for (int i = 0; i < 20; ++i)
+    cases.emplace_back(static_cast<std::int64_t>(rng()),
+                       static_cast<std::int64_t>(rng()));
+
+  for (const auto& [a, b] : cases) {
+    auto m = std::make_unique<ir::Module>("t");
+    auto& t = m->types();
+    auto* print_int = m->create_function(
+        t.func_type(t.void_type(), {t.i64()}), "print_int", true);
+    auto* main_fn = m->create_function(t.func_type(t.i32(), {}), "main");
+    ir::IRBuilder builder(*m);
+    builder.set_insert_point(main_fn->create_block("entry"));
+    ir::Value* flag = builder.icmp(pred, m->const_i64(a), m->const_i64(b));
+    builder.call(print_int,
+                 {builder.cast(Opcode::ZExt, flag, t.i64())});
+    builder.ret(m->const_i32(0));
+    main_fn->renumber();
+    ir::verify_or_throw(*m);
+
+    vm::Interpreter vm(*m);
+    machine::GlobalLayout layout(*m);
+    const x86::Program prog = driver::lower_module(*m, layout);
+    x86::Simulator sim(prog);
+    EXPECT_EQ(vm.run().output, sim.run().output)
+        << ir::icmp_pred_name(pred) << " " << a << ", " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Preds, ICmpParity,
+    ::testing::Values(ir::ICmpPred::EQ, ir::ICmpPred::NE, ir::ICmpPred::SLT,
+                      ir::ICmpPred::SLE, ir::ICmpPred::SGT, ir::ICmpPred::SGE,
+                      ir::ICmpPred::ULT, ir::ICmpPred::ULE, ir::ICmpPred::UGT,
+                      ir::ICmpPred::UGE),
+    [](const auto& info) { return ir::icmp_pred_name(info.param); });
+
+class FCmpParity : public ::testing::TestWithParam<ir::FCmpPred> {};
+
+TEST_P(FCmpParity, OrderedPredicatesAgreeIncludingNaN) {
+  const ir::FCmpPred pred = GetParam();
+  const double nan = std::nan("");
+  const double specials[] = {0.0, -0.0, 1.0, -1.0, 1e300, -1e-300, nan};
+  for (double a : specials) {
+    for (double b : specials) {
+      auto m = std::make_unique<ir::Module>("t");
+      auto& t = m->types();
+      auto* print_int = m->create_function(
+          t.func_type(t.void_type(), {t.i64()}), "print_int", true);
+      auto* main_fn = m->create_function(t.func_type(t.i32(), {}), "main");
+      ir::IRBuilder builder(*m);
+      builder.set_insert_point(main_fn->create_block("entry"));
+      ir::Value* flag =
+          builder.fcmp(pred, m->const_double(a), m->const_double(b));
+      builder.call(print_int, {builder.cast(Opcode::ZExt, flag, t.i64())});
+      builder.ret(m->const_i32(0));
+      main_fn->renumber();
+      ir::verify_or_throw(*m);
+
+      vm::Interpreter vm(*m);
+      machine::GlobalLayout layout(*m);
+      const x86::Program prog = driver::lower_module(*m, layout);
+      x86::Simulator sim(prog);
+      EXPECT_EQ(vm.run().output, sim.run().output)
+          << ir::fcmp_pred_name(pred) << " " << a << ", " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Preds, FCmpParity,
+    ::testing::Values(ir::FCmpPred::OEQ, ir::FCmpPred::ONE, ir::FCmpPred::OLT,
+                      ir::FCmpPred::OLE, ir::FCmpPred::OGT, ir::FCmpPred::OGE),
+    [](const auto& info) { return ir::fcmp_pred_name(info.param); });
+
+// ---------------------------------------------------------------------------
+// Conversions: every cast pair the frontend can emit, over boundaries.
+
+TEST(CastParity, IntWideningNarrowingAndFpConversions) {
+  struct CastCase {
+    Opcode op;
+    unsigned from_bits, to_bits;  // 0 = double
+  };
+  const CastCase cases[] = {
+      {Opcode::SExt, 8, 64},   {Opcode::SExt, 16, 32}, {Opcode::SExt, 32, 64},
+      {Opcode::ZExt, 8, 64},   {Opcode::ZExt, 32, 64}, {Opcode::Trunc, 64, 8},
+      {Opcode::Trunc, 64, 32}, {Opcode::Trunc, 32, 16},
+      {Opcode::SIToFP, 64, 0}, {Opcode::SIToFP, 32, 0},
+      {Opcode::FPToSI, 0, 64}, {Opcode::FPToSI, 0, 32},
+  };
+  Rng rng(2014);
+  for (const CastCase& c : cases) {
+    for (int trial = 0; trial < 25; ++trial) {
+      auto m = std::make_unique<ir::Module>("t");
+      auto& t = m->types();
+      auto* print_int = m->create_function(
+          t.func_type(t.void_type(), {t.i64()}), "print_int", true);
+      auto* print_double = m->create_function(
+          t.func_type(t.void_type(), {t.double_type()}), "print_double", true);
+      auto* main_fn = m->create_function(t.func_type(t.i32(), {}), "main");
+      ir::IRBuilder builder(*m);
+      builder.set_insert_point(main_fn->create_block("entry"));
+
+      ir::Value* src;
+      const ir::Type* to_type =
+          c.to_bits == 0 ? t.double_type() : t.int_type(c.to_bits);
+      if (c.from_bits == 0) {
+        const double inputs[] = {0.5, -3.9, 1e18, -1e18, 1e300, 0.0};
+        src = m->const_double(inputs[trial % 6]);
+      } else {
+        src = m->const_int(t.int_type(c.from_bits),
+                           rng() & low_mask(c.from_bits));
+      }
+      ir::Value* converted = builder.cast(c.op, src, to_type);
+      if (to_type->is_double()) {
+        builder.call(print_double, {converted});
+      } else {
+        ir::Value* wide = c.to_bits == 64
+                              ? converted
+                              : builder.cast(Opcode::SExt, converted, t.i64());
+        builder.call(print_int, {wide});
+      }
+      builder.ret(m->const_i32(0));
+      main_fn->renumber();
+      ir::verify_or_throw(*m);
+
+      vm::Interpreter vm(*m);
+      machine::GlobalLayout layout(*m);
+      const x86::Program prog = driver::lower_module(*m, layout);
+      x86::Simulator sim(prog);
+      EXPECT_EQ(vm.run().output, sim.run().output)
+          << ir::opcode_name(c.op) << " from " << c.from_bits << " to "
+          << c.to_bits << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faultlab

@@ -1,0 +1,215 @@
+// Unit tests for the support library: RNG, statistics, bit utilities,
+// table/CSV writers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/bitutil.h"
+#include "support/csv.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace faultlab {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(1234);
+  std::map<std::uint64_t, int> histogram;
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(8)];
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, kDraws / 8 * 0.9) << "value " << value;
+    EXPECT_LT(count, kDraws / 8 * 1.1) << "value " << value;
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng child = a.fork();
+  // The child should not replay the parent's sequence.
+  Rng b(77);
+  (void)b.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(BitUtil, FlipBit) {
+  EXPECT_EQ(flip_bit(0, 0), 1u);
+  EXPECT_EQ(flip_bit(1, 0), 0u);
+  EXPECT_EQ(flip_bit(0, 63), 0x8000000000000000ull);
+  EXPECT_EQ(flip_bit(0xff, 4), 0xefull);
+}
+
+TEST(BitUtil, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xffull);
+  EXPECT_EQ(low_mask(32), 0xffffffffull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(BitUtil, SignExtend) {
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xffffffff, 32), -1);
+  EXPECT_EQ(sign_extend(5, 64), 5);
+}
+
+TEST(BitUtil, DoubleRoundTrip) {
+  const double values[] = {0.0, -1.5, 3.14159, 1e300, -1e-300};
+  for (double d : values) EXPECT_EQ(double_of(bits_of(d)), d);
+}
+
+TEST(Stats, ProportionBasics) {
+  Proportion p{25, 100};
+  EXPECT_DOUBLE_EQ(p.value(), 0.25);
+  EXPECT_DOUBLE_EQ(p.percent(), 25.0);
+  EXPECT_NEAR(p.margin95(), 1.96 * std::sqrt(0.25 * 0.75 / 100), 1e-3);
+}
+
+TEST(Stats, ProportionEmptyTrials) {
+  Proportion p{0, 0};
+  EXPECT_DOUBLE_EQ(p.value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.margin95(), 0.0);
+  const auto w = p.wilson95();
+  EXPECT_DOUBLE_EQ(w.lo, 0.0);
+  EXPECT_DOUBLE_EQ(w.hi, 0.0);
+}
+
+TEST(Stats, WilsonIntervalContainsEstimate) {
+  Proportion p{30, 200};
+  const auto w = p.wilson95();
+  EXPECT_LT(w.lo, p.value());
+  EXPECT_GT(w.hi, p.value());
+  EXPECT_GE(w.lo, 0.0);
+  EXPECT_LE(w.hi, 1.0);
+}
+
+TEST(Stats, Overlap95) {
+  Proportion a{50, 100};   // ~0.5
+  Proportion b{52, 100};   // ~0.52: clearly overlapping
+  Proportion c{90, 100};   // ~0.9: clearly separated from a
+  EXPECT_TRUE(Proportion::overlap95(a, b));
+  EXPECT_FALSE(Proportion::overlap95(a, c));
+}
+
+TEST(Stats, ZStatisticSigns) {
+  Proportion a{60, 100}, b{40, 100};
+  EXPECT_GT(Proportion::z_statistic(a, b), 0.0);
+  EXPECT_LT(Proportion::z_statistic(b, a), 0.0);
+  EXPECT_DOUBLE_EQ(Proportion::z_statistic({0, 0}, b), 0.0);
+}
+
+TEST(Stats, RunningStats) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, FormatHelpers) {
+  EXPECT_EQ(format_percent(0.123456, 1), "12.3%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // All lines equal width.
+  std::size_t width = s.find('\n');
+  for (std::size_t pos = 0; pos < s.size();) {
+    std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RendersRows) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"a,b", "c"});
+  EXPECT_EQ(csv.to_string(), "x,y\n1,2\n\"a,b\",c\n");
+  EXPECT_THROW(csv.add_row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faultlab
