@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sdc.dir/bench_fig4_sdc.cc.o"
+  "CMakeFiles/bench_fig4_sdc.dir/bench_fig4_sdc.cc.o.d"
+  "bench_fig4_sdc"
+  "bench_fig4_sdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

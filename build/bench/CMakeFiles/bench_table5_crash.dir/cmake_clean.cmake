@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_crash.dir/bench_table5_crash.cc.o"
+  "CMakeFiles/bench_table5_crash.dir/bench_table5_crash.cc.o.d"
+  "bench_table5_crash"
+  "bench_table5_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

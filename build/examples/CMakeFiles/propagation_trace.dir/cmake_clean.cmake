@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_trace.dir/propagation_trace.cpp.o"
+  "CMakeFiles/propagation_trace.dir/propagation_trace.cpp.o.d"
+  "propagation_trace"
+  "propagation_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apps.cc" "src/CMakeFiles/faultlab.dir/apps/apps.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/apps/apps.cc.o.d"
+  "/root/repo/src/apps/bzip2.cc" "src/CMakeFiles/faultlab.dir/apps/bzip2.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/apps/bzip2.cc.o.d"
+  "/root/repo/src/apps/hmmer.cc" "src/CMakeFiles/faultlab.dir/apps/hmmer.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/apps/hmmer.cc.o.d"
+  "/root/repo/src/apps/libquantum.cc" "src/CMakeFiles/faultlab.dir/apps/libquantum.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/apps/libquantum.cc.o.d"
+  "/root/repo/src/apps/mcf.cc" "src/CMakeFiles/faultlab.dir/apps/mcf.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/apps/mcf.cc.o.d"
+  "/root/repo/src/apps/ocean.cc" "src/CMakeFiles/faultlab.dir/apps/ocean.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/apps/ocean.cc.o.d"
+  "/root/repo/src/apps/raytrace.cc" "src/CMakeFiles/faultlab.dir/apps/raytrace.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/apps/raytrace.cc.o.d"
+  "/root/repo/src/backend/emit.cc" "src/CMakeFiles/faultlab.dir/backend/emit.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/backend/emit.cc.o.d"
+  "/root/repo/src/backend/frame.cc" "src/CMakeFiles/faultlab.dir/backend/frame.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/backend/frame.cc.o.d"
+  "/root/repo/src/backend/isel.cc" "src/CMakeFiles/faultlab.dir/backend/isel.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/backend/isel.cc.o.d"
+  "/root/repo/src/backend/liveness.cc" "src/CMakeFiles/faultlab.dir/backend/liveness.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/backend/liveness.cc.o.d"
+  "/root/repo/src/backend/phi_elim.cc" "src/CMakeFiles/faultlab.dir/backend/phi_elim.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/backend/phi_elim.cc.o.d"
+  "/root/repo/src/backend/regalloc.cc" "src/CMakeFiles/faultlab.dir/backend/regalloc.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/backend/regalloc.cc.o.d"
+  "/root/repo/src/driver/pipeline.cc" "src/CMakeFiles/faultlab.dir/driver/pipeline.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/driver/pipeline.cc.o.d"
+  "/root/repo/src/fault/campaign.cc" "src/CMakeFiles/faultlab.dir/fault/campaign.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/fault/campaign.cc.o.d"
+  "/root/repo/src/fault/compare.cc" "src/CMakeFiles/faultlab.dir/fault/compare.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/fault/compare.cc.o.d"
+  "/root/repo/src/fault/llfi.cc" "src/CMakeFiles/faultlab.dir/fault/llfi.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/fault/llfi.cc.o.d"
+  "/root/repo/src/fault/outcome.cc" "src/CMakeFiles/faultlab.dir/fault/outcome.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/fault/outcome.cc.o.d"
+  "/root/repo/src/fault/pinfi.cc" "src/CMakeFiles/faultlab.dir/fault/pinfi.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/fault/pinfi.cc.o.d"
+  "/root/repo/src/fault/propagation.cc" "src/CMakeFiles/faultlab.dir/fault/propagation.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/fault/propagation.cc.o.d"
+  "/root/repo/src/fault/report.cc" "src/CMakeFiles/faultlab.dir/fault/report.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/fault/report.cc.o.d"
+  "/root/repo/src/frontend/ast.cc" "src/CMakeFiles/faultlab.dir/frontend/ast.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/frontend/ast.cc.o.d"
+  "/root/repo/src/frontend/codegen.cc" "src/CMakeFiles/faultlab.dir/frontend/codegen.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/frontend/codegen.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/CMakeFiles/faultlab.dir/frontend/lexer.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/faultlab.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/frontend/sema.cc" "src/CMakeFiles/faultlab.dir/frontend/sema.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/frontend/sema.cc.o.d"
+  "/root/repo/src/ir/basic_block.cc" "src/CMakeFiles/faultlab.dir/ir/basic_block.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/basic_block.cc.o.d"
+  "/root/repo/src/ir/category.cc" "src/CMakeFiles/faultlab.dir/ir/category.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/category.cc.o.d"
+  "/root/repo/src/ir/constant.cc" "src/CMakeFiles/faultlab.dir/ir/constant.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/constant.cc.o.d"
+  "/root/repo/src/ir/dominance.cc" "src/CMakeFiles/faultlab.dir/ir/dominance.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/dominance.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/CMakeFiles/faultlab.dir/ir/function.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/function.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/CMakeFiles/faultlab.dir/ir/instruction.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/instruction.cc.o.d"
+  "/root/repo/src/ir/irbuilder.cc" "src/CMakeFiles/faultlab.dir/ir/irbuilder.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/irbuilder.cc.o.d"
+  "/root/repo/src/ir/irparser.cc" "src/CMakeFiles/faultlab.dir/ir/irparser.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/irparser.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/CMakeFiles/faultlab.dir/ir/module.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/module.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/faultlab.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/type.cc" "src/CMakeFiles/faultlab.dir/ir/type.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/type.cc.o.d"
+  "/root/repo/src/ir/value.cc" "src/CMakeFiles/faultlab.dir/ir/value.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/value.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/faultlab.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/machine/memory.cc" "src/CMakeFiles/faultlab.dir/machine/memory.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/machine/memory.cc.o.d"
+  "/root/repo/src/machine/runtime.cc" "src/CMakeFiles/faultlab.dir/machine/runtime.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/machine/runtime.cc.o.d"
+  "/root/repo/src/opt/constfold.cc" "src/CMakeFiles/faultlab.dir/opt/constfold.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/constfold.cc.o.d"
+  "/root/repo/src/opt/cse.cc" "src/CMakeFiles/faultlab.dir/opt/cse.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/cse.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/CMakeFiles/faultlab.dir/opt/dce.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/dce.cc.o.d"
+  "/root/repo/src/opt/inline.cc" "src/CMakeFiles/faultlab.dir/opt/inline.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/inline.cc.o.d"
+  "/root/repo/src/opt/instcombine.cc" "src/CMakeFiles/faultlab.dir/opt/instcombine.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/instcombine.cc.o.d"
+  "/root/repo/src/opt/mem2reg.cc" "src/CMakeFiles/faultlab.dir/opt/mem2reg.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/mem2reg.cc.o.d"
+  "/root/repo/src/opt/pass.cc" "src/CMakeFiles/faultlab.dir/opt/pass.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/pass.cc.o.d"
+  "/root/repo/src/opt/simplifycfg.cc" "src/CMakeFiles/faultlab.dir/opt/simplifycfg.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/opt/simplifycfg.cc.o.d"
+  "/root/repo/src/support/csv.cc" "src/CMakeFiles/faultlab.dir/support/csv.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/support/csv.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/faultlab.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/faultlab.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/faultlab.dir/support/table.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/support/table.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/CMakeFiles/faultlab.dir/vm/interpreter.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/vm/interpreter.cc.o.d"
+  "/root/repo/src/x86/category.cc" "src/CMakeFiles/faultlab.dir/x86/category.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/x86/category.cc.o.d"
+  "/root/repo/src/x86/isa.cc" "src/CMakeFiles/faultlab.dir/x86/isa.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/x86/isa.cc.o.d"
+  "/root/repo/src/x86/printer.cc" "src/CMakeFiles/faultlab.dir/x86/printer.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/x86/printer.cc.o.d"
+  "/root/repo/src/x86/program.cc" "src/CMakeFiles/faultlab.dir/x86/program.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/x86/program.cc.o.d"
+  "/root/repo/src/x86/simulator.cc" "src/CMakeFiles/faultlab.dir/x86/simulator.cc.o" "gcc" "src/CMakeFiles/faultlab.dir/x86/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

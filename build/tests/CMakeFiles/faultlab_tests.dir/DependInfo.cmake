@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/faultlab_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_backend.cc" "tests/CMakeFiles/faultlab_tests.dir/test_backend.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_backend.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/faultlab_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_dominance.cc" "tests/CMakeFiles/faultlab_tests.dir/test_dominance.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_dominance.cc.o.d"
+  "/root/repo/tests/test_fault.cc" "tests/CMakeFiles/faultlab_tests.dir/test_fault.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_fault.cc.o.d"
+  "/root/repo/tests/test_frontend.cc" "tests/CMakeFiles/faultlab_tests.dir/test_frontend.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_frontend.cc.o.d"
+  "/root/repo/tests/test_inline.cc" "tests/CMakeFiles/faultlab_tests.dir/test_inline.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_inline.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/faultlab_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_irparser.cc" "tests/CMakeFiles/faultlab_tests.dir/test_irparser.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_irparser.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/faultlab_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_opt.cc" "tests/CMakeFiles/faultlab_tests.dir/test_opt.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_opt.cc.o.d"
+  "/root/repo/tests/test_propagation.cc" "tests/CMakeFiles/faultlab_tests.dir/test_propagation.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_propagation.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/faultlab_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_semantics.cc" "tests/CMakeFiles/faultlab_tests.dir/test_semantics.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_semantics.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/faultlab_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_vm.cc" "tests/CMakeFiles/faultlab_tests.dir/test_vm.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_vm.cc.o.d"
+  "/root/repo/tests/test_x86.cc" "tests/CMakeFiles/faultlab_tests.dir/test_x86.cc.o" "gcc" "tests/CMakeFiles/faultlab_tests.dir/test_x86.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faultlab.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
