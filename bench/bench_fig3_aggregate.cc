@@ -10,8 +10,9 @@ int main() {
   benchx::print_banner("Figure 3: aggregated fault injection results", trials);
 
   auto apps = benchx::compile_all_apps();
-  fault::ResultSet rs =
+  benchx::ExperimentRun run =
       benchx::run_experiment(apps, {ir::Category::All}, trials);
+  const fault::ResultSet& rs = run.results;
 
   std::cout << "\n" << fault::render_figure3(rs);
 
@@ -31,6 +32,6 @@ int main() {
               << "%, SDC " << sdc_avg / cells << "%, hang "
               << hang_total / cells << "% (paper: ~30% / ~10% / ~0%)\n";
   }
-  benchx::save_results(rs, "fig3_aggregate.csv");
+  benchx::save_results(run, "fig3_aggregate.csv");
   return 0;
 }

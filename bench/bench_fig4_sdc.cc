@@ -14,7 +14,8 @@ int main() {
   auto apps = benchx::compile_all_apps();
   const std::vector<ir::Category> cats(std::begin(ir::kAllCategories),
                                        std::end(ir::kAllCategories));
-  fault::ResultSet rs = benchx::run_experiment(apps, cats, trials);
+  benchx::ExperimentRun run = benchx::run_experiment(apps, cats, trials);
+  const fault::ResultSet& rs = run.results;
 
   std::cout << "\n" << fault::render_figure4(rs);
 
@@ -23,6 +24,6 @@ int main() {
   std::cout << "(paper: SDC differences within measurement error for most "
                "programs and categories)\n";
 
-  benchx::save_results(rs, "fig4_sdc.csv");
+  benchx::save_results(run, "fig4_sdc.csv");
   return 0;
 }

@@ -13,18 +13,21 @@ int main() {
   for (auto& app : apps) {
     fault::LlfiEngine llfi(app.program.module());
     fault::PinfiEngine pinfi(app.program.program());
+    // One instrumented run per engine records every category's count.
+    const fault::CategoryCounts lcounts = llfi.profile_all();
+    const fault::CategoryCounts pcounts = pinfi.profile_all();
     for (ir::Category c : ir::kAllCategories) {
       fault::CampaignResult l;
       l.app = app.name;
       l.tool = "LLFI";
       l.category = c;
-      l.profiled_count = llfi.profile(c);
+      l.profiled_count = lcounts[c];
       rs.add(std::move(l));
       fault::CampaignResult p;
       p.app = app.name;
       p.tool = "PINFI";
       p.category = c;
-      p.profiled_count = pinfi.profile(c);
+      p.profiled_count = pcounts[c];
       rs.add(std::move(p));
     }
   }

@@ -15,7 +15,8 @@ int main() {
   auto apps = benchx::compile_all_apps();
   const std::vector<ir::Category> cats(std::begin(ir::kAllCategories),
                                        std::end(ir::kAllCategories));
-  fault::ResultSet rs = benchx::run_experiment(apps, cats, trials);
+  benchx::ExperimentRun run = benchx::run_experiment(apps, cats, trials);
+  const fault::ResultSet& rs = run.results;
 
   std::cout << "\n" << fault::render_table5(rs);
 
@@ -24,6 +25,6 @@ int main() {
   std::cout << "(paper: max crash differences of 17-40 points in "
                "all/arithmetic/cast/load; cmp crash rates nearly equal)\n";
 
-  benchx::save_results(rs, "table5_crash.csv");
+  benchx::save_results(run, "table5_crash.csv");
   return 0;
 }

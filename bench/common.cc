@@ -1,6 +1,8 @@
 #include "common.h"
 
+#include <cstdio>
 #include <iostream>
+#include <memory>
 
 namespace faultlab::benchx {
 
@@ -11,28 +13,52 @@ std::vector<CompiledApp> compile_all_apps() {
   return out;
 }
 
-fault::ResultSet run_experiment(const std::vector<CompiledApp>& apps,
-                                const std::vector<ir::Category>& categories,
-                                std::size_t trials,
-                                const fault::FaultModel& model,
-                                std::uint64_t seed) {
-  fault::ResultSet rs;
+ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
+                             const std::vector<ir::Category>& categories,
+                             std::size_t trials,
+                             const fault::FaultModel& model,
+                             std::uint64_t seed) {
+  fault::SchedulerOptions options;
+  options.model = model;
+  options.progress = [](const fault::SchedulerProgress& p) {
+    if (p.completed == nullptr) return;
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.0f",
+                  p.completed->wall_seconds > 0.0
+                      ? static_cast<double>(p.completed->trials.size()) /
+                            p.completed->wall_seconds
+                      : 0.0);
+    std::cerr << "  [" << p.completed->app << " / " << p.completed->tool
+              << " / " << ir::category_name(p.completed->category) << "] "
+              << p.campaigns_done << "/" << p.campaigns_total
+              << " campaigns (" << rate << " trials/s)\n";
+  };
+
+  fault::CampaignScheduler scheduler(options);
+  std::vector<std::unique_ptr<fault::InjectorEngine>> engines;
   for (const CompiledApp& app : apps) {
-    fault::LlfiEngine llfi(app.program.module(), model);
-    fault::PinfiEngine pinfi(app.program.program(), model);
+    engines.push_back(
+        std::make_unique<fault::LlfiEngine>(app.program.module(), model));
+    fault::InjectorEngine& llfi = *engines.back();
+    engines.push_back(
+        std::make_unique<fault::PinfiEngine>(app.program.program(), model));
+    fault::InjectorEngine& pinfi = *engines.back();
     for (ir::Category category : categories) {
       fault::CampaignConfig cfg;
       cfg.app = app.name;
       cfg.category = category;
       cfg.trials = trials;
       cfg.seed = seed;
-      rs.add(fault::run_campaign(llfi, cfg));
-      rs.add(fault::run_campaign(pinfi, cfg));
-      std::cerr << "  [" << app.name << " / " << ir::category_name(category)
-                << "] done\n";
+      scheduler.add(llfi, cfg);
+      scheduler.add(pinfi, cfg);
     }
   }
-  return rs;
+
+  ExperimentRun out;
+  for (fault::CampaignResult& r : scheduler.run())
+    out.results.add(std::move(r));
+  out.manifest = scheduler.manifest();
+  return out;
 }
 
 void print_banner(const std::string& what, std::size_t trials) {
@@ -50,6 +76,16 @@ void print_banner(const std::string& what, std::size_t trials) {
 void save_results(const fault::ResultSet& rs, const std::string& filename) {
   fault::results_csv(rs).save(filename);
   std::cout << "\n[results written to ./" << filename << "]\n";
+}
+
+void save_results(const ExperimentRun& run, const std::string& filename) {
+  save_results(run.results, filename);
+  std::string stem = filename;
+  if (stem.size() > 4 && stem.compare(stem.size() - 4, 4, ".csv") == 0)
+    stem.resize(stem.size() - 4);
+  const std::string manifest_path = stem + ".manifest.csv";
+  fault::manifest_csv(run.manifest).save(manifest_path);
+  std::cout << "[run manifest written to ./" << manifest_path << "]\n";
 }
 
 }  // namespace faultlab::benchx

@@ -1,7 +1,8 @@
 // Shared helpers for the experiment harnesses (one binary per paper
 // table/figure). Each binary is self-contained: it compiles the six
 // benchmarks, runs the campaigns it needs, prints the paper-shaped table,
-// and drops a CSV next to the binary for downstream tooling.
+// and drops a CSV (plus a run manifest) next to the binary for downstream
+// tooling.
 #pragma once
 
 #include <string>
@@ -13,6 +14,7 @@
 #include "fault/llfi.h"
 #include "fault/pinfi.h"
 #include "fault/report.h"
+#include "fault/scheduler.h"
 
 namespace faultlab::benchx {
 
@@ -24,17 +26,28 @@ struct CompiledApp {
 /// Compiles all six benchmarks through the full pipeline.
 std::vector<CompiledApp> compile_all_apps();
 
-/// Runs LLFI+PINFI campaigns for the given categories over all apps.
-fault::ResultSet run_experiment(const std::vector<CompiledApp>& apps,
-                                const std::vector<ir::Category>& categories,
-                                std::size_t trials,
-                                const fault::FaultModel& model = {},
-                                std::uint64_t seed = 0xDA7A5EED);
+/// Results plus the scheduler's run manifest (timings, counters, config).
+struct ExperimentRun {
+  fault::ResultSet results;
+  fault::RunManifest manifest;
+};
+
+/// Runs LLFI+PINFI campaigns for the given categories over all apps on one
+/// shared CampaignScheduler: each engine is profiled once for all
+/// categories, and every trial of the grid goes through one worker pool.
+ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
+                             const std::vector<ir::Category>& categories,
+                             std::size_t trials,
+                             const fault::FaultModel& model = {},
+                             std::uint64_t seed = 0xDA7A5EED);
 
 /// Prints a standard experiment banner (paper reference + trial count).
 void print_banner(const std::string& what, std::size_t trials);
 
 /// Saves a CSV beside the current working directory, reporting the path.
 void save_results(const fault::ResultSet& rs, const std::string& filename);
+
+/// Saves the results CSV plus the run manifest (<stem>.manifest.csv).
+void save_results(const ExperimentRun& run, const std::string& filename);
 
 }  // namespace faultlab::benchx

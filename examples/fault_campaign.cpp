@@ -16,6 +16,7 @@
 #include "fault/campaign.h"
 #include "fault/llfi.h"
 #include "fault/pinfi.h"
+#include "fault/scheduler.h"
 
 int main(int argc, char** argv) {
   using namespace faultlab;
@@ -62,7 +63,17 @@ int main(int argc, char** argv) {
   cfg.category = *category;
   cfg.trials = trials;
   cfg.seed = seed;
-  const fault::CampaignResult result = fault::run_campaign(*engine, cfg);
+
+  fault::CampaignScheduler scheduler;
+  scheduler.add(*engine, cfg);
+  std::vector<fault::CampaignResult> results;
+  try {
+    results = scheduler.run();
+  } catch (const fault::CampaignError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  const fault::CampaignResult& result = results.front();
 
   std::cout << engine->tool_name() << " on '" << app << "', category "
             << ir::category_name(*category) << ": N = "
@@ -79,5 +90,12 @@ int main(int argc, char** argv) {
             << " | not-activated " << result.not_activated << "  ("
             << result.activated() << " activated of "
             << result.trials.size() << ")\n";
+
+  const fault::RunManifest& m = scheduler.manifest();
+  std::printf("profiling %.3fs, trials %.3fs (%.0f trials/s), "
+              "%zu injected, %zu threads\n",
+              m.profile_seconds, result.wall_seconds,
+              m.campaigns.front().trials_per_second(),
+              result.injected_trials, m.threads);
   return 0;
 }

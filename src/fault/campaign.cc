@@ -1,79 +1,39 @@
 #include "fault/campaign.h"
 
-#include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
-#include <thread>
+#include <utility>
+
+#include "fault/scheduler.h"
 
 namespace faultlab::fault {
 
 CampaignResult run_campaign(InjectorEngine& engine,
                             const CampaignConfig& config) {
-  CampaignResult result;
-  result.app = config.app;
-  result.tool = engine.tool_name();
-  result.category = config.category;
-  result.profiled_count = engine.profile(config.category);
-
-  if (result.profiled_count == 0) return result;  // nothing to inject into
-
-  // Draw every trial's target instance and bit stream sequentially so the
-  // campaign is deterministic regardless of the worker count.
-  Rng rng(config.seed ^ (static_cast<std::uint64_t>(config.category) << 32));
-  struct Draw {
-    std::uint64_t k;
-    Rng trial_rng;
-  };
-  std::vector<Draw> draws;
-  draws.reserve(config.trials);
-  for (std::size_t t = 0; t < config.trials; ++t) {
-    const std::uint64_t k = rng.range(1, result.profiled_count);
-    draws.push_back({k, rng.fork()});
-  }
-
-  std::vector<TrialRecord> records(config.trials);
-  std::size_t workers = config.threads != 0
-                            ? config.threads
-                            : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, config.trials == 0 ? 1 : config.trials);
-
-  std::atomic<std::size_t> next{0};
-  auto work = [&]() {
-    while (true) {
-      const std::size_t t = next.fetch_add(1);
-      if (t >= config.trials) return;
-      records[t] = engine.inject(config.category, draws[t].k,
-                                 draws[t].trial_rng);
-    }
-  };
-  if (workers <= 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (auto& th : pool) th.join();
-  }
-
-  for (const TrialRecord& record : records) {
-    switch (record.outcome) {
-      case Outcome::Crash: ++result.crash; break;
-      case Outcome::SDC: ++result.sdc; break;
-      case Outcome::Benign: ++result.benign; break;
-      case Outcome::Hang: ++result.hang; break;
-      case Outcome::NotActivated: ++result.not_activated; break;
-    }
-  }
-  result.trials = std::move(records);
-  return result;
+  SchedulerOptions options;
+  options.threads = config.threads;
+  CampaignScheduler scheduler(options);
+  scheduler.add(engine, config);
+  std::vector<CampaignResult> results = scheduler.run();
+  return std::move(results.front());
 }
 
 std::size_t default_trials() {
-  if (const char* env = std::getenv("FAULTLAB_TRIALS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  constexpr std::size_t kDefault = 150;
+  const char* env = std::getenv("FAULTLAB_TRIALS");
+  if (env == nullptr) return kDefault;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (errno == ERANGE || end == env || *end != '\0' || parsed <= 0) {
+    std::fprintf(stderr,
+                 "warning: FAULTLAB_TRIALS='%s' is not a positive integer; "
+                 "using %zu\n",
+                 env, kDefault);
+    return kDefault;
   }
-  return 150;
+  return static_cast<std::size_t>(parsed);
 }
 
 }  // namespace faultlab::fault

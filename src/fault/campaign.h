@@ -37,6 +37,12 @@ struct CampaignResult {
   std::size_t hang = 0;
   std::size_t not_activated = 0;
 
+  /// Trials whose target dynamic instance was reached (observability).
+  std::size_t injected_trials = 0;
+  /// Wall time of the trial loop, filled by the scheduler (0 when the
+  /// campaign had nothing to run).
+  double wall_seconds = 0.0;
+
   std::size_t activated() const noexcept { return crash + sdc + benign + hang; }
   Proportion crash_rate() const noexcept { return {crash, activated()}; }
   Proportion sdc_rate() const noexcept { return {sdc, activated()}; }
@@ -47,12 +53,18 @@ struct CampaignResult {
 };
 
 /// Runs one campaign. Deterministic for a fixed (engine, config) pair.
+/// Thin wrapper over CampaignScheduler (see fault/scheduler.h) — grid
+/// experiments should schedule all their campaigns together instead so
+/// profiling is shared and the worker pool never drains. Worker exceptions
+/// surface as a catchable CampaignError; they no longer std::terminate.
 CampaignResult run_campaign(InjectorEngine& engine,
                             const CampaignConfig& config);
 
 /// Number of trials per cell, honouring the FAULTLAB_TRIALS environment
 /// variable (the paper uses 1000; the default here keeps laptop turnaround
-/// reasonable).
+/// reasonable). Values that are not a positive decimal integer — including
+/// trailing garbage ("150abc") and out-of-range numbers — fall back to the
+/// default with a one-line warning on stderr.
 std::size_t default_trials();
 
 }  // namespace faultlab::fault

@@ -3,6 +3,7 @@
 // the machine simulator.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -29,6 +30,20 @@ struct FaultModel {
   bool llfi_gep_as_arithmetic = false;
 };
 
+/// Dynamic instruction counts for every Table III category, indexed by
+/// `ir::Category`. Produced by `InjectorEngine::profile_all()` so one
+/// instrumented golden run covers the whole category grid.
+struct CategoryCounts {
+  std::array<std::uint64_t, ir::kNumCategories> counts{};
+
+  std::uint64_t operator[](ir::Category c) const noexcept {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t& operator[](ir::Category c) noexcept {
+    return counts[static_cast<std::size_t>(c)];
+  }
+};
+
 class InjectorEngine {
  public:
   virtual ~InjectorEngine() = default;
@@ -38,6 +53,17 @@ class InjectorEngine {
   /// Dynamic count of category instructions in a fault-free run (the
   /// paper's Table IV entries). Also primes golden output/limits.
   virtual std::uint64_t profile(ir::Category category) = 0;
+
+  /// Dynamic counts for *all* categories from a single instrumented run.
+  /// The default falls back to one profile() run per category; LlfiEngine
+  /// and PinfiEngine override it with a genuine single-pass version, which
+  /// is what the campaign scheduler uses to avoid per-category golden
+  /// re-runs. Must agree with profile() for every category.
+  virtual CategoryCounts profile_all() {
+    CategoryCounts out;
+    for (ir::Category c : ir::kAllCategories) out[c] = profile(c);
+    return out;
+  }
 
   /// Runs one trial, flipping one random bit in the destination of the
   /// k-th dynamic instance (1-based) of `category`. `rng` drives the bit

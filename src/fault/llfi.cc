@@ -24,6 +24,22 @@ class ProfileHook final : public vm::ExecHook {
   std::uint64_t count_ = 0;
 };
 
+/// Single-pass profiling hook: counts dynamic instances of every category
+/// in one instrumented run.
+class ProfileAllHook final : public vm::ExecHook {
+ public:
+  explicit ProfileAllHook(const FaultModel& model) : model_(model) {}
+  void on_instruction(const ir::Instruction& instr) override {
+    for (ir::Category c : ir::kAllCategories)
+      if (LlfiEngine::is_target(instr, c, model_)) ++counts_[c];
+  }
+  const CategoryCounts& counts() const noexcept { return counts_; }
+
+ private:
+  FaultModel model_;
+  CategoryCounts counts_;
+};
+
 /// Injection hook: flips one bit in the destination of dynamic instance k
 /// of the category, then watches for a read of that exact dynamic value
 /// (activation). The bit index is drawn uniformly in [0,64) up front and
@@ -115,6 +131,15 @@ std::uint64_t LlfiEngine::profile(ir::Category category) {
   if (!r.completed())
     throw std::runtime_error("LLFI: profiling run did not complete");
   return hook.count();
+}
+
+CategoryCounts LlfiEngine::profile_all() {
+  ProfileAllHook hook(model_);
+  vm::Interpreter interp(module_, &hook);
+  const vm::RunResult r = interp.run();
+  if (!r.completed())
+    throw std::runtime_error("LLFI: profiling run did not complete");
+  return hook.counts();
 }
 
 TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,

@@ -24,6 +24,7 @@ class LlfiEngine final : public InjectorEngine {
 
   const char* tool_name() const noexcept override { return "LLFI"; }
   std::uint64_t profile(ir::Category category) override;
+  CategoryCounts profile_all() override;  ///< one run, all categories
   TrialRecord inject(ir::Category category, std::uint64_t k,
                      Rng& rng) override;
   const std::string& golden_output() const noexcept override {

@@ -204,6 +204,25 @@ class ProfileHook final : public x86::SimHook {
   std::uint64_t count_ = 0;
 };
 
+/// Single-pass profiling hook: counts dynamic instances of every category
+/// in one instrumented run.
+class ProfileAllHook final : public x86::SimHook {
+ public:
+  explicit ProfileAllHook(const x86::Program& program) : program_(program) {}
+  void on_before(std::size_t index, const Inst& inst) override {
+    const Inst* next = index + 1 < program_.code.size()
+                           ? &program_.code[index + 1]
+                           : nullptr;
+    for (ir::Category c : ir::kAllCategories)
+      if (PinfiEngine::is_target(inst, next, c)) ++counts_[c];
+  }
+  const CategoryCounts& counts() const noexcept { return counts_; }
+
+ private:
+  const x86::Program& program_;
+  CategoryCounts counts_;
+};
+
 }  // namespace
 
 bool PinfiEngine::is_target(const Inst& inst, const Inst* next,
@@ -235,6 +254,15 @@ std::uint64_t PinfiEngine::profile(ir::Category category) {
   if (!r.completed())
     throw std::runtime_error("PINFI: profiling run did not complete");
   return hook.count();
+}
+
+CategoryCounts PinfiEngine::profile_all() {
+  ProfileAllHook hook(program_);
+  x86::Simulator sim(program_, &hook);
+  const x86::SimResult r = sim.run();
+  if (!r.completed())
+    throw std::runtime_error("PINFI: profiling run did not complete");
+  return hook.counts();
 }
 
 TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,

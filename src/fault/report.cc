@@ -55,6 +55,13 @@ std::string render_figure3(const ResultSet& rs) {
       const char* tool = t == 0 ? "LLFI" : "PINFI";
       const CampaignResult* r = rs.find(app, tool, ir::Category::All);
       if (r == nullptr) continue;
+      if (r->activated() == 0) {
+        // Rates are undefined over zero activated trials: render '-' and
+        // keep the row out of the unweighted average (the same guard
+        // Figure 4 and Table V apply).
+        table.add_row({app, tool, "-", "-", "-", "-", "0"});
+        continue;
+      }
       table.add_row({app, tool, pct(r->crash_rate()), pct(r->sdc_rate()),
                      pct(r->benign_rate()), pct(r->hang_rate()),
                      std::to_string(r->activated())});

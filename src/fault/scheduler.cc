@@ -1,0 +1,273 @@
+#include "fault/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/timer.h"
+
+namespace faultlab::fault {
+
+namespace {
+
+std::string describe(const std::string& app, const std::string& tool,
+                     ir::Category category, const std::exception_ptr& cause) {
+  std::string what = "unknown exception";
+  try {
+    std::rethrow_exception(cause);
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  std::string out = "campaign [";
+  out += app;
+  out += " / ";
+  out += tool;
+  out += " / ";
+  out += ir::category_name(category);
+  out += "] failed: ";
+  out += what;
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+CampaignError::CampaignError(std::string app, std::string tool,
+                             ir::Category category, std::exception_ptr cause)
+    : std::runtime_error(describe(app, tool, category, cause)),
+      app_(std::move(app)),
+      tool_(std::move(tool)),
+      category_(category),
+      cause_(std::move(cause)) {}
+
+CampaignScheduler::CampaignScheduler(SchedulerOptions options)
+    : options_(std::move(options)) {}
+
+void CampaignScheduler::add(InjectorEngine& engine, CampaignConfig config) {
+  entries_.push_back({&engine, std::move(config)});
+}
+
+std::vector<CampaignResult> CampaignScheduler::run() {
+  struct Draw {
+    std::uint64_t k;
+    Rng trial_rng;
+  };
+  struct Campaign {
+    Entry* entry = nullptr;
+    std::vector<Draw> draws;
+    std::vector<TrialRecord> records;
+    CampaignResult result;
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> started{false};
+    WallTimer timer;  // reset when the first trial is dispatched
+    bool finalized = false;
+  };
+
+  WallTimer run_timer;
+  manifest_ = RunManifest{};
+  manifest_.model = options_.model;
+
+  // Phase 1 — profiling: one single-pass instrumented golden run per
+  // distinct engine covers every category it appears with.
+  WallTimer profile_timer;
+  std::vector<std::pair<InjectorEngine*, CategoryCounts>> profiles;
+  for (const Entry& entry : entries_) {
+    const auto known = std::find_if(
+        profiles.begin(), profiles.end(),
+        [&](const auto& p) { return p.first == entry.engine; });
+    if (known == profiles.end())
+      profiles.emplace_back(entry.engine, entry.engine->profile_all());
+  }
+  manifest_.profile_seconds = profile_timer.seconds();
+
+  // Phase 2 — draws: generated sequentially per campaign from its seed, so
+  // the trial stream is independent of worker count and scheduling order.
+  std::deque<Campaign> campaigns;
+  std::vector<std::size_t> ends;  // cumulative trial count, per campaign
+  std::size_t total = 0;
+  for (Entry& entry : entries_) {
+    Campaign& c = campaigns.emplace_back();
+    c.entry = &entry;
+    const CategoryCounts& counts =
+        std::find_if(profiles.begin(), profiles.end(),
+                     [&](const auto& p) { return p.first == entry.engine; })
+            ->second;
+    c.result.app = entry.config.app;
+    c.result.tool = entry.engine->tool_name();
+    c.result.category = entry.config.category;
+    c.result.profiled_count = counts[entry.config.category];
+    if (c.result.profiled_count > 0 && entry.config.trials > 0) {
+      Rng rng(entry.config.seed ^
+              (static_cast<std::uint64_t>(entry.config.category) << 32));
+      c.draws.reserve(entry.config.trials);
+      for (std::size_t t = 0; t < entry.config.trials; ++t) {
+        const std::uint64_t k = rng.range(1, c.result.profiled_count);
+        c.draws.push_back({k, rng.fork()});
+      }
+      c.records.resize(entry.config.trials);
+      c.remaining.store(entry.config.trials, std::memory_order_relaxed);
+      total += entry.config.trials;
+    }
+    ends.push_back(total);
+  }
+  manifest_.campaigns.resize(campaigns.size());
+
+  // Phase 3 — trials: one shared queue over all campaigns; workers steal
+  // the next undone trial regardless of which campaign it belongs to.
+  std::mutex mutex;  // guards finalization, progress, and error capture
+  std::exception_ptr first_error;
+  std::size_t error_campaign = 0;
+  std::atomic<bool> failed{false};
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> trials_done{0};
+  std::size_t campaigns_done = 0;
+
+  auto finalize = [&](std::size_t index) {
+    // Called with all of the campaign's records written; aggregation walks
+    // them in trial order, so counters are thread-count independent.
+    Campaign& c = campaigns[index];
+    for (const TrialRecord& record : c.records) {
+      if (record.injected) ++c.result.injected_trials;
+      switch (record.outcome) {
+        case Outcome::Crash: ++c.result.crash; break;
+        case Outcome::SDC: ++c.result.sdc; break;
+        case Outcome::Benign: ++c.result.benign; break;
+        case Outcome::Hang: ++c.result.hang; break;
+        case Outcome::NotActivated: ++c.result.not_activated; break;
+      }
+    }
+    c.result.trials = std::move(c.records);
+    c.result.wall_seconds = c.started.load(std::memory_order_relaxed)
+                                ? c.timer.seconds()
+                                : 0.0;
+    c.finalized = true;
+
+    CampaignTiming& timing = manifest_.campaigns[index];
+    timing.app = c.result.app;
+    timing.tool = c.result.tool;
+    timing.category = c.result.category;
+    timing.seed = c.entry->config.seed;
+    timing.profiled_count = c.result.profiled_count;
+    timing.trials = c.result.trials.size();
+    timing.injected = c.result.injected_trials;
+    timing.activated = c.result.activated();
+    timing.wall_seconds = c.result.wall_seconds;
+
+    ++campaigns_done;
+    if (options_.progress) {
+      SchedulerProgress p;
+      p.campaigns_total = campaigns.size();
+      p.campaigns_done = campaigns_done;
+      p.trials_total = total;
+      p.trials_done = trials_done.load(std::memory_order_relaxed);
+      p.completed = &c.result;
+      options_.progress(p);
+    }
+  };
+
+  {
+    // Campaigns with nothing to run (zero targets or zero trials) complete
+    // immediately.
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < campaigns.size(); ++i)
+      if (campaigns[i].records.empty()) finalize(i);
+  }
+
+  auto work = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= total) return;
+      const std::size_t index = static_cast<std::size_t>(
+          std::upper_bound(ends.begin(), ends.end(), t) - ends.begin());
+      Campaign& c = campaigns[index];
+      const std::size_t base = index == 0 ? 0 : ends[index - 1];
+      const std::size_t trial = t - base;
+      try {
+        if (!c.started.exchange(true, std::memory_order_relaxed))
+          c.timer.reset();
+        c.records[trial] = c.entry->engine->inject(
+            c.entry->config.category, c.draws[trial].k,
+            c.draws[trial].trial_rng);
+        trials_done.fetch_add(1, std::memory_order_relaxed);
+        if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(mutex);
+          finalize(index);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+          error_campaign = index;
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::size_t workers =
+      options_.threads != 0
+          ? options_.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<std::size_t>(total, 1));
+  if (total > 0) {
+    if (workers <= 1) {
+      work();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+      for (std::thread& th : pool) th.join();
+    }
+  }
+  manifest_.threads = workers;
+  manifest_.wall_seconds = run_timer.seconds();
+
+  if (first_error != nullptr) {
+    const Campaign& c = campaigns[error_campaign];
+    throw CampaignError(c.result.app, c.result.tool, c.result.category,
+                        first_error);
+  }
+
+  std::vector<CampaignResult> out;
+  out.reserve(campaigns.size());
+  for (Campaign& c : campaigns) out.push_back(std::move(c.result));
+  entries_.clear();
+  return out;
+}
+
+CsvWriter manifest_csv(const RunManifest& manifest) {
+  CsvWriter csv({"app", "tool", "category", "seed", "trials",
+                 "profiled_count", "injected", "activated", "wall_seconds",
+                 "trials_per_second", "threads", "profile_seconds",
+                 "total_wall_seconds", "pinfi_flag_heuristic",
+                 "pinfi_xmm_prune", "llfi_type_width",
+                 "llfi_gep_as_arithmetic"});
+  for (const CampaignTiming& t : manifest.campaigns) {
+    csv.add_row({t.app, t.tool, ir::category_name(t.category),
+                 std::to_string(t.seed), std::to_string(t.trials),
+                 std::to_string(t.profiled_count), std::to_string(t.injected),
+                 std::to_string(t.activated), fmt_double(t.wall_seconds),
+                 fmt_double(t.trials_per_second()),
+                 std::to_string(manifest.threads),
+                 fmt_double(manifest.profile_seconds),
+                 fmt_double(manifest.wall_seconds),
+                 std::to_string(manifest.model.pinfi_flag_heuristic ? 1 : 0),
+                 std::to_string(manifest.model.pinfi_xmm_prune ? 1 : 0),
+                 std::to_string(manifest.model.llfi_type_width ? 1 : 0),
+                 std::to_string(
+                     manifest.model.llfi_gep_as_arithmetic ? 1 : 0)});
+  }
+  return csv;
+}
+
+}  // namespace faultlab::fault

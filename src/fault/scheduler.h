@@ -1,0 +1,136 @@
+// Campaign scheduler: runs a whole (app × tool × category) grid of fault
+// injection campaigns on one shared worker pool.
+//
+// Compared to calling run_campaign per cell, the scheduler
+//  * profiles each engine once — a single instrumented golden run records
+//    the dynamic counts of *all* categories (InjectorEngine::profile_all),
+//    instead of one golden re-run per category,
+//  * spins the thread pool up once for the whole grid: trials from every
+//    campaign land in one shared queue that idle workers steal from, so
+//    cores never drain between campaigns,
+//  * captures worker exceptions via std::exception_ptr and rethrows them
+//    after joining as a CampaignError naming the failing campaign, instead
+//    of letting them escape a std::thread and std::terminate the process,
+//  * records observability data: per-campaign wall time, trials/sec,
+//    injected/activated counters, and a machine-readable run manifest.
+//
+// Determinism: every trial's (k, bit-stream) draw is generated sequentially
+// up front from the campaign's seed, exactly as run_campaign always did, so
+// results are bit-identical for any thread count — and identical to the
+// pre-scheduler per-cell loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "fault/engine.h"
+#include "support/csv.h"
+
+namespace faultlab::fault {
+
+/// Thrown by CampaignScheduler::run when a trial worker throws: identifies
+/// the campaign and carries the original exception for rethrow.
+class CampaignError : public std::runtime_error {
+ public:
+  CampaignError(std::string app, std::string tool, ir::Category category,
+                std::exception_ptr cause);
+
+  const std::string& app() const noexcept { return app_; }
+  const std::string& tool() const noexcept { return tool_; }
+  ir::Category category() const noexcept { return category_; }
+  std::exception_ptr cause() const noexcept { return cause_; }
+
+ private:
+  std::string app_;
+  std::string tool_;
+  ir::Category category_;
+  std::exception_ptr cause_;
+};
+
+/// Timing and counters for one campaign, as recorded in the run manifest.
+struct CampaignTiming {
+  std::string app;
+  std::string tool;
+  ir::Category category = ir::Category::All;
+  std::uint64_t seed = 0;
+  std::uint64_t profiled_count = 0;
+  std::size_t trials = 0;
+  std::size_t injected = 0;
+  std::size_t activated = 0;
+  double wall_seconds = 0.0;  ///< first trial dispatched -> last trial done
+
+  double trials_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
+                              : 0.0;
+  }
+};
+
+/// Everything needed to reproduce and audit a grid run, emitted alongside
+/// the results CSV.
+struct RunManifest {
+  std::size_t threads = 0;        ///< worker count actually used
+  FaultModel model;               ///< fault-model knobs in effect
+  double profile_seconds = 0.0;   ///< single-pass profiling phase
+  double wall_seconds = 0.0;      ///< whole run() call
+  std::vector<CampaignTiming> campaigns;  ///< in add() order
+};
+
+/// Snapshot passed to the progress callback each time a campaign finishes.
+struct SchedulerProgress {
+  std::size_t campaigns_total = 0;
+  std::size_t campaigns_done = 0;
+  std::size_t trials_total = 0;
+  std::size_t trials_done = 0;
+  /// The campaign that just completed (aggregated counters valid). Null on
+  /// the initial profiling-done notification.
+  const CampaignResult* completed = nullptr;
+};
+
+struct SchedulerOptions {
+  /// Worker threads for the shared trial pool (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Recorded in the run manifest (the scheduler itself is model-agnostic;
+  /// the engines were constructed with it).
+  FaultModel model;
+  /// Invoked, serialized, from worker threads as campaigns complete.
+  std::function<void(const SchedulerProgress&)> progress;
+};
+
+class CampaignScheduler {
+ public:
+  explicit CampaignScheduler(SchedulerOptions options = {});
+
+  /// Queues one campaign. The engine must outlive run(); the same engine
+  /// may back several campaigns (one per category) and is profiled once.
+  void add(InjectorEngine& engine, CampaignConfig config);
+
+  std::size_t pending() const noexcept { return entries_.size(); }
+
+  /// Runs every queued trial on one shared pool and returns the campaign
+  /// results in add() order. Clears the queue. Throws CampaignError when a
+  /// worker throws (after all workers have been joined).
+  std::vector<CampaignResult> run();
+
+  /// Manifest of the last run() call.
+  const RunManifest& manifest() const noexcept { return manifest_; }
+
+ private:
+  struct Entry {
+    InjectorEngine* engine;
+    CampaignConfig config;
+  };
+
+  SchedulerOptions options_;
+  std::vector<Entry> entries_;
+  RunManifest manifest_;
+};
+
+/// Machine-readable manifest dump: one row per campaign, run-level fields
+/// (threads, fault-model flags) repeated on every row.
+CsvWriter manifest_csv(const RunManifest& manifest);
+
+}  // namespace faultlab::fault

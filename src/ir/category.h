@@ -11,6 +11,7 @@
 //   all        — every instruction with a destination register
 #pragma once
 
+#include <iterator>
 #include <optional>
 #include <string>
 
@@ -23,6 +24,8 @@ enum class Category : std::uint8_t { Arithmetic, Cast, Cmp, Load, All };
 inline constexpr Category kAllCategories[] = {
     Category::Arithmetic, Category::Cast, Category::Cmp, Category::Load,
     Category::All};
+
+inline constexpr std::size_t kNumCategories = std::size(kAllCategories);
 
 const char* category_name(Category c) noexcept;
 std::optional<Category> category_from_name(const std::string& name) noexcept;

@@ -1,0 +1,25 @@
+// Monotonic wall-clock stopwatch used for campaign timing and the run
+// manifest. steady_clock so timings are immune to wall-clock adjustments.
+#pragma once
+
+#include <chrono>
+
+namespace faultlab {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace faultlab

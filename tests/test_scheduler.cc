@@ -1,0 +1,268 @@
+// Campaign scheduler tests: grid determinism across thread counts,
+// single-pass profiling equivalence, exception propagation from trial
+// workers, manifest contents, and FAULTLAB_TRIALS parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "apps/apps.h"
+#include "driver/pipeline.h"
+#include "fault/campaign.h"
+#include "fault/llfi.h"
+#include "fault/pinfi.h"
+#include "fault/scheduler.h"
+
+namespace faultlab::fault {
+namespace {
+
+/// A small program with work in every category.
+const char* kGridProgram = R"(
+  int data[32];
+  double weights[32];
+  int main() {
+    int i;
+    for (i = 0; i < 32; i++) {
+      data[i] = i * 7 + 3;
+      weights[i] = (double)i * 0.5;
+    }
+    long acc = 0;
+    double wacc = 0.0;
+    for (i = 0; i < 32; i++) {
+      if (data[i] % 3 == 0) acc += data[i];
+      wacc = wacc + weights[i] * 1.25;
+    }
+    print_int(acc);
+    print_int((long)(wacc * 100.0));
+    return 0;
+  }
+)";
+
+void expect_same_records(const std::vector<TrialRecord>& a,
+                         const std::vector<TrialRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome, b[i].outcome) << "trial " << i;
+    EXPECT_EQ(a[i].dynamic_target, b[i].dynamic_target) << "trial " << i;
+    EXPECT_EQ(a[i].bit, b[i].bit) << "trial " << i;
+    EXPECT_EQ(a[i].static_site, b[i].static_site) << "trial " << i;
+    EXPECT_EQ(a[i].injected, b[i].injected) << "trial " << i;
+  }
+}
+
+std::vector<CampaignResult> run_grid(LlfiEngine& llfi, PinfiEngine& pinfi,
+                                     std::size_t threads) {
+  SchedulerOptions options;
+  options.threads = threads;
+  CampaignScheduler scheduler(options);
+  for (ir::Category c :
+       {ir::Category::All, ir::Category::Arithmetic, ir::Category::Load}) {
+    CampaignConfig cfg;
+    cfg.app = "grid";
+    cfg.category = c;
+    cfg.trials = 12;
+    cfg.seed = 99;
+    scheduler.add(llfi, cfg);
+    scheduler.add(pinfi, cfg);
+  }
+  return scheduler.run();
+}
+
+TEST(Scheduler, GridDeterministicAcrossThreadCounts) {
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine llfi(prog.module());
+  PinfiEngine pinfi(prog.program());
+  const std::vector<CampaignResult> serial = run_grid(llfi, pinfi, 1);
+  const std::vector<CampaignResult> parallel = run_grid(llfi, pinfi, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].app, parallel[i].app);
+    EXPECT_EQ(serial[i].tool, parallel[i].tool);
+    EXPECT_EQ(serial[i].category, parallel[i].category);
+    EXPECT_EQ(serial[i].profiled_count, parallel[i].profiled_count);
+    EXPECT_EQ(serial[i].crash, parallel[i].crash);
+    EXPECT_EQ(serial[i].sdc, parallel[i].sdc);
+    EXPECT_EQ(serial[i].benign, parallel[i].benign);
+    EXPECT_EQ(serial[i].hang, parallel[i].hang);
+    EXPECT_EQ(serial[i].not_activated, parallel[i].not_activated);
+    EXPECT_EQ(serial[i].injected_trials, parallel[i].injected_trials);
+    expect_same_records(serial[i].trials, parallel[i].trials);
+  }
+}
+
+TEST(Scheduler, MatchesRunCampaignCellByCell) {
+  // The scheduler must be a pure orchestration change: each grid cell's
+  // records equal what the single-campaign wrapper produces.
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine llfi(prog.module());
+  PinfiEngine pinfi(prog.program());
+  const std::vector<CampaignResult> grid = run_grid(llfi, pinfi, 2);
+  for (const CampaignResult& cell : grid) {
+    CampaignConfig cfg;
+    cfg.app = cell.app;
+    cfg.category = cell.category;
+    cfg.trials = 12;
+    cfg.seed = 99;
+    cfg.threads = 1;
+    InjectorEngine& engine =
+        cell.tool == "LLFI" ? static_cast<InjectorEngine&>(llfi) : pinfi;
+    const CampaignResult solo = run_campaign(engine, cfg);
+    EXPECT_EQ(solo.profiled_count, cell.profiled_count);
+    expect_same_records(solo.trials, cell.trials);
+  }
+}
+
+TEST(Scheduler, ProfileAllMatchesPerCategoryProfile) {
+  for (const char* name : {"mcf", "libquantum"}) {
+    auto prog = driver::compile(apps::benchmark(name).source, name);
+    LlfiEngine llfi(prog.module());
+    PinfiEngine pinfi(prog.program());
+    const CategoryCounts lcounts = llfi.profile_all();
+    const CategoryCounts pcounts = pinfi.profile_all();
+    for (ir::Category c : ir::kAllCategories) {
+      EXPECT_EQ(lcounts[c], llfi.profile(c))
+          << name << " LLFI " << ir::category_name(c);
+      EXPECT_EQ(pcounts[c], pinfi.profile(c))
+          << name << " PINFI " << ir::category_name(c);
+    }
+  }
+}
+
+/// Engine whose inject() always throws — the std::terminate repro.
+class ThrowingEngine final : public InjectorEngine {
+ public:
+  const char* tool_name() const noexcept override { return "MOCK"; }
+  std::uint64_t profile(ir::Category) override { return 8; }
+  TrialRecord inject(ir::Category, std::uint64_t, Rng&) override {
+    throw std::runtime_error("injector exploded");
+  }
+  const std::string& golden_output() const noexcept override {
+    return golden_;
+  }
+  std::uint64_t golden_instructions() const noexcept override { return 1; }
+
+ private:
+  std::string golden_;
+};
+
+TEST(Scheduler, ThrowingEngineSurfacesAsCampaignError) {
+  ThrowingEngine engine;
+  CampaignConfig cfg;
+  cfg.app = "boomapp";
+  cfg.category = ir::Category::All;
+  cfg.trials = 6;
+  cfg.threads = 4;
+  try {
+    run_campaign(engine, cfg);
+    FAIL() << "expected CampaignError";
+  } catch (const CampaignError& e) {
+    EXPECT_EQ(e.app(), "boomapp");
+    EXPECT_EQ(e.tool(), "MOCK");
+    EXPECT_EQ(e.category(), ir::Category::All);
+    EXPECT_NE(std::string(e.what()).find("boomapp"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("injector exploded"),
+              std::string::npos);
+    ASSERT_NE(e.cause(), nullptr);
+    EXPECT_THROW(std::rethrow_exception(e.cause()), std::runtime_error);
+  }
+}
+
+TEST(Scheduler, ThrowingCampaignInAGridStillThrows) {
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine llfi(prog.module());
+  ThrowingEngine bad;
+  CampaignScheduler scheduler;
+  CampaignConfig good;
+  good.app = "grid";
+  good.category = ir::Category::All;
+  good.trials = 4;
+  scheduler.add(llfi, good);
+  CampaignConfig boom;
+  boom.app = "boomapp";
+  boom.category = ir::Category::Cmp;
+  boom.trials = 4;
+  scheduler.add(bad, boom);
+  EXPECT_THROW(scheduler.run(), CampaignError);
+}
+
+TEST(Scheduler, ManifestRecordsTimingsAndCounters) {
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine llfi(prog.module());
+  PinfiEngine pinfi(prog.program());
+  SchedulerOptions options;
+  options.threads = 2;
+  std::size_t progress_calls = 0;
+  options.progress = [&](const SchedulerProgress& p) {
+    if (p.completed != nullptr) ++progress_calls;
+  };
+  CampaignScheduler scheduler(options);
+  CampaignConfig cfg;
+  cfg.app = "grid";
+  cfg.category = ir::Category::All;
+  cfg.trials = 10;
+  scheduler.add(llfi, cfg);
+  scheduler.add(pinfi, cfg);
+  const std::vector<CampaignResult> results = scheduler.run();
+
+  const RunManifest& m = scheduler.manifest();
+  EXPECT_EQ(m.threads, 2u);
+  EXPECT_GE(m.wall_seconds, 0.0);
+  EXPECT_GE(m.profile_seconds, 0.0);
+  ASSERT_EQ(m.campaigns.size(), 2u);
+  EXPECT_EQ(progress_calls, 2u);
+  for (std::size_t i = 0; i < m.campaigns.size(); ++i) {
+    EXPECT_EQ(m.campaigns[i].app, results[i].app);
+    EXPECT_EQ(m.campaigns[i].tool, results[i].tool);
+    EXPECT_EQ(m.campaigns[i].trials, results[i].trials.size());
+    EXPECT_EQ(m.campaigns[i].injected, results[i].injected_trials);
+    EXPECT_EQ(m.campaigns[i].activated, results[i].activated());
+    EXPECT_GT(m.campaigns[i].wall_seconds, 0.0);
+  }
+
+  const std::string csv = manifest_csv(m).to_string();
+  EXPECT_NE(csv.find("trials_per_second"), std::string::npos);
+  EXPECT_NE(csv.find("grid,LLFI,all"), std::string::npos);
+  EXPECT_NE(csv.find("grid,PINFI,all"), std::string::npos);
+}
+
+TEST(Scheduler, EmptyAndZeroTrialCampaigns) {
+  CampaignScheduler empty;
+  EXPECT_TRUE(empty.run().empty());
+
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine llfi(prog.module());
+  CampaignScheduler scheduler;
+  CampaignConfig cfg;
+  cfg.app = "grid";
+  cfg.category = ir::Category::All;
+  cfg.trials = 0;
+  scheduler.add(llfi, cfg);
+  const std::vector<CampaignResult> results = scheduler.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].profiled_count, 0u);
+  EXPECT_TRUE(results[0].trials.empty());
+  EXPECT_EQ(results[0].activated(), 0u);
+}
+
+class DefaultTrialsEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("FAULTLAB_TRIALS"); }
+  std::size_t with(const char* value) {
+    setenv("FAULTLAB_TRIALS", value, 1);
+    return default_trials();
+  }
+};
+
+TEST_F(DefaultTrialsEnv, ParsesAndRejects) {
+  unsetenv("FAULTLAB_TRIALS");
+  EXPECT_EQ(default_trials(), 150u);          // unset -> default
+  EXPECT_EQ(with("200"), 200u);               // plain number
+  EXPECT_EQ(with("37abc"), 150u);             // trailing garbage rejected
+  EXPECT_EQ(with("abc"), 150u);               // non-numeric rejected
+  EXPECT_EQ(with(""), 150u);                  // empty rejected
+  EXPECT_EQ(with("-5"), 150u);                // non-positive rejected
+  EXPECT_EQ(with("0"), 150u);                 // zero rejected
+  EXPECT_EQ(with("99999999999999999999999"), 150u);  // overflow rejected
+}
+
+}  // namespace
+}  // namespace faultlab::fault
