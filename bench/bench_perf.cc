@@ -66,9 +66,11 @@ void BM_SimExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_SimExecution)->Unit(benchmark::kMillisecond);
 
+// Direct trials: checkpointing disabled, every injection re-executes the
+// golden prefix from main(). The baseline the checkpointed variants beat.
 void BM_LlfiInjectionTrial(benchmark::State& state) {
   auto prog = driver::compile(kKernel, "bench");
-  fault::LlfiEngine engine(prog.module());
+  fault::LlfiEngine engine(prog.module(), {}, {0, /*enabled=*/false});
   const std::uint64_t n = engine.profile(ir::Category::All);
   Rng rng(1);
   for (auto _ : state) {
@@ -81,7 +83,7 @@ BENCHMARK(BM_LlfiInjectionTrial)->Unit(benchmark::kMillisecond);
 
 void BM_PinfiInjectionTrial(benchmark::State& state) {
   auto prog = driver::compile(kKernel, "bench");
-  fault::PinfiEngine engine(prog.program());
+  fault::PinfiEngine engine(prog.program(), {}, {0, /*enabled=*/false});
   const std::uint64_t n = engine.profile(ir::Category::All);
   Rng rng(1);
   for (auto _ : state) {
@@ -92,14 +94,92 @@ void BM_PinfiInjectionTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_PinfiInjectionTrial)->Unit(benchmark::kMillisecond);
 
+// Checkpointed trials: profile_all() captures snapshots, inject() resumes
+// from the nearest one before each injection point.
+void BM_LlfiCheckpointedTrial(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  fault::LlfiEngine engine(prog.module(), {},
+                           {static_cast<std::uint64_t>(state.range(0)), true});
+  engine.profile_all();
+  const std::uint64_t n = engine.profile(ir::Category::All);
+  Rng rng(1);
+  for (auto _ : state) {
+    Rng trial = rng.fork();
+    auto r = engine.inject(ir::Category::All, rng.range(1, n), trial);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+  const auto stats = engine.checkpoint_stats();
+  state.counters["hit_rate"] = stats.hit_rate();
+  state.counters["snapshots"] = static_cast<double>(stats.snapshots);
+}
+BENCHMARK(BM_LlfiCheckpointedTrial)
+    ->Arg(0)         // automatic stride
+    ->Arg(20'000)    // dense
+    ->Arg(100'000)   // sparse
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PinfiCheckpointedTrial(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  fault::PinfiEngine engine(prog.program(), {},
+                            {static_cast<std::uint64_t>(state.range(0)), true});
+  engine.profile_all();
+  const std::uint64_t n = engine.profile(ir::Category::All);
+  Rng rng(1);
+  for (auto _ : state) {
+    Rng trial = rng.fork();
+    auto r = engine.inject(ir::Category::All, rng.range(1, n), trial);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+  const auto stats = engine.checkpoint_stats();
+  state.counters["hit_rate"] = stats.hit_rate();
+  state.counters["snapshots"] = static_cast<double>(stats.snapshots);
+}
+BENCHMARK(BM_PinfiCheckpointedTrial)
+    ->Arg(0)
+    ->Arg(20'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ProfilingOverheadVm(benchmark::State& state) {
   auto prog = driver::compile(kKernel, "bench");
-  fault::LlfiEngine engine(prog.module());
+  fault::LlfiEngine engine(prog.module(), {}, {0, /*enabled=*/false});
   for (auto _ : state)
     benchmark::DoNotOptimize(engine.profile(ir::Category::All));
 }
 BENCHMARK(BM_ProfilingOverheadVm)->Unit(benchmark::kMillisecond);
 
+// Snapshot capture cost: the instrumented golden run including checkpoint
+// capture at the automatic stride (compare against BM_ProfilingOverheadVm
+// for the marginal cost of copy-on-write snapshots).
+void BM_ProfileAllWithCheckpoints(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  fault::LlfiEngine engine(prog.module(), {}, {0, /*enabled=*/true});
+  for (auto _ : state) {
+    auto counts = engine.profile_all();
+    benchmark::DoNotOptimize(counts[ir::Category::All]);
+  }
+  state.counters["snapshots"] =
+      static_cast<double>(engine.checkpoint_stats().snapshots);
+}
+BENCHMARK(BM_ProfileAllWithCheckpoints)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: run the microbenchmarks, then one small checkpointed
+// LLFI+PINFI campaign over the kernel so bench_perf leaves a
+// machine-readable perf record (wall time, trials/sec, snapshot hit rate)
+// in BENCH_perf.json like the table/figure benches do.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace faultlab;
+  std::vector<benchx::CompiledApp> apps;
+  apps.push_back({"perf_kernel", driver::compile(kKernel, "perf_kernel")});
+  const benchx::ExperimentRun run = benchx::run_experiment(
+      apps, {ir::Category::All}, fault::default_trials());
+  benchx::write_perf_entry("bench_perf", run);
+  return 0;
+}

@@ -1,8 +1,11 @@
 #include "common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 namespace faultlab::benchx {
 
@@ -20,6 +23,19 @@ ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
                              std::uint64_t seed) {
   fault::SchedulerOptions options;
   options.model = model;
+  // FAULTLAB_THREADS pins the worker count (results are identical either
+  // way; this exists so perf runs and CSV-diff checks are reproducible).
+  if (const char* env = std::getenv("FAULTLAB_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0')
+      options.threads = static_cast<std::size_t>(parsed);
+    else
+      std::fprintf(stderr,
+                   "warning: FAULTLAB_THREADS='%s' is not an integer; "
+                   "using hardware concurrency\n",
+                   env);
+  }
   options.progress = [](const fault::SchedulerProgress& p) {
     if (p.completed == nullptr) return;
     char rate[32];
@@ -58,6 +74,11 @@ ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
   for (fault::CampaignResult& r : scheduler.run())
     out.results.add(std::move(r));
   out.manifest = scheduler.manifest();
+  out.seed = seed;
+  // The engines die with this scope: fold their checkpoint counters into
+  // the run record first.
+  for (const auto& engine : engines)
+    out.checkpoints += engine->checkpoint_stats();
   return out;
 }
 
@@ -86,6 +107,60 @@ void save_results(const ExperimentRun& run, const std::string& filename) {
   const std::string manifest_path = stem + ".manifest.csv";
   fault::manifest_csv(run.manifest).save(manifest_path);
   std::cout << "[run manifest written to ./" << manifest_path << "]\n";
+  write_perf_entry(stem, run);
+}
+
+void write_perf_entry(const std::string& experiment,
+                      const ExperimentRun& run) {
+  static const char* const kPath = "BENCH_perf.json";
+  std::size_t trials = 0;
+  for (const fault::CampaignTiming& t : run.manifest.campaigns)
+    trials += t.trials;
+  const double wall = run.manifest.wall_seconds;
+  const fault::CheckpointStats& cp = run.checkpoints;
+  // A zero stride means checkpointing was off (FAULTLAB_CHECKPOINTS=0);
+  // keep that run under its own key so the manifest holds both sides of
+  // the direct-vs-checkpointed comparison across PRs.
+  const std::string key =
+      cp.stride == 0 ? experiment + "_direct" : experiment;
+
+  // One entry = one line, so the upsert below can merge without a JSON
+  // parser: keep every other experiment's line, replace ours.
+  std::ostringstream entry;
+  entry << "  \"" << key << "\": {"
+        << "\"wall_seconds\": " << wall << ", "
+        << "\"profile_seconds\": " << run.manifest.profile_seconds << ", "
+        << "\"trials\": " << trials << ", "
+        << "\"trials_per_second\": " << (wall > 0.0 ? trials / wall : 0.0)
+        << ", "
+        << "\"threads\": " << run.manifest.threads << ", "
+        << "\"seed\": " << run.seed << ", "
+        << "\"snapshots\": " << cp.snapshots << ", "
+        << "\"snapshot_stride\": " << cp.stride << ", "
+        << "\"restored_trials\": " << cp.restored_trials << ", "
+        << "\"snapshot_hit_rate\": " << cp.hit_rate() << ", "
+        << "\"skipped_instructions\": " << cp.skipped_instructions << "}";
+
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(kPath);
+    const std::string prefix = "  \"" + key + "\":";
+    for (std::string line; std::getline(in, line);) {
+      if (line.empty() || line[0] != ' ') continue;  // braces / garbage
+      if (line.compare(0, prefix.size(), prefix) == 0) continue;
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      kept.push_back(line);
+    }
+  }
+  kept.push_back(entry.str());
+
+  std::ofstream out(kPath, std::ios::trunc);
+  out << "{\n";
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    out << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
+  out << "}\n";
+  std::cout << "[perf entry '" << key << "' written to ./" << kPath
+            << "]\n";
 }
 
 }  // namespace faultlab::benchx

@@ -30,6 +30,9 @@ std::vector<CompiledApp> compile_all_apps();
 struct ExperimentRun {
   fault::ResultSet results;
   fault::RunManifest manifest;
+  /// Checkpoint-layer counters summed over every engine in the run.
+  fault::CheckpointStats checkpoints;
+  std::uint64_t seed = 0;
 };
 
 /// Runs LLFI+PINFI campaigns for the given categories over all apps on one
@@ -47,7 +50,15 @@ void print_banner(const std::string& what, std::size_t trials);
 /// Saves a CSV beside the current working directory, reporting the path.
 void save_results(const fault::ResultSet& rs, const std::string& filename);
 
-/// Saves the results CSV plus the run manifest (<stem>.manifest.csv).
+/// Saves the results CSV plus the run manifest (<stem>.manifest.csv), and
+/// records the run's perf counters in BENCH_perf.json (see write_perf_entry).
 void save_results(const ExperimentRun& run, const std::string& filename);
+
+/// Upserts one experiment's entry in ./BENCH_perf.json — a top-level JSON
+/// object keyed by experiment name, one entry per line, so successive bench
+/// binaries sharing a working directory accumulate into one manifest.
+/// Records wall time, trials/sec, thread count, seed, and the checkpoint
+/// layer's stride/snapshot/hit-rate counters.
+void write_perf_entry(const std::string& experiment, const ExperimentRun& run);
 
 }  // namespace faultlab::benchx

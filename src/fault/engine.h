@@ -3,6 +3,7 @@
 // the machine simulator.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -28,6 +29,56 @@ struct FaultModel {
   /// Section VII item 1: treat getelementptr as an arithmetic instruction
   /// when LLFI selects 'arithmetic' targets (off = paper's default LLFI).
   bool llfi_gep_as_arithmetic = false;
+};
+
+/// Checkpoint configuration shared by both engines. During the single-pass
+/// instrumented profiling run (profile_all) the engine captures a
+/// copy-on-write snapshot every `stride` dynamic instructions, together
+/// with the per-category instance counters at that point; inject() then
+/// resumes each trial from the nearest snapshot at or before its injection
+/// point instead of re-executing the golden prefix.
+struct CheckpointPolicy {
+  /// Dynamic-instruction stride between snapshots (0 = automatic: the
+  /// golden run length divided into kAutoWindows, floored at kMinStride).
+  std::uint64_t stride = 0;
+  /// Master switch; with checkpointing off every trial runs from main().
+  bool enabled = true;
+
+  static constexpr std::uint64_t kAutoWindows = 64;
+  static constexpr std::uint64_t kMinStride = 20'000;
+
+  /// Environment overrides: FAULTLAB_CHECKPOINTS=0 disables,
+  /// FAULTLAB_SNAPSHOT_STRIDE=<n> fixes the stride.
+  static CheckpointPolicy from_env();
+
+  std::uint64_t effective_stride(std::uint64_t golden_instructions) const;
+};
+
+/// Observability counters for the checkpoint layer (per engine). Atomic
+/// accumulation happens inside the engines; this is the plain value handed
+/// to benches and the perf manifest.
+struct CheckpointStats {
+  std::uint64_t snapshots = 0;        ///< snapshots captured by profile_all
+  std::uint64_t stride = 0;           ///< effective stride in force
+  std::uint64_t trials = 0;           ///< inject() calls observed
+  std::uint64_t restored_trials = 0;  ///< trials resumed from a snapshot
+  std::uint64_t skipped_instructions = 0;  ///< golden prefix not re-executed
+
+  double hit_rate() const noexcept {
+    return trials != 0
+               ? static_cast<double>(restored_trials) /
+                     static_cast<double>(trials)
+               : 0.0;
+  }
+  CheckpointStats& operator+=(const CheckpointStats& o) noexcept {
+    snapshots += o.snapshots;
+    stride = stride == 0 ? o.stride : (o.stride == 0 ? stride
+                                                     : std::min(stride, o.stride));
+    trials += o.trials;
+    restored_trials += o.restored_trials;
+    skipped_instructions += o.skipped_instructions;
+    return *this;
+  }
 };
 
 /// Dynamic instruction counts for every Table III category, indexed by
@@ -75,6 +126,9 @@ class InjectorEngine {
   virtual const std::string& golden_output() const noexcept = 0;
   /// Dynamic instruction count of the fault-free run.
   virtual std::uint64_t golden_instructions() const noexcept = 0;
+
+  /// Checkpoint-layer counters (zero for engines without checkpointing).
+  virtual CheckpointStats checkpoint_stats() const { return {}; }
 };
 
 }  // namespace faultlab::fault

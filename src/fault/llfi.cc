@@ -1,5 +1,6 @@
 #include "fault/llfi.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "support/bitutil.h"
@@ -44,15 +45,18 @@ class ProfileAllHook final : public vm::ExecHook {
 /// of the category, then watches for a read of that exact dynamic value
 /// (activation). The bit index is drawn uniformly in [0,64) up front and
 /// folded by the destination's width at injection time, because the width
-/// is only known once the instance is reached.
+/// is only known once the instance is reached. When the trial resumes from
+/// a checkpoint, `already_seen` primes the instance counter with the
+/// skipped prefix's count so the k-th instance is still the k-th.
 class InjectHook final : public vm::ExecHook {
  public:
   InjectHook(ir::Category category, std::uint64_t k, unsigned raw_bit,
-             const FaultModel& model)
+             const FaultModel& model, std::uint64_t already_seen = 0)
       : category_(category),
         target_k_(k),
         raw_bit_(raw_bit),
-        model_(model) {}
+        model_(model),
+        seen_(already_seen) {}
 
   void on_instruction(const ir::Instruction& instr) override {
     if (!injected_ && LlfiEngine::is_target(instr, category_, model_)) {
@@ -109,8 +113,9 @@ bool LlfiEngine::is_target(const ir::Instruction& instr, ir::Category category,
          instr.opcode() == ir::Opcode::Gep && ir::ir_injectable(instr);
 }
 
-LlfiEngine::LlfiEngine(const ir::Module& module, FaultModel model)
-    : module_(module), model_(model) {
+LlfiEngine::LlfiEngine(const ir::Module& module, FaultModel model,
+                       CheckpointPolicy checkpoints)
+    : module_(module), model_(model), checkpoint_policy_(checkpoints) {
   vm::Interpreter golden(module_);
   const vm::RunResult r = golden.run();
   if (!r.completed())
@@ -136,18 +141,53 @@ std::uint64_t LlfiEngine::profile(ir::Category category) {
 CategoryCounts LlfiEngine::profile_all() {
   ProfileAllHook hook(model_);
   vm::Interpreter interp(module_, &hook);
-  const vm::RunResult r = interp.run();
+  vm::RunLimits limits;
+  checkpoints_.clear();
+  checkpoint_stride_ = checkpoint_policy_.effective_stride(golden_instructions_);
+  limits.snapshot_stride = checkpoint_stride_;
+  if (checkpoint_stride_ != 0) {
+    // The snapshot sink fires between two dynamic instructions, so the
+    // hook's counters at that moment are exactly the per-category instance
+    // counts of the skipped prefix.
+    limits.snapshot_sink = [this, &hook](vm::Snapshot&& snap) {
+      checkpoints_.push_back({std::move(snap), hook.counts()});
+    };
+  }
+  const vm::RunResult r = interp.run("main", limits);
   if (!r.completed())
     throw std::runtime_error("LLFI: profiling run did not complete");
   return hook.counts();
 }
 
+const LlfiEngine::Checkpoint* LlfiEngine::checkpoint_before(
+    ir::Category category, std::uint64_t k) const {
+  // Checkpoints are in execution order and seen-counts are monotonic: find
+  // the last one whose prefix contains fewer than k category instances.
+  auto it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), k,
+      [category](std::uint64_t target, const Checkpoint& c) {
+        return target <= c.seen[category];
+      });
+  return it == checkpoints_.begin() ? nullptr : &*(it - 1);
+}
+
 TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
                                Rng& rng) {
   const unsigned raw_bit = static_cast<unsigned>(rng.below(64));
-  InjectHook hook(category, k, raw_bit, model_);
+  const Checkpoint* cp = checkpoint_before(category, k);
+  InjectHook hook(category, k, raw_bit, model_,
+                  cp != nullptr ? cp->seen[category] : 0);
   vm::Interpreter interp(module_, &hook);
-  const vm::RunResult r = interp.run("main", faulty_limits());
+  trials_.fetch_add(1, std::memory_order_relaxed);
+  vm::RunResult r;
+  if (cp != nullptr) {
+    restored_trials_.fetch_add(1, std::memory_order_relaxed);
+    skipped_instructions_.fetch_add(cp->snapshot.executed,
+                                    std::memory_order_relaxed);
+    r = interp.run_from(cp->snapshot, faulty_limits());
+  } else {
+    r = interp.run("main", faulty_limits());
+  }
 
   TrialRecord record;
   record.dynamic_target = k;
@@ -158,6 +198,17 @@ TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
                             r.timed_out, r.output, golden_output_);
   if (r.trapped) record.trap = r.trap;
   return record;
+}
+
+CheckpointStats LlfiEngine::checkpoint_stats() const {
+  CheckpointStats stats;
+  stats.snapshots = checkpoints_.size();
+  stats.stride = checkpoint_stride_;
+  stats.trials = trials_.load(std::memory_order_relaxed);
+  stats.restored_trials = restored_trials_.load(std::memory_order_relaxed);
+  stats.skipped_instructions =
+      skipped_instructions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace faultlab::fault

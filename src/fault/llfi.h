@@ -9,7 +9,17 @@
 //    destination type's width,
 //  * activation is tracked exactly: the corrupted SSA value must be read
 //    by some instruction.
+//
+// Trial execution is checkpointed: profile_all()'s instrumented golden run
+// captures copy-on-write interpreter snapshots every `CheckpointPolicy`
+// stride (with the per-category instance counters at each point), and
+// inject() resumes from the nearest snapshot before its injection point
+// instead of re-running the golden prefix from main(). Results are
+// bit-identical to direct execution.
 #pragma once
+
+#include <atomic>
+#include <vector>
 
 #include "fault/engine.h"
 #include "ir/module.h"
@@ -20,7 +30,8 @@ namespace faultlab::fault {
 class LlfiEngine final : public InjectorEngine {
  public:
   /// The module must outlive the engine.
-  LlfiEngine(const ir::Module& module, FaultModel model = {});
+  explicit LlfiEngine(const ir::Module& module, FaultModel model = {},
+                      CheckpointPolicy checkpoints = CheckpointPolicy::from_env());
 
   const char* tool_name() const noexcept override { return "LLFI"; }
   std::uint64_t profile(ir::Category category) override;
@@ -33,18 +44,37 @@ class LlfiEngine final : public InjectorEngine {
   std::uint64_t golden_instructions() const noexcept override {
     return golden_instructions_;
   }
+  CheckpointStats checkpoint_stats() const override;
 
   /// Static LLFI target predicate (exposed for tests/benches).
   static bool is_target(const ir::Instruction& instr, ir::Category category,
                         const FaultModel& model = {});
 
  private:
+  /// A resumable point in the golden run: interpreter snapshot plus how
+  /// many dynamic instances of each category precede it (so the k-th
+  /// instance maps to the latest snapshot with seen[category] < k).
+  struct Checkpoint {
+    vm::Snapshot snapshot;
+    CategoryCounts seen;
+  };
+
   vm::RunLimits faulty_limits() const;
+  const Checkpoint* checkpoint_before(ir::Category category,
+                                      std::uint64_t k) const;
 
   const ir::Module& module_;
   FaultModel model_;
+  CheckpointPolicy checkpoint_policy_;
   std::string golden_output_;
   std::uint64_t golden_instructions_ = 0;
+  /// Captured by profile_all (single-threaded, before trials); read-only
+  /// during the trial phase, so concurrent inject() calls are safe.
+  std::vector<Checkpoint> checkpoints_;
+  std::uint64_t checkpoint_stride_ = 0;
+  mutable std::atomic<std::uint64_t> trials_{0};
+  mutable std::atomic<std::uint64_t> restored_trials_{0};
+  mutable std::atomic<std::uint64_t> skipped_instructions_{0};
 };
 
 }  // namespace faultlab::fault

@@ -44,13 +44,18 @@ class PinfiHook final : public x86::SimHook {
  public:
   enum class TargetKind { None, Gpr, Xmm, Flags };
 
+  /// When the trial resumes from a checkpoint, `already_seen` primes the
+  /// instance counter with the skipped prefix's count so the k-th instance
+  /// is still the k-th.
   PinfiHook(const x86::Program& program, ir::Category category,
-            std::uint64_t k, unsigned raw_bit, const FaultModel& model)
+            std::uint64_t k, unsigned raw_bit, const FaultModel& model,
+            std::uint64_t already_seen = 0)
       : program_(program),
         category_(category),
         target_k_(k),
         raw_bit_(raw_bit),
-        model_(model) {}
+        model_(model),
+        seen_(already_seen) {}
 
   void on_before(std::size_t index, const Inst& inst) override {
     if (!injected_) {
@@ -233,8 +238,9 @@ bool PinfiEngine::is_target(const Inst& inst, const Inst* next,
   return x86::asm_in_category(inst, next, category);
 }
 
-PinfiEngine::PinfiEngine(const x86::Program& program, FaultModel model)
-    : program_(program), model_(model) {
+PinfiEngine::PinfiEngine(const x86::Program& program, FaultModel model,
+                         CheckpointPolicy checkpoints)
+    : program_(program), model_(model), checkpoint_policy_(checkpoints) {
   x86::Simulator golden(program_);
   const x86::SimResult r = golden.run();
   if (!r.completed())
@@ -259,18 +265,53 @@ std::uint64_t PinfiEngine::profile(ir::Category category) {
 CategoryCounts PinfiEngine::profile_all() {
   ProfileAllHook hook(program_);
   x86::Simulator sim(program_, &hook);
-  const x86::SimResult r = sim.run();
+  x86::SimLimits limits;
+  checkpoints_.clear();
+  checkpoint_stride_ = checkpoint_policy_.effective_stride(golden_instructions_);
+  limits.snapshot_stride = checkpoint_stride_;
+  if (checkpoint_stride_ != 0) {
+    // The snapshot sink fires between two dynamic instructions, so the
+    // hook's counters at that moment are exactly the per-category instance
+    // counts of the skipped prefix.
+    limits.snapshot_sink = [this, &hook](x86::SimSnapshot&& snap) {
+      checkpoints_.push_back({std::move(snap), hook.counts()});
+    };
+  }
+  const x86::SimResult r = sim.run(limits);
   if (!r.completed())
     throw std::runtime_error("PINFI: profiling run did not complete");
   return hook.counts();
 }
 
+const PinfiEngine::Checkpoint* PinfiEngine::checkpoint_before(
+    ir::Category category, std::uint64_t k) const {
+  // Checkpoints are in execution order and seen-counts are monotonic: find
+  // the last one whose prefix contains fewer than k category instances.
+  auto it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), k,
+      [category](std::uint64_t target, const Checkpoint& c) {
+        return target <= c.seen[category];
+      });
+  return it == checkpoints_.begin() ? nullptr : &*(it - 1);
+}
+
 TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
                                 Rng& rng) {
   const unsigned raw_bit = static_cast<unsigned>(rng.below(128));
-  PinfiHook hook(program_, category, k, raw_bit, model_);
+  const Checkpoint* cp = checkpoint_before(category, k);
+  PinfiHook hook(program_, category, k, raw_bit, model_,
+                 cp != nullptr ? cp->seen[category] : 0);
   x86::Simulator sim(program_, &hook);
-  const x86::SimResult r = sim.run(faulty_limits());
+  trials_.fetch_add(1, std::memory_order_relaxed);
+  x86::SimResult r;
+  if (cp != nullptr) {
+    restored_trials_.fetch_add(1, std::memory_order_relaxed);
+    skipped_instructions_.fetch_add(cp->snapshot.executed,
+                                    std::memory_order_relaxed);
+    r = sim.run_from(cp->snapshot, faulty_limits());
+  } else {
+    r = sim.run(faulty_limits());
+  }
 
   TrialRecord record;
   record.dynamic_target = k;
@@ -281,6 +322,17 @@ TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
                             r.timed_out, r.output, golden_output_);
   if (r.trapped) record.trap = r.trap;
   return record;
+}
+
+CheckpointStats PinfiEngine::checkpoint_stats() const {
+  CheckpointStats stats;
+  stats.snapshots = checkpoints_.size();
+  stats.stride = checkpoint_stride_;
+  stats.trials = trials_.load(std::memory_order_relaxed);
+  stats.restored_trials = restored_trials_.load(std::memory_order_relaxed);
+  stats.skipped_instructions =
+      skipped_instructions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace faultlab::fault

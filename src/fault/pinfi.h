@@ -12,7 +12,16 @@
 //    the low 64 XMM bits (heuristic 2),
 //  * activation is tracked architecturally: the corrupted register (or
 //    flag bit) must be read before being overwritten.
+//
+// Trial execution is checkpointed the same way as LlfiEngine's:
+// profile_all()'s instrumented golden run captures copy-on-write simulator
+// snapshots every `CheckpointPolicy` stride (with per-category instance
+// counters), and inject() resumes from the nearest snapshot before its
+// injection point. Results are bit-identical to direct execution.
 #pragma once
+
+#include <atomic>
+#include <vector>
 
 #include "fault/engine.h"
 #include "x86/program.h"
@@ -23,7 +32,8 @@ namespace faultlab::fault {
 class PinfiEngine final : public InjectorEngine {
  public:
   /// The program must outlive the engine.
-  PinfiEngine(const x86::Program& program, FaultModel model = {});
+  PinfiEngine(const x86::Program& program, FaultModel model = {},
+              CheckpointPolicy checkpoints = CheckpointPolicy::from_env());
 
   const char* tool_name() const noexcept override { return "PINFI"; }
   std::uint64_t profile(ir::Category category) override;
@@ -36,18 +46,36 @@ class PinfiEngine final : public InjectorEngine {
   std::uint64_t golden_instructions() const noexcept override {
     return golden_instructions_;
   }
+  CheckpointStats checkpoint_stats() const override;
 
   /// Static PINFI target predicate (exposed for tests/benches).
   static bool is_target(const x86::Inst& inst, const x86::Inst* next,
                         ir::Category category);
 
  private:
+  /// A resumable point in the golden run: simulator snapshot plus how many
+  /// dynamic instances of each category precede it.
+  struct Checkpoint {
+    x86::SimSnapshot snapshot;
+    CategoryCounts seen;
+  };
+
   x86::SimLimits faulty_limits() const;
+  const Checkpoint* checkpoint_before(ir::Category category,
+                                      std::uint64_t k) const;
 
   const x86::Program& program_;
   FaultModel model_;
+  CheckpointPolicy checkpoint_policy_;
   std::string golden_output_;
   std::uint64_t golden_instructions_ = 0;
+  /// Captured by profile_all (single-threaded, before trials); read-only
+  /// during the trial phase, so concurrent inject() calls are safe.
+  std::vector<Checkpoint> checkpoints_;
+  std::uint64_t checkpoint_stride_ = 0;
+  mutable std::atomic<std::uint64_t> trials_{0};
+  mutable std::atomic<std::uint64_t> restored_trials_{0};
+  mutable std::atomic<std::uint64_t> skipped_instructions_{0};
 };
 
 }  // namespace faultlab::fault

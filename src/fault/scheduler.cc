@@ -65,6 +65,13 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   struct Campaign {
     Entry* entry = nullptr;
     std::vector<Draw> draws;
+    /// Execution-order permutation: draw indices stable-sorted by k, so
+    /// consecutive trials resume from the same checkpoint window and the
+    /// engine's snapshot pages stay warm. Purely an execution-order
+    /// reshuffle — draws are still generated sequentially from the seed and
+    /// each record lands back at its draw index, so CSV output is
+    /// byte-identical to the unsorted order at any thread count.
+    std::vector<std::size_t> order;
     std::vector<TrialRecord> records;
     CampaignResult result;
     std::atomic<std::size_t> remaining{0};
@@ -114,6 +121,12 @@ std::vector<CampaignResult> CampaignScheduler::run() {
         const std::uint64_t k = rng.range(1, c.result.profiled_count);
         c.draws.push_back({k, rng.fork()});
       }
+      c.order.resize(entry.config.trials);
+      for (std::size_t t = 0; t < entry.config.trials; ++t) c.order[t] = t;
+      std::stable_sort(c.order.begin(), c.order.end(),
+                       [&c](std::size_t a, std::size_t b) {
+                         return c.draws[a].k < c.draws[b].k;
+                       });
       c.records.resize(entry.config.trials);
       c.remaining.store(entry.config.trials, std::memory_order_relaxed);
       total += entry.config.trials;
@@ -191,7 +204,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
           std::upper_bound(ends.begin(), ends.end(), t) - ends.begin());
       Campaign& c = campaigns[index];
       const std::size_t base = index == 0 ? 0 : ends[index - 1];
-      const std::size_t trial = t - base;
+      const std::size_t trial = c.order[t - base];
       try {
         if (!c.started.exchange(true, std::memory_order_relaxed))
           c.timer.reset();

@@ -14,10 +14,16 @@
 //  * records observability data: per-campaign wall time, trials/sec,
 //    injected/activated counters, and a machine-readable run manifest.
 //
+//  * executes each campaign's trials in k-sorted order, so consecutive
+//    trials resume from the same engine checkpoint window (warm snapshot
+//    pages) instead of hopping around the golden run.
+//
 // Determinism: every trial's (k, bit-stream) draw is generated sequentially
 // up front from the campaign's seed, exactly as run_campaign always did, so
 // results are bit-identical for any thread count — and identical to the
-// pre-scheduler per-cell loop.
+// pre-scheduler per-cell loop. The k-sort only permutes *execution* order;
+// each record is written back to its original draw index, so output order
+// never changes.
 #pragma once
 
 #include <cstddef>

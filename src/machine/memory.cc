@@ -5,6 +5,10 @@
 
 namespace faultlab::machine {
 
+struct MemoryPage {
+  std::uint8_t bytes[Memory::kPageSize];
+};
+
 const char* trap_kind_name(TrapKind kind) noexcept {
   switch (kind) {
     case TrapKind::UnmappedAccess: return "unmapped-access";
@@ -33,7 +37,7 @@ void Memory::map_range(std::uint64_t addr, std::uint64_t size) {
   for (std::uint64_t p = first; p <= last; ++p) {
     auto& slot = pages_[p];
     if (!slot) {
-      slot = std::make_unique<Page>();
+      slot = std::make_shared<MemoryPage>();
       std::memset(slot->bytes, 0, kPageSize);
     }
   }
@@ -43,24 +47,51 @@ bool Memory::is_mapped(std::uint64_t addr) const noexcept {
   return pages_.count(addr >> kPageBits) != 0;
 }
 
-const Memory::Page* Memory::page_for(std::uint64_t addr) const {
-  auto it = pages_.find(addr >> kPageBits);
-  if (it == pages_.end())
-    throw TrapException(TrapKind::UnmappedAccess, addr);
-  return it->second.get();
+void Memory::invalidate_cache() const noexcept {
+  cached_page_num_ = kNoCachedPage;
+  cached_page_ = nullptr;
+  cached_writable_ = false;
 }
 
-Memory::Page* Memory::mutable_page_for(std::uint64_t addr) {
-  auto it = pages_.find(addr >> kPageBits);
+const MemoryPage* Memory::page_for(std::uint64_t addr) const {
+  const std::uint64_t page_num = addr >> kPageBits;
+  if (page_num == cached_page_num_) return cached_page_;
+  auto it = pages_.find(page_num);
   if (it == pages_.end())
     throw TrapException(TrapKind::UnmappedAccess, addr);
-  return it->second.get();
+  cached_page_num_ = page_num;
+  cached_page_ = it->second.get();
+  // Exclusively owned pages can later be written through the cache without
+  // a copy-on-write check. Sharers only appear via snapshot()/restore(),
+  // both of which invalidate the cache, so the flag cannot go stale.
+  cached_writable_ = it->second.use_count() == 1;
+  return cached_page_;
+}
+
+MemoryPage* Memory::mutable_page_for(std::uint64_t addr) {
+  const std::uint64_t page_num = addr >> kPageBits;
+  if (page_num == cached_page_num_ && cached_writable_) return cached_page_;
+  auto it = pages_.find(page_num);
+  if (it == pages_.end())
+    throw TrapException(TrapKind::UnmappedAccess, addr);
+  PageRef& ref = it->second;
+  if (ref.use_count() > 1) {
+    // Shared with a snapshot (or with a sibling restored from one): clone
+    // before the write so the snapshot keeps its contents.
+    auto clone = std::make_shared<MemoryPage>();
+    std::memcpy(clone->bytes, ref->bytes, kPageSize);
+    ref = std::move(clone);
+  }
+  cached_page_num_ = page_num;
+  cached_page_ = ref.get();
+  cached_writable_ = true;
+  return cached_page_;
 }
 
 std::uint64_t Memory::read(std::uint64_t addr, unsigned size) const {
   const std::uint64_t offset = addr & (kPageSize - 1);
   if (offset + size <= kPageSize) {
-    const Page* page = page_for(addr);
+    const MemoryPage* page = page_for(addr);
     std::uint64_t value = 0;
     std::memcpy(&value, page->bytes + offset, size);  // little-endian host
     return value;
@@ -76,7 +107,7 @@ std::uint64_t Memory::read(std::uint64_t addr, unsigned size) const {
 void Memory::write(std::uint64_t addr, unsigned size, std::uint64_t value) {
   const std::uint64_t offset = addr & (kPageSize - 1);
   if (offset + size <= kPageSize) {
-    Page* page = mutable_page_for(addr);
+    MemoryPage* page = mutable_page_for(addr);
     std::memcpy(page->bytes + offset, &value, size);
     return;
   }
@@ -90,7 +121,7 @@ void Memory::write_bytes(std::uint64_t addr, const std::uint8_t* data,
   while (size > 0) {
     const std::uint64_t offset = addr & (kPageSize - 1);
     const std::uint64_t chunk = std::min(size, kPageSize - offset);
-    Page* page = mutable_page_for(addr);
+    MemoryPage* page = mutable_page_for(addr);
     std::memcpy(page->bytes + offset, data, chunk);
     addr += chunk;
     data += chunk;
@@ -103,7 +134,7 @@ void Memory::read_bytes(std::uint64_t addr, std::uint8_t* out,
   while (size > 0) {
     const std::uint64_t offset = addr & (kPageSize - 1);
     const std::uint64_t chunk = std::min(size, kPageSize - offset);
-    const Page* page = page_for(addr);
+    const MemoryPage* page = page_for(addr);
     std::memcpy(out, page->bytes + offset, chunk);
     addr += chunk;
     out += chunk;
@@ -111,6 +142,21 @@ void Memory::read_bytes(std::uint64_t addr, std::uint8_t* out,
   }
 }
 
-void Memory::reset() { pages_.clear(); }
+void Memory::reset() {
+  pages_.clear();
+  invalidate_cache();
+}
+
+Memory::Snapshot Memory::snapshot() {
+  Snapshot snap;
+  snap.pages_ = pages_;  // shares every page: O(mapped pages), not O(bytes)
+  invalidate_cache();    // every page is now shared, so nothing is writable
+  return snap;
+}
+
+void Memory::restore(const Snapshot& snapshot) {
+  pages_ = snapshot.pages_;
+  invalidate_cache();
+}
 
 }  // namespace faultlab::machine

@@ -5,12 +5,18 @@
 // probability of hitting unmapped memory (and thus crashing) at both
 // levels — any crash-rate difference between LLFI and PINFI then stems
 // from the IR<->assembly mapping, which is what the paper measures.
+//
+// Pages are reference-counted so a whole address space can be snapshotted
+// in O(mapped pages): Memory::snapshot() shares every page with the
+// returned Snapshot, and the first write to a shared page clones it
+// (copy-on-write). restore() rebuilds the page table from a snapshot the
+// same way, which is what lets an injection trial resume from the middle
+// of the golden run instead of re-executing the fault-free prefix.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
-#include <vector>
 
 #include "machine/trap.h"
 
@@ -34,11 +40,25 @@ class Memory {
   static constexpr std::uint64_t kPageBits = 12;
   static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
 
+  /// Copy-on-write image of a whole address space. Cheap to copy (shares
+  /// pages) and safe to restore from concurrently: page reference counts
+  /// are atomic and the snapshot itself is never mutated.
+  class Snapshot {
+   public:
+    std::size_t mapped_pages() const noexcept { return pages_.size(); }
+
+   private:
+    friend class Memory;
+    std::unordered_map<std::uint64_t, std::shared_ptr<struct MemoryPage>>
+        pages_;
+  };
+
   Memory() = default;
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
 
-  /// Maps all pages covering [addr, addr+size) as zero-filled.
+  /// Maps all pages covering [addr, addr+size) as zero-filled. Already
+  /// mapped pages keep their contents.
   void map_range(std::uint64_t addr, std::uint64_t size);
   bool is_mapped(std::uint64_t addr) const noexcept;
 
@@ -55,16 +75,33 @@ class Memory {
   /// Releases every mapping (used between trials).
   void reset();
 
+  /// O(mapped pages) copy-on-write capture of the current image. After the
+  /// call every page is shared: the next write to each clones it first.
+  Snapshot snapshot();
+  /// Replaces the current image with the snapshot's (copy-on-write: pages
+  /// stay shared until written).
+  void restore(const Snapshot& snapshot);
+
   std::size_t mapped_pages() const noexcept { return pages_.size(); }
 
  private:
-  struct Page {
-    std::uint8_t bytes[kPageSize];
-  };
-  const Page* page_for(std::uint64_t addr) const;
-  Page* mutable_page_for(std::uint64_t addr);
+  using PageRef = std::shared_ptr<MemoryPage>;
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  const MemoryPage* page_for(std::uint64_t addr) const;
+  MemoryPage* mutable_page_for(std::uint64_t addr);
+  void invalidate_cache() const noexcept;
+
+  std::unordered_map<std::uint64_t, PageRef> pages_;
+
+  // Single-entry last-page cache: scalar accesses overwhelmingly hit the
+  // same page as their predecessor (stack slots, hot globals), so the
+  // common path skips the hash lookup. `cached_writable_` additionally
+  // records that the page is exclusively owned, i.e. writable without a
+  // copy-on-write check. Invalidated by reset()/snapshot()/restore().
+  static constexpr std::uint64_t kNoCachedPage = ~std::uint64_t{0};
+  mutable std::uint64_t cached_page_num_ = kNoCachedPage;
+  mutable MemoryPage* cached_page_ = nullptr;
+  mutable bool cached_writable_ = false;
 };
 
 }  // namespace faultlab::machine

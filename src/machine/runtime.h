@@ -36,10 +36,27 @@ class GlobalLayout {
 /// (doubles bit-cast), matching how both engines hold runtime values.
 class Runtime {
  public:
+  /// Snapshotable runtime state: program output so far plus the heap
+  /// allocator's bookkeeping. Captured/restored together with a
+  /// Memory::Snapshot so a trial resumed mid-run prints and allocates
+  /// exactly as the golden run would from that point.
+  struct State {
+    std::string output;
+    std::uint64_t heap_next = Layout::kHeapBase;
+    std::map<std::uint64_t, std::uint64_t> live_allocations;
+  };
+
   explicit Runtime(Memory& memory) : memory_(&memory) {}
 
   /// Releases heap state and output (memory mappings are reset separately).
   void reset();
+
+  State save() const { return {output_, heap_next_, live_allocations_}; }
+  void restore(const State& state) {
+    output_ = state.output;
+    heap_next_ = state.heap_next;
+    live_allocations_ = state.live_allocations;
+  }
 
   /// Bump allocation with 16-byte alignment; returns 0 when the request
   /// cannot be satisfied (mirroring malloc's null return).

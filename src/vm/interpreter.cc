@@ -23,8 +23,14 @@ std::uint64_t type_mask(const ir::Type* t) {
 
 }  // namespace
 
+// Execution keeps the call-frame stack as explicit data (frames_) instead
+// of recursing on the native stack, so the complete interpreter state can
+// be captured into a Snapshot between any two dynamic instructions and
+// resumed later — the basis of checkpointed fault-injection trials.
 class Interpreter::Impl {
  public:
+  using Frame = Snapshot::Frame;
+
   Impl(const ir::Module& module, const machine::GlobalLayout& layout,
        ExecHook* hook, const RunLimits& limits)
       : module_(module),
@@ -34,7 +40,6 @@ class Interpreter::Impl {
         runtime_(memory_) {}
 
   RunResult run(const std::string& entry) {
-    RunResult result;
     const ir::Function* main_fn = module_.find_function(entry);
     if (main_fn == nullptr || main_fn->is_builtin())
       throw std::invalid_argument("no such entry function: " + entry);
@@ -42,10 +47,32 @@ class Interpreter::Impl {
     layout_.materialize(memory_);
     memory_.map_range(Layout::kStackLimit, Layout::kStackSize);
     sp_ = Layout::kStackTop;
+    push_frame(*main_fn, {}, nullptr, 0);
+    return drive();
+  }
 
+  RunResult run_from(const Snapshot& snapshot) {
+    assert(!snapshot.frames.empty() && "snapshot of a finished run");
+    memory_.restore(snapshot.memory);
+    runtime_.restore(snapshot.runtime);
+    frames_ = snapshot.frames;
+    sp_ = snapshot.sp;
+    executed_ = snapshot.executed;
+    next_frame_id_ = snapshot.next_frame_id;
+    // Snapshots already past this run's budget time out on the next
+    // instruction, matching where the non-checkpointed run would stop.
+    return drive();
+  }
+
+ private:
+  RunResult drive() {
+    RunResult result;
+    const ir::Function* entry_fn = frames_.front().function;
+    if (limits_.snapshot_stride != 0)
+      next_snapshot_at_ = executed_ + limits_.snapshot_stride;
     try {
-      const std::uint64_t ret = call_function(*main_fn, {});
-      const ir::Type* rt = main_fn->return_type();
+      const std::uint64_t ret = exec_loop();
+      const ir::Type* rt = entry_fn->return_type();
       result.exit_value = rt->is_int()
                               ? sign_extend(ret, rt->int_bits())
                               : static_cast<std::int64_t>(ret);
@@ -59,15 +86,6 @@ class Interpreter::Impl {
     result.output = runtime_.output();
     return result;
   }
-
- private:
-  struct Frame {
-    const ir::Function* function = nullptr;
-    std::uint64_t id = 0;
-    std::vector<std::uint64_t> regs;       // indexed by Instruction::id()
-    std::vector<std::uint64_t> args;
-    std::vector<std::uint64_t> alloca_addr;  // per alloca ordinal
-  };
 
   std::uint64_t read_operand(Frame& frame, const ir::Instruction& user,
                              const ir::Value* v) {
@@ -106,12 +124,9 @@ class Interpreter::Impl {
       throw machine::TimeoutException();
   }
 
-  std::uint64_t call_function(const ir::Function& fn,
-                              std::vector<std::uint64_t> args,
-                              const ir::CallInst* site = nullptr,
-                              std::uint64_t caller_frame = 0) {
-    if (fn.is_builtin()) return runtime_.call_builtin(fn.name(), args);
-    if (++call_depth_ > kMaxCallDepth)
+  void push_frame(const ir::Function& fn, std::vector<std::uint64_t> args,
+                  const ir::CallInst* site, std::uint64_t caller_frame) {
+    if (frames_.size() >= kMaxCallDepth)
       trap(TrapKind::StackOverflow, sp_, "call depth");
 
     Frame frame;
@@ -139,7 +154,7 @@ class Interpreter::Impl {
     frame_size = (frame_size + 15) / 16 * 16;
     if (sp_ < Layout::kStackLimit + frame_size)
       trap(TrapKind::StackOverflow, sp_);
-    const std::uint64_t old_sp = sp_;
+    frame.saved_sp = sp_;
     sp_ -= frame_size;
     std::uint64_t cursor = sp_;
     for (const ir::AllocaInst* al : allocas) {
@@ -149,40 +164,58 @@ class Interpreter::Impl {
       cursor += al->allocated_type()->size_in_bytes();
     }
 
-    const std::uint64_t ret = execute(frame);
-    sp_ = old_sp;
-    --call_depth_;
-    return ret;
+    frame.block = fn.entry();
+    frame.prev_block = nullptr;
+    frame.index = 0;
+    frame.call_site = site;
+    frames_.push_back(std::move(frame));
   }
 
-  std::uint64_t execute(Frame& frame) {
-    const ir::BasicBlock* block = frame.function->entry();
-    const ir::BasicBlock* prev_block = nullptr;
-    std::size_t index = 0;
+  void maybe_snapshot() {
+    if (next_snapshot_at_ == 0 || executed_ < next_snapshot_at_ ||
+        !limits_.snapshot_sink)
+      return;
+    Snapshot snap;
+    snap.frames = frames_;
+    snap.sp = sp_;
+    snap.executed = executed_;
+    snap.next_frame_id = next_frame_id_;
+    snap.memory = memory_.snapshot();
+    snap.runtime = runtime_.save();
+    next_snapshot_at_ = executed_ + limits_.snapshot_stride;
+    limits_.snapshot_sink(std::move(snap));
+  }
 
+  /// Runs the frame stack to completion; returns the entry's return value.
+  std::uint64_t exec_loop() {
     while (true) {
-      const ir::Instruction& instr = *block->instr(index);
+      maybe_snapshot();
+      Frame& frame = frames_.back();
+      const ir::Instruction& instr = *frame.block->instr(frame.index);
       bump_instruction_count();
       if (hook_ != nullptr) hook_->on_instruction(instr);
 
       switch (instr.opcode()) {
         case Opcode::Phi: {
           // Evaluate the whole phi group atomically against prev_block.
+          std::size_t index = frame.index;
           std::vector<std::pair<const ir::Instruction*, std::uint64_t>> updates;
           while (true) {
-            const auto& phi = static_cast<const ir::PhiInst&>(*block->instr(index));
-            const ir::Value* in = phi.value_for_block(prev_block);
+            const auto& phi =
+                static_cast<const ir::PhiInst&>(*frame.block->instr(index));
+            const ir::Value* in = phi.value_for_block(frame.prev_block);
             assert(in != nullptr && "phi has no edge for predecessor");
             updates.emplace_back(&phi, read_operand(frame, phi, in));
-            if (index + 1 >= block->size() ||
-                block->instr(index + 1)->opcode() != Opcode::Phi)
+            if (index + 1 >= frame.block->size() ||
+                frame.block->instr(index + 1)->opcode() != Opcode::Phi)
               break;
             ++index;
             bump_instruction_count();
-            if (hook_ != nullptr) hook_->on_instruction(*block->instr(index));
+            if (hook_ != nullptr)
+              hook_->on_instruction(*frame.block->instr(index));
           }
           for (auto& [phi, raw] : updates) set_result(frame, *phi, raw);
-          ++index;
+          frame.index = index + 1;
           continue;
         }
         case Opcode::Br: {
@@ -195,14 +228,23 @@ class Interpreter::Impl {
           } else {
             next = br.true_target();
           }
-          prev_block = block;
-          block = next;
-          index = 0;
+          frame.prev_block = frame.block;
+          frame.block = next;
+          frame.index = 0;
           continue;
         }
         case Opcode::Ret: {
           const auto& ret = static_cast<const ir::RetInst&>(instr);
-          return ret.has_value() ? read_operand(frame, instr, ret.value()) : 0;
+          const std::uint64_t raw =
+              ret.has_value() ? read_operand(frame, instr, ret.value()) : 0;
+          sp_ = frame.saved_sp;
+          const ir::Instruction* site = frame.call_site;
+          frames_.pop_back();
+          if (frames_.empty()) return raw;
+          Frame& caller = frames_.back();
+          if (site->has_result()) set_result(caller, *site, raw);
+          ++caller.index;
+          continue;
         }
         case Opcode::Store: {
           const std::uint64_t value =
@@ -214,7 +256,7 @@ class Interpreter::Impl {
           if (hook_ != nullptr)
             hook_->on_memory_access(instr, addr, size, /*is_store=*/true);
           memory_.write(addr, size, value & type_mask(t));
-          ++index;
+          ++frame.index;
           continue;
         }
         case Opcode::Call: {
@@ -223,16 +265,23 @@ class Interpreter::Impl {
           args.reserve(call.num_args());
           for (unsigned i = 0; i < call.num_args(); ++i)
             args.push_back(read_operand(frame, instr, call.arg(i)));
-          const std::uint64_t raw =
-              call_function(*call.callee(), std::move(args), &call, frame.id);
-          if (instr.has_result()) set_result(frame, instr, raw);
-          ++index;
+          if (call.callee()->is_builtin()) {
+            const std::uint64_t raw =
+                runtime_.call_builtin(call.callee()->name(), args);
+            if (instr.has_result()) set_result(frame, instr, raw);
+            ++frame.index;
+            continue;
+          }
+          const std::uint64_t caller_id = frame.id;
+          // push_frame may reallocate frames_, invalidating `frame`; the
+          // caller's index advances when the callee returns (Ret case).
+          push_frame(*call.callee(), std::move(args), &call, caller_id);
           continue;
         }
         default: {
           const std::uint64_t raw = evaluate(frame, instr);
           set_result(frame, instr, raw);
-          ++index;
+          ++frame.index;
           continue;
         }
       }
@@ -452,7 +501,7 @@ class Interpreter::Impl {
     return addr;
   }
 
-  static constexpr unsigned kMaxCallDepth = 4096;
+  static constexpr std::size_t kMaxCallDepth = 4096;
 
   const ir::Module& module_;
   const machine::GlobalLayout& layout_;
@@ -460,10 +509,11 @@ class Interpreter::Impl {
   RunLimits limits_;
   machine::Memory memory_;
   machine::Runtime runtime_;
+  std::vector<Frame> frames_;
   std::uint64_t sp_ = Layout::kStackTop;
   std::uint64_t executed_ = 0;
   std::uint64_t next_frame_id_ = 1;
-  unsigned call_depth_ = 0;
+  std::uint64_t next_snapshot_at_ = 0;
 };
 
 Interpreter::Interpreter(const ir::Module& module, ExecHook* hook)
@@ -472,6 +522,12 @@ Interpreter::Interpreter(const ir::Module& module, ExecHook* hook)
 RunResult Interpreter::run(const std::string& entry, const RunLimits& limits) {
   Impl impl(module_, layout_, hook_, limits);
   return impl.run(entry);
+}
+
+RunResult Interpreter::run_from(const Snapshot& snapshot,
+                                const RunLimits& limits) {
+  Impl impl(module_, layout_, hook_, limits);
+  return impl.run_from(snapshot);
 }
 
 }  // namespace faultlab::vm

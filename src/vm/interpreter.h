@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "ir/module.h"
 #include "machine/memory.h"
@@ -69,8 +71,44 @@ class ExecHook {
   }
 };
 
+/// Resumable interpreter state, captured between two dynamic instructions.
+/// Holds the explicit call-frame stack plus copy-on-write memory and
+/// runtime state, so capturing is O(live frames + mapped pages). A snapshot
+/// with `executed == n` resumes exactly before dynamic instruction n+1; all
+/// pointers reference the (const, outliving) module, so any interpreter
+/// over the same module can run_from() it — including concurrently, each
+/// trial getting its own copy-on-write view of the pages.
+struct Snapshot {
+  struct Frame {
+    const ir::Function* function = nullptr;
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> regs;  // indexed by Instruction::id()
+    std::vector<std::uint64_t> args;
+    const ir::BasicBlock* block = nullptr;
+    const ir::BasicBlock* prev_block = nullptr;  // phi predecessor
+    std::size_t index = 0;          // next instruction within block
+    std::uint64_t saved_sp = 0;     // caller's stack pointer
+    const ir::Instruction* call_site = nullptr;  // caller instr receiving ret
+  };
+
+  std::vector<Frame> frames;  // bottom (entry) first
+  std::uint64_t sp = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t next_frame_id = 1;
+  machine::Memory::Snapshot memory;
+  machine::Runtime::State runtime;
+};
+
 struct RunLimits {
+  /// Budget on *total* dynamic instructions, including any golden prefix a
+  /// resumed run skipped: run_from() keeps counting from the snapshot's
+  /// `executed`, so a restored trial times out exactly where a full run
+  /// would.
   std::uint64_t max_instructions = 200'000'000;
+  /// When nonzero, capture a Snapshot every `snapshot_stride` retired
+  /// instructions and hand it to `snapshot_sink`.
+  std::uint64_t snapshot_stride = 0;
+  std::function<void(Snapshot&&)> snapshot_sink;
 };
 
 struct RunResult {
@@ -97,6 +135,12 @@ class Interpreter {
   /// a fresh memory image.
   RunResult run(const std::string& entry = "main",
                 const RunLimits& limits = {});
+
+  /// Resumes execution from `snapshot` (captured on this module) and runs
+  /// to completion. The result reports totals for the whole logical run:
+  /// `dynamic_instructions` and `output` include the skipped prefix, so
+  /// Crash/SDC/Hang/Benign classification matches a from-scratch run.
+  RunResult run_from(const Snapshot& snapshot, const RunLimits& limits = {});
 
  private:
   class Impl;

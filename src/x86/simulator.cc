@@ -29,7 +29,6 @@ class Machine {
       : program_(program), hook_(hook), limits_(limits), runtime_(memory_) {}
 
   SimResult run() {
-    SimResult result;
     // Materialize the data image and stack.
     memory_.map_range(Layout::kGlobalBase,
                       std::max<std::uint64_t>(program_.data_size, 1));
@@ -41,7 +40,22 @@ class Machine {
     state_.gpr[RSP] = Layout::kStackTop - 64;  // small red zone below top
     push(kHaltAddress);
     state_.rip_index = program_.entry_index;
+    return drive();
+  }
 
+  SimResult run_from(const SimSnapshot& snapshot) {
+    memory_.restore(snapshot.memory);
+    runtime_.restore(snapshot.runtime);
+    state_ = snapshot.state;
+    executed_ = snapshot.executed;
+    return drive();
+  }
+
+ private:
+  SimResult drive() {
+    SimResult result;
+    if (limits_.snapshot_stride != 0)
+      next_snapshot_at_ = executed_ + limits_.snapshot_stride;
     try {
       loop();
       result.exit_value =
@@ -57,7 +71,19 @@ class Machine {
     return result;
   }
 
- private:
+  void maybe_snapshot() {
+    if (next_snapshot_at_ == 0 || executed_ < next_snapshot_at_ ||
+        !limits_.snapshot_sink)
+      return;
+    SimSnapshot snap;
+    snap.state = state_;
+    snap.executed = executed_;
+    snap.memory = memory_.snapshot();
+    snap.runtime = runtime_.save();
+    next_snapshot_at_ = executed_ + limits_.snapshot_stride;
+    limits_.snapshot_sink(std::move(snap));
+  }
+
   [[noreturn]] void trap(TrapKind kind, std::uint64_t addr,
                          const char* detail = "") {
     throw TrapException(kind, addr, detail);
@@ -195,6 +221,7 @@ class Machine {
 
   void loop() {
     while (true) {
+      maybe_snapshot();
       if (state_.rip_index >= program_.code.size())
         trap(TrapKind::InvalidJump, Program::address_of_index(state_.rip_index));
       const std::size_t index = state_.rip_index;
@@ -456,6 +483,7 @@ class Machine {
   machine::Runtime runtime_;
   MachineState state_;
   std::uint64_t executed_ = 0;
+  std::uint64_t next_snapshot_at_ = 0;
 };
 
 }  // namespace
@@ -466,6 +494,12 @@ Simulator::Simulator(const Program& program, SimHook* hook)
 SimResult Simulator::run(const SimLimits& limits) {
   Machine machine(program_, hook_, limits);
   return machine.run();
+}
+
+SimResult Simulator::run_from(const SimSnapshot& snapshot,
+                              const SimLimits& limits) {
+  Machine machine(program_, hook_, limits);
+  return machine.run_from(snapshot);
 }
 
 }  // namespace faultlab::x86

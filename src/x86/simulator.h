@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "machine/memory.h"
@@ -40,8 +41,28 @@ class SimHook {
   }
 };
 
+/// Resumable machine state captured between two retired instructions:
+/// architectural registers plus copy-on-write memory and runtime state.
+/// `executed == n` means the snapshot resumes exactly before dynamic
+/// instruction n+1. Any simulator over the same program can run_from() it,
+/// including several concurrently (each gets its own copy-on-write view).
+struct SimSnapshot {
+  MachineState state;
+  std::uint64_t executed = 0;
+  machine::Memory::Snapshot memory;
+  machine::Runtime::State runtime;
+};
+
 struct SimLimits {
+  /// Budget on *total* dynamic instructions, including any golden prefix a
+  /// resumed run skipped: run_from() keeps counting from the snapshot's
+  /// `executed`, so a restored trial times out exactly where a full run
+  /// would.
   std::uint64_t max_instructions = 400'000'000;
+  /// When nonzero, capture a SimSnapshot every `snapshot_stride` retired
+  /// instructions and hand it to `snapshot_sink`.
+  std::uint64_t snapshot_stride = 0;
+  std::function<void(SimSnapshot&&)> snapshot_sink;
 };
 
 struct SimResult {
@@ -61,6 +82,12 @@ class Simulator {
 
   /// Runs the program's entry function to completion on a fresh machine.
   SimResult run(const SimLimits& limits = {});
+
+  /// Resumes execution from `snapshot` (captured on this program) and runs
+  /// to completion. `dynamic_instructions` and `output` report whole-run
+  /// totals including the skipped prefix, so outcome classification matches
+  /// a from-scratch run.
+  SimResult run_from(const SimSnapshot& snapshot, const SimLimits& limits = {});
 
  private:
   const Program& program_;

@@ -79,6 +79,120 @@ TEST(Memory, BulkBytes) {
   EXPECT_EQ(data, back);
 }
 
+TEST(Memory, PageStraddlingAllWidthsAndOffsets) {
+  // Every (width, offset) combination that crosses the page boundary must
+  // round-trip — these are exactly the accesses the single-entry page cache
+  // cannot serve from one page.
+  Memory mem;
+  mem.map_range(0x10000, 2 * Memory::kPageSize);
+  const std::uint64_t boundary = 0x10000 + Memory::kPageSize;
+  for (unsigned size : {2u, 4u, 8u}) {
+    for (unsigned before = 1; before < size; ++before) {
+      const std::uint64_t addr = boundary - before;
+      const std::uint64_t value = 0xF1E2D3C4B5A69788ull & low_mask_for(size);
+      mem.write(addr, size, value);
+      EXPECT_EQ(mem.read(addr, size), value)
+          << "size " << size << " offset -" << before;
+      // Byte-level check: the write must land little-endian across pages.
+      for (unsigned i = 0; i < size; ++i)
+        EXPECT_EQ(mem.read(addr + i, 1), (value >> (8 * i)) & 0xff)
+            << "size " << size << " offset -" << before << " byte " << i;
+    }
+  }
+}
+
+TEST(Memory, StraddlingWriteThenSameLocationCachedRead) {
+  // A straddling access touches two pages; the cache must not serve stale
+  // data for either afterwards.
+  Memory mem;
+  mem.map_range(0x10000, 2 * Memory::kPageSize);
+  const std::uint64_t boundary = 0x10000 + Memory::kPageSize;
+  mem.write(boundary - 8, 8, 0xAAAAAAAAAAAAAAAAull);  // first page only
+  mem.write(boundary, 8, 0xBBBBBBBBBBBBBBBBull);      // second page only
+  mem.write(boundary - 4, 8, 0x1111222233334444ull);  // straddles both
+  EXPECT_EQ(mem.read(boundary - 8, 4), 0xAAAAAAAAu);  // untouched prefix
+  EXPECT_EQ(mem.read(boundary - 4, 4), 0x33334444u);  // straddle low half
+  EXPECT_EQ(mem.read(boundary, 4), 0x11112222u);      // straddle high half
+  EXPECT_EQ(mem.read(boundary + 4, 4), 0xBBBBBBBBu);  // untouched suffix
+}
+
+TEST(Memory, SnapshotIsolatedFromLaterWrites) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 111);
+  Memory::Snapshot snap = mem.snapshot();
+  EXPECT_EQ(snap.mapped_pages(), 1u);
+
+  // Writes after the snapshot must not leak into it (copy-on-write).
+  mem.write(0x10000, 8, 222);
+  mem.map_range(0x20000, 4096);
+  mem.write(0x20000, 8, 333);
+
+  mem.restore(snap);
+  EXPECT_EQ(mem.read(0x10000, 8), 111u);
+  EXPECT_FALSE(mem.is_mapped(0x20000));
+  EXPECT_THROW(mem.read(0x20000, 8), TrapException);
+}
+
+TEST(Memory, WritesAfterRestoreDoNotCorruptSnapshot) {
+  // The other CoW direction: a restored image shares pages with the
+  // snapshot, and writing through it must clone, not mutate the original.
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 111);
+  Memory::Snapshot snap = mem.snapshot();
+
+  mem.restore(snap);
+  mem.write(0x10000, 8, 999);
+  EXPECT_EQ(mem.read(0x10000, 8), 999u);
+
+  mem.restore(snap);  // snapshot still pristine
+  EXPECT_EQ(mem.read(0x10000, 8), 111u);
+}
+
+TEST(Memory, SnapshotSharedAcrossTwoRestores) {
+  // Two memories restored from one snapshot must diverge independently —
+  // the checkpoint layer does exactly this from concurrent trial workers.
+  Memory a;
+  a.map_range(0x10000, 4096);
+  a.write(0x10000, 8, 7);
+  Memory::Snapshot snap = a.snapshot();
+
+  Memory b;
+  b.restore(snap);
+  a.restore(snap);
+  a.write(0x10000, 8, 100);
+  b.write(0x10008, 8, 200);
+  EXPECT_EQ(a.read(0x10000, 8), 100u);
+  EXPECT_EQ(a.read(0x10008, 8), 0u);
+  EXPECT_EQ(b.read(0x10000, 8), 7u);
+  EXPECT_EQ(b.read(0x10008, 8), 200u);
+}
+
+TEST(Memory, SnapshotSurvivesSourceReset) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 42);
+  Memory::Snapshot snap = mem.snapshot();
+  mem.reset();
+  EXPECT_EQ(mem.mapped_pages(), 0u);
+  mem.restore(snap);
+  EXPECT_EQ(mem.read(0x10000, 8), 42u);
+}
+
+TEST(Memory, CacheInvalidatedByRestore) {
+  // Prime the read cache on a page, restore an older image of that page,
+  // and make sure the next read sees the restored bytes, not the cache.
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 1);
+  Memory::Snapshot snap = mem.snapshot();
+  mem.write(0x10000, 8, 2);
+  EXPECT_EQ(mem.read(0x10000, 8), 2u);  // cache hot with the new page
+  mem.restore(snap);
+  EXPECT_EQ(mem.read(0x10000, 8), 1u);
+}
+
 TEST(Memory, ResetClearsMappings) {
   Memory mem;
   mem.map_range(0x10000, 4096);

@@ -111,6 +111,84 @@ TEST(Scheduler, MatchesRunCampaignCellByCell) {
   }
 }
 
+TEST(Scheduler, CheckpointedMatchesDirectCellByCellAtAnyThreadCount) {
+  // The acceptance bar for checkpoint/restore: resuming trials from
+  // mid-run snapshots (at a deliberately dense stride) must reproduce the
+  // direct-execution records cell by cell, for 1, 2, and 4 workers.
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine llfi_direct(prog.module(), {}, {0, /*enabled=*/false});
+  PinfiEngine pinfi_direct(prog.program(), {}, {0, /*enabled=*/false});
+  const std::vector<CampaignResult> direct =
+      run_grid(llfi_direct, pinfi_direct, 1);
+  EXPECT_EQ(llfi_direct.checkpoint_stats().restored_trials, 0u);
+  EXPECT_EQ(pinfi_direct.checkpoint_stats().restored_trials, 0u);
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    LlfiEngine llfi(prog.module(), {}, {/*stride=*/500, true});
+    PinfiEngine pinfi(prog.program(), {}, {/*stride=*/500, true});
+    const std::vector<CampaignResult> checkpointed =
+        run_grid(llfi, pinfi, threads);
+    ASSERT_EQ(checkpointed.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(checkpointed[i].profiled_count, direct[i].profiled_count);
+      EXPECT_EQ(checkpointed[i].crash, direct[i].crash);
+      EXPECT_EQ(checkpointed[i].sdc, direct[i].sdc);
+      EXPECT_EQ(checkpointed[i].benign, direct[i].benign);
+      EXPECT_EQ(checkpointed[i].hang, direct[i].hang);
+      EXPECT_EQ(checkpointed[i].not_activated, direct[i].not_activated);
+      expect_same_records(checkpointed[i].trials, direct[i].trials);
+    }
+    // The dense stride guarantees snapshots exist and most trials resume.
+    const CheckpointStats ls = llfi.checkpoint_stats();
+    const CheckpointStats ps = pinfi.checkpoint_stats();
+    EXPECT_GT(ls.snapshots, 0u) << threads << " threads";
+    EXPECT_GT(ps.snapshots, 0u) << threads << " threads";
+    EXPECT_GT(ls.restored_trials, 0u) << threads << " threads";
+    EXPECT_GT(ps.restored_trials, 0u) << threads << " threads";
+    EXPECT_GT(ls.skipped_instructions, 0u);
+    EXPECT_GT(ps.skipped_instructions, 0u);
+  }
+}
+
+class CheckpointEnv : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("FAULTLAB_CHECKPOINTS");
+    unsetenv("FAULTLAB_SNAPSHOT_STRIDE");
+  }
+};
+
+TEST_F(CheckpointEnv, PolicyParsesEnvironment) {
+  unsetenv("FAULTLAB_CHECKPOINTS");
+  unsetenv("FAULTLAB_SNAPSHOT_STRIDE");
+  CheckpointPolicy p = CheckpointPolicy::from_env();
+  EXPECT_TRUE(p.enabled);
+  EXPECT_EQ(p.stride, 0u);
+
+  setenv("FAULTLAB_CHECKPOINTS", "0", 1);
+  EXPECT_FALSE(CheckpointPolicy::from_env().enabled);
+  setenv("FAULTLAB_CHECKPOINTS", "junk", 1);  // warns, falls back to on
+  EXPECT_TRUE(CheckpointPolicy::from_env().enabled);
+
+  setenv("FAULTLAB_SNAPSHOT_STRIDE", "12345", 1);
+  EXPECT_EQ(CheckpointPolicy::from_env().stride, 12345u);
+  setenv("FAULTLAB_SNAPSHOT_STRIDE", "-3", 1);  // warns, falls back to auto
+  EXPECT_EQ(CheckpointPolicy::from_env().stride, 0u);
+}
+
+TEST_F(CheckpointEnv, EffectiveStrideSelection) {
+  CheckpointPolicy p;
+  p.enabled = false;
+  EXPECT_EQ(p.effective_stride(1'000'000), 0u);  // disabled -> no snapshots
+  p.enabled = true;
+  p.stride = 777;
+  EXPECT_EQ(p.effective_stride(1'000'000), 777u);  // explicit wins
+  p.stride = 0;
+  // Automatic: golden length over kAutoWindows, floored at kMinStride.
+  EXPECT_EQ(p.effective_stride(64 * 50'000), 50'000u);
+  EXPECT_EQ(p.effective_stride(1'000), CheckpointPolicy::kMinStride);
+}
+
 TEST(Scheduler, ProfileAllMatchesPerCategoryProfile) {
   for (const char* name : {"mcf", "libquantum"}) {
     auto prog = driver::compile(apps::benchmark(name).source, name);

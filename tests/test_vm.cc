@@ -236,6 +236,133 @@ TEST(VmDeterminism, RepeatedRunsIdentical) {
   EXPECT_EQ(r1.dynamic_instructions, r2.dynamic_instructions);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot / resume (what the checkpointed trial execution builds on).
+
+TEST(VmSnapshot, ResumeReproducesDirectRunFromEverySnapshot) {
+  auto m = mc::compile_to_ir(R"(
+    int main() {
+      int s = 0; int i;
+      print_int(12345);
+      for (i = 0; i < 2000; i++) s += i * 3 + (s >> 5);
+      print_int(s);
+      return s & 127;
+    })", "t");
+  Interpreter vm(*m);
+  const auto golden = vm.run();
+  ASSERT_TRUE(golden.completed());
+
+  std::vector<Snapshot> snaps;
+  RunLimits capture;
+  capture.snapshot_stride = 3'000;
+  capture.snapshot_sink = [&](Snapshot&& s) { snaps.push_back(std::move(s)); };
+  Interpreter recorder(*m);
+  const auto recorded = recorder.run("main", capture);
+  ASSERT_TRUE(recorded.completed());
+  EXPECT_EQ(recorded.output, golden.output);
+  EXPECT_EQ(recorded.dynamic_instructions, golden.dynamic_instructions);
+  ASSERT_GE(snaps.size(), 3u);
+
+  for (const Snapshot& snap : snaps) {
+    // A fresh interpreter resumes any snapshot of the same module; the
+    // result must report whole-logical-run totals including the prefix.
+    Interpreter resumer(*m);
+    const auto r = resumer.run_from(snap);
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.exit_value, golden.exit_value);
+    EXPECT_EQ(r.output, golden.output);
+    EXPECT_EQ(r.dynamic_instructions, golden.dynamic_instructions);
+  }
+}
+
+TEST(VmSnapshot, ResumePreservesCallFramesAndHeap) {
+  auto m = mc::compile_to_ir(R"(
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() {
+      int* buf = (int*)malloc(40);
+      int i;
+      for (i = 0; i < 10; i++) buf[i] = fib(i);
+      for (i = 0; i < 10; i++) print_int(buf[i]);
+      free((char*)buf);
+      return 0;
+    })", "t");
+  Interpreter vm(*m);
+  const auto golden = vm.run();
+  ASSERT_TRUE(golden.completed());
+
+  std::vector<Snapshot> snaps;
+  RunLimits capture;
+  capture.snapshot_stride = 500;  // dense: some land mid-recursion
+  capture.snapshot_sink = [&](Snapshot&& s) { snaps.push_back(std::move(s)); };
+  Interpreter recorder(*m);
+  ASSERT_TRUE(recorder.run("main", capture).completed());
+  ASSERT_GE(snaps.size(), 2u);
+
+  bool saw_deep_stack = false;
+  for (const Snapshot& snap : snaps) {
+    saw_deep_stack = saw_deep_stack || snap.frames.size() > 2;
+    Interpreter resumer(*m);
+    const auto r = resumer.run_from(snap);
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.output, golden.output);
+    EXPECT_EQ(r.dynamic_instructions, golden.dynamic_instructions);
+  }
+  EXPECT_TRUE(saw_deep_stack);  // at least one snapshot inside fib()
+}
+
+TEST(VmSnapshot, SnapshotReusableAndIsolatedAcrossResumes) {
+  auto m = mc::compile_to_ir(R"(
+    int g;
+    int main() {
+      int i;
+      for (i = 0; i < 1000; i++) g = g * 3 + i;
+      print_int(g);
+      return 0;
+    })", "t");
+  std::vector<Snapshot> snaps;
+  RunLimits capture;
+  capture.snapshot_stride = 2'000;
+  capture.snapshot_sink = [&](Snapshot&& s) { snaps.push_back(std::move(s)); };
+  Interpreter recorder(*m);
+  const auto golden = recorder.run("main", capture);
+  ASSERT_TRUE(golden.completed());
+  ASSERT_GE(snaps.size(), 1u);
+
+  // Resuming twice from the same snapshot must give the same answer: the
+  // first resume's writes must not leak into the shared CoW pages.
+  Interpreter a(*m);
+  Interpreter b(*m);
+  const auto ra = a.run_from(snaps.front());
+  const auto rb = b.run_from(snaps.front());
+  EXPECT_EQ(ra.output, golden.output);
+  EXPECT_EQ(rb.output, golden.output);
+  EXPECT_EQ(ra.dynamic_instructions, rb.dynamic_instructions);
+}
+
+TEST(VmSnapshot, ResumedRunHonoursTotalInstructionBudget) {
+  auto m = mc::compile_to_ir("int main() { while (1) {} return 0; }", "t");
+  std::vector<Snapshot> snaps;
+  RunLimits capture;
+  capture.snapshot_stride = 5'000;
+  capture.max_instructions = 12'000;
+  capture.snapshot_sink = [&](Snapshot&& s) { snaps.push_back(std::move(s)); };
+  Interpreter recorder(*m);
+  EXPECT_TRUE(recorder.run("main", capture).timed_out);
+  ASSERT_GE(snaps.size(), 1u);
+  ASSERT_GE(snaps.front().executed, 5'000u);
+
+  // The budget is on *total* instructions including the skipped prefix: a
+  // resumed trial must stop where the from-scratch run would, not
+  // `max_instructions` later.
+  Interpreter resumer(*m);
+  RunLimits limits;
+  limits.max_instructions = 8'000;
+  const auto r = resumer.run_from(snaps.front(), limits);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LE(r.dynamic_instructions, 8'000u + 1);
+  EXPECT_GT(r.dynamic_instructions, snaps.front().executed);
+}
+
 TEST(VmApi, MissingEntryThrows) {
   auto m = mc::compile_to_ir("int main() { return 0; }", "t");
   Interpreter vm(*m);

@@ -276,6 +276,113 @@ TEST(Simulator, TimeoutDetection) {
   EXPECT_TRUE(r.timed_out);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot / resume (what PINFI's checkpointed trial execution builds on).
+
+/// sum(0..n-1) via a cmp/jcc loop: enough dynamic instructions to land
+/// several snapshots mid-loop.
+Program sum_loop_program(std::int64_t n) {
+  Inst cmp = alu_ri(Op::Cmp, RCX, n, 8);
+  Inst jge;
+  jge.op = Op::Jcc;
+  jge.cond = Cond::GE;
+  jge.target = 7;
+  Inst body = alu_rr(Op::Add, RAX, RCX, 8);
+  Inst step = alu_ri(Op::Add, RCX, 1, 8);
+  Inst back;
+  back.op = Op::Jmp;
+  back.target = 2;
+  Program p;
+  p.code = {mov_ri(RCX, 0), mov_ri(RAX, 0), cmp, jge, body, step, back, ret()};
+  p.functions.push_back({"main", 0, p.code.size()});
+  p.entry_index = 0;
+  p.data_size = 0;
+  return p;
+}
+
+TEST(SimSnapshotTest, ResumeReproducesDirectRunFromEverySnapshot) {
+  const Program p = sum_loop_program(10'000);
+  Simulator direct(p);
+  const SimResult golden = direct.run();
+  ASSERT_TRUE(golden.completed());
+  EXPECT_EQ(golden.exit_value, 10'000LL * 9'999 / 2);
+
+  std::vector<SimSnapshot> snaps;
+  SimLimits capture;
+  capture.snapshot_stride = 7'000;
+  capture.snapshot_sink = [&](SimSnapshot&& s) {
+    snaps.push_back(std::move(s));
+  };
+  Simulator recorder(p);
+  const SimResult recorded = recorder.run(capture);
+  ASSERT_TRUE(recorded.completed());
+  EXPECT_EQ(recorded.exit_value, golden.exit_value);
+  EXPECT_EQ(recorded.dynamic_instructions, golden.dynamic_instructions);
+  ASSERT_GE(snaps.size(), 3u);
+
+  for (const SimSnapshot& snap : snaps) {
+    Simulator resumer(p);
+    const SimResult r = resumer.run_from(snap);
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.exit_value, golden.exit_value);
+    EXPECT_EQ(r.dynamic_instructions, golden.dynamic_instructions);
+  }
+}
+
+TEST(SimSnapshotTest, SnapshotReusableAcrossResumes) {
+  const Program p = sum_loop_program(5'000);
+  std::vector<SimSnapshot> snaps;
+  SimLimits capture;
+  capture.snapshot_stride = 4'000;
+  capture.snapshot_sink = [&](SimSnapshot&& s) {
+    snaps.push_back(std::move(s));
+  };
+  Simulator recorder(p);
+  const SimResult golden = recorder.run(capture);
+  ASSERT_TRUE(golden.completed());
+  ASSERT_GE(snaps.size(), 1u);
+
+  Simulator a(p);
+  Simulator b(p);
+  const SimResult ra = a.run_from(snaps.front());
+  const SimResult rb = b.run_from(snaps.front());
+  EXPECT_EQ(ra.exit_value, golden.exit_value);
+  EXPECT_EQ(rb.exit_value, golden.exit_value);
+  EXPECT_EQ(ra.dynamic_instructions, rb.dynamic_instructions);
+}
+
+TEST(SimSnapshotTest, ResumedRunHonoursTotalInstructionBudget) {
+  Inst spin;
+  spin.op = Op::Jmp;
+  spin.target = 0;
+  Program p;
+  p.code = {spin};
+  p.functions.push_back({"main", 0, 1});
+  p.entry_index = 0;
+
+  std::vector<SimSnapshot> snaps;
+  SimLimits capture;
+  capture.snapshot_stride = 500;
+  capture.max_instructions = 1'200;
+  capture.snapshot_sink = [&](SimSnapshot&& s) {
+    snaps.push_back(std::move(s));
+  };
+  Simulator recorder(p);
+  EXPECT_TRUE(recorder.run(capture).timed_out);
+  ASSERT_GE(snaps.size(), 1u);
+  ASSERT_GE(snaps.front().executed, 500u);
+
+  // Budget counts the skipped prefix: the resumed run stops where a
+  // from-scratch run would.
+  Simulator resumer(p);
+  SimLimits limits;
+  limits.max_instructions = 800;
+  const SimResult r = resumer.run_from(snaps.front(), limits);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LE(r.dynamic_instructions, 801u);
+  EXPECT_GT(r.dynamic_instructions, snaps.front().executed);
+}
+
 TEST(Categories, Table3AsmSide) {
   Inst add = alu_rr(Op::Add, RAX, RCX, 8);
   Inst lea;
