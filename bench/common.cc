@@ -1,13 +1,61 @@
 #include "common.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+
 namespace faultlab::benchx {
+
+namespace {
+
+/// ISO-8601 UTC timestamp, e.g. "2026-08-05T12:34:56Z".
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string host_name() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+  return buf;
+}
+
+constexpr bool build_has_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+constexpr bool build_has_ndebug() {
+#ifdef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
 
 std::vector<CompiledApp> compile_all_apps() {
   std::vector<CompiledApp> out;
@@ -16,11 +64,8 @@ std::vector<CompiledApp> compile_all_apps() {
   return out;
 }
 
-ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
-                             const std::vector<ir::Category>& categories,
-                             std::size_t trials,
-                             const fault::FaultModel& model,
-                             std::uint64_t seed) {
+fault::SchedulerOptions default_scheduler_options(
+    const fault::FaultModel& model) {
   fault::SchedulerOptions options;
   options.model = model;
   // FAULTLAB_THREADS pins the worker count (results are identical either
@@ -36,21 +81,32 @@ ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
                    "using hardware concurrency\n",
                    env);
   }
-  options.progress = [](const fault::SchedulerProgress& p) {
-    if (p.completed == nullptr) return;
-    char rate[32];
-    std::snprintf(rate, sizeof rate, "%.0f",
-                  p.completed->wall_seconds > 0.0
-                      ? static_cast<double>(p.completed->trials.size()) /
-                            p.completed->wall_seconds
-                      : 0.0);
-    std::cerr << "  [" << p.completed->app << " / " << p.completed->tool
-              << " / " << ir::category_name(p.completed->category) << "] "
-              << p.campaigns_done << "/" << p.campaigns_total
-              << " campaigns (" << rate << " trials/s)\n";
-  };
+  // With FAULTLAB_PROGRESS=1 the scheduler redraws its own \r status line;
+  // these per-campaign lines would tear it, so they yield.
+  if (!obs::progress_enabled()) {
+    options.progress = [](const fault::SchedulerProgress& p) {
+      if (p.completed == nullptr) return;
+      char rate[32];
+      std::snprintf(rate, sizeof rate, "%.0f",
+                    p.completed->wall_seconds > 0.0
+                        ? static_cast<double>(p.completed->trials.size()) /
+                              p.completed->wall_seconds
+                        : 0.0);
+      std::cerr << "  [" << p.completed->app << " / " << p.completed->tool
+                << " / " << ir::category_name(p.completed->category) << "] "
+                << p.campaigns_done << "/" << p.campaigns_total
+                << " campaigns (" << rate << " trials/s)\n";
+    };
+  }
+  return options;
+}
 
-  fault::CampaignScheduler scheduler(options);
+ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
+                             const std::vector<ir::Category>& categories,
+                             std::size_t trials,
+                             const fault::FaultModel& model,
+                             std::uint64_t seed) {
+  fault::CampaignScheduler scheduler(default_scheduler_options(model));
   std::vector<std::unique_ptr<fault::InjectorEngine>> engines;
   for (const CompiledApp& app : apps) {
     engines.push_back(
@@ -139,7 +195,33 @@ void write_perf_entry(const std::string& experiment,
         << "\"snapshot_stride\": " << cp.stride << ", "
         << "\"restored_trials\": " << cp.restored_trials << ", "
         << "\"snapshot_hit_rate\": " << cp.hit_rate() << ", "
-        << "\"skipped_instructions\": " << cp.skipped_instructions << "}";
+        << "\"skipped_instructions\": " << cp.skipped_instructions << ", "
+        << "\"timestamp\": \"" << obs::json_escape(utc_timestamp()) << "\", "
+        << "\"hostname\": \"" << obs::json_escape(host_name()) << "\", "
+        << "\"sanitizer\": " << (build_has_sanitizer() ? "true" : "false")
+        << ", "
+        << "\"ndebug\": " << (build_has_ndebug() ? "true" : "false") << ", "
+        << "\"campaigns\": {";
+  bool first_campaign = true;
+  for (const fault::CampaignTiming& t : run.manifest.campaigns) {
+    const std::string campaign_key =
+        t.app + "/" + t.tool + "/" + ir::category_name(t.category);
+    entry << (first_campaign ? "" : ", ") << "\""
+          << obs::json_escape(campaign_key) << "\": {"
+          << "\"trials\": " << t.trials << ", "
+          << "\"crash\": " << t.crash << ", "
+          << "\"sdc\": " << t.sdc << ", "
+          << "\"benign\": " << t.benign << ", "
+          << "\"hang\": " << t.hang << ", "
+          << "\"not_activated\": " << t.not_activated << ", "
+          << "\"restored\": " << t.restored << ", "
+          << "\"hit_rate\": " << t.hit_rate() << ", "
+          << "\"p50_ms\": " << t.p50_ms << ", "
+          << "\"p95_ms\": " << t.p95_ms << ", "
+          << "\"p99_ms\": " << t.p99_ms << "}";
+    first_campaign = false;
+  }
+  entry << "}}";
 
   std::vector<std::string> kept;
   {

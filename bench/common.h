@@ -35,6 +35,13 @@ struct ExperimentRun {
   std::uint64_t seed = 0;
 };
 
+/// Scheduler options shared by every bench binary: FAULTLAB_THREADS pins
+/// the worker count, and a per-campaign completion line goes to stderr
+/// unless FAULTLAB_PROGRESS=1 (the scheduler's own single-line reporter)
+/// is on, which would be clobbered by interleaved output.
+fault::SchedulerOptions default_scheduler_options(
+    const fault::FaultModel& model = {});
+
 /// Runs LLFI+PINFI campaigns for the given categories over all apps on one
 /// shared CampaignScheduler: each engine is profiled once for all
 /// categories, and every trial of the grid goes through one worker pool.

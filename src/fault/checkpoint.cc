@@ -29,6 +29,19 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 
 }  // namespace
 
+CheckpointMetrics& checkpoint_metrics() {
+  static CheckpointMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::global();
+    return CheckpointMetrics{
+        registry.counter("checkpoint.snapshots"),
+        registry.counter("checkpoint.restores"),
+        registry.counter("checkpoint.restored_pages"),
+        registry.counter("checkpoint.skipped_instructions"),
+    };
+  }();
+  return metrics;
+}
+
 CheckpointPolicy CheckpointPolicy::from_env() {
   CheckpointPolicy policy;
   policy.enabled = env_u64("FAULTLAB_CHECKPOINTS", 1) != 0;

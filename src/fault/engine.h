@@ -10,6 +10,7 @@
 
 #include "fault/outcome.h"
 #include "ir/category.h"
+#include "obs/metrics.h"
 #include "support/rng.h"
 
 namespace faultlab::fault {
@@ -53,6 +54,21 @@ struct CheckpointPolicy {
 
   std::uint64_t effective_stride(std::uint64_t golden_instructions) const;
 };
+
+/// Handles to the checkpoint layer's counters in the process-wide metrics
+/// registry (shared by LlfiEngine and PinfiEngine; the per-engine split
+/// lives in CheckpointStats below). Call sites gate every use on
+/// obs::metrics_enabled(), so the disabled path costs one cached-bool
+/// branch.
+struct CheckpointMetrics {
+  obs::Counter snapshots;             ///< snapshots captured by profile_all
+  obs::Counter restores;              ///< trials resumed from a snapshot
+  obs::Counter restored_pages;        ///< CoW pages shared into trials
+  obs::Counter skipped_instructions;  ///< golden prefix not re-executed
+};
+
+/// Lazily-registered singleton over Registry::global().
+CheckpointMetrics& checkpoint_metrics();
 
 /// Observability counters for the checkpoint layer (per engine). Atomic
 /// accumulation happens inside the engines; this is the plain value handed

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/bitutil.h"
 
 namespace faultlab::fault {
@@ -116,12 +118,17 @@ bool LlfiEngine::is_target(const ir::Instruction& instr, ir::Category category,
 LlfiEngine::LlfiEngine(const ir::Module& module, FaultModel model,
                        CheckpointPolicy checkpoints)
     : module_(module), model_(model), checkpoint_policy_(checkpoints) {
+  obs::ScopedSpan span(obs::Tracer::global(), "golden", "engine");
   vm::Interpreter golden(module_);
   const vm::RunResult r = golden.run();
   if (!r.completed())
     throw std::runtime_error("LLFI: golden run did not complete");
   golden_output_ = r.output;
   golden_instructions_ = r.dynamic_instructions;
+  if (span.active()) {
+    span.tag("tool", "LLFI");
+    span.tag("instructions", golden_instructions_);
+  }
 }
 
 vm::RunLimits LlfiEngine::faulty_limits() const {
@@ -139,6 +146,7 @@ std::uint64_t LlfiEngine::profile(ir::Category category) {
 }
 
 CategoryCounts LlfiEngine::profile_all() {
+  obs::ScopedSpan span(obs::Tracer::global(), "profile", "engine");
   ProfileAllHook hook(model_);
   vm::Interpreter interp(module_, &hook);
   vm::RunLimits limits;
@@ -156,6 +164,13 @@ CategoryCounts LlfiEngine::profile_all() {
   const vm::RunResult r = interp.run("main", limits);
   if (!r.completed())
     throw std::runtime_error("LLFI: profiling run did not complete");
+  if (obs::metrics_enabled())
+    checkpoint_metrics().snapshots.add(checkpoints_.size());
+  if (span.active()) {
+    span.tag("tool", "LLFI");
+    span.tag("snapshots", static_cast<std::uint64_t>(checkpoints_.size()));
+    span.tag("stride", checkpoint_stride_);
+  }
   return hook.counts();
 }
 
@@ -173,20 +188,42 @@ const LlfiEngine::Checkpoint* LlfiEngine::checkpoint_before(
 
 TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
                                Rng& rng) {
+  obs::Tracer& tracer = obs::Tracer::global();
   const unsigned raw_bit = static_cast<unsigned>(rng.below(64));
-  const Checkpoint* cp = checkpoint_before(category, k);
+  const Checkpoint* cp;
+  {
+    obs::ScopedSpan restore_span(tracer, "restore", "phase");
+    cp = checkpoint_before(category, k);
+    if (restore_span.active())
+      restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
+  }
   InjectHook hook(category, k, raw_bit, model_,
                   cp != nullptr ? cp->seen[category] : 0);
   vm::Interpreter interp(module_, &hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   vm::RunResult r;
-  if (cp != nullptr) {
-    restored_trials_.fetch_add(1, std::memory_order_relaxed);
-    skipped_instructions_.fetch_add(cp->snapshot.executed,
-                                    std::memory_order_relaxed);
-    r = interp.run_from(cp->snapshot, faulty_limits());
-  } else {
-    r = interp.run("main", faulty_limits());
+  {
+    obs::ScopedSpan exec_span(tracer, "execute", "phase");
+    if (cp != nullptr) {
+      restored_trials_.fetch_add(1, std::memory_order_relaxed);
+      skipped_instructions_.fetch_add(cp->snapshot.executed,
+                                      std::memory_order_relaxed);
+      r = interp.run_from(cp->snapshot, faulty_limits());
+    } else {
+      r = interp.run("main", faulty_limits());
+    }
+    if (exec_span.active())
+      exec_span.tag("instructions",
+                    r.dynamic_instructions -
+                        (cp != nullptr ? cp->snapshot.executed : 0));
+  }
+  if (obs::metrics_enabled()) {
+    CheckpointMetrics& metrics = checkpoint_metrics();
+    if (cp != nullptr) {
+      metrics.restores.add();
+      metrics.restored_pages.add(cp->snapshot.memory.mapped_pages());
+      metrics.skipped_instructions.add(cp->snapshot.executed);
+    }
   }
 
   TrialRecord record;
@@ -194,8 +231,16 @@ TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
   record.bit = hook.bit();
   record.static_site = hook.static_site();
   record.injected = hook.injected();
-  record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
-                            r.timed_out, r.output, golden_output_);
+  record.restored = cp != nullptr;
+  record.restored_pages =
+      cp != nullptr
+          ? static_cast<std::uint32_t>(cp->snapshot.memory.mapped_pages())
+          : 0;
+  {
+    obs::ScopedSpan classify_span(tracer, "classify", "phase");
+    record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
+                              r.timed_out, r.output, golden_output_);
+  }
   if (r.trapped) record.trap = r.trap;
   return record;
 }

@@ -26,6 +26,10 @@ struct TrialRecord {
   unsigned bit = 0;                  // which bit was flipped
   std::uint64_t static_site = 0;     // instruction id / code index
   bool injected = false;             // the target instance was reached
+  // Checkpoint-layer observability (not part of the paper's record; the
+  // scheduler aggregates these into per-campaign snapshot hit rates).
+  bool restored = false;             // trial resumed from a snapshot
+  std::uint32_t restored_pages = 0;  // pages in the restored snapshot
 };
 
 /// Classifies a finished run against the golden output. `activated` and

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/bitutil.h"
 #include "x86/category.h"
 
@@ -241,12 +243,17 @@ bool PinfiEngine::is_target(const Inst& inst, const Inst* next,
 PinfiEngine::PinfiEngine(const x86::Program& program, FaultModel model,
                          CheckpointPolicy checkpoints)
     : program_(program), model_(model), checkpoint_policy_(checkpoints) {
+  obs::ScopedSpan span(obs::Tracer::global(), "golden", "engine");
   x86::Simulator golden(program_);
   const x86::SimResult r = golden.run();
   if (!r.completed())
     throw std::runtime_error("PINFI: golden run did not complete");
   golden_output_ = r.output;
   golden_instructions_ = r.dynamic_instructions;
+  if (span.active()) {
+    span.tag("tool", "PINFI");
+    span.tag("instructions", golden_instructions_);
+  }
 }
 
 x86::SimLimits PinfiEngine::faulty_limits() const {
@@ -263,6 +270,7 @@ std::uint64_t PinfiEngine::profile(ir::Category category) {
 }
 
 CategoryCounts PinfiEngine::profile_all() {
+  obs::ScopedSpan span(obs::Tracer::global(), "profile", "engine");
   ProfileAllHook hook(program_);
   x86::Simulator sim(program_, &hook);
   x86::SimLimits limits;
@@ -280,6 +288,13 @@ CategoryCounts PinfiEngine::profile_all() {
   const x86::SimResult r = sim.run(limits);
   if (!r.completed())
     throw std::runtime_error("PINFI: profiling run did not complete");
+  if (obs::metrics_enabled())
+    checkpoint_metrics().snapshots.add(checkpoints_.size());
+  if (span.active()) {
+    span.tag("tool", "PINFI");
+    span.tag("snapshots", static_cast<std::uint64_t>(checkpoints_.size()));
+    span.tag("stride", checkpoint_stride_);
+  }
   return hook.counts();
 }
 
@@ -297,20 +312,42 @@ const PinfiEngine::Checkpoint* PinfiEngine::checkpoint_before(
 
 TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
                                 Rng& rng) {
+  obs::Tracer& tracer = obs::Tracer::global();
   const unsigned raw_bit = static_cast<unsigned>(rng.below(128));
-  const Checkpoint* cp = checkpoint_before(category, k);
+  const Checkpoint* cp;
+  {
+    obs::ScopedSpan restore_span(tracer, "restore", "phase");
+    cp = checkpoint_before(category, k);
+    if (restore_span.active())
+      restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
+  }
   PinfiHook hook(program_, category, k, raw_bit, model_,
                  cp != nullptr ? cp->seen[category] : 0);
   x86::Simulator sim(program_, &hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   x86::SimResult r;
-  if (cp != nullptr) {
-    restored_trials_.fetch_add(1, std::memory_order_relaxed);
-    skipped_instructions_.fetch_add(cp->snapshot.executed,
-                                    std::memory_order_relaxed);
-    r = sim.run_from(cp->snapshot, faulty_limits());
-  } else {
-    r = sim.run(faulty_limits());
+  {
+    obs::ScopedSpan exec_span(tracer, "execute", "phase");
+    if (cp != nullptr) {
+      restored_trials_.fetch_add(1, std::memory_order_relaxed);
+      skipped_instructions_.fetch_add(cp->snapshot.executed,
+                                      std::memory_order_relaxed);
+      r = sim.run_from(cp->snapshot, faulty_limits());
+    } else {
+      r = sim.run(faulty_limits());
+    }
+    if (exec_span.active())
+      exec_span.tag("instructions",
+                    r.dynamic_instructions -
+                        (cp != nullptr ? cp->snapshot.executed : 0));
+  }
+  if (obs::metrics_enabled()) {
+    CheckpointMetrics& metrics = checkpoint_metrics();
+    if (cp != nullptr) {
+      metrics.restores.add();
+      metrics.restored_pages.add(cp->snapshot.memory.mapped_pages());
+      metrics.skipped_instructions.add(cp->snapshot.executed);
+    }
   }
 
   TrialRecord record;
@@ -318,8 +355,16 @@ TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
   record.bit = hook.bit();
   record.static_site = hook.static_site();
   record.injected = hook.injected();
-  record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
-                            r.timed_out, r.output, golden_output_);
+  record.restored = cp != nullptr;
+  record.restored_pages =
+      cp != nullptr
+          ? static_cast<std::uint32_t>(cp->snapshot.memory.mapped_pages())
+          : 0;
+  {
+    obs::ScopedSpan classify_span(tracer, "classify", "phase");
+    record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
+                              r.timed_out, r.output, golden_output_);
+  }
   if (r.trapped) record.trap = r.trap;
   return record;
 }

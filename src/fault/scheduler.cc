@@ -8,6 +8,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/timer.h"
 
 namespace faultlab::fault {
@@ -38,6 +41,34 @@ std::string fmt_double(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", v);
   return buf;
+}
+
+/// FAULTLAB_PROGRESS=1 single-line stderr reporter. Driven from finalize()
+/// under the scheduler mutex, so workers pay no extra synchronization; the
+/// line is redrawn in place (\r) as campaigns complete and terminated with
+/// a newline when the grid is done.
+void print_progress(std::size_t trials_done, std::size_t trials_total,
+                    std::size_t campaigns_done, std::size_t campaigns_total,
+                    double elapsed_seconds) {
+  const double rate =
+      elapsed_seconds > 0.0
+          ? static_cast<double>(trials_done) / elapsed_seconds
+          : 0.0;
+  const double eta =
+      rate > 0.0 ? static_cast<double>(trials_total - trials_done) / rate
+                 : 0.0;
+  const double pct =
+      trials_total != 0
+          ? 100.0 * static_cast<double>(trials_done) /
+                static_cast<double>(trials_total)
+          : 100.0;
+  std::fprintf(stderr,
+               "\r[faultlab] %zu/%zu trials (%.1f%%)  %.1f trials/s  "
+               "ETA %.1fs  [%zu/%zu campaigns]\033[K",
+               trials_done, trials_total, pct, rate, eta, campaigns_done,
+               campaigns_total);
+  if (campaigns_done == campaigns_total) std::fputc('\n', stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace
@@ -73,6 +104,10 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     /// byte-identical to the unsorted order at any thread count.
     std::vector<std::size_t> order;
     std::vector<TrialRecord> records;
+    /// Per-trial wall time in milliseconds, written by the executing worker
+    /// into the trial's own slot (no contention); finalize() sorts a copy
+    /// for the manifest's exact latency percentiles.
+    std::vector<double> latency_ms;
     CampaignResult result;
     std::atomic<std::size_t> remaining{0};
     std::atomic<bool> started{false};
@@ -128,6 +163,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
                          return c.draws[a].k < c.draws[b].k;
                        });
       c.records.resize(entry.config.trials);
+      c.latency_ms.resize(entry.config.trials, 0.0);
       c.remaining.store(entry.config.trials, std::memory_order_relaxed);
       total += entry.config.trials;
     }
@@ -145,12 +181,16 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   std::atomic<std::size_t> trials_done{0};
   std::size_t campaigns_done = 0;
 
+  const bool progress_line = obs::progress_enabled();
+
   auto finalize = [&](std::size_t index) {
     // Called with all of the campaign's records written; aggregation walks
     // them in trial order, so counters are thread-count independent.
     Campaign& c = campaigns[index];
+    std::size_t restored = 0;
     for (const TrialRecord& record : c.records) {
       if (record.injected) ++c.result.injected_trials;
+      if (record.restored) ++restored;
       switch (record.outcome) {
         case Outcome::Crash: ++c.result.crash; break;
         case Outcome::SDC: ++c.result.sdc; break;
@@ -174,9 +214,24 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     timing.trials = c.result.trials.size();
     timing.injected = c.result.injected_trials;
     timing.activated = c.result.activated();
+    timing.crash = c.result.crash;
+    timing.sdc = c.result.sdc;
+    timing.benign = c.result.benign;
+    timing.hang = c.result.hang;
+    timing.not_activated = c.result.not_activated;
+    timing.restored = restored;
     timing.wall_seconds = c.result.wall_seconds;
+    if (!c.latency_ms.empty()) {
+      std::sort(c.latency_ms.begin(), c.latency_ms.end());
+      timing.p50_ms = obs::percentile_sorted(c.latency_ms, 50.0);
+      timing.p95_ms = obs::percentile_sorted(c.latency_ms, 95.0);
+      timing.p99_ms = obs::percentile_sorted(c.latency_ms, 99.0);
+    }
 
     ++campaigns_done;
+    if (progress_line)
+      print_progress(trials_done.load(std::memory_order_relaxed), total,
+                     campaigns_done, campaigns.size(), run_timer.seconds());
     if (options_.progress) {
       SchedulerProgress p;
       p.campaigns_total = campaigns.size();
@@ -197,6 +252,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   }
 
   auto work = [&]() {
+    obs::Tracer& tracer = obs::Tracer::global();
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= total) return;
@@ -208,9 +264,23 @@ std::vector<CampaignResult> CampaignScheduler::run() {
       try {
         if (!c.started.exchange(true, std::memory_order_relaxed))
           c.timer.reset();
-        c.records[trial] = c.entry->engine->inject(
-            c.entry->config.category, c.draws[trial].k,
-            c.draws[trial].trial_rng);
+        {
+          WallTimer trial_timer;
+          obs::ScopedSpan span(tracer, "trial", "scheduler");
+          c.records[trial] = c.entry->engine->inject(
+              c.entry->config.category, c.draws[trial].k,
+              c.draws[trial].trial_rng);
+          c.latency_ms[trial] = trial_timer.seconds() * 1000.0;
+          if (span.active()) {
+            const TrialRecord& record = c.records[trial];
+            span.tag("app", c.result.app);
+            span.tag("tool", c.result.tool);
+            span.tag("category", ir::category_name(c.result.category));
+            span.tag("k", c.draws[trial].k);
+            span.tag("checkpoint", record.restored ? "hit" : "miss");
+            span.tag("outcome", outcome_name(record.outcome));
+          }
+        }
         trials_done.fetch_add(1, std::memory_order_relaxed);
         if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard<std::mutex> lock(mutex);
@@ -245,6 +315,11 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   manifest_.threads = workers;
   manifest_.wall_seconds = run_timer.seconds();
 
+  // Persist spans/metrics now rather than only at exit, so long-lived
+  // processes (benches running several grids) leave a trace per grid and a
+  // failed run still ships what it captured.
+  if (obs::Tracer::global().enabled()) obs::flush_observability();
+
   if (first_error != nullptr) {
     const Campaign& c = campaigns[error_campaign];
     throw CampaignError(c.result.app, c.result.tool, c.result.category,
@@ -260,8 +335,10 @@ std::vector<CampaignResult> CampaignScheduler::run() {
 
 CsvWriter manifest_csv(const RunManifest& manifest) {
   CsvWriter csv({"app", "tool", "category", "seed", "trials",
-                 "profiled_count", "injected", "activated", "wall_seconds",
-                 "trials_per_second", "threads", "profile_seconds",
+                 "profiled_count", "injected", "activated", "crash", "sdc",
+                 "benign", "hang", "not_activated", "restored",
+                 "checkpoint_hit_rate", "wall_seconds", "trials_per_second",
+                 "p50_ms", "p95_ms", "p99_ms", "threads", "profile_seconds",
                  "total_wall_seconds", "pinfi_flag_heuristic",
                  "pinfi_xmm_prune", "llfi_type_width",
                  "llfi_gep_as_arithmetic"});
@@ -269,8 +346,13 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
     csv.add_row({t.app, t.tool, ir::category_name(t.category),
                  std::to_string(t.seed), std::to_string(t.trials),
                  std::to_string(t.profiled_count), std::to_string(t.injected),
-                 std::to_string(t.activated), fmt_double(t.wall_seconds),
-                 fmt_double(t.trials_per_second()),
+                 std::to_string(t.activated), std::to_string(t.crash),
+                 std::to_string(t.sdc), std::to_string(t.benign),
+                 std::to_string(t.hang), std::to_string(t.not_activated),
+                 std::to_string(t.restored), fmt_double(t.hit_rate()),
+                 fmt_double(t.wall_seconds),
+                 fmt_double(t.trials_per_second()), fmt_double(t.p50_ms),
+                 fmt_double(t.p95_ms), fmt_double(t.p99_ms),
                  std::to_string(manifest.threads),
                  fmt_double(manifest.profile_seconds),
                  fmt_double(manifest.wall_seconds),

@@ -67,11 +67,29 @@ struct CampaignTiming {
   std::size_t trials = 0;
   std::size_t injected = 0;
   std::size_t activated = 0;
+  std::size_t crash = 0;
+  std::size_t sdc = 0;
+  std::size_t benign = 0;
+  std::size_t hang = 0;
+  std::size_t not_activated = 0;
+  /// Trials resumed from a checkpoint snapshot (vs. re-running the prefix).
+  std::size_t restored = 0;
   double wall_seconds = 0.0;  ///< first trial dispatched -> last trial done
+  /// Exact trial-latency percentiles (linear interpolation over the sorted
+  /// per-trial wall times), in milliseconds. Zero when no trials ran.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 
   double trials_per_second() const noexcept {
     return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
                               : 0.0;
+  }
+  /// Fraction of trials that resumed from a snapshot.
+  double hit_rate() const noexcept {
+    return trials != 0
+               ? static_cast<double>(restored) / static_cast<double>(trials)
+               : 0.0;
   }
 };
 

@@ -3,11 +3,27 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace faultlab::machine {
 
 struct MemoryPage {
   std::uint8_t bytes[Memory::kPageSize];
 };
+
+namespace {
+
+/// Counts copy-on-write page clones (writes to pages shared with a
+/// snapshot). The clone itself memcpys a whole page, so the counter's cost
+/// is noise even when metrics are on; when off it is one cached branch.
+void count_cow_clone() {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter counter =
+      obs::Registry::global().counter("machine.cow_page_clones");
+  counter.add();
+}
+
+}  // namespace
 
 const char* trap_kind_name(TrapKind kind) noexcept {
   switch (kind) {
@@ -81,6 +97,7 @@ MemoryPage* Memory::mutable_page_for(std::uint64_t addr) {
     auto clone = std::make_shared<MemoryPage>();
     std::memcpy(clone->bytes, ref->bytes, kPageSize);
     ref = std::move(clone);
+    count_cow_clone();
   }
   cached_page_num_ = page_num;
   cached_page_ = ref.get();

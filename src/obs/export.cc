@@ -1,0 +1,151 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace faultlab::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_event(const Span& span, std::ostream& os) {
+  os << "{\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+     << json_escape(span.cat) << "\",\"ph\":\"X\",\"ts\":" << span.start_us
+     << ",\"dur\":" << span.dur_us << ",\"pid\":1,\"tid\":" << span.tid;
+  if (!span.tags.empty()) {
+    os << ",\"args\":{";
+    for (std::size_t i = 0; i < span.tags.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\"" << json_escape(span.tags[i].first) << "\":\""
+         << json_escape(span.tags[i].second) << "\"";
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<Span>& spans, std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    write_event(spans[i], os);
+    os << (i + 1 < spans.size() ? ",\n" : "\n");
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_spans_jsonl(const std::vector<Span>& spans, std::ostream& os) {
+  for (const Span& span : spans) {
+    os << "{\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+       << json_escape(span.cat) << "\",\"ts_us\":" << span.start_us
+       << ",\"dur_us\":" << span.dur_us << ",\"tid\":" << span.tid;
+    for (const auto& [key, value] : span.tags)
+      os << ",\"" << json_escape(key) << "\":\"" << json_escape(value)
+         << "\"";
+    os << "}\n";
+  }
+}
+
+bool export_trace(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write trace to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  const std::vector<Span> spans = tracer.spans();
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl)
+    write_spans_jsonl(spans, out);
+  else
+    write_chrome_trace(spans, out);
+  return static_cast<bool>(out);
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    os << (i != 0 ? ",\n    " : "\n    ") << "\"" << json_escape(c.name)
+       << "\": " << c.value;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    os << (i != 0 ? ",\n    " : "\n    ") << "\"" << json_escape(g.name)
+       << "\": " << g.value;
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    os << (i != 0 ? ",\n    " : "\n    ") << "\"" << json_escape(h.name)
+       << "\": {\"count\": " << h.hist.count << ", \"sum\": " << h.hist.sum
+       << ", \"min\": " << h.hist.min << ", \"max\": " << h.hist.max
+       << ", \"mean\": " << h.hist.mean()
+       << ", \"p50\": " << h.hist.percentile(50)
+       << ", \"p95\": " << h.hist.percentile(95)
+       << ", \"p99\": " << h.hist.percentile(99) << ", \"buckets\": [";
+    bool first = true;
+    for (unsigned b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (h.hist.buckets[b] == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << "[" << HistogramSnapshot::bucket_lo(b) << ", "
+         << h.hist.buckets[b] << "]";
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void flush_observability() {
+  if (const char* path = Tracer::env_path())
+    export_trace(Tracer::global(), path);
+  if (!metrics_enabled()) return;
+  const char* dest = std::getenv("FAULTLAB_METRICS");
+  if (dest == nullptr) return;
+  const std::string json = metrics_json(Registry::global().snapshot());
+  // "1" (a bare switch) keeps collection on but has nowhere to write a
+  // file: print the summary to stderr instead.
+  if (std::string_view(dest) == "1" || std::string_view(dest) == "stderr") {
+    std::fputs(json.c_str(), stderr);
+    return;
+  }
+  std::ofstream out(dest, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write metrics to '%s'\n", dest);
+    return;
+  }
+  out << json;
+}
+
+}  // namespace faultlab::obs

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/export.h"
+
+namespace faultlab::obs {
+
+std::uint32_t current_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::record(Span&& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[head_] = std::move(span);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = ring_;
+  }
+  // Chronological order; on equal start, the longer span is the parent and
+  // must come first for trace viewers to nest correctly.
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.dur_us > b.dur_us;
+  });
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+const char* Tracer::env_path() noexcept {
+  static const char* path = [] {
+    const char* env = std::getenv("FAULTLAB_TRACE");
+    return (env != nullptr && env[0] != '\0') ? env : nullptr;
+  }();
+  return path;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();  // leaked: must outlive all threads and atexit
+    if (env_path() != nullptr) {
+      t->set_enabled(true);
+      // Programs that never reach a scheduler flush still get their trace.
+      std::atexit([] { flush_observability(); });
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+}  // namespace faultlab::obs

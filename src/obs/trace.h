@@ -1,0 +1,134 @@
+// Structured tracing: trial-level spans recorded into a bounded in-memory
+// ring, exportable as Chrome trace-event JSON (chrome://tracing / Perfetto)
+// or JSONL (see obs/export.h).
+//
+// The span model is deliberately small: a span has a statically-allocated
+// name and category, microsecond start/duration relative to the tracer's
+// epoch, a small sequential thread id, and string key/value tags. The
+// scheduler opens one "trial" span per injection trial; the engines nest
+// restore/execute/classify phase spans inside it, plus one-off golden-run
+// and profiling spans.
+//
+// The process-wide tracer is enabled by FAULTLAB_TRACE=<path> (the export
+// destination; a .jsonl suffix selects JSONL, anything else Chrome JSON).
+// When disabled, ScopedSpan construction is a single relaxed load and a
+// branch — no clock read, no allocation — so the trial hot path is
+// unaffected.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace faultlab::obs {
+
+/// One completed span. `name`/`cat` must point at static-lifetime strings.
+struct Span {
+  const char* name = "";
+  const char* cat = "faultlab";
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Small sequential id for the calling thread (1, 2, 3, ... in first-use
+/// order) — far more readable in a trace viewer than std::thread::id.
+std::uint32_t current_thread_id() noexcept;
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this tracer's construction (steady clock).
+  std::uint64_t now_us() const noexcept;
+
+  /// Appends a completed span; when the ring is full the oldest span is
+  /// overwritten and counted as dropped.
+  void record(Span&& span);
+
+  /// Copy of the retained spans in chronological order (parents before
+  /// their children on start-time ties).
+  std::vector<Span> spans() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Process-wide tracer: enabled (and flushed at exit) iff FAULTLAB_TRACE
+  /// is set. Tests may enable/clear it manually.
+  static Tracer& global();
+  /// Cached value of FAULTLAB_TRACE, or nullptr when unset/empty.
+  static const char* env_path() noexcept;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Span> ring_;     // grows to capacity_, then wraps
+  std::size_t head_ = 0;       // next overwrite position once full
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: records start on construction (when the tracer is enabled),
+/// duration and tags on destruction or finish(). All members are inert when
+/// the tracer was disabled at construction — tag() overloads that would
+/// need to format or copy check active() first, so the disabled path never
+/// allocates.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, const char* name, const char* cat = "faultlab") {
+    if (!tracer.enabled()) return;
+    tracer_ = &tracer;
+    span_.name = name;
+    span_.cat = cat;
+    span_.tid = current_thread_id();
+    span_.start_us = tracer.now_us();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { finish(); }
+
+  bool active() const noexcept { return tracer_ != nullptr; }
+
+  void tag(const char* key, std::string_view value) {
+    if (tracer_ != nullptr) span_.tags.emplace_back(key, std::string(value));
+  }
+  void tag(const char* key, const char* value) {
+    if (tracer_ != nullptr) span_.tags.emplace_back(key, value);
+  }
+  void tag(const char* key, std::uint64_t value) {
+    if (tracer_ != nullptr)
+      span_.tags.emplace_back(key, std::to_string(value));
+  }
+
+  /// Ends the span now (idempotent; the destructor otherwise ends it).
+  void finish() {
+    if (tracer_ == nullptr) return;
+    span_.dur_us = tracer_->now_us() - span_.start_us;
+    tracer_->record(std::move(span_));
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Span span_;
+};
+
+}  // namespace faultlab::obs

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "support/bitutil.h"
 
 namespace faultlab::vm {
@@ -19,6 +20,16 @@ using machine::TrapKind;
 
 std::uint64_t type_mask(const ir::Type* t) {
   return faultlab::low_mask(t->register_bits());
+}
+
+/// Instructions actually executed per run()/run_from() call (the delta, not
+/// the snapshot-primed absolute count), log2-bucketed in the global
+/// registry. One handle lookup per process; one branch when disabled.
+void record_run_instructions(std::uint64_t delta) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Histogram histogram =
+      obs::Registry::global().histogram("vm.run_instructions");
+  histogram.record(delta);
 }
 
 }  // namespace
@@ -521,13 +532,19 @@ Interpreter::Interpreter(const ir::Module& module, ExecHook* hook)
 
 RunResult Interpreter::run(const std::string& entry, const RunLimits& limits) {
   Impl impl(module_, layout_, hook_, limits);
-  return impl.run(entry);
+  RunResult r = impl.run(entry);
+  record_run_instructions(r.dynamic_instructions);
+  return r;
 }
 
 RunResult Interpreter::run_from(const Snapshot& snapshot,
                                 const RunLimits& limits) {
   Impl impl(module_, layout_, hook_, limits);
-  return impl.run_from(snapshot);
+  RunResult r = impl.run_from(snapshot);
+  // dynamic_instructions is snapshot-primed (absolute position in the
+  // golden schedule); the histogram tracks work actually done here.
+  record_run_instructions(r.dynamic_instructions - snapshot.executed);
+  return r;
 }
 
 }  // namespace faultlab::vm

@@ -4,11 +4,22 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "support/bitutil.h"
 
 namespace faultlab::x86 {
 
 namespace {
+
+/// Instructions actually executed per run()/run_from() call (the delta, not
+/// the snapshot-primed absolute count), log2-bucketed in the global
+/// registry. One handle lookup per process; one branch when disabled.
+void record_run_instructions(std::uint64_t delta) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Histogram histogram =
+      obs::Registry::global().histogram("x86.run_instructions");
+  histogram.record(delta);
+}
 
 using machine::Layout;
 using machine::TrapException;
@@ -493,13 +504,19 @@ Simulator::Simulator(const Program& program, SimHook* hook)
 
 SimResult Simulator::run(const SimLimits& limits) {
   Machine machine(program_, hook_, limits);
-  return machine.run();
+  SimResult r = machine.run();
+  record_run_instructions(r.dynamic_instructions);
+  return r;
 }
 
 SimResult Simulator::run_from(const SimSnapshot& snapshot,
                               const SimLimits& limits) {
   Machine machine(program_, hook_, limits);
-  return machine.run_from(snapshot);
+  SimResult r = machine.run_from(snapshot);
+  // dynamic_instructions is snapshot-primed (absolute position in the
+  // golden schedule); the histogram tracks work actually done here.
+  record_run_instructions(r.dynamic_instructions - snapshot.executed);
+  return r;
 }
 
 }  // namespace faultlab::x86

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a faultlab trace export (Chrome trace-event JSON or JSONL).
+
+Checks that the file is what Perfetto / chrome://tracing will accept and
+that the span structure matches what the campaign scheduler promises:
+
+  * the JSON parses; Chrome exports carry a `traceEvents` list of "X"
+    (complete) events with numeric ts/dur and a pid/tid;
+  * every `trial` span is tagged with app, tool, category, k, checkpoint
+    (hit|miss), and outcome;
+  * phase spans (restore/execute/classify) nest inside a trial span on the
+    same thread (engine-level golden/profile spans are exempt — they run
+    outside any trial);
+  * optionally, the number of trial spans matches --expect-trials.
+
+Usage:
+  tools/validate_trace.py TRACE [--expect-trials N]
+
+Exit status 0 when the trace is valid, 1 otherwise (with a message per
+violation on stderr). Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_TRIAL_TAGS = ("app", "tool", "category", "k", "checkpoint", "outcome")
+PHASE_NAMES = ("restore", "execute", "classify")
+
+
+def load_events(path):
+    """Returns the list of event dicts from a Chrome JSON or JSONL export."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if path.endswith(".jsonl"):
+        events = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(f"line {lineno}: invalid JSON: {e}") from e
+        # Normalize the JSONL shape (ts_us/dur_us, flat tags) to the Chrome
+        # event shape so the checks below are format-agnostic.
+        normalized = []
+        for ev in events:
+            args = {
+                k: v
+                for k, v in ev.items()
+                if k not in ("name", "cat", "ts_us", "dur_us", "tid")
+            }
+            normalized.append(
+                {
+                    "name": ev.get("name"),
+                    "cat": ev.get("cat"),
+                    "ph": "X",
+                    "ts": ev.get("ts_us"),
+                    "dur": ev.get("dur_us"),
+                    "pid": 1,
+                    "tid": ev.get("tid"),
+                    "args": args,
+                }
+            )
+        return normalized
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("top-level object must contain 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    return events
+
+
+def validate(events):
+    """Yields one message per violation."""
+    trials = []
+    phases = []
+    for i, ev in enumerate(events):
+        where = f"event {i} ({ev.get('name', '?')!r})"
+        for field in ("name", "cat", "ph", "ts", "dur", "tid"):
+            if field not in ev:
+                yield f"{where}: missing field '{field}'"
+        if ev.get("ph") != "X":
+            yield f"{where}: ph is {ev.get('ph')!r}, expected 'X'"
+        for field in ("ts", "dur"):
+            if field in ev and not isinstance(ev[field], (int, float)):
+                yield f"{where}: '{field}' is not numeric"
+        if ev.get("name") == "trial":
+            trials.append(ev)
+        elif ev.get("name") in PHASE_NAMES:
+            phases.append(ev)
+
+    for i, trial in enumerate(trials):
+        args = trial.get("args", {})
+        for tag in REQUIRED_TRIAL_TAGS:
+            if tag not in args:
+                yield f"trial span {i}: missing tag '{tag}'"
+        if args.get("checkpoint") not in ("hit", "miss", None):
+            yield (
+                f"trial span {i}: checkpoint tag is "
+                f"{args.get('checkpoint')!r}, expected 'hit' or 'miss'"
+            )
+
+    # Nesting: each phase span must sit inside some trial span on its
+    # thread. Spans are integral microseconds, so containment may be exact.
+    by_tid = {}
+    for trial in trials:
+        by_tid.setdefault(trial.get("tid"), []).append(
+            (trial.get("ts", 0), trial.get("ts", 0) + trial.get("dur", 0))
+        )
+    for i, phase in enumerate(phases):
+        start = phase.get("ts", 0)
+        end = start + phase.get("dur", 0)
+        windows = by_tid.get(phase.get("tid"), [])
+        if not any(lo <= start and end <= hi for lo, hi in windows):
+            yield (
+                f"phase span {i} ({phase.get('name')!r}, tid "
+                f"{phase.get('tid')}): [{start}, {end}] us not nested in "
+                "any trial span on its thread"
+            )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="path to the exported trace")
+    parser.add_argument(
+        "--expect-trials",
+        type=int,
+        default=None,
+        help="fail unless exactly N 'trial' spans are present",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"{args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    errors = list(validate(events))
+    trial_count = sum(1 for ev in events if ev.get("name") == "trial")
+    if trial_count == 0:
+        errors.append("no 'trial' spans found")
+    if args.expect_trials is not None and trial_count != args.expect_trials:
+        errors.append(
+            f"expected {args.expect_trials} trial spans, found {trial_count}"
+        )
+
+    for message in errors:
+        print(f"{args.trace}: {message}", file=sys.stderr)
+    if not errors:
+        print(
+            f"{args.trace}: OK — {len(events)} events, "
+            f"{trial_count} trial spans"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
