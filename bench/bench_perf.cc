@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common.h"
+#include "machine/memory.h"
 
 namespace {
 
@@ -139,6 +140,76 @@ BENCHMARK(BM_PinfiCheckpointedTrial)
     ->Arg(20'000)
     ->Arg(100'000)
     ->Unit(benchmark::kMillisecond);
+
+// Trial-reset cost at the Memory layer: an address space of range(0) pages
+// with a handful of pages written between resets. Full restore rebuilds the
+// whole page table per reset — O(mapped pages) — regardless of how little
+// the trial touched.
+void BM_MemoryRestoreFull(benchmark::State& state) {
+  const std::uint64_t pages = static_cast<std::uint64_t>(state.range(0));
+  machine::Memory mem;
+  mem.map_range(0, pages << 12);
+  for (std::uint64_t p = 0; p < pages; ++p)
+    mem.write(p << 12, 8, p * 0x9E3779B97F4A7C15ull);
+  const machine::Memory::Snapshot snap = mem.snapshot();
+  for (auto _ : state) {
+    for (std::uint64_t p = 0; p < 4; ++p) mem.write(p << 12, 8, p);
+    mem.restore(snap);
+  }
+  state.counters["pages/reset"] = static_cast<double>(pages);
+}
+BENCHMARK(BM_MemoryRestoreFull)->Arg(64)->Arg(256)->Arg(1024);
+
+// Same workload on the delta path: after the first restore arms dirty-page
+// tracking, each reset rewrites only the pages the trial actually cloned —
+// O(dirty), independent of the address-space size.
+void BM_MemoryRestoreDelta(benchmark::State& state) {
+  const std::uint64_t pages = static_cast<std::uint64_t>(state.range(0));
+  machine::Memory mem;
+  mem.map_range(0, pages << 12);
+  for (std::uint64_t p = 0; p < pages; ++p)
+    mem.write(p << 12, 8, p * 0x9E3779B97F4A7C15ull);
+  const machine::Memory::Snapshot snap = mem.snapshot();
+  mem.restore(snap);  // arm dirty tracking against `snap`
+  std::uint64_t restored = 0;
+  std::uint64_t resets = 0;
+  for (auto _ : state) {
+    for (std::uint64_t p = 0; p < 4; ++p) mem.write(p << 12, 8, p);
+    const auto r = mem.restore_delta(snap);
+    restored += r.pages;
+    ++resets;
+  }
+  state.counters["pages/reset"] =
+      resets != 0 ? static_cast<double>(restored) / static_cast<double>(resets)
+                  : 0.0;
+}
+BENCHMARK(BM_MemoryRestoreDelta)->Arg(64)->Arg(256)->Arg(1024);
+
+// Engine-level view of the same effect: trials resumed back-to-back from
+// one window against a resident context (what the scheduler's window
+// chunking produces). Every reset after the first stays on the delta path.
+void BM_LlfiResidentWindowTrial(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  fault::LlfiEngine engine(prog.module(), {}, {0, /*enabled=*/true});
+  engine.profile_all();
+  const std::uint64_t n = engine.profile(ir::Category::All);
+  const std::uint64_t k = n / 2 == 0 ? 1 : n / 2;  // one fixed window
+  auto context = engine.make_context();
+  Rng rng(1);
+  for (auto _ : state) {
+    Rng trial = rng.fork();
+    auto r = engine.inject_in(context.get(), ir::Category::All, k, trial);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+  const auto stats = engine.checkpoint_stats();
+  state.counters["delta_share"] =
+      stats.restored_trials != 0
+          ? static_cast<double>(stats.delta_restores) /
+                static_cast<double>(stats.restored_trials)
+          : 0.0;
+  state.counters["pages/trial"] = stats.mean_restored_pages();
+}
+BENCHMARK(BM_LlfiResidentWindowTrial)->Unit(benchmark::kMillisecond);
 
 void BM_ProfilingOverheadVm(benchmark::State& state) {
   auto prog = driver::compile(kKernel, "bench");

@@ -10,6 +10,7 @@
 #include <memory>
 #include <sstream>
 
+#include "machine/memory.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -174,11 +175,16 @@ void write_perf_entry(const std::string& experiment,
     trials += t.trials;
   const double wall = run.manifest.wall_seconds;
   const fault::CheckpointStats& cp = run.checkpoints;
-  // A zero stride means checkpointing was off (FAULTLAB_CHECKPOINTS=0);
-  // keep that run under its own key so the manifest holds both sides of
-  // the direct-vs-checkpointed comparison across PRs.
-  const std::string key =
-      cp.stride == 0 ? experiment + "_direct" : experiment;
+  // A zero stride means checkpointing was off (FAULTLAB_CHECKPOINTS=0) and
+  // a checkpointed run with FAULTLAB_DELTA_RESTORE=0 rewrites the full page
+  // table per trial; keep each mode under its own key so the manifest holds
+  // every side of the direct / full-restore / delta-restore comparison
+  // across PRs.
+  const bool delta = machine::delta_restore_enabled();
+  const std::string key = cp.stride == 0
+                              ? experiment + "_direct"
+                              : (delta ? experiment
+                                       : experiment + "_fullrestore");
 
   // One entry = one line, so the upsert below can merge without a JSON
   // parser: keep every other experiment's line, replace ours.
@@ -196,6 +202,11 @@ void write_perf_entry(const std::string& experiment,
         << "\"restored_trials\": " << cp.restored_trials << ", "
         << "\"snapshot_hit_rate\": " << cp.hit_rate() << ", "
         << "\"skipped_instructions\": " << cp.skipped_instructions << ", "
+        << "\"delta_restore\": " << (delta ? "true" : "false") << ", "
+        << "\"delta_restores\": " << cp.delta_restores << ", "
+        << "\"restored_pages\": " << cp.restored_pages << ", "
+        << "\"mean_restored_pages\": " << cp.mean_restored_pages() << ", "
+        << "\"snapshot_evictions\": " << cp.evictions << ", "
         << "\"timestamp\": \"" << obs::json_escape(utc_timestamp()) << "\", "
         << "\"hostname\": \"" << obs::json_escape(host_name()) << "\", "
         << "\"sanitizer\": " << (build_has_sanitizer() ? "true" : "false")
@@ -216,6 +227,8 @@ void write_perf_entry(const std::string& experiment,
           << "\"not_activated\": " << t.not_activated << ", "
           << "\"restored\": " << t.restored << ", "
           << "\"hit_rate\": " << t.hit_rate() << ", "
+          << "\"delta_restores\": " << t.delta_restores << ", "
+          << "\"mean_restored_pages\": " << t.mean_restored_pages << ", "
           << "\"p50_ms\": " << t.p50_ms << ", "
           << "\"p95_ms\": " << t.p95_ms << ", "
           << "\"p99_ms\": " << t.p99_ms << "}";

@@ -2,11 +2,13 @@
 // trial — the level of control a researcher needs when debugging an
 // injector or investigating a particular outcome.
 //
-//   ./build/examples/fault_campaign <app|-> <tool> <category> [trials] [seed]
+//   ./build/examples/fault_campaign <app|-> <tool> <category> [trials] [seed] [csv]
 //     app:      bzip2|libquantum|ocean|hmmer|mcf|raytrace, or '-' to read
 //               mini-C source from stdin
 //     tool:     llfi|pinfi
 //     category: arithmetic|cast|cmp|load|all
+//     csv:      optional path; writes the campaign's results CSV there
+//               (used by the DeltaEquiv ctest pair to byte-compare runs)
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -16,6 +18,7 @@
 #include "fault/campaign.h"
 #include "fault/llfi.h"
 #include "fault/pinfi.h"
+#include "fault/report.h"
 #include "fault/scheduler.h"
 
 int main(int argc, char** argv) {
@@ -97,5 +100,12 @@ int main(int argc, char** argv) {
               m.profile_seconds, result.wall_seconds,
               m.campaigns.front().trials_per_second(),
               result.injected_trials, m.threads);
+
+  if (argc > 6) {
+    fault::ResultSet rs;
+    rs.add(std::move(results.front()));
+    fault::results_csv(rs).save(argv[6]);
+    std::cout << "[results written to " << argv[6] << "]\n";
+  }
   return 0;
 }

@@ -37,6 +37,10 @@ CheckpointMetrics& checkpoint_metrics() {
         registry.counter("checkpoint.restores"),
         registry.counter("checkpoint.restored_pages"),
         registry.counter("checkpoint.skipped_instructions"),
+        registry.counter("checkpoint.delta_restores"),
+        registry.counter("checkpoint.delta_pages"),
+        registry.counter("checkpoint.evictions"),
+        registry.histogram("checkpoint.dirty_pages"),
     };
   }();
   return metrics;
@@ -46,6 +50,7 @@ CheckpointPolicy CheckpointPolicy::from_env() {
   CheckpointPolicy policy;
   policy.enabled = env_u64("FAULTLAB_CHECKPOINTS", 1) != 0;
   policy.stride = env_u64("FAULTLAB_SNAPSHOT_STRIDE", 0);
+  policy.budget_pages = env_u64("FAULTLAB_SNAPSHOT_BUDGET", 0);
   return policy;
 }
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "fault/outcome.h"
@@ -44,12 +45,19 @@ struct CheckpointPolicy {
   std::uint64_t stride = 0;
   /// Master switch; with checkpointing off every trial runs from main().
   bool enabled = true;
+  /// Cap on the engine's resident snapshot pages, summed over live
+  /// snapshots' mapped-page counts (0 = unlimited). Over-budget snapshots
+  /// are evicted (LRU, interval-thinning tie-break); trials whose window
+  /// was evicted fall back to the nearest earlier live snapshot, so
+  /// campaign outcomes are unchanged.
+  std::uint64_t budget_pages = 0;
 
   static constexpr std::uint64_t kAutoWindows = 64;
   static constexpr std::uint64_t kMinStride = 20'000;
 
   /// Environment overrides: FAULTLAB_CHECKPOINTS=0 disables,
-  /// FAULTLAB_SNAPSHOT_STRIDE=<n> fixes the stride.
+  /// FAULTLAB_SNAPSHOT_STRIDE=<n> fixes the stride,
+  /// FAULTLAB_SNAPSHOT_BUDGET=<pages> caps resident snapshot pages.
   static CheckpointPolicy from_env();
 
   std::uint64_t effective_stride(std::uint64_t golden_instructions) const;
@@ -63,8 +71,12 @@ struct CheckpointPolicy {
 struct CheckpointMetrics {
   obs::Counter snapshots;             ///< snapshots captured by profile_all
   obs::Counter restores;              ///< trials resumed from a snapshot
-  obs::Counter restored_pages;        ///< CoW pages shared into trials
+  obs::Counter restored_pages;        ///< page-table entries rewritten
   obs::Counter skipped_instructions;  ///< golden prefix not re-executed
+  obs::Counter delta_restores;        ///< restores that walked only dirty pages
+  obs::Counter delta_pages;           ///< pages rewritten by delta restores
+  obs::Counter evictions;             ///< snapshots evicted by the budget
+  obs::Histogram dirty_pages;         ///< dirty-set size per delta restore
 };
 
 /// Lazily-registered singleton over Registry::global().
@@ -79,11 +91,22 @@ struct CheckpointStats {
   std::uint64_t trials = 0;           ///< inject() calls observed
   std::uint64_t restored_trials = 0;  ///< trials resumed from a snapshot
   std::uint64_t skipped_instructions = 0;  ///< golden prefix not re-executed
+  std::uint64_t delta_restores = 0;   ///< restores on the O(dirty) path
+  std::uint64_t restored_pages = 0;   ///< page-table entries rewritten
+  std::uint64_t evictions = 0;        ///< snapshots evicted by the budget
 
   double hit_rate() const noexcept {
     return trials != 0
                ? static_cast<double>(restored_trials) /
                      static_cast<double>(trials)
+               : 0.0;
+  }
+  /// Mean pages rewritten per resumed trial (the delta path's headline
+  /// number: O(dirty) instead of O(mapped)).
+  double mean_restored_pages() const noexcept {
+    return restored_trials != 0
+               ? static_cast<double>(restored_pages) /
+                     static_cast<double>(restored_trials)
                : 0.0;
   }
   CheckpointStats& operator+=(const CheckpointStats& o) noexcept {
@@ -93,6 +116,9 @@ struct CheckpointStats {
     trials += o.trials;
     restored_trials += o.restored_trials;
     skipped_instructions += o.skipped_instructions;
+    delta_restores += o.delta_restores;
+    restored_pages += o.restored_pages;
+    evictions += o.evictions;
     return *this;
   }
 };
@@ -111,8 +137,22 @@ struct CategoryCounts {
   }
 };
 
+/// Opaque per-worker execution state created by an engine's
+/// make_context(). A context may only be used by one thread at a time;
+/// feeding consecutive same-window trials of one campaign to the same
+/// context keeps every reset on Memory's O(dirty pages) delta path,
+/// because the context's resident address space still derives from that
+/// window's snapshot.
+class TrialContext {
+ public:
+  virtual ~TrialContext() = default;
+};
+
 class InjectorEngine {
  public:
+  /// window_of() result for trials that run from scratch (no snapshot).
+  static constexpr std::uint64_t kNoWindow = ~std::uint64_t{0};
+
   virtual ~InjectorEngine() = default;
 
   virtual const char* tool_name() const noexcept = 0;
@@ -137,6 +177,32 @@ class InjectorEngine {
   /// choice only; k comes from the campaign so both tools sample uniformly.
   virtual TrialRecord inject(ir::Category category, std::uint64_t k,
                              Rng& rng) = 0;
+
+  /// Fresh per-worker execution state for inject_in(), or nullptr when the
+  /// engine has none (the scheduler then falls back to inject()). Called
+  /// after profiling, from any thread.
+  virtual std::unique_ptr<TrialContext> make_context() { return nullptr; }
+
+  /// inject() against a resident context. `context` must come from this
+  /// engine's make_context() and be used by one thread at a time; trial
+  /// results are identical to inject()'s — the context only changes how
+  /// much state the reset has to rewrite.
+  virtual TrialRecord inject_in(TrialContext* context, ir::Category category,
+                                std::uint64_t k, Rng& rng) {
+    (void)context;
+    return inject(category, k, rng);
+  }
+
+  /// Index of the snapshot window trial (category, k) resumes from, or
+  /// kNoWindow for a from-scratch run. Valid after profiling; the
+  /// scheduler uses it to run a window's trials back-to-back on one
+  /// context. Purely a scheduling hint — grouping never changes results.
+  virtual std::uint64_t window_of(ir::Category category,
+                                  std::uint64_t k) const {
+    (void)category;
+    (void)k;
+    return kNoWindow;
+  }
 
   /// Output of the fault-free run (SDC reference).
   virtual const std::string& golden_output() const noexcept = 0;

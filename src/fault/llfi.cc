@@ -81,7 +81,10 @@ class InjectHook final : public vm::ExecHook {
   void on_operand_read(const vm::DynValueId& id,
                        const ir::Instruction& user) override {
     (void)user;
-    if (injected_ && !activated_ && id == injected_id_) activated_ = true;
+    if (injected_ && !activated_ && id == injected_id_) {
+      activated_ = true;
+      detach();  // nothing left to observe: run the rest unhooked
+    }
   }
 
   bool injected() const noexcept { return injected_; }
@@ -151,21 +154,26 @@ CategoryCounts LlfiEngine::profile_all() {
   vm::Interpreter interp(module_, &hook);
   vm::RunLimits limits;
   checkpoints_.clear();
+  checkpoints_.set_budget(checkpoint_policy_.budget_pages);
   checkpoint_stride_ = checkpoint_policy_.effective_stride(golden_instructions_);
   limits.snapshot_stride = checkpoint_stride_;
   if (checkpoint_stride_ != 0) {
     // The snapshot sink fires between two dynamic instructions, so the
     // hook's counters at that moment are exactly the per-category instance
-    // counts of the skipped prefix.
+    // counts of the skipped prefix. add() enforces the page budget as the
+    // run advances, so peak residency never exceeds it.
     limits.snapshot_sink = [this, &hook](vm::Snapshot&& snap) {
-      checkpoints_.push_back({std::move(snap), hook.counts()});
+      checkpoints_.add(std::move(snap), hook.counts());
     };
   }
   const vm::RunResult r = interp.run("main", limits);
   if (!r.completed())
     throw std::runtime_error("LLFI: profiling run did not complete");
-  if (obs::metrics_enabled())
+  if (obs::metrics_enabled()) {
     checkpoint_metrics().snapshots.add(checkpoints_.size());
+    checkpoint_metrics().evictions.add(checkpoints_.size() -
+                                       checkpoints_.live_count());
+  }
   if (span.active()) {
     span.tag("tool", "LLFI");
     span.tag("snapshots", static_cast<std::uint64_t>(checkpoints_.size()));
@@ -174,32 +182,41 @@ CategoryCounts LlfiEngine::profile_all() {
   return hook.counts();
 }
 
-const LlfiEngine::Checkpoint* LlfiEngine::checkpoint_before(
-    ir::Category category, std::uint64_t k) const {
-  // Checkpoints are in execution order and seen-counts are monotonic: find
-  // the last one whose prefix contains fewer than k category instances.
-  auto it = std::upper_bound(
-      checkpoints_.begin(), checkpoints_.end(), k,
-      [category](std::uint64_t target, const Checkpoint& c) {
-        return target <= c.seen[category];
-      });
-  return it == checkpoints_.begin() ? nullptr : &*(it - 1);
+std::uint64_t LlfiEngine::window_of(ir::Category category,
+                                    std::uint64_t k) const {
+  return checkpoints_.window_of(category, k);
+}
+
+std::unique_ptr<TrialContext> LlfiEngine::make_context() {
+  return std::make_unique<Context>(module_);
 }
 
 TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
                                Rng& rng) {
+  Context context(module_);
+  return run_trial(context, category, k, rng);
+}
+
+TrialRecord LlfiEngine::inject_in(TrialContext* context, ir::Category category,
+                                  std::uint64_t k, Rng& rng) {
+  if (context == nullptr) return inject(category, k, rng);
+  return run_trial(static_cast<Context&>(*context), category, k, rng);
+}
+
+TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
+                                  std::uint64_t k, Rng& rng) {
   obs::Tracer& tracer = obs::Tracer::global();
   const unsigned raw_bit = static_cast<unsigned>(rng.below(64));
-  const Checkpoint* cp;
+  const CheckpointStore<vm::Snapshot>::Entry* cp;
   {
     obs::ScopedSpan restore_span(tracer, "restore", "phase");
-    cp = checkpoint_before(category, k);
+    cp = checkpoints_.before(category, k);
     if (restore_span.active())
       restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
   }
   InjectHook hook(category, k, raw_bit, model_,
                   cp != nullptr ? cp->seen[category] : 0);
-  vm::Interpreter interp(module_, &hook);
+  context.interp.set_hook(&hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   vm::RunResult r;
   {
@@ -208,21 +225,32 @@ TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
       restored_trials_.fetch_add(1, std::memory_order_relaxed);
       skipped_instructions_.fetch_add(cp->snapshot.executed,
                                       std::memory_order_relaxed);
-      r = interp.run_from(cp->snapshot, faulty_limits());
+      r = context.interp.run_from(cp->snapshot, faulty_limits());
     } else {
-      r = interp.run("main", faulty_limits());
+      r = context.interp.run("main", faulty_limits());
     }
     if (exec_span.active())
       exec_span.tag("instructions",
                     r.dynamic_instructions -
                         (cp != nullptr ? cp->snapshot.executed : 0));
   }
+  context.interp.set_hook(nullptr);  // the hook dies with this call
+  if (cp != nullptr) {
+    restored_pages_.fetch_add(r.restored_pages, std::memory_order_relaxed);
+    if (r.delta_restored)
+      delta_restores_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (obs::metrics_enabled()) {
     CheckpointMetrics& metrics = checkpoint_metrics();
     if (cp != nullptr) {
       metrics.restores.add();
-      metrics.restored_pages.add(cp->snapshot.memory.mapped_pages());
+      metrics.restored_pages.add(r.restored_pages);
       metrics.skipped_instructions.add(cp->snapshot.executed);
+      if (r.delta_restored) {
+        metrics.delta_restores.add();
+        metrics.delta_pages.add(r.restored_pages);
+        metrics.dirty_pages.record(r.restored_pages);
+      }
     }
   }
 
@@ -232,10 +260,8 @@ TrialRecord LlfiEngine::inject(ir::Category category, std::uint64_t k,
   record.static_site = hook.static_site();
   record.injected = hook.injected();
   record.restored = cp != nullptr;
-  record.restored_pages =
-      cp != nullptr
-          ? static_cast<std::uint32_t>(cp->snapshot.memory.mapped_pages())
-          : 0;
+  record.delta_restored = r.delta_restored;
+  record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);
   {
     obs::ScopedSpan classify_span(tracer, "classify", "phase");
     record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
@@ -253,6 +279,9 @@ CheckpointStats LlfiEngine::checkpoint_stats() const {
   stats.restored_trials = restored_trials_.load(std::memory_order_relaxed);
   stats.skipped_instructions =
       skipped_instructions_.load(std::memory_order_relaxed);
+  stats.delta_restores = delta_restores_.load(std::memory_order_relaxed);
+  stats.restored_pages = restored_pages_.load(std::memory_order_relaxed);
+  stats.evictions = checkpoints_.evictions();
   return stats;
 }
 

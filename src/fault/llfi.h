@@ -19,8 +19,9 @@
 #pragma once
 
 #include <atomic>
-#include <vector>
+#include <memory>
 
+#include "fault/checkpoint_store.h"
 #include "fault/engine.h"
 #include "ir/module.h"
 #include "vm/interpreter.h"
@@ -38,6 +39,11 @@ class LlfiEngine final : public InjectorEngine {
   CategoryCounts profile_all() override;  ///< one run, all categories
   TrialRecord inject(ir::Category category, std::uint64_t k,
                      Rng& rng) override;
+  TrialRecord inject_in(TrialContext* context, ir::Category category,
+                        std::uint64_t k, Rng& rng) override;
+  std::unique_ptr<TrialContext> make_context() override;
+  std::uint64_t window_of(ir::Category category,
+                          std::uint64_t k) const override;
   const std::string& golden_output() const noexcept override {
     return golden_output_;
   }
@@ -46,35 +52,45 @@ class LlfiEngine final : public InjectorEngine {
   }
   CheckpointStats checkpoint_stats() const override;
 
+  /// Re-applies a snapshot page budget after profiling (tests/tools; the
+  /// campaign path sets it via CheckpointPolicy). Evicts LRU-first, so
+  /// windows no trial has resumed from go before hot ones. Must not run
+  /// concurrently with trials.
+  void set_snapshot_budget(std::uint64_t pages) {
+    checkpoints_.set_budget(pages);
+  }
+
   /// Static LLFI target predicate (exposed for tests/benches).
   static bool is_target(const ir::Instruction& instr, ir::Category category,
                         const FaultModel& model = {});
 
  private:
-  /// A resumable point in the golden run: interpreter snapshot plus how
-  /// many dynamic instances of each category precede it (so the k-th
-  /// instance maps to the latest snapshot with seen[category] < k).
-  struct Checkpoint {
-    vm::Snapshot snapshot;
-    CategoryCounts seen;
+  /// Per-worker resident interpreter: its address space persists between
+  /// trials, so same-window trials reset via the O(dirty) delta path.
+  struct Context final : TrialContext {
+    explicit Context(const ir::Module& module) : interp(module) {}
+    vm::Interpreter interp;
   };
 
   vm::RunLimits faulty_limits() const;
-  const Checkpoint* checkpoint_before(ir::Category category,
-                                      std::uint64_t k) const;
+  TrialRecord run_trial(Context& context, ir::Category category,
+                        std::uint64_t k, Rng& rng);
 
   const ir::Module& module_;
   FaultModel model_;
   CheckpointPolicy checkpoint_policy_;
   std::string golden_output_;
   std::uint64_t golden_instructions_ = 0;
-  /// Captured by profile_all (single-threaded, before trials); read-only
-  /// during the trial phase, so concurrent inject() calls are safe.
-  std::vector<Checkpoint> checkpoints_;
+  /// Filled by profile_all (single-threaded, before trials); during the
+  /// trial phase workers only query it (thread-safe), so concurrent
+  /// inject() calls are safe.
+  CheckpointStore<vm::Snapshot> checkpoints_;
   std::uint64_t checkpoint_stride_ = 0;
   mutable std::atomic<std::uint64_t> trials_{0};
   mutable std::atomic<std::uint64_t> restored_trials_{0};
   mutable std::atomic<std::uint64_t> skipped_instructions_{0};
+  mutable std::atomic<std::uint64_t> delta_restores_{0};
+  mutable std::atomic<std::uint64_t> restored_pages_{0};
 };
 
 }  // namespace faultlab::fault

@@ -27,9 +27,13 @@ struct TrialRecord {
   std::uint64_t static_site = 0;     // instruction id / code index
   bool injected = false;             // the target instance was reached
   // Checkpoint-layer observability (not part of the paper's record; the
-  // scheduler aggregates these into per-campaign snapshot hit rates).
+  // scheduler aggregates these into per-campaign snapshot hit rates and
+  // mean restored-pages. They may vary with execution order — e.g. which
+  // worker ran the previous same-window trial — which is why campaign CSVs
+  // and record-equality checks exclude them).
   bool restored = false;             // trial resumed from a snapshot
-  std::uint32_t restored_pages = 0;  // pages in the restored snapshot
+  bool delta_restored = false;       // reset walked only the dirty set
+  std::uint32_t restored_pages = 0;  // page-table entries rewritten
 };
 
 /// Classifies a finished run against the golden output. `activated` and

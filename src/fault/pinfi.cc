@@ -72,7 +72,12 @@ class PinfiHook final : public x86::SimHook {
       }
       return;
     }
-    if (!activated_ && tracking_) track(inst);
+    if (!activated_ && tracking_) {
+      track(inst);
+      // Activated, or the corrupted bits were overwritten before any read:
+      // either way the verdict is final — run the rest unhooked.
+      if (activated_ || !tracking_) detach();
+    }
   }
 
   void on_after(std::size_t index, const Inst& inst,
@@ -275,21 +280,26 @@ CategoryCounts PinfiEngine::profile_all() {
   x86::Simulator sim(program_, &hook);
   x86::SimLimits limits;
   checkpoints_.clear();
+  checkpoints_.set_budget(checkpoint_policy_.budget_pages);
   checkpoint_stride_ = checkpoint_policy_.effective_stride(golden_instructions_);
   limits.snapshot_stride = checkpoint_stride_;
   if (checkpoint_stride_ != 0) {
     // The snapshot sink fires between two dynamic instructions, so the
     // hook's counters at that moment are exactly the per-category instance
-    // counts of the skipped prefix.
+    // counts of the skipped prefix. add() enforces the page budget as the
+    // run advances, so peak residency never exceeds it.
     limits.snapshot_sink = [this, &hook](x86::SimSnapshot&& snap) {
-      checkpoints_.push_back({std::move(snap), hook.counts()});
+      checkpoints_.add(std::move(snap), hook.counts());
     };
   }
   const x86::SimResult r = sim.run(limits);
   if (!r.completed())
     throw std::runtime_error("PINFI: profiling run did not complete");
-  if (obs::metrics_enabled())
+  if (obs::metrics_enabled()) {
     checkpoint_metrics().snapshots.add(checkpoints_.size());
+    checkpoint_metrics().evictions.add(checkpoints_.size() -
+                                       checkpoints_.live_count());
+  }
   if (span.active()) {
     span.tag("tool", "PINFI");
     span.tag("snapshots", static_cast<std::uint64_t>(checkpoints_.size()));
@@ -298,32 +308,41 @@ CategoryCounts PinfiEngine::profile_all() {
   return hook.counts();
 }
 
-const PinfiEngine::Checkpoint* PinfiEngine::checkpoint_before(
-    ir::Category category, std::uint64_t k) const {
-  // Checkpoints are in execution order and seen-counts are monotonic: find
-  // the last one whose prefix contains fewer than k category instances.
-  auto it = std::upper_bound(
-      checkpoints_.begin(), checkpoints_.end(), k,
-      [category](std::uint64_t target, const Checkpoint& c) {
-        return target <= c.seen[category];
-      });
-  return it == checkpoints_.begin() ? nullptr : &*(it - 1);
+std::uint64_t PinfiEngine::window_of(ir::Category category,
+                                     std::uint64_t k) const {
+  return checkpoints_.window_of(category, k);
+}
+
+std::unique_ptr<TrialContext> PinfiEngine::make_context() {
+  return std::make_unique<Context>(program_);
 }
 
 TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
                                 Rng& rng) {
+  Context context(program_);
+  return run_trial(context, category, k, rng);
+}
+
+TrialRecord PinfiEngine::inject_in(TrialContext* context, ir::Category category,
+                                   std::uint64_t k, Rng& rng) {
+  if (context == nullptr) return inject(category, k, rng);
+  return run_trial(static_cast<Context&>(*context), category, k, rng);
+}
+
+TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
+                                   std::uint64_t k, Rng& rng) {
   obs::Tracer& tracer = obs::Tracer::global();
   const unsigned raw_bit = static_cast<unsigned>(rng.below(128));
-  const Checkpoint* cp;
+  const CheckpointStore<x86::SimSnapshot>::Entry* cp;
   {
     obs::ScopedSpan restore_span(tracer, "restore", "phase");
-    cp = checkpoint_before(category, k);
+    cp = checkpoints_.before(category, k);
     if (restore_span.active())
       restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
   }
   PinfiHook hook(program_, category, k, raw_bit, model_,
                  cp != nullptr ? cp->seen[category] : 0);
-  x86::Simulator sim(program_, &hook);
+  context.sim.set_hook(&hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   x86::SimResult r;
   {
@@ -332,21 +351,32 @@ TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
       restored_trials_.fetch_add(1, std::memory_order_relaxed);
       skipped_instructions_.fetch_add(cp->snapshot.executed,
                                       std::memory_order_relaxed);
-      r = sim.run_from(cp->snapshot, faulty_limits());
+      r = context.sim.run_from(cp->snapshot, faulty_limits());
     } else {
-      r = sim.run(faulty_limits());
+      r = context.sim.run(faulty_limits());
     }
     if (exec_span.active())
       exec_span.tag("instructions",
                     r.dynamic_instructions -
                         (cp != nullptr ? cp->snapshot.executed : 0));
   }
+  context.sim.set_hook(nullptr);  // the hook dies with this call
+  if (cp != nullptr) {
+    restored_pages_.fetch_add(r.restored_pages, std::memory_order_relaxed);
+    if (r.delta_restored)
+      delta_restores_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (obs::metrics_enabled()) {
     CheckpointMetrics& metrics = checkpoint_metrics();
     if (cp != nullptr) {
       metrics.restores.add();
-      metrics.restored_pages.add(cp->snapshot.memory.mapped_pages());
+      metrics.restored_pages.add(r.restored_pages);
       metrics.skipped_instructions.add(cp->snapshot.executed);
+      if (r.delta_restored) {
+        metrics.delta_restores.add();
+        metrics.delta_pages.add(r.restored_pages);
+        metrics.dirty_pages.record(r.restored_pages);
+      }
     }
   }
 
@@ -356,10 +386,8 @@ TrialRecord PinfiEngine::inject(ir::Category category, std::uint64_t k,
   record.static_site = hook.static_site();
   record.injected = hook.injected();
   record.restored = cp != nullptr;
-  record.restored_pages =
-      cp != nullptr
-          ? static_cast<std::uint32_t>(cp->snapshot.memory.mapped_pages())
-          : 0;
+  record.delta_restored = r.delta_restored;
+  record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);
   {
     obs::ScopedSpan classify_span(tracer, "classify", "phase");
     record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
@@ -377,6 +405,9 @@ CheckpointStats PinfiEngine::checkpoint_stats() const {
   stats.restored_trials = restored_trials_.load(std::memory_order_relaxed);
   stats.skipped_instructions =
       skipped_instructions_.load(std::memory_order_relaxed);
+  stats.delta_restores = delta_restores_.load(std::memory_order_relaxed);
+  stats.restored_pages = restored_pages_.load(std::memory_order_relaxed);
+  stats.evictions = checkpoints_.evictions();
   return stats;
 }
 

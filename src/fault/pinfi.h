@@ -21,8 +21,9 @@
 #pragma once
 
 #include <atomic>
-#include <vector>
+#include <memory>
 
+#include "fault/checkpoint_store.h"
 #include "fault/engine.h"
 #include "x86/program.h"
 #include "x86/simulator.h"
@@ -40,6 +41,11 @@ class PinfiEngine final : public InjectorEngine {
   CategoryCounts profile_all() override;  ///< one run, all categories
   TrialRecord inject(ir::Category category, std::uint64_t k,
                      Rng& rng) override;
+  TrialRecord inject_in(TrialContext* context, ir::Category category,
+                        std::uint64_t k, Rng& rng) override;
+  std::unique_ptr<TrialContext> make_context() override;
+  std::uint64_t window_of(ir::Category category,
+                          std::uint64_t k) const override;
   const std::string& golden_output() const noexcept override {
     return golden_output_;
   }
@@ -48,34 +54,45 @@ class PinfiEngine final : public InjectorEngine {
   }
   CheckpointStats checkpoint_stats() const override;
 
+  /// Re-applies a snapshot page budget after profiling (tests/tools; the
+  /// campaign path sets it via CheckpointPolicy). Evicts LRU-first, so
+  /// windows no trial has resumed from go before hot ones. Must not run
+  /// concurrently with trials.
+  void set_snapshot_budget(std::uint64_t pages) {
+    checkpoints_.set_budget(pages);
+  }
+
   /// Static PINFI target predicate (exposed for tests/benches).
   static bool is_target(const x86::Inst& inst, const x86::Inst* next,
                         ir::Category category);
 
  private:
-  /// A resumable point in the golden run: simulator snapshot plus how many
-  /// dynamic instances of each category precede it.
-  struct Checkpoint {
-    x86::SimSnapshot snapshot;
-    CategoryCounts seen;
+  /// Per-worker resident simulator: its address space persists between
+  /// trials, so same-window trials reset via the O(dirty) delta path.
+  struct Context final : TrialContext {
+    explicit Context(const x86::Program& program) : sim(program) {}
+    x86::Simulator sim;
   };
 
   x86::SimLimits faulty_limits() const;
-  const Checkpoint* checkpoint_before(ir::Category category,
-                                      std::uint64_t k) const;
+  TrialRecord run_trial(Context& context, ir::Category category,
+                        std::uint64_t k, Rng& rng);
 
   const x86::Program& program_;
   FaultModel model_;
   CheckpointPolicy checkpoint_policy_;
   std::string golden_output_;
   std::uint64_t golden_instructions_ = 0;
-  /// Captured by profile_all (single-threaded, before trials); read-only
-  /// during the trial phase, so concurrent inject() calls are safe.
-  std::vector<Checkpoint> checkpoints_;
+  /// Filled by profile_all (single-threaded, before trials); during the
+  /// trial phase workers only query it (thread-safe), so concurrent
+  /// inject() calls are safe.
+  CheckpointStore<x86::SimSnapshot> checkpoints_;
   std::uint64_t checkpoint_stride_ = 0;
   mutable std::atomic<std::uint64_t> trials_{0};
   mutable std::atomic<std::uint64_t> restored_trials_{0};
   mutable std::atomic<std::uint64_t> skipped_instructions_{0};
+  mutable std::atomic<std::uint64_t> delta_restores_{0};
+  mutable std::atomic<std::uint64_t> restored_pages_{0};
 };
 
 }  // namespace faultlab::fault

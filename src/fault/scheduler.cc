@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -41,6 +42,18 @@ std::string fmt_double(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", v);
   return buf;
+}
+
+/// FAULTLAB_THREADS: worker-count override for runs where the caller left
+/// SchedulerOptions::threads at 0 (the A/B equivalence tests sweep this
+/// across processes). Unset, empty, or unparsable means "no override".
+std::size_t env_threads() {
+  const char* raw = std::getenv("FAULTLAB_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return 0;
+  return static_cast<std::size_t>(parsed);
 }
 
 /// FAULTLAB_PROGRESS=1 single-line stderr reporter. Driven from finalize()
@@ -135,7 +148,6 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   // Phase 2 — draws: generated sequentially per campaign from its seed, so
   // the trial stream is independent of worker count and scheduling order.
   std::deque<Campaign> campaigns;
-  std::vector<std::size_t> ends;  // cumulative trial count, per campaign
   std::size_t total = 0;
   for (Entry& entry : entries_) {
     Campaign& c = campaigns.emplace_back();
@@ -167,12 +179,43 @@ std::vector<CampaignResult> CampaignScheduler::run() {
       c.remaining.store(entry.config.trials, std::memory_order_relaxed);
       total += entry.config.trials;
     }
-    ends.push_back(total);
   }
   manifest_.campaigns.resize(campaigns.size());
 
-  // Phase 3 — trials: one shared queue over all campaigns; workers steal
-  // the next undone trial regardless of which campaign it belongs to.
+  // Chunking: consecutive k-sorted trials that resume from the same
+  // checkpoint window form one unit of work, so the worker that claims a
+  // chunk keeps one snapshot resident and resets via the delta path between
+  // its trials. Chunks are capped so a single hot window cannot serialize
+  // the pool; splitting a window only costs one full restore per extra
+  // chunk. Purely an execution grouping — never affects results.
+  struct Chunk {
+    std::size_t campaign;
+    std::size_t begin;  // positions in the campaign's `order` permutation
+    std::size_t end;
+  };
+  constexpr std::size_t kMaxChunk = 64;
+  std::vector<Chunk> chunks;
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    const Campaign& c = campaigns[i];
+    if (c.order.empty()) continue;
+    const InjectorEngine& engine = *c.entry->engine;
+    const ir::Category category = c.entry->config.category;
+    std::size_t begin = 0;
+    std::uint64_t window = engine.window_of(category, c.draws[c.order[0]].k);
+    for (std::size_t p = 1; p < c.order.size(); ++p) {
+      const std::uint64_t w = engine.window_of(category, c.draws[c.order[p]].k);
+      if (w != window || p - begin >= kMaxChunk) {
+        chunks.push_back({i, begin, p});
+        begin = p;
+        window = w;
+      }
+    }
+    chunks.push_back({i, begin, c.order.size()});
+  }
+
+  // Phase 3 — trials: one shared queue of window chunks over all
+  // campaigns; idle workers steal the next undone chunk regardless of
+  // which campaign it belongs to.
   std::mutex mutex;  // guards finalization, progress, and error capture
   std::exception_ptr first_error;
   std::size_t error_campaign = 0;
@@ -188,9 +231,15 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     // them in trial order, so counters are thread-count independent.
     Campaign& c = campaigns[index];
     std::size_t restored = 0;
+    std::size_t delta_restores = 0;
+    std::uint64_t restored_pages = 0;
     for (const TrialRecord& record : c.records) {
       if (record.injected) ++c.result.injected_trials;
-      if (record.restored) ++restored;
+      if (record.restored) {
+        ++restored;
+        restored_pages += record.restored_pages;
+      }
+      if (record.delta_restored) ++delta_restores;
       switch (record.outcome) {
         case Outcome::Crash: ++c.result.crash; break;
         case Outcome::SDC: ++c.result.sdc; break;
@@ -220,6 +269,11 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     timing.hang = c.result.hang;
     timing.not_activated = c.result.not_activated;
     timing.restored = restored;
+    timing.delta_restores = delta_restores;
+    timing.mean_restored_pages =
+        restored != 0 ? static_cast<double>(restored_pages) /
+                            static_cast<double>(restored)
+                      : 0.0;
     timing.wall_seconds = c.result.wall_seconds;
     if (!c.latency_ms.empty()) {
       std::sort(c.latency_ms.begin(), c.latency_ms.end());
@@ -253,55 +307,71 @@ std::vector<CampaignResult> CampaignScheduler::run() {
 
   auto work = [&]() {
     obs::Tracer& tracer = obs::Tracer::global();
+    // This worker's resident execution contexts, one per engine it has run
+    // trials for. A context's address space survives across trials, which
+    // is what keeps same-window resets on the delta path; engines without
+    // contexts get a cached nullptr (inject_in then falls back to a
+    // per-trial run). The engine list is tiny, so linear scan beats a map.
+    std::vector<std::pair<InjectorEngine*, std::unique_ptr<TrialContext>>>
+        contexts;
+    const auto context_for = [&contexts](InjectorEngine* engine) {
+      for (auto& [known, context] : contexts)
+        if (known == engine) return context.get();
+      contexts.emplace_back(engine, engine->make_context());
+      return contexts.back().second.get();
+    };
     while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-      if (t >= total) return;
-      const std::size_t index = static_cast<std::size_t>(
-          std::upper_bound(ends.begin(), ends.end(), t) - ends.begin());
+      const std::size_t which = next.fetch_add(1, std::memory_order_relaxed);
+      if (which >= chunks.size()) return;
+      const Chunk& chunk = chunks[which];
+      const std::size_t index = chunk.campaign;
       Campaign& c = campaigns[index];
-      const std::size_t base = index == 0 ? 0 : ends[index - 1];
-      const std::size_t trial = c.order[t - base];
-      try {
-        if (!c.started.exchange(true, std::memory_order_relaxed))
-          c.timer.reset();
-        {
-          WallTimer trial_timer;
-          obs::ScopedSpan span(tracer, "trial", "scheduler");
-          c.records[trial] = c.entry->engine->inject(
-              c.entry->config.category, c.draws[trial].k,
-              c.draws[trial].trial_rng);
-          c.latency_ms[trial] = trial_timer.seconds() * 1000.0;
-          if (span.active()) {
-            const TrialRecord& record = c.records[trial];
-            span.tag("app", c.result.app);
-            span.tag("tool", c.result.tool);
-            span.tag("category", ir::category_name(c.result.category));
-            span.tag("k", c.draws[trial].k);
-            span.tag("checkpoint", record.restored ? "hit" : "miss");
-            span.tag("outcome", outcome_name(record.outcome));
+      if (!c.started.exchange(true, std::memory_order_relaxed))
+        c.timer.reset();
+      TrialContext* context = context_for(c.entry->engine);
+      for (std::size_t p = chunk.begin; p < chunk.end; ++p) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const std::size_t trial = c.order[p];
+        try {
+          {
+            WallTimer trial_timer;
+            obs::ScopedSpan span(tracer, "trial", "scheduler");
+            c.records[trial] = c.entry->engine->inject_in(
+                context, c.entry->config.category, c.draws[trial].k,
+                c.draws[trial].trial_rng);
+            c.latency_ms[trial] = trial_timer.seconds() * 1000.0;
+            if (span.active()) {
+              const TrialRecord& record = c.records[trial];
+              span.tag("app", c.result.app);
+              span.tag("tool", c.result.tool);
+              span.tag("category", ir::category_name(c.result.category));
+              span.tag("k", c.draws[trial].k);
+              span.tag("checkpoint", record.restored ? "hit" : "miss");
+              span.tag("outcome", outcome_name(record.outcome));
+            }
           }
-        }
-        trials_done.fetch_add(1, std::memory_order_relaxed);
-        if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          trials_done.fetch_add(1, std::memory_order_relaxed);
+          if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex);
+            finalize(index);
+          }
+        } catch (...) {
           std::lock_guard<std::mutex> lock(mutex);
-          finalize(index);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+            error_campaign = index;
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
         }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (first_error == nullptr) {
-          first_error = std::current_exception();
-          error_campaign = index;
-        }
-        failed.store(true, std::memory_order_relaxed);
       }
     }
   };
 
-  std::size_t workers =
-      options_.threads != 0
-          ? options_.threads
-          : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, std::max<std::size_t>(total, 1));
+  std::size_t workers = options_.threads != 0 ? options_.threads
+                                              : env_threads();
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<std::size_t>(chunks.size(), 1));
   if (total > 0) {
     if (workers <= 1) {
       work();
@@ -337,7 +407,8 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
   CsvWriter csv({"app", "tool", "category", "seed", "trials",
                  "profiled_count", "injected", "activated", "crash", "sdc",
                  "benign", "hang", "not_activated", "restored",
-                 "checkpoint_hit_rate", "wall_seconds", "trials_per_second",
+                 "checkpoint_hit_rate", "delta_restores",
+                 "mean_restored_pages", "wall_seconds", "trials_per_second",
                  "p50_ms", "p95_ms", "p99_ms", "threads", "profile_seconds",
                  "total_wall_seconds", "pinfi_flag_heuristic",
                  "pinfi_xmm_prune", "llfi_type_width",
@@ -350,6 +421,8 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
                  std::to_string(t.sdc), std::to_string(t.benign),
                  std::to_string(t.hang), std::to_string(t.not_activated),
                  std::to_string(t.restored), fmt_double(t.hit_rate()),
+                 std::to_string(t.delta_restores),
+                 fmt_double(t.mean_restored_pages),
                  fmt_double(t.wall_seconds),
                  fmt_double(t.trials_per_second()), fmt_double(t.p50_ms),
                  fmt_double(t.p95_ms), fmt_double(t.p99_ms),

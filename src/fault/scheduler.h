@@ -14,16 +14,19 @@
 //  * records observability data: per-campaign wall time, trials/sec,
 //    injected/activated counters, and a machine-readable run manifest.
 //
-//  * executes each campaign's trials in k-sorted order, so consecutive
-//    trials resume from the same engine checkpoint window (warm snapshot
-//    pages) instead of hopping around the golden run.
+//  * executes each campaign's trials in k-sorted order, grouped into
+//    chunks by checkpoint window (InjectorEngine::window_of): a worker runs
+//    a window's trials back-to-back against its resident per-engine
+//    execution context (InjectorEngine::make_context), so every reset after
+//    the first stays on Memory's O(dirty pages) delta-restore path instead
+//    of rebuilding the whole address space per trial.
 //
 // Determinism: every trial's (k, bit-stream) draw is generated sequentially
 // up front from the campaign's seed, exactly as run_campaign always did, so
 // results are bit-identical for any thread count — and identical to the
-// pre-scheduler per-cell loop. The k-sort only permutes *execution* order;
-// each record is written back to its original draw index, so output order
-// never changes.
+// pre-scheduler per-cell loop. The k-sort and window chunking only permute
+// *execution* order; each record is written back to its original draw
+// index, so output order never changes.
 #pragma once
 
 #include <cstddef>
@@ -74,6 +77,11 @@ struct CampaignTiming {
   std::size_t not_activated = 0;
   /// Trials resumed from a checkpoint snapshot (vs. re-running the prefix).
   std::size_t restored = 0;
+  /// Restored trials whose reset walked only the dirty page set (the
+  /// O(dirty) path) instead of rewriting the full page table.
+  std::size_t delta_restores = 0;
+  /// Mean page-table entries rewritten per restored trial.
+  double mean_restored_pages = 0.0;
   double wall_seconds = 0.0;  ///< first trial dispatched -> last trial done
   /// Exact trial-latency percentiles (linear interpolation over the sorted
   /// per-trial wall times), in milliseconds. Zero when no trials ran.
@@ -115,7 +123,8 @@ struct SchedulerProgress {
 };
 
 struct SchedulerOptions {
-  /// Worker threads for the shared trial pool (0 = hardware concurrency).
+  /// Worker threads for the shared trial pool. 0 defers to FAULTLAB_THREADS
+  /// if set, otherwise hardware concurrency.
   std::size_t threads = 0;
   /// Recorded in the run manifest (the scheduler itself is model-agnostic;
   /// the engines were constructed with it).

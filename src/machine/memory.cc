@@ -1,5 +1,7 @@
 #include "machine/memory.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -23,7 +25,19 @@ void count_cow_clone() {
   counter.add();
 }
 
+/// Snapshot generation ids. Never reused, so a Memory whose delta base was
+/// taken from one snapshot can never mistake another snapshot for it.
+std::atomic<std::uint64_t> next_snapshot_id{1};
+
 }  // namespace
+
+bool delta_restore_enabled() noexcept {
+  static const bool enabled = [] {
+    const char* env = std::getenv("FAULTLAB_DELTA_RESTORE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
 
 const char* trap_kind_name(TrapKind kind) noexcept {
   switch (kind) {
@@ -55,6 +69,7 @@ void Memory::map_range(std::uint64_t addr, std::uint64_t size) {
     if (!slot) {
       slot = std::make_shared<MemoryPage>();
       std::memset(slot->bytes, 0, kPageSize);
+      mark_dirty(p);  // page absent from the delta base snapshot
     }
   }
 }
@@ -78,8 +93,9 @@ const MemoryPage* Memory::page_for(std::uint64_t addr) const {
   cached_page_num_ = page_num;
   cached_page_ = it->second.get();
   // Exclusively owned pages can later be written through the cache without
-  // a copy-on-write check. Sharers only appear via snapshot()/restore(),
-  // both of which invalidate the cache, so the flag cannot go stale.
+  // a copy-on-write check. Sharers only appear via snapshot()/restore()/
+  // restore_delta(), all of which clear the writable flag (or invalidate
+  // the affected entry outright), so the flag cannot go stale.
   cached_writable_ = it->second.use_count() == 1;
   return cached_page_;
 }
@@ -97,6 +113,7 @@ MemoryPage* Memory::mutable_page_for(std::uint64_t addr) {
     auto clone = std::make_shared<MemoryPage>();
     std::memcpy(clone->bytes, ref->bytes, kPageSize);
     ref = std::move(clone);
+    mark_dirty(page_num);
     count_cow_clone();
   }
   cached_page_num_ = page_num;
@@ -162,18 +179,53 @@ void Memory::read_bytes(std::uint64_t addr, std::uint8_t* out,
 void Memory::reset() {
   pages_.clear();
   invalidate_cache();
+  // The image no longer derives from any snapshot: disarm delta tracking
+  // so the next restore_delta() falls back to a full restore.
+  delta_base_ = 0;
+  dirty_.clear();
 }
 
 Memory::Snapshot Memory::snapshot() {
   Snapshot snap;
   snap.pages_ = pages_;  // shares every page: O(mapped pages), not O(bytes)
-  invalidate_cache();    // every page is now shared, so nothing is writable
+  snap.id_ = next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
+  // Every page is now shared, so nothing is writable — but the cached
+  // pointer itself is still the right mapping for reads.
+  cached_writable_ = false;
   return snap;
 }
 
 void Memory::restore(const Snapshot& snapshot) {
   pages_ = snapshot.pages_;
   invalidate_cache();
+  // The image now equals `snapshot` exactly; from here it can only diverge
+  // through CoW clones and map_range() creations, which mark_dirty()
+  // records against this base.
+  delta_base_ = snapshot.id_;
+  dirty_.clear();
+}
+
+Memory::RestoreStats Memory::restore_delta(const Snapshot& snapshot) {
+  if (delta_base_ == 0 || delta_base_ != snapshot.id_ ||
+      !delta_restore_enabled()) {
+    restore(snapshot);
+    if (!delta_restore_enabled()) delta_base_ = 0;  // keep tracking off
+    return {pages_.size(), false};
+  }
+  std::size_t touched = 0;
+  for (const std::uint64_t page_num : dirty_) {
+    auto snap_it = snapshot.pages_.find(page_num);
+    if (snap_it == snapshot.pages_.end()) {
+      pages_.erase(page_num);
+    } else {
+      pages_[page_num] = snap_it->second;  // re-share the snapshot's page
+    }
+    ++touched;
+    // Precise cache invalidation: only a dirty page's mapping changed.
+    if (page_num == cached_page_num_) invalidate_cache();
+  }
+  dirty_.clear();
+  return {touched, true};
 }
 
 }  // namespace faultlab::machine

@@ -12,11 +12,19 @@
 // (copy-on-write). restore() rebuilds the page table from a snapshot the
 // same way, which is what lets an injection trial resume from the middle
 // of the golden run instead of re-executing the fault-free prefix.
+//
+// restore_delta() goes one step further: after a restore the image equals
+// the snapshot exactly, and it can only diverge through a CoW clone, a
+// map_range() that creates a page, or reset(). Memory records the first
+// two in a compact dirty-set, so restoring the *same* snapshot again only
+// has to re-share the dirty pages — O(pages the trial touched), not
+// O(mapped pages).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "machine/trap.h"
 
@@ -46,11 +54,23 @@ class Memory {
   class Snapshot {
    public:
     std::size_t mapped_pages() const noexcept { return pages_.size(); }
+    /// Process-unique generation id assigned by Memory::snapshot().
+    /// Copies share the id (they share the same immutable page table);
+    /// a default-constructed Snapshot has id 0, which never matches a
+    /// delta base.
+    std::uint64_t id() const noexcept { return id_; }
 
    private:
     friend class Memory;
     std::unordered_map<std::uint64_t, std::shared_ptr<struct MemoryPage>>
         pages_;
+    std::uint64_t id_ = 0;
+  };
+
+  /// What a restore_delta() call actually did, for checkpoint metrics.
+  struct RestoreStats {
+    std::size_t pages = 0;  ///< page-table entries rewritten
+    bool delta = false;     ///< true if only the dirty set was walked
   };
 
   Memory() = default;
@@ -79,10 +99,24 @@ class Memory {
   /// call every page is shared: the next write to each clones it first.
   Snapshot snapshot();
   /// Replaces the current image with the snapshot's (copy-on-write: pages
-  /// stay shared until written).
+  /// stay shared until written). Also arms dirty-page tracking with the
+  /// snapshot as the delta base, so a later restore_delta() of the same
+  /// snapshot is O(pages written since).
   void restore(const Snapshot& snapshot);
+  /// Equivalent to restore(), but when the image already derives from this
+  /// exact snapshot (same id as the last restore, no reset() since) it only
+  /// re-shares the pages recorded dirty. Falls back to a full restore on
+  /// first use, after reset(), on a base mismatch, or when
+  /// delta_restore_enabled() is off (env FAULTLAB_DELTA_RESTORE=0).
+  RestoreStats restore_delta(const Snapshot& snapshot);
 
   std::size_t mapped_pages() const noexcept { return pages_.size(); }
+  /// Pages diverged from the current delta base (0 when tracking is
+  /// disarmed). Exposed for tests and the dirty-set histogram.
+  std::size_t dirty_pages() const noexcept { return dirty_.size(); }
+  /// Snapshot id the dirty set is relative to (0 = none; next
+  /// restore_delta() will be a full restore).
+  std::uint64_t delta_base() const noexcept { return delta_base_; }
 
  private:
   using PageRef = std::shared_ptr<MemoryPage>;
@@ -90,18 +124,37 @@ class Memory {
   const MemoryPage* page_for(std::uint64_t addr) const;
   MemoryPage* mutable_page_for(std::uint64_t addr);
   void invalidate_cache() const noexcept;
+  void mark_dirty(std::uint64_t page_num) {
+    if (delta_base_ != 0) dirty_.push_back(page_num);
+  }
 
   std::unordered_map<std::uint64_t, PageRef> pages_;
+
+  // Pages whose mapping diverged from the `delta_base_` snapshot: CoW
+  // clones plus pages newly created by map_range(). Only maintained while
+  // a delta base is armed (delta_base_ != 0), so golden runs pay nothing.
+  // May rarely hold duplicates (a page re-cloned after an interleaved
+  // snapshot()); restore_delta() assignments are idempotent so that is
+  // harmless.
+  std::vector<std::uint64_t> dirty_;
+  std::uint64_t delta_base_ = 0;
 
   // Single-entry last-page cache: scalar accesses overwhelmingly hit the
   // same page as their predecessor (stack slots, hot globals), so the
   // common path skips the hash lookup. `cached_writable_` additionally
   // records that the page is exclusively owned, i.e. writable without a
-  // copy-on-write check. Invalidated by reset()/snapshot()/restore().
+  // copy-on-write check. Invalidated wholesale by reset()/restore();
+  // snapshot() only demotes it to read-only (the pointer stays valid) and
+  // restore_delta() invalidates it precisely — only when the cached page
+  // is in the dirty set being rewritten.
   static constexpr std::uint64_t kNoCachedPage = ~std::uint64_t{0};
   mutable std::uint64_t cached_page_num_ = kNoCachedPage;
   mutable MemoryPage* cached_page_ = nullptr;
   mutable bool cached_writable_ = false;
 };
+
+/// Cached FAULTLAB_DELTA_RESTORE flag (default on; =0 disables the delta
+/// path process-wide, forcing every restore_delta() to a full restore).
+bool delta_restore_enabled() noexcept;
 
 }  // namespace faultlab::machine

@@ -106,14 +106,18 @@ const MetricsSnapshot::HistogramEntry* MetricsSnapshot::histogram(
 }
 
 void Counter::add(std::uint64_t n) {
-  if (registry_ != nullptr)
-    registry_->local_shard().cells[slot_].fetch_add(n,
-                                                    std::memory_order_relaxed);
+  if (registry_ == nullptr) return;
+  Registry::Segment& seg = registry_->local_shard().segment_for(slot_);
+  seg.cells[slot_ % Registry::kSegmentCells].fetch_add(
+      n, std::memory_order_relaxed);
 }
 
 void Histogram::record(std::uint64_t value) {
   if (registry_ == nullptr) return;
-  auto* cells = registry_->local_shard().cells.data() + slot_;
+  // All of a histogram's cells share one segment (register_metric pads to
+  // the segment boundary), so the segment resolves once.
+  Registry::Segment& seg = registry_->local_shard().segment_for(slot_);
+  auto* cells = seg.cells.data() + slot_ % Registry::kSegmentCells;
   constexpr unsigned kB = HistogramSnapshot::kBuckets;
   cells[HistogramSnapshot::bucket_of(value)].fetch_add(
       1, std::memory_order_relaxed);
@@ -121,6 +125,25 @@ void Histogram::record(std::uint64_t value) {
   cells[kB + 1].fetch_add(value, std::memory_order_relaxed);  // sum
   atomic_max(cells[kB + 2], ~value);                          // ~min
   atomic_max(cells[kB + 3], value);                           // max
+}
+
+Registry::Shard::~Shard() {
+  for (auto& slot : segments) delete slot.load(std::memory_order_acquire);
+}
+
+Registry::Segment& Registry::Shard::segment_for(std::size_t slot) {
+  std::atomic<Segment*>& entry = segments[slot / kSegmentCells];
+  Segment* seg = entry.load(std::memory_order_acquire);
+  if (seg == nullptr) {
+    auto* fresh = new Segment();  // cells value-initialize to 0
+    if (entry.compare_exchange_strong(seg, fresh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      seg = fresh;
+    } else {
+      delete fresh;  // another publisher won; `seg` holds the winner
+    }
+  }
+  return *seg;
 }
 
 Registry::Registry() {
@@ -158,7 +181,12 @@ const Registry::Metric& Registry::register_metric(const std::string& name,
                              "' already registered with a different kind");
     return m;
   }
-  if (next_slot_ + slots > kMaxSlots)
+  // Keep every metric inside one segment so handles resolve the segment
+  // pointer once: pad to the next boundary when this one would straddle.
+  const std::size_t used = next_slot_ % kSegmentCells;
+  if (used + slots > kSegmentCells)
+    next_slot_ += kSegmentCells - used;
+  if (next_slot_ + slots > kMaxCells)
     throw std::length_error("metrics registry slot capacity exhausted");
   Metric m;
   m.name = name;
@@ -193,16 +221,19 @@ Histogram Registry::histogram(const std::string& name) {
 MetricsSnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot out;
-  auto merged = [this](std::size_t slot) {
+  auto cell = [](const Shard& shard, std::size_t slot) -> std::uint64_t {
+    const Segment* seg = shard.segment_if(slot);
+    if (seg == nullptr) return 0;  // never touched by this thread
+    return seg->cells[slot % kSegmentCells].load(std::memory_order_relaxed);
+  };
+  auto merged = [this, &cell](std::size_t slot) {
     std::uint64_t sum = 0;
-    for (const auto& shard : shards_)
-      sum += shard->cells[slot].load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) sum += cell(*shard, slot);
     return sum;
   };
-  auto merged_max = [this](std::size_t slot) {
+  auto merged_max = [this, &cell](std::size_t slot) {
     std::uint64_t m = 0;
-    for (const auto& shard : shards_)
-      m = std::max(m, shard->cells[slot].load(std::memory_order_relaxed));
+    for (const auto& shard : shards_) m = std::max(m, cell(*shard, slot));
     return m;
   };
   for (const Metric& m : metrics_) {

@@ -2,10 +2,11 @@
 // log-scale histograms.
 //
 // Counters and histograms are sharded per worker thread: every thread gets
-// its own array of atomic cells on first use, increments touch only that
-// shard (no cross-core cache-line ping-pong on the trial hot path), and
-// Registry::snapshot() merges all shards on read. Gauges are set rarely
-// (stride, snapshot count), so they live in one shared atomic each.
+// its own set of atomic cells (grown segment-by-segment as metrics are
+// registered), increments touch only that shard (no cross-core cache-line
+// ping-pong on the trial hot path), and Registry::snapshot() merges all
+// shards on read. Gauges are set rarely (stride, snapshot count), so they
+// live in one shared atomic each.
 //
 // The process-wide registry is gated by the FAULTLAB_METRICS environment
 // variable: hot paths check `metrics_enabled()` — one cached-bool branch —
@@ -141,9 +142,14 @@ class Histogram {
 
 class Registry {
  public:
-  /// Atomic cells available per thread shard. A counter takes 1, a
-  /// histogram kHistogramSlots; registering past the cap throws.
-  static constexpr std::size_t kMaxSlots = 1024;
+  /// Thread shards grow in fixed-size segments allocated on first touch,
+  /// so the per-shard footprint tracks the metrics actually registered
+  /// instead of a hard 1024-cell array. A counter takes 1 cell, a
+  /// histogram kHistogramSlots; the (huge) directory bound below is the
+  /// only cap, and registering past it throws.
+  static constexpr std::size_t kSegmentCells = 128;  // >= kHistogramSlots
+  static constexpr std::size_t kMaxSegments = 1024;
+  static constexpr std::size_t kMaxCells = kSegmentCells * kMaxSegments;
 
   Registry();
   Registry(const Registry&) = delete;
@@ -180,8 +186,21 @@ class Registry {
     std::size_t slot = 0;   // counters/histograms: shard offset
     std::size_t index = 0;  // gauges: index into gauges_
   };
+  // One shard per recording thread. Cells live in lazily CAS-published
+  // segments: writers call segment_for() (allocates on first touch of a
+  // segment), snapshot() peeks with segment_if() and reads absent segments
+  // as zero. register_metric() never lets a metric straddle a segment
+  // boundary, so a handle resolves its segment pointer once per record.
+  struct Segment {
+    std::array<std::atomic<std::uint64_t>, kSegmentCells> cells{};
+  };
   struct Shard {
-    std::array<std::atomic<std::uint64_t>, kMaxSlots> cells{};
+    std::array<std::atomic<Segment*>, kMaxSegments> segments{};
+    ~Shard();
+    Segment& segment_for(std::size_t slot);
+    const Segment* segment_if(std::size_t slot) const noexcept {
+      return segments[slot / kSegmentCells].load(std::memory_order_acquire);
+    }
   };
 
   Shard& local_shard();

@@ -42,19 +42,30 @@ class Interpreter::Impl {
  public:
   using Frame = Snapshot::Frame;
 
-  Impl(const ir::Module& module, const machine::GlobalLayout& layout,
-       ExecHook* hook, const RunLimits& limits)
-      : module_(module),
-        layout_(layout),
-        hook_(hook),
-        limits_(limits),
-        runtime_(memory_) {}
+  Impl(const ir::Module& module, const machine::GlobalLayout& layout)
+      : module_(module), layout_(layout), runtime_(memory_) {}
+
+  /// Arms the per-run parameters. The impl itself is resident — memory,
+  /// frame and register storage persist between runs so consecutive
+  /// restores stay on the delta path and reuse allocations.
+  void prepare(ExecHook* hook, const RunLimits& limits) {
+    hook_ = hook;
+    limits_ = limits;
+    next_snapshot_at_ = 0;
+  }
 
   RunResult run(const std::string& entry) {
     const ir::Function* main_fn = module_.find_function(entry);
     if (main_fn == nullptr || main_fn->is_builtin())
       throw std::invalid_argument("no such entry function: " + entry);
 
+    // Fresh image: releasing the mappings also disarms delta tracking, so
+    // a later run_from() knows to fall back to a full restore.
+    memory_.reset();
+    runtime_.reset();
+    frames_.clear();
+    executed_ = 0;
+    next_frame_id_ = 1;
     layout_.materialize(memory_);
     memory_.map_range(Layout::kStackLimit, Layout::kStackSize);
     sp_ = Layout::kStackTop;
@@ -64,15 +75,22 @@ class Interpreter::Impl {
 
   RunResult run_from(const Snapshot& snapshot) {
     assert(!snapshot.frames.empty() && "snapshot of a finished run");
-    memory_.restore(snapshot.memory);
+    const machine::Memory::RestoreStats restore =
+        memory_.restore_delta(snapshot.memory);
     runtime_.restore(snapshot.runtime);
+    // Copy-assign reuses the resident vectors' capacity (including each
+    // frame's register file), so only the state that actually ran since
+    // the last restore gets rewritten/reallocated.
     frames_ = snapshot.frames;
     sp_ = snapshot.sp;
     executed_ = snapshot.executed;
     next_frame_id_ = snapshot.next_frame_id;
     // Snapshots already past this run's budget time out on the next
     // instruction, matching where the non-checkpointed run would stop.
-    return drive();
+    RunResult result = drive();
+    result.restored_pages = restore.pages;
+    result.delta_restored = restore.delta;
+    return result;
   }
 
  private:
@@ -204,7 +222,12 @@ class Interpreter::Impl {
       Frame& frame = frames_.back();
       const ir::Instruction& instr = *frame.block->instr(frame.index);
       bump_instruction_count();
-      if (hook_ != nullptr) hook_->on_instruction(instr);
+      if (hook_ != nullptr) {
+        if (hook_->detached())
+          hook_ = nullptr;  // rest of the run executes at unhooked speed
+        else
+          hook_->on_instruction(instr);
+      }
 
       switch (instr.opcode()) {
         case Opcode::Phi: {
@@ -516,7 +539,7 @@ class Interpreter::Impl {
 
   const ir::Module& module_;
   const machine::GlobalLayout& layout_;
-  ExecHook* hook_;
+  ExecHook* hook_ = nullptr;
   RunLimits limits_;
   machine::Memory memory_;
   machine::Runtime runtime_;
@@ -530,17 +553,21 @@ class Interpreter::Impl {
 Interpreter::Interpreter(const ir::Module& module, ExecHook* hook)
     : module_(module), hook_(hook), layout_(module) {}
 
+Interpreter::~Interpreter() = default;
+
 RunResult Interpreter::run(const std::string& entry, const RunLimits& limits) {
-  Impl impl(module_, layout_, hook_, limits);
-  RunResult r = impl.run(entry);
+  if (impl_ == nullptr) impl_ = std::make_unique<Impl>(module_, layout_);
+  impl_->prepare(hook_, limits);
+  RunResult r = impl_->run(entry);
   record_run_instructions(r.dynamic_instructions);
   return r;
 }
 
 RunResult Interpreter::run_from(const Snapshot& snapshot,
                                 const RunLimits& limits) {
-  Impl impl(module_, layout_, hook_, limits);
-  RunResult r = impl.run_from(snapshot);
+  if (impl_ == nullptr) impl_ = std::make_unique<Impl>(module_, layout_);
+  impl_->prepare(hook_, limits);
+  RunResult r = impl_->run_from(snapshot);
   // dynamic_instructions is snapshot-primed (absolute position in the
   // golden schedule); the histogram tracks work actually done here.
   record_run_instructions(r.dynamic_instructions - snapshot.executed);

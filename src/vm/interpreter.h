@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,12 @@ struct DynValueId {
 class ExecHook {
  public:
   virtual ~ExecHook() = default;
+  /// True once the hook has nothing left to observe. The interpreter checks
+  /// this at instruction boundaries and drops the hook for the rest of the
+  /// run, so an injection hook whose fault has already activated stops
+  /// taxing every remaining instruction with virtual calls. Monotonic
+  /// within a run; the hook object stays alive and queryable.
+  bool detached() const noexcept { return detached_; }
   /// Called before executing each dynamic instruction.
   virtual void on_instruction(const ir::Instruction& instr) { (void)instr; }
   /// Called with the raw result of a value-producing instruction; the
@@ -69,6 +76,13 @@ class ExecHook {
     (void)caller_frame;
     (void)callee_frame;
   }
+
+ protected:
+  /// For subclasses whose instrumentation completes mid-run.
+  void detach() noexcept { detached_ = true; }
+
+ private:
+  bool detached_ = false;
 };
 
 /// Resumable interpreter state, captured between two dynamic instructions.
@@ -118,6 +132,11 @@ struct RunResult {
   std::int64_t exit_value = 0;
   std::uint64_t dynamic_instructions = 0;
   std::string output;
+  /// Page-table entries rewritten by run_from()'s restore, and whether it
+  /// took the O(dirty) delta path (checkpoint observability; both 0/false
+  /// for run()).
+  std::uint64_t restored_pages = 0;
+  bool delta_restored = false;
 
   bool completed() const noexcept { return !trapped && !timed_out; }
 };
@@ -130,6 +149,15 @@ class Interpreter {
   /// module logically const here makes concurrent interpreters over one
   /// module safe, which the campaign runner's thread pool relies on.
   explicit Interpreter(const ir::Module& module, ExecHook* hook = nullptr);
+  ~Interpreter();
+  // Execution state (impl_) holds references into this object; moving or
+  // copying would leave them dangling.
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Swaps the instrumentation hook for subsequent runs. A resident
+  /// interpreter serves many trials, each with its own injection hook.
+  void set_hook(ExecHook* hook) noexcept { hook_ = hook; }
 
   /// Executes `entry` (no arguments) to completion; every call starts from
   /// a fresh memory image.
@@ -140,6 +168,11 @@ class Interpreter {
   /// to completion. The result reports totals for the whole logical run:
   /// `dynamic_instructions` and `output` include the skipped prefix, so
   /// Crash/SDC/Hang/Benign classification matches a from-scratch run.
+  ///
+  /// The execution state is resident: it persists across calls, so
+  /// resuming the same snapshot repeatedly rides Memory::restore_delta()'s
+  /// O(pages the previous trial touched) path, and frame/register vectors
+  /// reuse their allocations instead of being rebuilt per trial.
   RunResult run_from(const Snapshot& snapshot, const RunLimits& limits = {});
 
  private:
@@ -147,6 +180,7 @@ class Interpreter {
   const ir::Module& module_;
   ExecHook* hook_;
   machine::GlobalLayout layout_;
+  std::unique_ptr<Impl> impl_;  // lazily created, reused across runs
 };
 
 }  // namespace faultlab::vm

@@ -34,12 +34,30 @@ struct Flags {
   }
 };
 
+}  // namespace
+
+// Resident execution state behind Simulator: memory, runtime, and
+// architectural registers persist across runs so consecutive run_from()
+// calls of the same snapshot stay on Memory's delta-restore path.
 class Machine {
  public:
-  Machine(const Program& program, SimHook* hook, const SimLimits& limits)
-      : program_(program), hook_(hook), limits_(limits), runtime_(memory_) {}
+  explicit Machine(const Program& program)
+      : program_(program), runtime_(memory_) {}
+
+  /// Arms the per-run parameters (the state itself is resident).
+  void prepare(SimHook* hook, const SimLimits& limits) {
+    hook_ = hook;
+    limits_ = limits;
+    next_snapshot_at_ = 0;
+  }
 
   SimResult run() {
+    // Fresh image: releasing the mappings also disarms delta tracking, so
+    // a later run_from() knows to fall back to a full restore.
+    memory_.reset();
+    runtime_.reset();
+    state_ = MachineState{};
+    executed_ = 0;
     // Materialize the data image and stack.
     memory_.map_range(Layout::kGlobalBase,
                       std::max<std::uint64_t>(program_.data_size, 1));
@@ -55,11 +73,15 @@ class Machine {
   }
 
   SimResult run_from(const SimSnapshot& snapshot) {
-    memory_.restore(snapshot.memory);
+    const machine::Memory::RestoreStats restore =
+        memory_.restore_delta(snapshot.memory);
     runtime_.restore(snapshot.runtime);
     state_ = snapshot.state;
     executed_ = snapshot.executed;
-    return drive();
+    SimResult result = drive();
+    result.restored_pages = restore.pages;
+    result.delta_restored = restore.delta;
+    return result;
   }
 
  private:
@@ -239,7 +261,12 @@ class Machine {
       const Inst& inst = program_.code[index];
       if (++executed_ > limits_.max_instructions)
         throw machine::TimeoutException();
-      if (hook_ != nullptr) hook_->on_before(index, inst);
+      if (hook_ != nullptr) {
+        if (hook_->detached())
+          hook_ = nullptr;  // rest of the run executes at unhooked speed
+        else
+          hook_->on_before(index, inst);
+      }
 
       state_.rip_index = index + 1;  // default fallthrough
       const bool halted = execute(inst);
@@ -488,7 +515,7 @@ class Machine {
   }
 
   const Program& program_;
-  SimHook* hook_;
+  SimHook* hook_ = nullptr;
   SimLimits limits_;
   machine::Memory memory_;
   machine::Runtime runtime_;
@@ -497,22 +524,24 @@ class Machine {
   std::uint64_t next_snapshot_at_ = 0;
 };
 
-}  // namespace
-
 Simulator::Simulator(const Program& program, SimHook* hook)
     : program_(program), hook_(hook) {}
 
+Simulator::~Simulator() = default;
+
 SimResult Simulator::run(const SimLimits& limits) {
-  Machine machine(program_, hook_, limits);
-  SimResult r = machine.run();
+  if (machine_ == nullptr) machine_ = std::make_unique<Machine>(program_);
+  machine_->prepare(hook_, limits);
+  SimResult r = machine_->run();
   record_run_instructions(r.dynamic_instructions);
   return r;
 }
 
 SimResult Simulator::run_from(const SimSnapshot& snapshot,
                               const SimLimits& limits) {
-  Machine machine(program_, hook_, limits);
-  SimResult r = machine.run_from(snapshot);
+  if (machine_ == nullptr) machine_ = std::make_unique<Machine>(program_);
+  machine_->prepare(hook_, limits);
+  SimResult r = machine_->run_from(snapshot);
   // dynamic_instructions is snapshot-primed (absolute position in the
   // golden schedule); the histogram tracks work actually done here.
   record_run_instructions(r.dynamic_instructions - snapshot.executed);

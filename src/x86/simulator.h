@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "machine/memory.h"
@@ -26,6 +27,12 @@ struct MachineState {
 class SimHook {
  public:
   virtual ~SimHook() = default;
+  /// True once the hook has nothing left to observe. The simulator checks
+  /// this at instruction boundaries and drops the hook for the rest of the
+  /// run, so an injection hook done tracking activation stops taxing every
+  /// remaining instruction with virtual calls. Monotonic; the hook object
+  /// stays alive and queryable.
+  bool detached() const noexcept { return detached_; }
   /// Called before executing instruction `code[index]`.
   virtual void on_before(std::size_t index, const Inst& inst) {
     (void)index;
@@ -39,6 +46,13 @@ class SimHook {
     (void)inst;
     (void)state;
   }
+
+ protected:
+  /// For subclasses whose instrumentation completes mid-run.
+  void detach() noexcept { detached_ = true; }
+
+ private:
+  bool detached_ = false;
 };
 
 /// Resumable machine state captured between two retired instructions:
@@ -72,26 +86,48 @@ struct SimResult {
   std::int64_t exit_value = 0;
   std::uint64_t dynamic_instructions = 0;
   std::string output;
+  /// Page-table entries rewritten by run_from()'s restore, and whether it
+  /// took the O(dirty) delta path (checkpoint observability; both 0/false
+  /// for run()).
+  std::uint64_t restored_pages = 0;
+  bool delta_restored = false;
 
   bool completed() const noexcept { return !trapped && !timed_out; }
 };
 
+class Machine;
+
 class Simulator {
  public:
   explicit Simulator(const Program& program, SimHook* hook = nullptr);
+  ~Simulator();
+  // The resident machine (machine_) holds references into this object;
+  // moving or copying would leave them dangling.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
-  /// Runs the program's entry function to completion on a fresh machine.
+  /// Swaps the instrumentation hook for subsequent runs. A resident
+  /// simulator serves many trials, each with its own injection hook.
+  void set_hook(SimHook* hook) noexcept { hook_ = hook; }
+
+  /// Runs the program's entry function to completion on a fresh machine
+  /// image.
   SimResult run(const SimLimits& limits = {});
 
   /// Resumes execution from `snapshot` (captured on this program) and runs
   /// to completion. `dynamic_instructions` and `output` report whole-run
   /// totals including the skipped prefix, so outcome classification matches
   /// a from-scratch run.
+  ///
+  /// The machine is resident: it persists across calls, so resuming the
+  /// same snapshot repeatedly rides Memory::restore_delta()'s O(pages the
+  /// previous trial touched) path instead of rebuilding the page table.
   SimResult run_from(const SimSnapshot& snapshot, const SimLimits& limits = {});
 
  private:
   const Program& program_;
   SimHook* hook_;
+  std::unique_ptr<Machine> machine_;  // lazily created, reused across runs
 };
 
 }  // namespace faultlab::x86

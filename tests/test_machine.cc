@@ -6,6 +6,7 @@
 #include "machine/memory.h"
 #include "machine/runtime.h"
 #include "support/bitutil.h"
+#include "support/rng.h"
 
 namespace faultlab::machine {
 namespace {
@@ -200,6 +201,172 @@ TEST(Memory, ResetClearsMappings) {
   mem.reset();
   EXPECT_EQ(mem.mapped_pages(), 0u);
   EXPECT_THROW(mem.read(0x10000, 8), TrapException);
+}
+
+TEST(Memory, DeltaRestoreWalksOnlyDirtyPages) {
+  Memory mem;
+  mem.map_range(0x10000, 8 * Memory::kPageSize);
+  for (std::uint64_t p = 0; p < 8; ++p)
+    mem.write(0x10000 + p * Memory::kPageSize, 8, p + 1);
+  Memory::Snapshot snap = mem.snapshot();
+
+  mem.restore(snap);  // arms dirty tracking against `snap`
+  mem.write(0x10000, 8, 100);
+  mem.write(0x10000 + 3 * Memory::kPageSize, 8, 300);
+  const Memory::RestoreStats r = mem.restore_delta(snap);
+  EXPECT_TRUE(r.delta);
+  EXPECT_EQ(r.pages, 2u);  // only the two cloned pages, not all eight
+  for (std::uint64_t p = 0; p < 8; ++p)
+    EXPECT_EQ(mem.read(0x10000 + p * Memory::kPageSize, 8), p + 1);
+}
+
+TEST(Memory, DeltaRestoreFallsBackToFullWithoutABase) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 1);
+  Memory::Snapshot snap = mem.snapshot();
+  // No restore(snap) has happened yet: the image does not derive from the
+  // snapshot, so the delta path must not be taken.
+  mem.write(0x10000, 8, 2);
+  const Memory::RestoreStats r = mem.restore_delta(snap);
+  EXPECT_FALSE(r.delta);
+  EXPECT_EQ(mem.read(0x10000, 8), 1u);
+  // reset() disarms tracking: the next restore_delta is full again.
+  mem.reset();
+  EXPECT_FALSE(mem.restore_delta(snap).delta);
+  EXPECT_EQ(mem.read(0x10000, 8), 1u);
+}
+
+TEST(Memory, DeltaRestoreAgainstDifferentSnapshotFallsBack) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 1);
+  Memory::Snapshot a = mem.snapshot();
+  mem.write(0x10000, 8, 2);
+  Memory::Snapshot b = mem.snapshot();
+
+  mem.restore(a);
+  mem.write(0x10000, 8, 3);
+  // Delta base is `a`; resetting to `b` must detect the mismatch.
+  EXPECT_FALSE(mem.restore_delta(b).delta);
+  EXPECT_EQ(mem.read(0x10000, 8), 2u);
+  // ...and that full fallback re-arms tracking against `b`.
+  mem.write(0x10000, 8, 4);
+  const Memory::RestoreStats r = mem.restore_delta(b);
+  EXPECT_TRUE(r.delta);
+  EXPECT_EQ(mem.read(0x10000, 8), 2u);
+}
+
+TEST(Memory, DeltaRestoreUnmapsPagesMappedSinceTheSnapshot) {
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  Memory::Snapshot snap = mem.snapshot();
+  mem.restore(snap);
+  mem.map_range(0x20000, 2 * Memory::kPageSize);  // absent from the snapshot
+  mem.write(0x20000, 8, 7);
+  const Memory::RestoreStats r = mem.restore_delta(snap);
+  EXPECT_TRUE(r.delta);
+  EXPECT_EQ(mem.mapped_pages(), snap.mapped_pages());
+  EXPECT_FALSE(mem.is_mapped(0x20000));
+  EXPECT_THROW(mem.read(0x20000, 8), TrapException);
+}
+
+TEST(Memory, DeltaRestoreUnderCowPageAliasing) {
+  // Snapshot pages are aliased by the snapshot, the restored image, and a
+  // second memory restored from the same snapshot. Dirty writes through one
+  // image must never leak into the snapshot or the other image, and a delta
+  // reset must bring back the exact shared page.
+  Memory a;
+  a.map_range(0x10000, 2 * Memory::kPageSize);
+  a.write(0x10000, 8, 11);
+  a.write(0x10000 + Memory::kPageSize, 8, 22);
+  Memory::Snapshot snap = a.snapshot();
+
+  Memory b;
+  b.restore(snap);
+  a.restore(snap);
+  a.write(0x10000, 8, 1111);                      // clone in a only
+  b.write(0x10000 + Memory::kPageSize, 8, 2222);  // clone in b only
+
+  const Memory::RestoreStats ra = a.restore_delta(snap);
+  EXPECT_TRUE(ra.delta);
+  EXPECT_EQ(ra.pages, 1u);
+  EXPECT_EQ(a.read(0x10000, 8), 11u);
+  EXPECT_EQ(b.read(0x10000 + Memory::kPageSize, 8), 2222u);  // b untouched
+
+  const Memory::RestoreStats rb = b.restore_delta(snap);
+  EXPECT_TRUE(rb.delta);
+  EXPECT_EQ(rb.pages, 1u);
+  EXPECT_EQ(b.read(0x10000 + Memory::kPageSize, 8), 22u);
+}
+
+TEST(Memory, DeltaRestoreInvalidatesCachePrecisely) {
+  // The last-page cache holds a writable pointer to a dirty page; the delta
+  // walk must demote/invalidate it so the next read sees snapshot bytes.
+  Memory mem;
+  mem.map_range(0x10000, 4096);
+  mem.write(0x10000, 8, 1);
+  Memory::Snapshot snap = mem.snapshot();
+  mem.restore(snap);
+  mem.write(0x10000, 8, 2);             // cache hot and writable
+  EXPECT_EQ(mem.read(0x10000, 8), 2u);  // served from the cache
+  EXPECT_TRUE(mem.restore_delta(snap).delta);
+  EXPECT_EQ(mem.read(0x10000, 8), 1u);
+  // A snapshot also demotes the cache: writing after it must still clone.
+  mem.write(0x10000, 8, 3);
+  EXPECT_TRUE(mem.restore_delta(snap).delta);
+  EXPECT_EQ(mem.read(0x10000, 8), 1u);
+}
+
+TEST(Memory, DeltaRestoreEquivalenceFuzz) {
+  // Random write/map/restore workload executed twice — once with full
+  // restores, once with delta restores — must produce byte-identical
+  // images at every reset.
+  constexpr std::uint64_t kBase = 0x10000;
+  constexpr std::uint64_t kPages = 32;
+  Memory full;
+  Memory delta;
+  for (Memory* m : {&full, &delta}) m->map_range(kBase, kPages * Memory::kPageSize);
+
+  Rng rng(0xF00D);
+  Memory::Snapshot snap_full = full.snapshot();
+  Memory::Snapshot snap_delta = delta.snapshot();
+  full.restore(snap_full);
+  delta.restore(snap_delta);
+
+  for (int round = 0; round < 200; ++round) {
+    const int writes = static_cast<int>(rng.below(8));
+    for (int w = 0; w < writes; ++w) {
+      const std::uint64_t page = rng.below(kPages);
+      const std::uint64_t offset = rng.below(Memory::kPageSize - 8);
+      const std::uint64_t value = rng();
+      full.write(kBase + page * Memory::kPageSize + offset, 8, value);
+      delta.write(kBase + page * Memory::kPageSize + offset, 8, value);
+    }
+    switch (rng.below(4)) {
+      case 0:  // reset both images to the snapshot
+        full.restore(snap_full);
+        delta.restore_delta(snap_delta);
+        break;
+      case 1: {  // re-snapshot: later resets target the new image
+        snap_full = full.snapshot();
+        snap_delta = delta.snapshot();
+        full.restore(snap_full);
+        delta.restore_delta(snap_delta);
+        break;
+      }
+      default:
+        break;  // keep writing
+    }
+    for (int probe = 0; probe < 8; ++probe) {
+      const std::uint64_t page = rng.below(kPages);
+      const std::uint64_t offset = rng.below(Memory::kPageSize - 8);
+      const std::uint64_t addr = kBase + page * Memory::kPageSize + offset;
+      ASSERT_EQ(full.read(addr, 8), delta.read(addr, 8))
+          << "round " << round << " addr " << addr;
+    }
+    ASSERT_EQ(full.mapped_pages(), delta.mapped_pages());
+  }
 }
 
 TEST(Runtime, HeapAllocAlignmentAndGrowth) {

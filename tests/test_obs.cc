@@ -168,6 +168,63 @@ TEST(Metrics, RegistrationIsIdempotentAndKindChecked) {
   Histogram{}.record(1);
 }
 
+TEST(Metrics, RegistryGrowsPastTheOldFixedSlotCap) {
+  // 20 histograms need ~1380 cells — past the 1024 cells a shard used to
+  // hold in one fixed array. Segments must grow on demand and every handle
+  // must keep pointing at its own cells.
+  Registry registry;
+  std::vector<Histogram> hists;
+  for (int i = 0; i < 20; ++i)
+    hists.push_back(registry.histogram("h" + std::to_string(i)));
+  Counter late = registry.counter("late");  // lands in a grown segment
+  for (int i = 0; i < 20; ++i)
+    hists[static_cast<std::size_t>(i)].record(
+        static_cast<std::uint64_t>(i + 1));
+  late.add(7);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  for (int i = 0; i < 20; ++i) {
+    const auto* entry = snap.histogram("h" + std::to_string(i));
+    ASSERT_NE(entry, nullptr) << i;
+    EXPECT_EQ(entry->hist.count, 1u) << i;
+    EXPECT_EQ(entry->hist.sum, static_cast<std::uint64_t>(i + 1)) << i;
+  }
+  EXPECT_EQ(snap.counter("late")->value, 7u);
+}
+
+TEST(Metrics, ConcurrentWritesRaceSegmentCreation) {
+  // Threads hammering a metric in a not-yet-materialized segment race the
+  // lazy CAS publish; exactly one segment must win and no increment may be
+  // lost.
+  Registry registry;
+  for (int i = 0; i < 200; ++i)
+    registry.counter("pad" + std::to_string(i));  // push past segment 0
+  Counter counter = registry.counter("hot");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    pool.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(registry.snapshot().counter("hot")->value, kThreads * kPerThread);
+}
+
+TEST(Metrics, RegistryCellCapacityStillBounded) {
+  // The dynamic segments raise the ceiling (128 cells x 1024 segments), but
+  // a runaway registration loop must still hit a wall, not OOM.
+  Registry registry;
+  bool threw = false;
+  try {
+    for (int i = 0; i < 3000; ++i)  // 3000 histograms > 131072 cells
+      registry.histogram("h" + std::to_string(i));
+  } catch (const std::length_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
 TEST(Trace, RingOverwritesOldestAndCountsDropped) {
   Tracer tracer(4);
   tracer.set_enabled(true);

@@ -8,6 +8,7 @@
 #include "apps/apps.h"
 #include "driver/pipeline.h"
 #include "fault/campaign.h"
+#include "fault/checkpoint_store.h"
 #include "fault/llfi.h"
 #include "fault/pinfi.h"
 #include "fault/scheduler.h"
@@ -150,11 +151,148 @@ TEST(Scheduler, CheckpointedMatchesDirectCellByCellAtAnyThreadCount) {
   }
 }
 
+TEST(Scheduler, SnapshotBudgetEvictsWithoutChangingOutcomes) {
+  // A page budget far below the unbudgeted live set forces evictions at
+  // capture time; trials whose window was evicted fall back to an earlier
+  // live snapshot (or a from-scratch run), so every record must still match
+  // the unbudgeted grid.
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine llfi_ref(prog.module(), {}, {/*stride=*/500, true});
+  PinfiEngine pinfi_ref(prog.program(), {}, {/*stride=*/500, true});
+  const std::vector<CampaignResult> reference =
+      run_grid(llfi_ref, pinfi_ref, 2);
+
+  CheckpointPolicy capped_policy;
+  capped_policy.stride = 500;
+  capped_policy.budget_pages = 48;
+  LlfiEngine llfi(prog.module(), {}, capped_policy);
+  PinfiEngine pinfi(prog.program(), {}, capped_policy);
+  const std::vector<CampaignResult> capped = run_grid(llfi, pinfi, 2);
+
+  ASSERT_EQ(capped.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_same_records(capped[i].trials, reference[i].trials);
+  // The budget actually bit (the dense stride over-captures way past 48
+  // pages), and it bit on both engines' stores.
+  EXPECT_GT(llfi.checkpoint_stats().evictions, 0u);
+  EXPECT_GT(pinfi.checkpoint_stats().evictions, 0u);
+  EXPECT_EQ(llfi_ref.checkpoint_stats().evictions, 0u);
+  EXPECT_EQ(pinfi_ref.checkpoint_stats().evictions, 0u);
+}
+
+TEST(Engines, EvictedSnapshotsFallBackWithoutChangingRecords) {
+  // LRU eviction after trials have run: squeezing the budget to below a
+  // single snapshot evicts every resume point, and the same draw must
+  // produce the same record from scratch.
+  auto prog = driver::compile(kGridProgram, "grid");
+  LlfiEngine reference(prog.module(), {}, {/*stride=*/500, true});
+  LlfiEngine squeezed(prog.module(), {}, {/*stride=*/500, true});
+  reference.profile_all();
+  squeezed.profile_all();
+  const std::uint64_t n = reference.profile(ir::Category::All);
+  ASSERT_GT(n, 0u);
+
+  const std::uint64_t k = n;  // late instance: resumes from a late window
+  Rng r1(7);
+  Rng r2(7);
+  const TrialRecord warm = reference.inject(ir::Category::All, k, r1);
+  EXPECT_TRUE(warm.restored);
+
+  squeezed.set_snapshot_budget(1);  // below any snapshot: evicts everything
+  EXPECT_GT(squeezed.checkpoint_stats().evictions, 0u);
+  const TrialRecord cold = squeezed.inject(ir::Category::All, k, r2);
+  EXPECT_FALSE(cold.restored);
+  EXPECT_EQ(cold.outcome, warm.outcome);
+  EXPECT_EQ(cold.bit, warm.bit);
+  EXPECT_EQ(cold.static_site, warm.static_site);
+  EXPECT_EQ(cold.injected, warm.injected);
+}
+
+/// Minimal snapshot shape the store needs: a golden position plus a paged
+/// memory image.
+struct FakeMemory {
+  std::size_t pages = 0;
+  std::size_t mapped_pages() const noexcept { return pages; }
+};
+struct FakeSnapshot {
+  std::uint64_t executed = 0;
+  FakeMemory memory;
+};
+
+CategoryCounts seen_all(std::uint64_t n) {
+  CategoryCounts c;
+  c[ir::Category::All] = n;
+  return c;
+}
+
+TEST(CheckpointStore, BeforeAndWindowAgreeAndSkipDeadEntries) {
+  CheckpointStore<FakeSnapshot> store;
+  for (std::uint64_t i = 0; i < 4; ++i)
+    store.add({(i + 1) * 100, {10}}, seen_all((i + 1) * 10));
+
+  // k=25: entries with seen {10,20,30,40} -> latest with seen < 25 is #1.
+  EXPECT_EQ(store.window_of(ir::Category::All, 25), 1u);
+  const auto* entry = store.before(ir::Category::All, 25);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->executed, 200u);
+  // k=5: every prefix already contains >= 5? No — all seen >= 10, so no
+  // resumable point exists and the trial runs from scratch.
+  EXPECT_EQ(store.window_of(ir::Category::All, 5), store.kNoWindow);
+  EXPECT_EQ(store.before(ir::Category::All, 5), nullptr);
+
+  // Evict down to 20 pages (two entries). Untouched entries tie on LRU, so
+  // interval thinning picks victims; before() then walks left to the
+  // nearest live entry instead of resuming from a dead one.
+  store.set_budget(20);
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_EQ(store.evictions(), 2u);
+  EXPECT_LE(store.live_pages(), 20u);
+  const auto* fallback = store.before(ir::Category::All, 35);
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_TRUE(fallback->alive);
+  EXPECT_LT(fallback->seen[ir::Category::All], 35u);
+}
+
+TEST(CheckpointStore, LruKeepsTouchedEntriesAndThinsUntouchedOnes) {
+  CheckpointStore<FakeSnapshot> store;
+  for (std::uint64_t i = 0; i < 4; ++i)
+    store.add({(i + 1) * 100, {10}}, seen_all((i + 1) * 10));
+
+  // Touch entry #1 (k=25 resumes from it); it must outlive untouched peers.
+  ASSERT_NE(store.before(ir::Category::All, 25), nullptr);
+  store.set_budget(20);
+  EXPECT_EQ(store.live_count(), 2u);
+  const auto* kept = store.before(ir::Category::All, 25);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->executed, 200u);  // the touched entry survived
+
+  // The newest entry has an unbounded trailing gap, so among untouched
+  // entries it is thinned last: it is the other survivor.
+  EXPECT_EQ(store.before(ir::Category::All, 45)->executed, 400u);
+}
+
+TEST(CheckpointStore, BudgetEnforcedDuringCapture) {
+  CheckpointStore<FakeSnapshot> store;
+  store.set_budget(25);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    store.add({(i + 1) * 100, {10}}, seen_all((i + 1) * 10));
+    EXPECT_LE(store.live_pages(), 25u) << "after add " << i;
+  }
+  EXPECT_EQ(store.size(), 8u);  // dead entries keep their counters
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_EQ(store.evictions(), 6u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.live_pages(), 0u);
+  EXPECT_EQ(store.evictions(), 6u);  // cumulative, like the engine stats
+}
+
 class CheckpointEnv : public ::testing::Test {
  protected:
   void TearDown() override {
     unsetenv("FAULTLAB_CHECKPOINTS");
     unsetenv("FAULTLAB_SNAPSHOT_STRIDE");
+    unsetenv("FAULTLAB_SNAPSHOT_BUDGET");
   }
 };
 
@@ -174,6 +312,12 @@ TEST_F(CheckpointEnv, PolicyParsesEnvironment) {
   EXPECT_EQ(CheckpointPolicy::from_env().stride, 12345u);
   setenv("FAULTLAB_SNAPSHOT_STRIDE", "-3", 1);  // warns, falls back to auto
   EXPECT_EQ(CheckpointPolicy::from_env().stride, 0u);
+
+  EXPECT_EQ(CheckpointPolicy::from_env().budget_pages, 0u);  // unlimited
+  setenv("FAULTLAB_SNAPSHOT_BUDGET", "4096", 1);
+  EXPECT_EQ(CheckpointPolicy::from_env().budget_pages, 4096u);
+  setenv("FAULTLAB_SNAPSHOT_BUDGET", "junk", 1);  // warns, falls back
+  EXPECT_EQ(CheckpointPolicy::from_env().budget_pages, 0u);
 }
 
 TEST_F(CheckpointEnv, EffectiveStrideSelection) {
