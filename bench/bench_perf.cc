@@ -5,6 +5,7 @@
 
 #include "common.h"
 #include "machine/memory.h"
+#include "obs/events.h"
 
 namespace {
 
@@ -211,6 +212,66 @@ void BM_LlfiResidentWindowTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_LlfiResidentWindowTrial)->Unit(benchmark::kMillisecond);
 
+// A representative crash event — the largest record shape (trap fields
+// present, all strings resolved), so the append cost below is an upper
+// bound on what the scheduler pays per trial.
+obs::TrialEvent sample_event(std::uint32_t worker) {
+  obs::TrialEvent ev;
+  ev.app = "perf_kernel";
+  ev.tool = "LLFI";
+  ev.category = "all";
+  ev.worker = worker;
+  ev.trial = 1;
+  ev.k = 123;
+  ev.bit = 17;
+  ev.static_site = 42;
+  ev.opcode = "getelementptr";
+  ev.function = "main";
+  ev.injected = true;
+  ev.activated = true;
+  ev.outcome = "crash";
+  ev.trap = "unmapped-access";
+  ev.trap_pc = 99;
+  ev.inject_instruction = 1000;
+  ev.instructions_total = 5000;
+  ev.instructions_after_injection = 4000;
+  ev.checkpoint_hit = true;
+  ev.latency_ms = 1.5;
+  return ev;
+}
+
+// Sharded event-writer append: serialize into the calling thread's shard,
+// amortized spill past 64KB. The multi-threaded variants show the shards
+// keeping writers off each other's locks; the sink is /dev/null so the
+// bench measures the writer, not the disk.
+void BM_EventLogAppend(benchmark::State& state) {
+  static obs::EventLog* const log = [] {
+    auto* l = new faultlab::obs::EventLog();
+    l->open("/dev/null");
+    return l;
+  }();
+  obs::TrialEvent ev =
+      sample_event(static_cast<std::uint32_t>(state.thread_index()));
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    ev.seq = seq++;
+    log->append(ev);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventLogAppend)->Threads(1)->Threads(4)->Threads(8);
+
+// The disabled path the scheduler takes when FAULTLAB_EVENTS is unset:
+// must stay a single relaxed load (see the no-allocation test in
+// tests/test_obs.cc for the complementary guarantee).
+void BM_EventLogAppendDisabled(benchmark::State& state) {
+  obs::EventLog log;  // never opened
+  const obs::TrialEvent ev = sample_event(0);
+  for (auto _ : state) log.append(ev);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventLogAppendDisabled);
+
 void BM_ProfilingOverheadVm(benchmark::State& state) {
   auto prog = driver::compile(kKernel, "bench");
   fault::LlfiEngine engine(prog.module(), {}, {0, /*enabled=*/false});
@@ -252,5 +313,19 @@ int main(int argc, char** argv) {
   const benchx::ExperimentRun run = benchx::run_experiment(
       apps, {ir::Category::All}, fault::default_trials());
   benchx::write_perf_entry("bench_perf", run);
+
+  // Event-log overhead at campaign granularity: the identical experiment
+  // (same seed, same draws) with the flight recorder off and then on,
+  // recorded as a BENCH_perf pair. The first run above had the recorder in
+  // whatever state FAULTLAB_EVENTS left it; this pair pins both states.
+  obs::EventLog::global().close();
+  const benchx::ExperimentRun off = benchx::run_experiment(
+      apps, {ir::Category::All}, fault::default_trials());
+  benchx::write_perf_entry("bench_perf_events_off", off);
+  obs::EventLog::global().open("bench_perf_events.jsonl");
+  const benchx::ExperimentRun on = benchx::run_experiment(
+      apps, {ir::Category::All}, fault::default_trials());
+  benchx::write_perf_entry("bench_perf_events_on", on);
+  obs::EventLog::global().close();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "common.h"
+#include "fault/attribution.h"
 #include "fault/compare.h"
 
 int main() {
@@ -25,6 +26,10 @@ int main() {
   std::cout << "(paper: max crash differences of 17-40 points in "
                "all/arithmetic/cast/load; cmp crash rates nearly equal)\n";
 
+  std::cout << "\n" << fault::render_attribution(rs);
+
   benchx::save_results(run, "table5_crash.csv");
+  fault::attribution_csv(rs).save("table5_attribution.csv");
+  std::cout << "[attribution written to table5_attribution.csv]\n";
   return 0;
 }

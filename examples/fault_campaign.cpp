@@ -106,6 +106,12 @@ int main(int argc, char** argv) {
     rs.add(std::move(results.front()));
     fault::results_csv(rs).save(argv[6]);
     std::cout << "[results written to " << argv[6] << "]\n";
+    // The run manifest rides along as <csv>.manifest.csv so downstream
+    // tooling (tools/faultlab_report.py) gets timing/latency context from
+    // the same invocation that produced the results and the event log.
+    const std::string manifest_path = std::string(argv[6]) + ".manifest.csv";
+    fault::manifest_csv(m).save(manifest_path);
+    std::cout << "[manifest written to " << manifest_path << "]\n";
   }
   return 0;
 }

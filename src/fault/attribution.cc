@@ -1,0 +1,273 @@
+#include "fault/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "support/table.h"
+
+namespace faultlab::fault {
+
+namespace {
+
+struct ClassRule {
+  const char* opcode;
+  const char* cls;
+};
+
+// Both vocabularies in one table: IR opcode names (ir::opcode_name) and
+// asm mnemonics (pinfi's site labels). The classes encode the paper's
+// mapping story — lea is the assembly shadow of getelementptr, reg movs
+// and cmov are where phi/select land after register allocation, and
+// push/pop/ret are the call machinery only PINFI can corrupt.
+constexpr ClassRule kRules[] = {
+    // arithmetic / logic
+    {"add", "arith"}, {"sub", "arith"}, {"mul", "arith"}, {"sdiv", "arith"},
+    {"udiv", "arith"}, {"srem", "arith"}, {"urem", "arith"}, {"and", "arith"},
+    {"or", "arith"}, {"xor", "arith"}, {"shl", "arith"}, {"lshr", "arith"},
+    {"ashr", "arith"}, {"fadd", "arith"}, {"fsub", "arith"}, {"fmul", "arith"},
+    {"fdiv", "arith"}, {"imul", "arith"}, {"sar", "arith"}, {"shr", "arith"},
+    {"neg", "arith"}, {"not", "arith"}, {"idiv", "arith"}, {"irem", "arith"},
+    {"addsd", "arith"}, {"subsd", "arith"}, {"mulsd", "arith"},
+    {"divsd", "arith"}, {"sqrtsd", "arith"},
+    // comparisons (setcc materializes a compare's result)
+    {"icmp", "cmp"}, {"fcmp", "cmp"}, {"cmp", "cmp"}, {"test", "cmp"},
+    {"ucomisd", "cmp"}, {"set", "cmp"},
+    // memory
+    {"load", "load"}, {"mov.load", "load"}, {"movzx.load", "load"},
+    {"movsx.load", "load"}, {"movsd.load", "load"},
+    {"store", "store"},
+    // address arithmetic
+    {"getelementptr", "gep"}, {"lea", "gep"},
+    // width / representation changes
+    {"trunc", "cast"}, {"zext", "cast"}, {"sext", "cast"},
+    {"fptosi", "cast"}, {"sitofp", "cast"}, {"bitcast", "cast"},
+    {"ptrtoint", "cast"}, {"inttoptr", "cast"}, {"movzx", "cast"},
+    {"movsx", "cast"}, {"cvtsi2sd", "cast"}, {"cvttsd2si", "cast"},
+    // register shuffling
+    {"phi", "phi/mov"}, {"select", "phi/mov"}, {"mov", "phi/mov"},
+    {"movsd", "phi/mov"}, {"movq", "phi/mov"}, {"cmov", "phi/mov"},
+    // call machinery (stack discipline: PINFI-only territory)
+    {"call", "call"}, {"callb", "call"}, {"ret", "call"}, {"push", "call"},
+    {"pop", "call"},
+    // control flow
+    {"br", "control"}, {"jmp", "control"}, {"j", "control"},
+    // frame setup
+    {"alloca", "alloca"},
+};
+
+std::string fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+std::string fmt4(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+/// Crash share of a class rendered with its Wilson 95% CI (over the cell's
+/// activated total, so shares sum to the cell crash rate).
+std::string share_ci(const Proportion& p) {
+  if (p.trials == 0) return "-";
+  const Proportion::Interval ci = p.wilson95();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%% [%.1f, %.1f]", p.percent(),
+                ci.lo * 100.0, ci.hi * 100.0);
+  return buf;
+}
+
+/// Per-class accumulator for one tool's half of a cell.
+struct ClassSide {
+  std::size_t crash = 0;
+  std::size_t activated = 0;
+  /// crash count per static site, for the "hottest site" label.
+  std::map<std::pair<std::string, std::uint64_t>, std::size_t> sites;
+  std::map<std::pair<std::string, std::uint64_t>, std::string> site_label;
+};
+
+std::string top_site(const ClassSide& side) {
+  const std::pair<std::string, std::uint64_t>* best = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& [site, count] : side.sites)
+    if (count > best_count) {  // map order breaks ties deterministically
+      best = &site;
+      best_count = count;
+    }
+  if (best == nullptr) return "-";
+  return side.site_label.at(*best);
+}
+
+void accumulate(const CampaignResult& r, std::map<std::string, ClassSide>& by) {
+  for (const TrialRecord& t : r.trials) {
+    if (!t.injected) continue;
+    const bool activated = t.outcome != Outcome::NotActivated;
+    if (!activated) continue;
+    ClassSide& side = by[opcode_class(t.site_opcode)];
+    ++side.activated;
+    if (t.outcome != Outcome::Crash) continue;
+    ++side.crash;
+    const char* fn = t.site_function != nullptr ? t.site_function : "?";
+    const char* op = t.site_opcode != nullptr ? t.site_opcode : "?";
+    const auto key = std::make_pair(std::string(fn), t.static_site);
+    ++side.sites[key];
+    if (side.site_label.find(key) == side.site_label.end()) {
+      std::string label = fn;
+      label += ':';
+      label += op;
+      label += '@';
+      label += std::to_string(t.static_site);
+      side.site_label.emplace(key, std::move(label));
+    }
+  }
+}
+
+}  // namespace
+
+const char* opcode_class(const char* opcode) noexcept {
+  if (opcode == nullptr) return "other";
+  for (const ClassRule& rule : kRules)
+    if (std::strcmp(rule.opcode, opcode) == 0) return rule.cls;
+  return "other";
+}
+
+std::vector<OpcodeBreakdown> opcode_breakdown(const CampaignResult& r) {
+  std::map<std::string, OpcodeBreakdown> by;
+  for (const TrialRecord& t : r.trials) {
+    if (!t.injected) continue;
+    const char* op = t.site_opcode != nullptr ? t.site_opcode : "?";
+    OpcodeBreakdown& b = by[op];
+    if (b.opcode.empty()) {
+      b.opcode = op;
+      b.opcode_class = opcode_class(t.site_opcode);
+    }
+    ++b.injected;
+    if (t.outcome == Outcome::NotActivated) continue;
+    ++b.activated;
+    switch (t.outcome) {
+      case Outcome::Crash: ++b.crash; break;
+      case Outcome::SDC: ++b.sdc; break;
+      case Outcome::Benign: ++b.benign; break;
+      case Outcome::Hang: ++b.hang; break;
+      case Outcome::NotActivated: break;
+    }
+  }
+  std::vector<OpcodeBreakdown> out;
+  out.reserve(by.size());
+  for (auto& [name, b] : by) out.push_back(std::move(b));
+  std::sort(out.begin(), out.end(),
+            [](const OpcodeBreakdown& a, const OpcodeBreakdown& b) {
+              if (a.activated != b.activated) return a.activated > b.activated;
+              return a.opcode < b.opcode;
+            });
+  return out;
+}
+
+std::vector<CellAttribution> attribute_crash_delta(const ResultSet& rs) {
+  std::vector<CellAttribution> out;
+  for (const std::string& app : rs.apps()) {
+    for (ir::Category category : ir::kAllCategories) {
+      CellAttribution cell;
+      cell.app = app;
+      cell.category = category;
+      const CampaignResult* l = rs.find(app, "LLFI", category);
+      const CampaignResult* p = rs.find(app, "PINFI", category);
+      if (l == nullptr || p == nullptr || l->activated() == 0 ||
+          p->activated() == 0) {
+        out.push_back(std::move(cell));
+        continue;
+      }
+      cell.valid = true;
+      cell.crash_delta =
+          p->crash_rate().percent() - l->crash_rate().percent();
+      std::map<std::string, ClassSide> llfi_by, pinfi_by;
+      accumulate(*l, llfi_by);
+      accumulate(*p, pinfi_by);
+      std::map<std::string, bool> classes;
+      for (const auto& [cls, side] : llfi_by) classes[cls] = true;
+      for (const auto& [cls, side] : pinfi_by) classes[cls] = true;
+      for (const auto& [cls, present] : classes) {
+        (void)present;
+        AttributionEntry entry;
+        entry.opcode_class = cls;
+        const auto li = llfi_by.find(cls);
+        const auto pi = pinfi_by.find(cls);
+        // Denominator is the *cell's* activated total, so each tool's
+        // class shares sum to its cell crash rate and the entry deltas
+        // sum to the cell delta.
+        entry.llfi_crash = {li != llfi_by.end() ? li->second.crash : 0,
+                            l->activated()};
+        entry.pinfi_crash = {pi != pinfi_by.end() ? pi->second.crash : 0,
+                             p->activated()};
+        entry.delta_points =
+            entry.pinfi_crash.percent() - entry.llfi_crash.percent();
+        entry.llfi_top_site =
+            li != llfi_by.end() ? top_site(li->second) : "-";
+        entry.pinfi_top_site =
+            pi != pinfi_by.end() ? top_site(pi->second) : "-";
+        cell.entries.push_back(std::move(entry));
+      }
+      std::sort(cell.entries.begin(), cell.entries.end(),
+                [](const AttributionEntry& a, const AttributionEntry& b) {
+                  const double da = std::fabs(a.delta_points);
+                  const double db = std::fabs(b.delta_points);
+                  if (da != db) return da > db;
+                  return a.opcode_class < b.opcode_class;
+                });
+      out.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+std::string render_attribution(const ResultSet& rs) {
+  std::ostringstream os;
+  os << "Crash-divergence attribution: per mapping class, each tool's share "
+        "of the\ncell's crash rate (Wilson 95% CI) and the hottest static "
+        "site on each side.\nDeltas are signed (PINFI - LLFI) and sum to the "
+        "cell's crash divergence.\n";
+  for (const CellAttribution& cell : attribute_crash_delta(rs)) {
+    if (!cell.valid) continue;
+    os << "\n[" << cell.app << " / " << ir::category_name(cell.category)
+       << "]  crash delta " << fmt1(cell.crash_delta) << " points\n";
+    TextTable table({"class", "delta", "LLFI share", "PINFI share",
+                     "LLFI top site", "PINFI top site"});
+    for (const AttributionEntry& e : cell.entries)
+      table.add_row({e.opcode_class, fmt1(e.delta_points),
+                     share_ci(e.llfi_crash), share_ci(e.pinfi_crash),
+                     e.llfi_top_site, e.pinfi_top_site});
+    os << table.to_string();
+  }
+  return os.str();
+}
+
+CsvWriter attribution_csv(const ResultSet& rs) {
+  CsvWriter csv({"app", "category", "class", "delta_points", "llfi_crash",
+                 "llfi_activated", "llfi_share_pct", "llfi_wilson_lo",
+                 "llfi_wilson_hi", "pinfi_crash", "pinfi_activated",
+                 "pinfi_share_pct", "pinfi_wilson_lo", "pinfi_wilson_hi",
+                 "llfi_top_site", "pinfi_top_site"});
+  for (const CellAttribution& cell : attribute_crash_delta(rs)) {
+    if (!cell.valid) continue;
+    for (const AttributionEntry& e : cell.entries) {
+      const Proportion::Interval lw = e.llfi_crash.wilson95();
+      const Proportion::Interval pw = e.pinfi_crash.wilson95();
+      csv.add_row({cell.app, ir::category_name(cell.category), e.opcode_class,
+                   fmt4(e.delta_points), std::to_string(e.llfi_crash.hits),
+                   std::to_string(e.llfi_crash.trials),
+                   fmt4(e.llfi_crash.percent()), fmt4(lw.lo * 100.0),
+                   fmt4(lw.hi * 100.0), std::to_string(e.pinfi_crash.hits),
+                   std::to_string(e.pinfi_crash.trials),
+                   fmt4(e.pinfi_crash.percent()), fmt4(pw.lo * 100.0),
+                   fmt4(pw.hi * 100.0), e.llfi_top_site, e.pinfi_top_site});
+    }
+  }
+  return csv;
+}
+
+}  // namespace faultlab::fault

@@ -1,0 +1,91 @@
+// Crash-divergence attribution — *why* do the tools disagree?
+//
+// compare.cc reports that LLFI and PINFI crash rates diverge per cell;
+// this layer decomposes each cell's divergence by injection site. Every
+// trial record carries the opcode and function of the site it corrupted
+// (fault/outcome.h flight-recorder fields), so the crash rate of a cell
+// factors exactly into per-opcode terms. Opcodes are first folded into
+// *mapping classes* — a shared vocabulary where IR `getelementptr` and asm
+// `lea` land in the same "gep" bucket, `phi`/reg-movs in "phi/mov",
+// `call`/`push`/`pop`/`ret` in "call", and so on — because the paper's
+// explanation for the divergence is precisely these mapping mismatches:
+// address arithmetic, register shuffling, and stack discipline exist at
+// the assembly level but have no injectable IR counterpart (or vice
+// versa).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/compare.h"
+
+namespace faultlab::fault {
+
+/// Folds an engine-reported opcode name (IR or asm mnemonic) into the
+/// shared mapping-class vocabulary: "arith", "cmp", "load", "store",
+/// "gep", "cast", "phi/mov", "call", "control", "alloca", or "other".
+/// Null or unknown names map to "other".
+const char* opcode_class(const char* opcode) noexcept;
+
+/// Per-opcode outcome breakdown of one campaign. Rates are over the
+/// opcode's *activated* trials, mirroring the paper's convention.
+struct OpcodeBreakdown {
+  std::string opcode;        ///< opcode name as recorded by the engine
+  std::string opcode_class;  ///< shared mapping class (opcode_class())
+  std::size_t injected = 0;
+  std::size_t activated = 0;
+  std::size_t crash = 0;
+  std::size_t sdc = 0;
+  std::size_t benign = 0;
+  std::size_t hang = 0;
+  Proportion crash_rate() const noexcept { return {crash, activated}; }
+  Proportion sdc_rate() const noexcept { return {sdc, activated}; }
+};
+
+/// Groups `r.trials` by site opcode (descending by activated count, ties
+/// by name). Trials that never injected are skipped; trials whose site
+/// opcode was not resolved aggregate under "?".
+std::vector<OpcodeBreakdown> opcode_breakdown(const CampaignResult& r);
+
+/// One mapping class's share of a cell's crash-rate divergence.
+struct AttributionEntry {
+  std::string opcode_class;
+  /// Class crashes over the *whole cell's* activated trials, per tool —
+  /// these terms sum exactly to each tool's cell crash rate, so
+  /// `delta_points` decomposes the cell delta.
+  Proportion llfi_crash{0, 0};
+  Proportion pinfi_crash{0, 0};
+  /// Signed contribution in percentage points:
+  /// pinfi_crash.percent() - llfi_crash.percent(). Summing over a cell's
+  /// entries reproduces the signed cell crash delta.
+  double delta_points = 0.0;
+  /// Most-crashing static site of the class, per tool, rendered as
+  /// "function:opcode@site" ("-" when the tool has no crash in the class).
+  std::string llfi_top_site;
+  std::string pinfi_top_site;
+};
+
+struct CellAttribution {
+  std::string app;
+  ir::Category category = ir::Category::All;
+  /// Signed cell divergence (pinfi - llfi crash percent).
+  double crash_delta = 0.0;
+  /// Every class either tool injected into, sorted by |delta_points|
+  /// descending (ties by class name for determinism).
+  std::vector<AttributionEntry> entries;
+  bool valid = false;  ///< both tools have activated trials
+};
+
+/// Decomposes every cell of the grid. Cells missing a tool or with zero
+/// activated trials on either side come back with valid == false.
+std::vector<CellAttribution> attribute_crash_delta(const ResultSet& rs);
+
+/// Human-readable report: for each valid cell, the top divergence-driving
+/// mapping classes with per-tool crash shares (Wilson 95% CIs) and the
+/// hottest static site on each side.
+std::string render_attribution(const ResultSet& rs);
+
+/// Machine-readable dump: one row per (cell, mapping class).
+CsvWriter attribution_csv(const ResultSet& rs);
+
+}  // namespace faultlab::fault

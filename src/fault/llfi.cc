@@ -61,6 +61,7 @@ class InjectHook final : public vm::ExecHook {
         seen_(already_seen) {}
 
   void on_instruction(const ir::Instruction& instr) override {
+    ++executed_;  // dynamic instructions observed while attached
     if (!injected_ && LlfiEngine::is_target(instr, category_, model_)) {
       if (++seen_ == target_k_) pending_ = true;
     }
@@ -72,6 +73,9 @@ class InjectHook final : public vm::ExecHook {
     injected_ = true;
     injected_id_ = id;
     static_site_ = id.def->id();
+    inject_at_ = executed_;  // relative to attach; engine adds the prefix
+    site_opcode_ = ir::opcode_name(id.def->opcode());
+    site_function_ = id.def->function()->name().c_str();
     const unsigned width =
         model_.llfi_type_width ? id.def->type()->register_bits() : 64;
     bit_ = raw_bit_ % width;
@@ -91,6 +95,9 @@ class InjectHook final : public vm::ExecHook {
   bool activated() const noexcept { return activated_; }
   unsigned bit() const noexcept { return bit_; }
   std::uint64_t static_site() const noexcept { return static_site_; }
+  std::uint64_t inject_at() const noexcept { return inject_at_; }
+  const char* site_opcode() const noexcept { return site_opcode_; }
+  const char* site_function() const noexcept { return site_function_; }
 
  private:
   ir::Category category_;
@@ -104,6 +111,10 @@ class InjectHook final : public vm::ExecHook {
   unsigned bit_ = 0;
   vm::DynValueId injected_id_;
   std::uint64_t static_site_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t inject_at_ = 0;
+  const char* site_opcode_ = nullptr;    // borrows ir's static opcode table
+  const char* site_function_ = nullptr;  // borrows the module's storage
 };
 
 }  // namespace
@@ -259,6 +270,13 @@ TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
   record.bit = hook.bit();
   record.static_site = hook.static_site();
   record.injected = hook.injected();
+  record.site_opcode = hook.site_opcode();
+  record.site_function = hook.site_function();
+  record.total_instructions = r.dynamic_instructions;
+  if (hook.injected())
+    record.inject_instruction =
+        (cp != nullptr ? cp->snapshot.executed : 0) + hook.inject_at();
+  if (r.trapped) record.trap_pc = r.trap_pc;
   record.restored = cp != nullptr;
   record.delta_restored = r.delta_restored;
   record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);

@@ -26,6 +26,25 @@ struct TrialRecord {
   unsigned bit = 0;                  // which bit was flipped
   std::uint64_t static_site = 0;     // instruction id / code index
   bool injected = false;             // the target instance was reached
+  // Flight-recorder fields (obs/events.h): resolved by the engines so the
+  // event log and the attribution analytics can name what was hit and how
+  // far the fault travelled. The opcode/function pointers borrow storage
+  // owned by the engine's module/program, which outlives every consumer
+  // (the scheduler emits events immediately; attribution runs in-process
+  // on the ResultSet while the engines are alive).
+  const char* site_opcode = nullptr;    // opcode name of the injected site
+  const char* site_function = nullptr;  // function containing the site
+  std::uint64_t trap_pc = 0;            // static trap location (Crash only)
+  std::uint64_t inject_instruction = 0; // dynamic index of the injection
+  std::uint64_t total_instructions = 0; // whole-run dynamic instructions
+  /// Propagation distance: dynamic instructions between the injection and
+  /// the end of the run (PropagationTrace's instructions_after_injection,
+  /// captured inline). Zero when the trial never injected.
+  std::uint64_t instructions_after_injection() const noexcept {
+    return injected && total_instructions > inject_instruction
+               ? total_instructions - inject_instruction
+               : 0;
+  }
   // Checkpoint-layer observability (not part of the paper's record; the
   // scheduler aggregates these into per-campaign snapshot hit rates and
   // mean restored-pages. They may vary with execution order — e.g. which

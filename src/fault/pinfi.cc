@@ -32,6 +32,20 @@ unsigned dest_write_bits(const Inst& inst, bool xmm_prune) {
   }
 }
 
+/// Opcode label recorded for an injected site. Mostly x86::op_name, but
+/// memory-source movs are labelled as loads so attribution's mapping
+/// classes line up with LLFI's load opcode instead of folding every mov
+/// form into one bucket.
+const char* site_op_name(const Inst& inst) {
+  switch (inst.op) {
+    case Op::MovRM: return "mov.load";
+    case Op::MovzxRM: return "movzx.load";
+    case Op::MovsxRM: return "movsx.load";
+    case Op::MovsdRM: return "movsd.load";
+    default: return x86::op_name(inst.op);
+  }
+}
+
 /// Bit mask a register write covers (for killing activation tracking).
 std::uint64_t written_gpr_mask(const Inst& inst) {
   if (x86::dest_fully_overwrites(inst)) return ~std::uint64_t{0};
@@ -60,6 +74,7 @@ class PinfiHook final : public x86::SimHook {
         seen_(already_seen) {}
 
   void on_before(std::size_t index, const Inst& inst) override {
+    ++executed_;  // dynamic instructions observed while attached
     if (!injected_) {
       const Inst* next = index + 1 < program_.code.size()
                              ? &program_.code[index + 1]
@@ -87,6 +102,13 @@ class PinfiHook final : public x86::SimHook {
     injected_ = true;
     tracking_ = true;
     static_site_ = index;
+    inject_at_ = executed_;  // relative to attach; engine adds the prefix
+    site_opcode_ = site_op_name(inst);
+    for (const x86::FunctionInfo& f : program_.functions)
+      if (index >= f.entry && index < f.entry + f.size) {
+        site_function_ = f.name.c_str();
+        break;
+      }
 
     const RegId d = x86::dest_reg(inst);
     if (d == kNoReg) {
@@ -122,6 +144,9 @@ class PinfiHook final : public x86::SimHook {
   bool activated() const noexcept { return activated_; }
   unsigned bit() const noexcept { return bit_; }
   std::uint64_t static_site() const noexcept { return static_site_; }
+  std::uint64_t inject_at() const noexcept { return inject_at_; }
+  const char* site_opcode() const noexcept { return site_opcode_; }
+  const char* site_function() const noexcept { return site_function_; }
 
  private:
   void track(const Inst& inst) {
@@ -195,6 +220,10 @@ class PinfiHook final : public x86::SimHook {
   unsigned bit_ = 0;
   unsigned flag_bit_ = 0;
   std::uint64_t static_site_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t inject_at_ = 0;
+  const char* site_opcode_ = nullptr;    // borrows the static op-name table
+  const char* site_function_ = nullptr;  // borrows the program's storage
   std::vector<RegId> reads_;
 };
 
@@ -385,6 +414,13 @@ TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
   record.bit = hook.bit();
   record.static_site = hook.static_site();
   record.injected = hook.injected();
+  record.site_opcode = hook.site_opcode();
+  record.site_function = hook.site_function();
+  record.total_instructions = r.dynamic_instructions;
+  if (hook.injected())
+    record.inject_instruction =
+        (cp != nullptr ? cp->snapshot.executed : 0) + hook.inject_at();
+  if (r.trapped) record.trap_pc = r.trap_pc;
   record.restored = cp != nullptr;
   record.delta_restored = r.delta_restored;
   record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);

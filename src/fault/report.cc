@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "machine/trap.h"
 #include "support/table.h"
 
 namespace faultlab::fault {
@@ -173,22 +174,49 @@ std::string render_table5(const ResultSet& rs) {
 }
 
 CsvWriter results_csv(const ResultSet& rs) {
+  // One crash-count column per trap kind, in enum order; `dominant_trap`
+  // names the kind that killed the most trials ("-" when nothing crashed,
+  // first-in-enum-order on ties). Counts walk the records in draw order,
+  // so the columns are deterministic across thread counts.
+  constexpr machine::TrapKind kTrapKinds[] = {
+      machine::TrapKind::UnmappedAccess, machine::TrapKind::DivideByZero,
+      machine::TrapKind::InvalidJump,    machine::TrapKind::StackOverflow,
+      machine::TrapKind::BadFree,        machine::TrapKind::Unreachable};
   CsvWriter csv({"app", "tool", "category", "profiled_count", "trials",
                  "activated", "crash", "sdc", "benign", "hang",
-                 "not_activated", "crash_pct", "sdc_pct", "sdc_margin95"});
+                 "not_activated", "crash_pct", "sdc_pct", "sdc_margin95",
+                 "trap_unmapped_access", "trap_divide_by_zero",
+                 "trap_invalid_jump", "trap_stack_overflow", "trap_bad_free",
+                 "trap_unreachable", "dominant_trap"});
   for (const auto& r : rs.all()) {
     char crash[24], sdc[24], margin[24];
     std::snprintf(crash, sizeof crash, "%.4f", r.crash_rate().percent());
     std::snprintf(sdc, sizeof sdc, "%.4f", r.sdc_rate().percent());
     std::snprintf(margin, sizeof margin, "%.4f",
                   r.sdc_rate().margin95() * 100.0);
+    std::size_t trap_counts[std::size(kTrapKinds)] = {};
+    for (const TrialRecord& t : r.trials)
+      if (t.outcome == Outcome::Crash)
+        ++trap_counts[static_cast<std::size_t>(t.trap)];
+    std::size_t dominant = 0;
+    for (std::size_t i = 1; i < std::size(kTrapKinds); ++i)
+      if (trap_counts[i] > trap_counts[dominant]) dominant = i;
+    const char* dominant_name =
+        trap_counts[dominant] != 0
+            ? machine::trap_kind_name(kTrapKinds[dominant])
+            : "-";
     csv.add_row({r.app, r.tool, ir::category_name(r.category),
                  std::to_string(r.profiled_count),
                  std::to_string(r.trials.size()),
                  std::to_string(r.activated()), std::to_string(r.crash),
                  std::to_string(r.sdc), std::to_string(r.benign),
                  std::to_string(r.hang), std::to_string(r.not_activated),
-                 crash, sdc, margin});
+                 crash, sdc, margin, std::to_string(trap_counts[0]),
+                 std::to_string(trap_counts[1]),
+                 std::to_string(trap_counts[2]),
+                 std::to_string(trap_counts[3]),
+                 std::to_string(trap_counts[4]),
+                 std::to_string(trap_counts[5]), dominant_name});
   }
   return csv;
 }

@@ -5,10 +5,23 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#if defined(_WIN32)
+#include <io.h>
+#define FAULTLAB_ISATTY _isatty
+#define FAULTLAB_FILENO _fileno
+#else
+#include <unistd.h>
+#define FAULTLAB_ISATTY isatty
+#define FAULTLAB_FILENO fileno
+#endif
+
+#include "machine/trap.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -56,13 +69,41 @@ std::size_t env_threads() {
   return static_cast<std::size_t>(parsed);
 }
 
-/// FAULTLAB_PROGRESS=1 single-line stderr reporter. Driven from finalize()
-/// under the scheduler mutex, so workers pay no extra synchronization; the
-/// line is redrawn in place (\r) as campaigns complete and terminated with
-/// a newline when the grid is done.
+/// Whether stderr is an interactive terminal. When it is not (CI logs,
+/// redirection to a file), the progress reporter falls back to plain
+/// newline-terminated lines instead of in-place \r redraws, so captured
+/// logs carry no ANSI control sequences.
+bool stderr_is_tty() {
+  static const bool tty = FAULTLAB_ISATTY(FAULTLAB_FILENO(stderr)) != 0;
+  return tty;
+}
+
+/// Live counters shared by the workers and the progress reporter. All
+/// relaxed: the heartbeat tolerates slightly stale reads.
+struct ProgressCounters {
+  std::atomic<std::size_t> outcomes[5] = {};  // indexed by fault::Outcome
+  /// Per-worker busy time (microseconds actually spent inside trials),
+  /// for the utilization gauges.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_us;
+  std::size_t workers = 0;
+
+  void size_workers(std::size_t n) {
+    workers = n;
+    busy_us = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      busy_us[i].store(0, std::memory_order_relaxed);
+  }
+};
+
+/// FAULTLAB_PROGRESS=1 stderr heartbeat: overall completion + ETA, running
+/// outcome tallies, and per-worker utilization gauges. Always called under
+/// the scheduler mutex (from finalize() and the workers' periodic ticks),
+/// so the counters are read without tearing the line. On a TTY the line is
+/// redrawn in place (\r...\033[K); otherwise each report is a plain
+/// newline-terminated line.
 void print_progress(std::size_t trials_done, std::size_t trials_total,
                     std::size_t campaigns_done, std::size_t campaigns_total,
-                    double elapsed_seconds) {
+                    double elapsed_seconds, const ProgressCounters& counters) {
   const double rate =
       elapsed_seconds > 0.0
           ? static_cast<double>(trials_done) / elapsed_seconds
@@ -75,12 +116,41 @@ void print_progress(std::size_t trials_done, std::size_t trials_total,
           ? 100.0 * static_cast<double>(trials_done) /
                 static_cast<double>(trials_total)
           : 100.0;
+  const auto tally = [&](Outcome o) {
+    return counters.outcomes[static_cast<std::size_t>(o)].load(
+        std::memory_order_relaxed);
+  };
+  // Utilization gauges: busy-time share of wall time, per worker (capped at
+  // 8 gauges so the line stays readable on wide pools).
+  std::string util;
+  const std::size_t shown = std::min<std::size_t>(counters.workers, 8);
+  for (std::size_t w = 0; w < shown; ++w) {
+    const double busy =
+        static_cast<double>(
+            counters.busy_us[w].load(std::memory_order_relaxed)) /
+        1e6;
+    const double u =
+        elapsed_seconds > 0.0
+            ? std::min(100.0, 100.0 * busy / elapsed_seconds)
+            : 0.0;
+    if (!util.empty()) util += '|';
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.0f", u);
+    util += buf;
+  }
+  if (shown < counters.workers) util += "|..";
+  const bool tty = stderr_is_tty();
   std::fprintf(stderr,
-               "\r[faultlab] %zu/%zu trials (%.1f%%)  %.1f trials/s  "
-               "ETA %.1fs  [%zu/%zu campaigns]\033[K",
-               trials_done, trials_total, pct, rate, eta, campaigns_done,
-               campaigns_total);
-  if (campaigns_done == campaigns_total) std::fputc('\n', stderr);
+               "%s[faultlab] %zu/%zu trials (%.1f%%)  %.1f trials/s  "
+               "ETA %.1fs  [%zu/%zu campaigns]  "
+               "crash %zu  sdc %zu  benign %zu  hang %zu  n/a %zu  "
+               "util %s%%%s",
+               tty ? "\r" : "", trials_done, trials_total, pct, rate, eta,
+               campaigns_done, campaigns_total, tally(Outcome::Crash),
+               tally(Outcome::SDC), tally(Outcome::Benign),
+               tally(Outcome::Hang), tally(Outcome::NotActivated),
+               util.c_str(), tty ? "\033[K" : "\n");
+  if (tty && campaigns_done == campaigns_total) std::fputc('\n', stderr);
   std::fflush(stderr);
 }
 
@@ -225,6 +295,17 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   std::size_t campaigns_done = 0;
 
   const bool progress_line = obs::progress_enabled();
+  // Gate on the global log's open state rather than the cached env bool:
+  // identical for FAULTLAB_EVENTS users (global() opens from the env on
+  // first use), but lets bench_perf toggle the recorder programmatically
+  // to measure its overhead in one process.
+  const bool events_on = obs::EventLog::global().enabled();
+  ProgressCounters progress_counters;
+  std::size_t workers = options_.threads != 0 ? options_.threads
+                                              : env_threads();
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<std::size_t>(chunks.size(), 1));
+  progress_counters.size_workers(workers);
 
   auto finalize = [&](std::size_t index) {
     // Called with all of the campaign's records written; aggregation walks
@@ -285,7 +366,8 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     ++campaigns_done;
     if (progress_line)
       print_progress(trials_done.load(std::memory_order_relaxed), total,
-                     campaigns_done, campaigns.size(), run_timer.seconds());
+                     campaigns_done, campaigns.size(), run_timer.seconds(),
+                     progress_counters);
     if (options_.progress) {
       SchedulerProgress p;
       p.campaigns_total = campaigns.size();
@@ -305,8 +387,9 @@ std::vector<CampaignResult> CampaignScheduler::run() {
       if (campaigns[i].records.empty()) finalize(i);
   }
 
-  auto work = [&]() {
+  auto work = [&](std::size_t worker) {
     obs::Tracer& tracer = obs::Tracer::global();
+    std::uint64_t seq = 0;  // per-worker monotonic event number
     // This worker's resident execution contexts, one per engine it has run
     // trials for. A context's address space survives across trials, which
     // is what keeps same-window resets on the delta path; engines without
@@ -350,10 +433,55 @@ std::vector<CampaignResult> CampaignScheduler::run() {
               span.tag("outcome", outcome_name(record.outcome));
             }
           }
-          trials_done.fetch_add(1, std::memory_order_relaxed);
+          const TrialRecord& record = c.records[trial];
+          if (events_on) {
+            obs::TrialEvent ev;
+            ev.app = c.result.app.c_str();
+            ev.tool = c.result.tool.c_str();
+            ev.category = ir::category_name(c.result.category);
+            ev.worker = static_cast<std::uint32_t>(worker);
+            ev.seq = seq++;
+            ev.trial = trial;
+            ev.k = c.draws[trial].k;
+            ev.bit = record.bit;
+            ev.static_site = record.static_site;
+            ev.opcode = record.site_opcode;
+            ev.function = record.site_function;
+            ev.injected = record.injected;
+            ev.activated =
+                record.injected && record.outcome != Outcome::NotActivated;
+            ev.outcome = outcome_name(record.outcome);
+            if (record.outcome == Outcome::Crash) {
+              ev.trap = machine::trap_kind_name(record.trap);
+              ev.trap_pc = record.trap_pc;
+            }
+            ev.inject_instruction = record.inject_instruction;
+            ev.instructions_total = record.total_instructions;
+            ev.instructions_after_injection =
+                record.instructions_after_injection();
+            ev.checkpoint_hit = record.restored;
+            ev.latency_ms = c.latency_ms[trial];
+            obs::EventLog::global().append(ev);
+          }
+          const std::size_t done =
+              trials_done.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (progress_line) {
+            progress_counters
+                .outcomes[static_cast<std::size_t>(record.outcome)]
+                .fetch_add(1, std::memory_order_relaxed);
+            progress_counters.busy_us[worker].fetch_add(
+                static_cast<std::uint64_t>(c.latency_ms[trial] * 1000.0),
+                std::memory_order_relaxed);
+          }
           if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             std::lock_guard<std::mutex> lock(mutex);
             finalize(index);
+          } else if (progress_line && done % 64 == 0) {
+            // Heartbeat between campaign completions, so long campaigns
+            // still tick.
+            std::lock_guard<std::mutex> lock(mutex);
+            print_progress(done, total, campaigns_done, campaigns.size(),
+                           run_timer.seconds(), progress_counters);
           }
         } catch (...) {
           std::lock_guard<std::mutex> lock(mutex);
@@ -368,27 +496,25 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     }
   };
 
-  std::size_t workers = options_.threads != 0 ? options_.threads
-                                              : env_threads();
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, std::max<std::size_t>(chunks.size(), 1));
   if (total > 0) {
     if (workers <= 1) {
-      work();
+      work(0);
     } else {
       std::vector<std::thread> pool;
       pool.reserve(workers);
-      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
       for (std::thread& th : pool) th.join();
     }
   }
   manifest_.threads = workers;
   manifest_.wall_seconds = run_timer.seconds();
 
-  // Persist spans/metrics now rather than only at exit, so long-lived
-  // processes (benches running several grids) leave a trace per grid and a
-  // failed run still ships what it captured.
-  if (obs::Tracer::global().enabled()) obs::flush_observability();
+  // Persist spans/metrics/events now rather than only at exit, so
+  // long-lived processes (benches running several grids) leave a trace per
+  // grid and a failed run still ships what it captured.
+  if (obs::Tracer::global().enabled() || obs::metrics_enabled())
+    obs::flush_observability();
+  if (events_on) obs::EventLog::global().flush();
 
   if (first_error != nullptr) {
     const Campaign& c = campaigns[error_campaign];

@@ -1,0 +1,177 @@
+#include "obs/events.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace faultlab::obs {
+
+namespace {
+
+/// Appends `value` as a JSON string (quoted, escaped) or null.
+void append_string(std::string& out, const char* value) {
+  if (value == nullptr) {
+    out += "null";
+    return;
+  }
+  out += '"';
+  out += json_escape(value);
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+const char* EventLog::env_path() noexcept {
+  static const char* const path = [] {
+    const char* env = std::getenv("FAULTLAB_EVENTS");
+    if (env == nullptr || env[0] == '\0' ||
+        (env[0] == '0' && env[1] == '\0'))
+      return static_cast<const char*>(nullptr);
+    return env;
+  }();
+  return path;
+}
+
+bool events_enabled() noexcept { return EventLog::env_path() != nullptr; }
+
+EventLog& EventLog::global() {
+  static EventLog* const log = [] {
+    auto* instance = new EventLog();
+    if (const char* path = env_path()) instance->open(path);
+    std::atexit([] { EventLog::global().flush(); });
+    return instance;
+  }();
+  return *log;
+}
+
+EventLog::~EventLog() { close(); }
+
+bool EventLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(file_mutex_);
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write event log to '%s'\n",
+                 path.c_str());
+    enabled_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  file_ = f;
+  appended_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void EventLog::close() {
+  if (!enabled()) {
+    // Never opened (or already closed): nothing buffered, nothing to do.
+    std::lock_guard<std::mutex> lock(file_mutex_);
+    if (file_ != nullptr) {
+      std::fclose(static_cast<std::FILE*>(file_));
+      file_ = nullptr;
+    }
+    return;
+  }
+  enabled_.store(false, std::memory_order_relaxed);
+  flush();
+  std::lock_guard<std::mutex> lock(file_mutex_);
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+}
+
+void EventLog::write_locked(const std::string& data) {
+  if (data.empty()) return;
+  std::lock_guard<std::mutex> lock(file_mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(data.data(), 1, data.size(), static_cast<std::FILE*>(file_));
+  std::fflush(static_cast<std::FILE*>(file_));
+}
+
+void EventLog::flush() {
+  for (Shard& shard : shards_) {
+    std::string out;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      out.swap(shard.buffer);
+    }
+    write_locked(out);
+  }
+}
+
+void EventLog::append(const TrialEvent& e) {
+  if (!enabled()) return;
+  Shard& shard = shards_[(current_thread_id() - 1) % kNumShards];
+  std::string spill;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::string& out = shard.buffer;
+    out += "{\"v\":1,\"app\":";
+    append_string(out, e.app);
+    out += ",\"tool\":";
+    append_string(out, e.tool);
+    out += ",\"category\":";
+    append_string(out, e.category);
+    out += ",\"worker\":";
+    append_u64(out, e.worker);
+    out += ",\"seq\":";
+    append_u64(out, e.seq);
+    out += ",\"trial\":";
+    append_u64(out, e.trial);
+    out += ",\"k\":";
+    append_u64(out, e.k);
+    out += ",\"bit\":";
+    append_u64(out, e.bit);
+    out += ",\"site\":";
+    append_u64(out, e.static_site);
+    out += ",\"opcode\":";
+    append_string(out, e.opcode);
+    out += ",\"function\":";
+    append_string(out, e.function);
+    out += ",\"injected\":";
+    out += e.injected ? "true" : "false";
+    out += ",\"activated\":";
+    out += e.activated ? "true" : "false";
+    out += ",\"outcome\":";
+    append_string(out, e.outcome);
+    out += ",\"trap\":";
+    append_string(out, e.trap);
+    if (e.trap != nullptr) {
+      out += ",\"trap_pc\":";
+      append_u64(out, e.trap_pc);
+    }
+    out += ",\"inject_instruction\":";
+    append_u64(out, e.inject_instruction);
+    out += ",\"instructions_total\":";
+    append_u64(out, e.instructions_total);
+    out += ",\"instructions_after_injection\":";
+    append_u64(out, e.instructions_after_injection);
+    out += ",\"checkpoint\":";
+    append_string(out, e.checkpoint_hit ? "hit" : "miss");
+    out += ",\"latency_ms\":";
+    char latency[32];
+    std::snprintf(latency, sizeof latency, "%.6f", e.latency_ms);
+    out += latency;
+    out += "}\n";
+    if (out.size() >= kFlushBytes) spill.swap(out);
+  }
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  // The spill write happens outside the shard lock: other threads keep
+  // appending to their shards while this one drains to the file.
+  write_locked(spill);
+}
+
+}  // namespace faultlab::obs

@@ -108,6 +108,15 @@ class Interpreter::Impl {
     } catch (const TrapException& trap) {
       result.trapped = true;
       result.trap = trap.kind();
+      result.trap_address = trap.address();
+      // The frame stack is intact while the exception unwinds to here, so
+      // the innermost frame still points at the instruction that trapped
+      // (indices advance only after an instruction completes).
+      if (!frames_.empty()) {
+        const Snapshot::Frame& top = frames_.back();
+        if (top.block != nullptr && top.index < top.block->size())
+          result.trap_pc = top.block->instr(top.index)->id();
+      }
     } catch (const machine::TimeoutException&) {
       result.timed_out = true;
     }

@@ -128,6 +128,13 @@ struct RunLimits {
 struct RunResult {
   bool trapped = false;
   machine::TrapKind trap = machine::TrapKind::UnmappedAccess;
+  /// Static location of the trap when `trapped`: the per-function id of
+  /// the instruction that was executing (same id space as the injectors'
+  /// static_site). Zero otherwise.
+  std::uint64_t trap_pc = 0;
+  /// Faulting address carried by the trap (the TrapException's address
+  /// operand — memory address, divisor site, or jump target).
+  std::uint64_t trap_address = 0;
   bool timed_out = false;
   std::int64_t exit_value = 0;
   std::uint64_t dynamic_instructions = 0;

@@ -96,6 +96,11 @@ class Machine {
     } catch (const TrapException& trap) {
       result.trapped = true;
       result.trap = trap.kind();
+      result.trap_address = trap.address();
+      // rip_index advances before execute(), so the faulting instruction's
+      // index is tracked separately (the fetch-bounds trap at the top of
+      // the loop also lands on the bad rip it recorded there).
+      result.trap_pc = current_index_;
     } catch (const machine::TimeoutException&) {
       result.timed_out = true;
     }
@@ -255,6 +260,10 @@ class Machine {
   void loop() {
     while (true) {
       maybe_snapshot();
+      // trap_pc source: rip advances before execute(), so the faulting
+      // instruction's index is tracked here. For the fetch-bounds trap the
+      // recorded pc is the bad rip itself.
+      current_index_ = state_.rip_index;
       if (state_.rip_index >= program_.code.size())
         trap(TrapKind::InvalidJump, Program::address_of_index(state_.rip_index));
       const std::size_t index = state_.rip_index;
@@ -522,6 +531,7 @@ class Machine {
   MachineState state_;
   std::uint64_t executed_ = 0;
   std::uint64_t next_snapshot_at_ = 0;
+  std::uint64_t current_index_ = 0;  // instruction being executed (trap_pc)
 };
 
 Simulator::Simulator(const Program& program, SimHook* hook)

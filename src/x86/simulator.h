@@ -82,6 +82,13 @@ struct SimLimits {
 struct SimResult {
   bool trapped = false;
   machine::TrapKind trap = machine::TrapKind::UnmappedAccess;
+  /// Static location of the trap when `trapped`: the instruction index
+  /// (rip) that was executing — the same id space as PINFI's static_site.
+  /// Zero otherwise.
+  std::uint64_t trap_pc = 0;
+  /// Faulting address carried by the trap (memory address, divisor site,
+  /// or jump target).
+  std::uint64_t trap_address = 0;
   bool timed_out = false;
   std::int64_t exit_value = 0;
   std::uint64_t dynamic_instructions = 0;

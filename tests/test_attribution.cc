@@ -1,0 +1,253 @@
+// Crash-divergence attribution tests: opcode -> mapping-class folding
+// across both vocabularies (IR names and asm mnemonics), per-opcode
+// outcome breakdowns, and the exact decomposition of a cell's
+// LLFI-vs-PINFI crash delta into per-class contributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "driver/pipeline.h"
+#include "fault/attribution.h"
+#include "fault/llfi.h"
+#include "fault/pinfi.h"
+#include "fault/scheduler.h"
+
+namespace faultlab::fault {
+namespace {
+
+TEST(Attribution, OpcodeClassFoldsBothVocabularies) {
+  // IR opcode and asm mnemonic land in the same bucket — the mapping story
+  // the attribution report is built on.
+  EXPECT_STREQ(opcode_class("add"), "arith");
+  EXPECT_STREQ(opcode_class("imul"), "arith");
+  EXPECT_STREQ(opcode_class("icmp"), "cmp");
+  EXPECT_STREQ(opcode_class("test"), "cmp");
+  EXPECT_STREQ(opcode_class("load"), "load");
+  EXPECT_STREQ(opcode_class("mov.load"), "load");
+  EXPECT_STREQ(opcode_class("store"), "store");
+  EXPECT_STREQ(opcode_class("getelementptr"), "gep");
+  EXPECT_STREQ(opcode_class("lea"), "gep");
+  EXPECT_STREQ(opcode_class("zext"), "cast");
+  EXPECT_STREQ(opcode_class("movzx"), "cast");
+  EXPECT_STREQ(opcode_class("phi"), "phi/mov");
+  EXPECT_STREQ(opcode_class("mov"), "phi/mov");
+  EXPECT_STREQ(opcode_class("call"), "call");
+  EXPECT_STREQ(opcode_class("push"), "call");
+  EXPECT_STREQ(opcode_class("ret"), "call");
+  EXPECT_STREQ(opcode_class("br"), "control");
+  EXPECT_STREQ(opcode_class("jmp"), "control");
+  EXPECT_STREQ(opcode_class("alloca"), "alloca");
+  // Unknown or unresolved opcodes degrade to "other", never crash.
+  EXPECT_STREQ(opcode_class(nullptr), "other");
+  EXPECT_STREQ(opcode_class("frobnicate"), "other");
+}
+
+TrialRecord make_trial(Outcome outcome, const char* opcode,
+                       const char* function, std::uint64_t site,
+                       bool injected = true) {
+  TrialRecord t;
+  t.outcome = outcome;
+  t.injected = injected;
+  t.site_opcode = opcode;
+  t.site_function = function;
+  t.static_site = site;
+  return t;
+}
+
+TEST(Attribution, OpcodeBreakdownGroupsCountsAndSorts) {
+  CampaignResult r;
+  r.app = "tiny";
+  r.tool = "LLFI";
+  r.category = ir::Category::All;
+  r.trials.push_back(make_trial(Outcome::Crash, "getelementptr", "main", 7));
+  r.trials.push_back(make_trial(Outcome::Crash, "getelementptr", "main", 9));
+  r.trials.push_back(make_trial(Outcome::Benign, "getelementptr", "main", 7));
+  r.trials.push_back(make_trial(Outcome::SDC, "add", "main", 3));
+  r.trials.push_back(make_trial(Outcome::NotActivated, "add", "main", 3));
+  // Never injected: excluded entirely from the breakdown.
+  r.trials.push_back(
+      make_trial(Outcome::NotActivated, "mul", "main", 4, false));
+
+  const std::vector<OpcodeBreakdown> rows = opcode_breakdown(r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].opcode, "getelementptr");  // most activated first
+  EXPECT_EQ(rows[0].opcode_class, "gep");
+  EXPECT_EQ(rows[0].injected, 3u);
+  EXPECT_EQ(rows[0].activated, 3u);
+  EXPECT_EQ(rows[0].crash, 2u);
+  EXPECT_EQ(rows[0].benign, 1u);
+  EXPECT_NEAR(rows[0].crash_rate().value(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(rows[1].opcode, "add");
+  EXPECT_EQ(rows[1].opcode_class, "arith");
+  EXPECT_EQ(rows[1].injected, 2u);
+  EXPECT_EQ(rows[1].activated, 1u);
+  EXPECT_EQ(rows[1].sdc, 1u);
+}
+
+/// A synthetic two-tool cell where the divergence drivers are known:
+/// LLFI's crashes all come from gep, PINFI's from the call machinery and
+/// register movs that only exist at the assembly level.
+ResultSet synthetic_cell() {
+  ResultSet rs;
+  CampaignResult l;
+  l.app = "tiny";
+  l.tool = "LLFI";
+  l.category = ir::Category::All;
+  l.trials.push_back(make_trial(Outcome::Crash, "getelementptr", "main", 7));
+  l.trials.push_back(make_trial(Outcome::Crash, "getelementptr", "main", 7));
+  l.trials.push_back(make_trial(Outcome::Crash, "getelementptr", "main", 9));
+  l.trials.push_back(make_trial(Outcome::Crash, "load", "main", 11));
+  for (int i = 0; i < 6; ++i)
+    l.trials.push_back(make_trial(Outcome::Benign, "add", "main", 3));
+  l.crash = 4;
+  l.benign = 6;
+
+  CampaignResult p;
+  p.app = "tiny";
+  p.tool = "PINFI";
+  p.category = ir::Category::All;
+  p.trials.push_back(make_trial(Outcome::Crash, "push", "main", 21));
+  p.trials.push_back(make_trial(Outcome::Crash, "push", "main", 21));
+  p.trials.push_back(make_trial(Outcome::Crash, "lea", "main", 30));
+  p.trials.push_back(make_trial(Outcome::Crash, "mov", "main", 35));
+  for (int i = 0; i < 4; ++i)
+    p.trials.push_back(make_trial(Outcome::Benign, "imul", "main", 17));
+  p.crash = 4;
+  p.benign = 4;
+
+  rs.add(std::move(l));
+  rs.add(std::move(p));
+  return rs;
+}
+
+TEST(Attribution, DeltaDecomposesExactlyAcrossClasses) {
+  const ResultSet rs = synthetic_cell();
+  const std::vector<CellAttribution> cells = attribute_crash_delta(rs);
+  const CellAttribution* cell = nullptr;
+  for (const CellAttribution& c : cells)
+    if (c.valid) {
+      EXPECT_EQ(cell, nullptr) << "only the 'all' cell has both tools";
+      cell = &c;
+    }
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->app, "tiny");
+  EXPECT_EQ(cell->category, ir::Category::All);
+  // PINFI 4/8 = 50%, LLFI 4/10 = 40%.
+  EXPECT_NEAR(cell->crash_delta, 10.0, 1e-9);
+
+  // The per-class signed deltas sum exactly to the cell delta.
+  double sum = 0.0;
+  for (const AttributionEntry& e : cell->entries) sum += e.delta_points;
+  EXPECT_NEAR(sum, cell->crash_delta, 1e-9);
+
+  auto find_class = [&](const std::string& cls) -> const AttributionEntry* {
+    for (const AttributionEntry& e : cell->entries)
+      if (e.opcode_class == cls) return &e;
+    return nullptr;
+  };
+  const AttributionEntry* gep = find_class("gep");
+  ASSERT_NE(gep, nullptr);
+  // LLFI: 3 gep crashes over 10 activated; PINFI: 1 (lea) over 8.
+  EXPECT_EQ(gep->llfi_crash.hits, 3u);
+  EXPECT_EQ(gep->llfi_crash.trials, 10u);
+  EXPECT_EQ(gep->pinfi_crash.hits, 1u);
+  EXPECT_EQ(gep->pinfi_crash.trials, 8u);
+  EXPECT_NEAR(gep->delta_points, 12.5 - 30.0, 1e-9);
+  // Hottest static site on each side, labeled function:opcode@site.
+  EXPECT_EQ(gep->llfi_top_site, "main:getelementptr@7");
+  EXPECT_EQ(gep->pinfi_top_site, "main:lea@30");
+
+  const AttributionEntry* call = find_class("call");
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->llfi_crash.hits, 0u);
+  EXPECT_EQ(call->pinfi_crash.hits, 2u);
+  EXPECT_NEAR(call->delta_points, 25.0, 1e-9);
+  EXPECT_EQ(call->llfi_top_site, "-");
+  EXPECT_EQ(call->pinfi_top_site, "main:push@21");
+
+  const AttributionEntry* phimov = find_class("phi/mov");
+  ASSERT_NE(phimov, nullptr);
+  EXPECT_NEAR(phimov->delta_points, 12.5, 1e-9);
+
+  // Entries sort by |delta| descending: call (25) before load (12.5 down)
+  // and the other 12.5-point classes.
+  EXPECT_EQ(cell->entries.front().opcode_class, "call");
+}
+
+TEST(Attribution, RenderNamesDivergenceDriversAndCsvMatches) {
+  const ResultSet rs = synthetic_cell();
+  const std::string report = render_attribution(rs);
+  EXPECT_NE(report.find("crash delta 10.0 points"), std::string::npos);
+  EXPECT_NE(report.find("gep"), std::string::npos);
+  EXPECT_NE(report.find("phi/mov"), std::string::npos);
+  EXPECT_NE(report.find("call"), std::string::npos);
+  EXPECT_NE(report.find("main:push@21"), std::string::npos);
+  EXPECT_NE(report.find("main:getelementptr@7"), std::string::npos);
+
+  const std::string csv = attribution_csv(rs).to_string();
+  EXPECT_NE(csv.find("tiny,all,call,25.0000"), std::string::npos);
+  EXPECT_NE(csv.find("main:lea@30"), std::string::npos);
+}
+
+TEST(Attribution, InvalidCellsWhenAToolIsMissing) {
+  ResultSet rs;
+  CampaignResult l;
+  l.app = "tiny";
+  l.tool = "LLFI";
+  l.category = ir::Category::All;
+  l.crash = 1;
+  l.trials.push_back(make_trial(Outcome::Crash, "add", "main", 1));
+  rs.add(std::move(l));
+  for (const CellAttribution& c : attribute_crash_delta(rs))
+    EXPECT_FALSE(c.valid);
+  EXPECT_EQ(attribution_csv(rs).to_string().find("tiny"), std::string::npos);
+}
+
+// End-to-end on real engines: the decomposition invariant holds for a live
+// LLFI/PINFI pair, not just hand-built records.
+TEST(Attribution, RealCampaignDecompositionSumsToCellDelta) {
+  const char* kProgram = R"(
+    int main() {
+      int data[16]; int i; long acc = 0;
+      for (i = 0; i < 16; i++) data[i] = i * 7;
+      for (i = 0; i < 16; i++) acc += data[i] % 5;
+      print_int(acc);
+      return 0;
+    }
+  )";
+  auto prog = driver::compile(kProgram, "tiny");
+  fault::LlfiEngine llfi(prog.module());
+  fault::PinfiEngine pinfi(prog.program());
+
+  fault::CampaignScheduler scheduler;
+  fault::CampaignConfig cfg;
+  cfg.app = "tiny";
+  cfg.category = ir::Category::All;
+  cfg.trials = 60;
+  scheduler.add(llfi, cfg);
+  scheduler.add(pinfi, cfg);
+  std::vector<CampaignResult> results = scheduler.run();
+  ResultSet rs;
+  for (CampaignResult& r : results) rs.add(std::move(r));
+
+  bool saw_valid = false;
+  for (const CellAttribution& cell : attribute_crash_delta(rs)) {
+    if (!cell.valid) continue;
+    saw_valid = true;
+    double sum = 0.0;
+    for (const AttributionEntry& e : cell.entries) {
+      sum += e.delta_points;
+      // Every record resolved a real opcode, so nothing lands in "other"
+      // via a null site name (the "?" bucket would betray a hole in the
+      // engines' flight-recorder plumbing).
+      EXPECT_NE(e.opcode_class, "");
+    }
+    EXPECT_NEAR(sum, cell.crash_delta, 1e-9);
+  }
+  EXPECT_TRUE(saw_valid);
+  EXPECT_NE(render_attribution(rs).find("crash delta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faultlab::fault

@@ -17,6 +17,7 @@
 #include "driver/pipeline.h"
 #include "fault/llfi.h"
 #include "fault/scheduler.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -401,6 +402,139 @@ TEST(Export, MetricsJsonIncludesStatsAndSparseBuckets) {
   EXPECT_NE(json.find("\"count\": 10"), std::string::npos);
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+// Extracts the integer following `"key":` in a serialized event line.
+std::uint64_t field_u64(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << line;
+  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(Events, MultiThreadedRoundTripSpillsWholeLines) {
+  const std::string path = "events_roundtrip_test.jsonl";
+  EventLog log;
+  ASSERT_TRUE(log.open(path));
+  // 4 writers x 256 records at ~300 bytes each pushes every shard past the
+  // 64KB spill threshold several times, so the test covers both the
+  // buffered and the mid-run spill paths.
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 256;
+  std::vector<std::thread> pool;
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    pool.emplace_back([&log, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        TrialEvent e;
+        e.app = "mcf";
+        e.tool = "LLFI";
+        e.category = "all";
+        e.worker = t;
+        e.seq = i;
+        e.trial = t * kPerThread + i;
+        e.k = i + 1;
+        e.bit = 13;
+        e.static_site = 7;
+        e.opcode = "getelementptr";
+        e.function = "main";
+        e.injected = true;
+        e.activated = true;
+        e.outcome = "crash";
+        e.trap = "unmapped-access";
+        e.trap_pc = 99;
+        e.inject_instruction = 10;
+        e.instructions_total = 25;
+        e.instructions_after_injection = 15;
+        e.checkpoint_hit = i % 2 == 0;
+        e.latency_ms = 0.5;
+        log.append(e);
+      }
+    });
+  for (std::thread& th : pool) th.join();
+  log.close();
+  EXPECT_EQ(log.appended(), kThreads * kPerThread);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), kThreads * kPerThread);
+  std::vector<std::uint64_t> next_seq(kThreads, 0);
+  std::vector<std::uint64_t> counts(kThreads, 0);
+  for (const std::string& line : lines) {
+    // Shards interleave in the file, but every line must be complete JSON
+    // with the schema preamble — no torn writes across the spill boundary.
+    EXPECT_EQ(line.rfind("{\"v\":1,\"app\":\"mcf\"", 0), 0u);
+    EXPECT_EQ(line.back(), '}');
+    const std::uint64_t worker = field_u64(line, "worker");
+    ASSERT_LT(worker, kThreads);
+    // Per-worker ordering survives the sharded buffering.
+    EXPECT_EQ(field_u64(line, "seq"), next_seq[worker]);
+    ++next_seq[worker];
+    ++counts[worker];
+  }
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    EXPECT_EQ(counts[t], kPerThread) << "worker " << t;
+
+  EXPECT_NE(lines[0].find("\"opcode\":\"getelementptr\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"function\":\"main\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trap\":\"unmapped-access\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trap_pc\":99"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"instructions_after_injection\":15"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Events, EscapesStringsAndOmitsTrapPcWithoutTrap) {
+  const std::string path = "events_escape_test.jsonl";
+  EventLog log;
+  ASSERT_TRUE(log.open(path));
+  TrialEvent e;
+  e.app = "a\"b\\c";
+  e.tool = "PINFI";
+  e.category = "all";
+  e.outcome = "benign";  // no trap: opcode/function/trap stay null
+  log.append(e);
+  log.close();
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"app\":\"a\\\"b\\\\c\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"opcode\":null"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trap\":null"), std::string::npos);
+  EXPECT_EQ(lines[0].find("trap_pc"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"checkpoint\":\"miss\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Events, OpenFailureLeavesLogInert) {
+  EventLog log;
+  EXPECT_FALSE(log.open("no_such_directory_xyz/events.jsonl"));
+  EXPECT_FALSE(log.enabled());
+  TrialEvent e;
+  log.append(e);
+  EXPECT_EQ(log.appended(), 0u);
+}
+
+TEST(Events, DisabledPathRecordsNothingAndNeverAllocates) {
+  EventLog log;  // never opened: the disabled path is one relaxed load
+  TrialEvent e;
+  e.app = "mcf";
+  e.tool = "LLFI";
+  e.category = "all";
+  e.opcode = "add";
+  e.outcome = "benign";
+  e.latency_ms = 1.25;
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) log.append(e);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(log.appended(), 0u);
 }
 
 // End-to-end: a real campaign grid under an enabled global tracer yields

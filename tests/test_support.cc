@@ -157,6 +157,74 @@ TEST(Stats, ZStatisticSigns) {
   EXPECT_DOUBLE_EQ(Proportion::z_statistic({0, 0}, b), 0.0);
 }
 
+TEST(Stats, ProportionSaturated) {
+  // hits == trials: the normal approximation collapses to a zero-width
+  // interval at 1.0, which is exactly the small-n failure mode Wilson
+  // avoids — its lower bound pulls away from 1 while the upper stays at 1.
+  Proportion p{7, 7};
+  EXPECT_DOUBLE_EQ(p.value(), 1.0);
+  EXPECT_DOUBLE_EQ(p.margin95(), 0.0);
+  const auto w = p.wilson95();
+  EXPECT_NEAR(w.hi, 1.0, 1e-12);
+  EXPECT_LT(w.lo, 1.0);
+  // Closed form at p̂=1: lo = n / (n + z²).
+  const double z2 = 1.959963984540054 * 1.959963984540054;
+  EXPECT_NEAR(w.lo, 7.0 / (7.0 + z2), 1e-12);
+}
+
+TEST(Stats, WilsonNearZeroSmallN) {
+  // 0/5 hits: the Wald interval is degenerate [0, 0]; Wilson still admits
+  // the true rate may be large — hi = z² / (n + z²) ≈ 0.43 for n = 5.
+  Proportion p{0, 5};
+  EXPECT_DOUBLE_EQ(p.margin95(), 0.0);
+  const auto w = p.wilson95();
+  EXPECT_NEAR(w.lo, 0.0, 1e-12);
+  const double z2 = 1.959963984540054 * 1.959963984540054;
+  EXPECT_NEAR(w.hi, z2 / (5.0 + z2), 1e-12);
+  // One hit in five: both ends strictly interior.
+  const auto w1 = Proportion{1, 5}.wilson95();
+  EXPECT_GT(w1.lo, 0.0);
+  EXPECT_LT(w1.lo, 0.2);
+  EXPECT_GT(w1.hi, 0.2);
+  EXPECT_LT(w1.hi, 1.0);
+}
+
+TEST(Stats, WilsonBoundsAlwaysClamped) {
+  // Every interval stays inside [0, 1] even at the extremes and n = 1.
+  for (const Proportion p :
+       {Proportion{0, 1}, Proportion{1, 1}, Proportion{0, 1000},
+        Proportion{1000, 1000}, Proportion{1, 2}}) {
+    const auto w = p.wilson95();
+    EXPECT_GE(w.lo, 0.0);
+    EXPECT_LE(w.hi, 1.0);
+    EXPECT_LE(w.lo, w.hi);
+  }
+}
+
+TEST(Stats, Overlap95Degenerate) {
+  // Empty proportions collapse to the point interval [0, 0]: two of them
+  // overlap each other but not a proportion bounded away from zero.
+  EXPECT_TRUE(Proportion::overlap95({0, 0}, {0, 0}));
+  EXPECT_FALSE(Proportion::overlap95({0, 0}, {90, 100}));
+  // Identical saturated proportions overlap trivially, as do two
+  // zero-hit proportions whose intervals both hug zero.
+  EXPECT_TRUE(Proportion::overlap95({5, 5}, {5, 5}));
+  EXPECT_TRUE(Proportion::overlap95({0, 50}, {0, 5}));
+}
+
+TEST(Stats, ZStatisticDegenerate) {
+  // Either side empty -> 0 by contract.
+  EXPECT_DOUBLE_EQ(Proportion::z_statistic({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Proportion::z_statistic({3, 10}, {0, 0}), 0.0);
+  // Pooled rate of 0 or 1 makes the standard error vanish; the guard
+  // returns 0 instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(Proportion::z_statistic({0, 10}, {0, 20}), 0.0);
+  EXPECT_DOUBLE_EQ(Proportion::z_statistic({10, 10}, {20, 20}), 0.0);
+  const double z = Proportion::z_statistic({10, 10}, {0, 10});
+  EXPECT_TRUE(std::isfinite(z));
+  EXPECT_GT(z, 3.0);
+}
+
 TEST(Stats, RunningStats) {
   RunningStats s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);

@@ -1,0 +1,492 @@
+#!/usr/bin/env python3
+"""Render a static HTML campaign dashboard from faultlab observability files.
+
+Merges up to three artifacts of one campaign run:
+
+  * the FAULTLAB_EVENTS trial event log (JSONL, required) — per-trial
+    outcomes, injection sites, trap kinds, propagation distances;
+  * the FAULTLAB_METRICS JSON snapshot (optional) — counters/gauges/
+    histograms from the metrics registry;
+  * the run manifest CSV (optional, written by examples/fault_campaign as
+    <results>.csv.manifest.csv or by manifest_csv()) — wall time, threads,
+    checkpoint hit rates, exact latency percentiles.
+
+and writes a single self-contained HTML file (inline CSS + SVG, no
+external assets, stdlib only):
+
+  * per-(app, tool, category) outcome stacks with Wilson 95% error bars on
+    the crash and SDC shares;
+  * a crash-divergence attribution table per cell — the same mapping-class
+    decomposition as fault/attribution.cc, naming the gep/phi/call drivers;
+  * a trap-kind histogram over all crashing trials;
+  * trial latency p50/p95/p99 (from the event log, plus the manifest's
+    exact values when provided) and the metrics snapshot's histograms.
+
+Usage:
+  tools/faultlab_report.py --events EV.jsonl [--metrics M.json]
+                           [--manifest MANIFEST.csv] -o OUT.html
+"""
+
+import argparse
+import csv
+import html
+import json
+import math
+import sys
+
+OUTCOMES = ("crash", "sdc", "benign", "hang", "not-activated")
+OUTCOME_COLORS = {
+    "crash": "#c0392b",
+    "sdc": "#e67e22",
+    "benign": "#27ae60",
+    "hang": "#8e44ad",
+    "not-activated": "#95a5a6",
+}
+TRAP_KINDS = (
+    "unmapped-access", "divide-by-zero", "invalid-jump", "stack-overflow",
+    "bad-free", "unreachable",
+)
+
+# Mirror of fault/attribution.cc's mapping-class table: IR opcode names and
+# asm mnemonics folded into one comparable vocabulary.
+OPCODE_CLASSES = {}
+for _cls, _ops in {
+    "arith": (
+        "add", "sub", "mul", "sdiv", "udiv", "srem", "urem", "and", "or",
+        "xor", "shl", "lshr", "ashr", "fadd", "fsub", "fmul", "fdiv",
+        "imul", "sar", "shr", "neg", "not", "idiv", "irem", "addsd",
+        "subsd", "mulsd", "divsd", "sqrtsd",
+    ),
+    "cmp": ("icmp", "fcmp", "cmp", "test", "ucomisd", "set"),
+    "load": ("load", "mov.load", "movzx.load", "movsx.load", "movsd.load"),
+    "store": ("store",),
+    "gep": ("getelementptr", "lea"),
+    "cast": (
+        "trunc", "zext", "sext", "fptosi", "sitofp", "bitcast", "ptrtoint",
+        "inttoptr", "movzx", "movsx", "cvtsi2sd", "cvttsd2si",
+    ),
+    "phi/mov": ("phi", "select", "mov", "movsd", "movq", "cmov"),
+    "call": ("call", "callb", "ret", "push", "pop"),
+    "control": ("br", "jmp", "j"),
+    "alloca": ("alloca",),
+}.items():
+    for _op in _ops:
+        OPCODE_CLASSES[_op] = _cls
+
+
+def opcode_class(opcode):
+    if opcode is None:
+        return "other"
+    return OPCODE_CLASSES.get(opcode, "other")
+
+
+def wilson95(hits, trials):
+    """Wilson score interval, matching support/stats.h."""
+    if trials == 0:
+        return (0.0, 0.0)
+    z = 1.959963984540054
+    n = float(trials)
+    p = hits / n
+    denom = 1.0 + z * z / n
+    center = (p + z * z / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def percentile(sorted_values, pct):
+    if not sorted_values:
+        return 0.0
+    rank = (pct / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return sorted_values[lo]
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def load_events(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {e}") from e
+    return records
+
+
+def load_manifest(path):
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def group_cells(events):
+    """Groups events by (app, tool, category) in first-seen order."""
+    cells = {}
+    for ev in events:
+        key = (ev.get("app", "?"), ev.get("tool", "?"),
+               ev.get("category", "?"))
+        cells.setdefault(key, []).append(ev)
+    return cells
+
+
+def esc(text):
+    return html.escape(str(text), quote=True)
+
+
+def outcome_stack_svg(cell_events):
+    """A horizontal stacked outcome bar with Wilson error bars on the
+    crash and SDC shares (over activated trials, the paper's convention)."""
+    activated = [e for e in cell_events if e.get("outcome") != "not-activated"]
+    n = len(activated)
+    counts = {o: 0 for o in OUTCOMES}
+    for ev in cell_events:
+        counts[ev.get("outcome", "benign")] = \
+            counts.get(ev.get("outcome", "benign"), 0) + 1
+    width, bar_h = 560, 26
+    parts = [
+        f'<svg width="{width}" height="{bar_h + 14}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    if n == 0:
+        parts.append(
+            f'<text x="0" y="{bar_h - 8}" font-size="12">'
+            "no activated trials</text></svg>"
+        )
+        return "".join(parts), counts, n
+    x = 0.0
+    for outcome in ("crash", "sdc", "benign", "hang"):
+        share = counts[outcome] / n
+        w = share * width
+        if w > 0:
+            parts.append(
+                f'<rect x="{x:.1f}" y="0" width="{w:.1f}" '
+                f'height="{bar_h}" fill="{OUTCOME_COLORS[outcome]}">'
+                f"<title>{outcome}: {counts[outcome]}/{n} "
+                f"({100.0 * share:.1f}%)</title></rect>"
+            )
+            if w > 34:
+                parts.append(
+                    f'<text x="{x + w / 2:.1f}" y="{bar_h - 8}" '
+                    'font-size="11" fill="#fff" text-anchor="middle">'
+                    f"{100.0 * share:.0f}%</text>"
+                )
+        x += w
+    # Wilson error bars under the bar: crash interval then sdc interval.
+    y = bar_h + 6
+    offset = 0.0
+    for outcome in ("crash", "sdc"):
+        lo, hi = wilson95(counts[outcome], n)
+        x0, x1 = lo * width + offset, hi * width + offset
+        parts.append(
+            f'<line x1="{x0:.1f}" y1="{y}" x2="{x1:.1f}" y2="{y}" '
+            f'stroke="{OUTCOME_COLORS[outcome]}" stroke-width="3">'
+            f"<title>{outcome} Wilson 95%: [{100 * lo:.1f}, "
+            f"{100 * hi:.1f}]%</title></line>"
+        )
+        offset += counts[outcome] / n * width
+        y += 4
+    parts.append("</svg>")
+    return "".join(parts), counts, n
+
+
+def attribution_rows(cells):
+    """Per-(app, category) mapping-class crash decomposition, mirroring
+    fault/attribution.cc (delta = PINFI - LLFI in points)."""
+    by_cell = {}
+    for (app, tool, category), events in cells.items():
+        by_cell.setdefault((app, category), {})[tool] = events
+    rows = []
+    for (app, category), tools in sorted(by_cell.items()):
+        llfi = tools.get("LLFI")
+        pinfi = tools.get("PINFI")
+        if not llfi or not pinfi:
+            continue
+
+        def side(events):
+            activated = [
+                e for e in events if e.get("outcome") != "not-activated"
+            ]
+            per_class = {}
+            for ev in activated:
+                if ev.get("outcome") != "crash":
+                    continue
+                cls = opcode_class(ev.get("opcode"))
+                entry = per_class.setdefault(cls, {"crash": 0, "sites": {}})
+                entry["crash"] += 1
+                site = (
+                    f"{ev.get('function') or '?'}:"
+                    f"{ev.get('opcode') or '?'}@{ev.get('site', 0)}"
+                )
+                entry["sites"][site] = entry["sites"].get(site, 0) + 1
+            return per_class, len(activated)
+
+        l_by, l_n = side(llfi)
+        p_by, p_n = side(pinfi)
+        if l_n == 0 or p_n == 0:
+            continue
+        classes = sorted(set(l_by) | set(p_by))
+        entries = []
+        for cls in classes:
+            lc = l_by.get(cls, {}).get("crash", 0)
+            pc = p_by.get(cls, {}).get("crash", 0)
+            delta = 100.0 * pc / p_n - 100.0 * lc / l_n
+
+            def top(by):
+                sites = by.get(cls, {}).get("sites", {})
+                if not sites:
+                    return "-"
+                return max(sorted(sites), key=lambda s: sites[s])
+
+            entries.append({
+                "class": cls,
+                "delta": delta,
+                "llfi": (lc, l_n),
+                "pinfi": (pc, p_n),
+                "llfi_top": top(l_by),
+                "pinfi_top": top(p_by),
+            })
+        entries.sort(key=lambda e: (-abs(e["delta"]), e["class"]))
+        cell_delta = sum(e["delta"] for e in entries)
+        rows.append({
+            "app": app,
+            "category": category,
+            "delta": cell_delta,
+            "entries": entries,
+        })
+    return rows
+
+
+def trap_histogram_svg(events):
+    counts = {t: 0 for t in TRAP_KINDS}
+    for ev in events:
+        trap = ev.get("trap")
+        if trap in counts:
+            counts[trap] += 1
+    peak = max(counts.values()) or 1
+    bar_w, gap, h = 72, 14, 120
+    width = len(TRAP_KINDS) * (bar_w + gap)
+    parts = [
+        f'<svg width="{width}" height="{h + 34}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for i, trap in enumerate(TRAP_KINDS):
+        x = i * (bar_w + gap)
+        bh = h * counts[trap] / peak
+        parts.append(
+            f'<rect x="{x}" y="{h - bh:.1f}" width="{bar_w}" '
+            f'height="{bh:.1f}" fill="#c0392b">'
+            f"<title>{trap}: {counts[trap]}</title></rect>"
+            f'<text x="{x + bar_w / 2}" y="{h + 12}" font-size="9" '
+            f'text-anchor="middle">{esc(trap)}</text>'
+            f'<text x="{x + bar_w / 2}" y="{h + 26}" font-size="11" '
+            f'text-anchor="middle">{counts[trap]}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render(events, metrics, manifest):
+    cells = group_cells(events)
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>faultlab campaign dashboard</title><style>",
+        "body{font-family:sans-serif;margin:24px;color:#222}",
+        "h1{font-size:20px}h2{font-size:16px;margin-top:28px}",
+        "table{border-collapse:collapse;margin:8px 0}",
+        "td,th{border:1px solid #ccc;padding:4px 8px;font-size:12px;",
+        "text-align:left}",
+        "th{background:#f4f4f4}",
+        ".cell{margin:10px 0}.label{font-size:13px;font-weight:bold}",
+        ".legend span{display:inline-block;margin-right:14px;font-size:12px}",
+        ".swatch{display:inline-block;width:10px;height:10px;",
+        "margin-right:4px}",
+        "</style></head><body>",
+        "<h1>faultlab campaign dashboard</h1>",
+        f"<p>{len(events)} trial events, {len(cells)} campaign cell(s).</p>",
+    ]
+
+    out.append("<h2>Outcome breakdown (activated trials)</h2><p class='legend'>")
+    for outcome in OUTCOMES[:4]:
+        out.append(
+            f"<span><span class='swatch' style='background:"
+            f"{OUTCOME_COLORS[outcome]}'></span>{outcome}</span>"
+        )
+    out.append(
+        "</span></p><p>Whisker lines under each bar: Wilson 95% intervals "
+        "for the crash and SDC shares.</p>"
+    )
+    for (app, tool, category), cell_events in cells.items():
+        svg, counts, n = outcome_stack_svg(cell_events)
+        out.append(
+            f"<div class='cell'><div class='label'>{esc(app)} / {esc(tool)}"
+            f" / {esc(category)} — {n} activated of {len(cell_events)}"
+            f"</div>{svg}</div>"
+        )
+
+    out.append("<h2>Crash-divergence attribution (PINFI − LLFI)</h2>")
+    rows = attribution_rows(cells)
+    if not rows:
+        out.append(
+            "<p>Needs both tools' events for the same (app, category) "
+            "cell.</p>"
+        )
+    for row in rows:
+        out.append(
+            f"<h3 style='font-size:14px'>{esc(row['app'])} / "
+            f"{esc(row['category'])} — crash delta "
+            f"{row['delta']:+.1f} points</h3>"
+        )
+        out.append(
+            "<table><tr><th>class</th><th>delta (pts)</th>"
+            "<th>LLFI share</th><th>PINFI share</th>"
+            "<th>LLFI top site</th><th>PINFI top site</th></tr>"
+        )
+        for e in row["entries"]:
+            def share(pair):
+                hits, n = pair
+                if n == 0:
+                    return "-"
+                lo, hi = wilson95(hits, n)
+                return (
+                    f"{100.0 * hits / n:.1f}% "
+                    f"[{100 * lo:.1f}, {100 * hi:.1f}]"
+                )
+            out.append(
+                f"<tr><td>{esc(e['class'])}</td>"
+                f"<td>{e['delta']:+.1f}</td>"
+                f"<td>{share(e['llfi'])}</td><td>{share(e['pinfi'])}</td>"
+                f"<td>{esc(e['llfi_top'])}</td>"
+                f"<td>{esc(e['pinfi_top'])}</td></tr>"
+            )
+        out.append("</table>")
+
+    out.append("<h2>Trap kinds (crashing trials)</h2>")
+    out.append(trap_histogram_svg(events))
+
+    out.append("<h2>Trial latency</h2>")
+    out.append(
+        "<table><tr><th>app</th><th>tool</th><th>category</th>"
+        "<th>trials</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th>"
+        "<th>mean propagation (instrs after injection)</th></tr>"
+    )
+    for (app, tool, category), cell_events in cells.items():
+        lat = sorted(
+            float(e.get("latency_ms", 0.0)) for e in cell_events
+        )
+        injected = [e for e in cell_events if e.get("injected")]
+        prop = (
+            sum(e.get("instructions_after_injection", 0) for e in injected)
+            / len(injected)
+            if injected
+            else 0.0
+        )
+        out.append(
+            f"<tr><td>{esc(app)}</td><td>{esc(tool)}</td>"
+            f"<td>{esc(category)}</td><td>{len(cell_events)}</td>"
+            f"<td>{percentile(lat, 50):.2f}</td>"
+            f"<td>{percentile(lat, 95):.2f}</td>"
+            f"<td>{percentile(lat, 99):.2f}</td>"
+            f"<td>{prop:,.0f}</td></tr>"
+        )
+    out.append("</table>")
+
+    if manifest:
+        out.append("<h2>Run manifest</h2><table><tr>")
+        keys = list(manifest[0].keys())
+        for key in keys:
+            out.append(f"<th>{esc(key)}</th>")
+        out.append("</tr>")
+        for row in manifest:
+            out.append("<tr>")
+            for key in keys:
+                out.append(f"<td>{esc(row.get(key, ''))}</td>")
+            out.append("</tr>")
+        out.append("</table>")
+
+    if metrics:
+        out.append("<h2>Metrics snapshot</h2>")
+        counters = metrics.get("counters", {})
+        if counters:
+            out.append("<table><tr><th>counter</th><th>value</th></tr>")
+            for name, value in counters.items():
+                out.append(
+                    f"<tr><td>{esc(name)}</td><td>{esc(value)}</td></tr>"
+                )
+            out.append("</table>")
+        hists = metrics.get("histograms", {})
+        if hists:
+            out.append(
+                "<table><tr><th>histogram</th><th>count</th><th>mean</th>"
+                "<th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>"
+            )
+            for name, h in hists.items():
+                out.append(
+                    f"<tr><td>{esc(name)}</td><td>{h.get('count', 0)}</td>"
+                    f"<td>{h.get('mean', 0):.2f}</td>"
+                    f"<td>{h.get('p50', 0):.2f}</td>"
+                    f"<td>{h.get('p95', 0):.2f}</td>"
+                    f"<td>{h.get('p99', 0):.2f}</td>"
+                    f"<td>{h.get('max', 0)}</td></tr>"
+                )
+            out.append("</table>")
+
+    out.append("</body></html>\n")
+    return "".join(out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", required=True,
+                        help="FAULTLAB_EVENTS JSONL path")
+    parser.add_argument("--metrics", help="FAULTLAB_METRICS JSON path")
+    parser.add_argument("--manifest", help="run manifest CSV path")
+    parser.add_argument("-o", "--out", required=True,
+                        help="output HTML path")
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.events)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"error: {args.events}: no trial events", file=sys.stderr)
+        return 1
+
+    metrics = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as fh:
+                metrics = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {args.metrics}: {e}", file=sys.stderr)
+            return 1
+
+    manifest = None
+    if args.manifest:
+        try:
+            manifest = load_manifest(args.manifest)
+        except OSError as e:
+            print(f"error: {args.manifest}: {e}", file=sys.stderr)
+            return 1
+
+    document = render(events, metrics, manifest)
+    try:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(document)
+    except OSError as e:
+        print(f"error: {args.out}: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.out}: dashboard with {len(events)} events "
+        f"({len(group_cells(events))} cells)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

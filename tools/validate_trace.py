@@ -13,10 +13,22 @@ that the span structure matches what the campaign scheduler promises:
     outside any trial);
   * optionally, the number of trial spans matches --expect-trials.
 
+With --events, the file is instead validated as a FAULTLAB_EVENTS trial
+event log (one JSON object per line, schema v1 from src/obs/events.h):
+
+  * every record carries the full required key set with sane types;
+  * enum fields hold known values (outcome, trap kind, checkpoint);
+  * `seq` is monotonic per worker (0, 1, 2, ... — the writer promises
+    per-worker ordering even though shards interleave in the file);
+  * cross-field consistency: a crash carries a trap (and only a crash
+    does), activation implies injection, and the propagation distance
+    equals instructions_total - inject_instruction for injected trials.
+
 Usage:
   tools/validate_trace.py TRACE [--expect-trials N]
+  tools/validate_trace.py --events EVENTS.jsonl [--expect-trials N]
 
-Exit status 0 when the trace is valid, 1 otherwise (with a message per
+Exit status 0 when the file is valid, 1 otherwise (with a message per
 violation on stderr). Stdlib only — no third-party dependencies.
 """
 
@@ -26,6 +38,18 @@ import sys
 
 REQUIRED_TRIAL_TAGS = ("app", "tool", "category", "k", "checkpoint", "outcome")
 PHASE_NAMES = ("restore", "execute", "classify")
+
+EVENT_REQUIRED_KEYS = (
+    "v", "app", "tool", "category", "worker", "seq", "trial", "k", "bit",
+    "site", "opcode", "function", "injected", "activated", "outcome", "trap",
+    "inject_instruction", "instructions_total",
+    "instructions_after_injection", "checkpoint", "latency_ms",
+)
+EVENT_OUTCOMES = ("benign", "sdc", "crash", "hang", "not-activated")
+EVENT_TRAP_KINDS = (
+    "unmapped-access", "divide-by-zero", "invalid-jump", "stack-overflow",
+    "bad-free", "unreachable",
+)
 
 
 def load_events(path):
@@ -121,6 +145,96 @@ def validate(events):
             )
 
 
+def load_event_log(path):
+    """Returns the list of trial-event dicts from a FAULTLAB_EVENTS JSONL."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"line {lineno}: invalid JSON: {e}") from e
+            if not isinstance(record, dict):
+                raise ValueError(f"line {lineno}: not a JSON object")
+            record["_line"] = lineno
+            records.append(record)
+    return records
+
+
+def validate_events(records):
+    """Yields one message per event-log violation."""
+    seq_by_worker = {}
+    for record in records:
+        where = f"line {record['_line']}"
+        for key in EVENT_REQUIRED_KEYS:
+            if key not in record:
+                yield f"{where}: missing key '{key}'"
+        if record.get("v") != 1:
+            yield f"{where}: schema version is {record.get('v')!r}, expected 1"
+        for key in ("worker", "seq", "trial", "k", "bit", "site",
+                    "inject_instruction", "instructions_total",
+                    "instructions_after_injection"):
+            if key in record and not isinstance(record[key], int):
+                yield f"{where}: '{key}' is not an integer"
+        if "latency_ms" in record and not isinstance(
+            record["latency_ms"], (int, float)
+        ):
+            yield f"{where}: 'latency_ms' is not numeric"
+        for key in ("injected", "activated"):
+            if key in record and not isinstance(record[key], bool):
+                yield f"{where}: '{key}' is not a boolean"
+        outcome = record.get("outcome")
+        if outcome not in EVENT_OUTCOMES:
+            yield f"{where}: unknown outcome {outcome!r}"
+        trap = record.get("trap")
+        if trap is not None and trap not in EVENT_TRAP_KINDS:
+            yield f"{where}: unknown trap kind {trap!r}"
+        if record.get("checkpoint") not in ("hit", "miss"):
+            yield (
+                f"{where}: checkpoint is {record.get('checkpoint')!r}, "
+                "expected 'hit' or 'miss'"
+            )
+        # Cross-field consistency.
+        if outcome == "crash" and trap is None:
+            yield f"{where}: crash outcome without a trap kind"
+        if outcome in ("benign", "sdc", "hang", "not-activated") and \
+                trap is not None:
+            yield f"{where}: outcome {outcome!r} carries trap {trap!r}"
+        if record.get("activated") and not record.get("injected"):
+            yield f"{where}: activated without injected"
+        if all(
+            isinstance(record.get(k), int)
+            for k in ("inject_instruction", "instructions_total",
+                      "instructions_after_injection")
+        ):
+            expected = (
+                max(0, record["instructions_total"]
+                    - record["inject_instruction"])
+                if record.get("injected")
+                else 0
+            )
+            if record["instructions_after_injection"] != expected:
+                yield (
+                    f"{where}: instructions_after_injection is "
+                    f"{record['instructions_after_injection']}, expected "
+                    f"{expected}"
+                )
+        # Per-worker ordering: the writer promises a contiguous 0,1,2,...
+        # seq per worker even though shard spills interleave in the file.
+        worker = record.get("worker")
+        seq = record.get("seq")
+        if isinstance(worker, int) and isinstance(seq, int):
+            expected_seq = seq_by_worker.get(worker, 0)
+            if seq != expected_seq:
+                yield (
+                    f"{where}: worker {worker} seq {seq}, expected "
+                    f"{expected_seq} (per-worker seq must be contiguous)"
+                )
+            seq_by_worker[worker] = max(expected_seq, seq) + 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="path to the exported trace")
@@ -130,7 +244,36 @@ def main(argv=None):
         default=None,
         help="fail unless exactly N 'trial' spans are present",
     )
+    parser.add_argument(
+        "--events",
+        action="store_true",
+        help="validate a FAULTLAB_EVENTS trial event log instead of a trace",
+    )
     args = parser.parse_args(argv)
+
+    if args.events:
+        try:
+            records = load_event_log(args.trace)
+        except (OSError, ValueError) as e:
+            print(f"{args.trace}: {e}", file=sys.stderr)
+            return 1
+        errors = list(validate_events(records))
+        if not records:
+            errors.append("no event records found")
+        if args.expect_trials is not None and len(records) != \
+                args.expect_trials:
+            errors.append(
+                f"expected {args.expect_trials} events, found {len(records)}"
+            )
+        for message in errors:
+            print(f"{args.trace}: {message}", file=sys.stderr)
+        if not errors:
+            workers = {r.get("worker") for r in records}
+            print(
+                f"{args.trace}: OK — {len(records)} trial events from "
+                f"{len(workers)} worker(s)"
+            )
+        return 1 if errors else 0
 
     try:
         events = load_events(args.trace)
