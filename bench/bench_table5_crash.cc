@@ -1,7 +1,9 @@
 // Table V: crash percentages per category — the paper's negative result:
 // unlike SDC rates, crash rates diverge substantially between LLFI and
 // PINFI (up to ~40 points), except for the 'cmp' category.
+#include <cstdio>
 #include <iostream>
+#include <utility>
 
 #include "common.h"
 #include "fault/attribution.h"
@@ -31,5 +33,32 @@ int main() {
   benchx::save_results(run, "table5_crash.csv");
   fault::attribution_csv(rs).save("table5_attribution.csv");
   std::cout << "[attribution written to table5_attribution.csv]\n";
+
+  // Cross-model sweep: re-run the 'all' grid under each builtin hardware
+  // fault model (transient baseline, stuck-at-1, intermittent burst,
+  // 2-bit mask) and attribute crash divergence per model, so the CSV shows
+  // which mapping classes diverge under which model.
+  std::cout << "\nCross-model crash sweep ('all' category, builtin fault "
+               "models)\n";
+  std::vector<std::pair<std::string, fault::ResultSet>> per_model;
+  for (const fault::Model& m : fault::Model::builtin_suite()) {
+    benchx::ExperimentRun mrun = benchx::run_experiment(
+        apps, {ir::Category::All}, trials, {}, m);
+    double crash_sum[2] = {0, 0};
+    int counts[2] = {0, 0};
+    for (const fault::CampaignResult& r : mrun.results.all()) {
+      if (r.activated() == 0) continue;
+      const int t = r.tool == "LLFI" ? 0 : 1;
+      crash_sum[t] += r.crash_rate().percent();
+      ++counts[t];
+    }
+    std::printf("  %-20s crash LLFI %5.1f%%  PINFI %5.1f%%\n",
+                m.name().c_str(),
+                counts[0] != 0 ? crash_sum[0] / counts[0] : 0.0,
+                counts[1] != 0 ? crash_sum[1] / counts[1] : 0.0);
+    per_model.emplace_back(m.name(), std::move(mrun.results));
+  }
+  fault::model_attribution_csv(per_model).save("table5_models.csv");
+  std::cout << "[per-model attribution written to table5_models.csv]\n";
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "machine/memory.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "support/env.h"
 
 namespace faultlab::benchx {
 
@@ -71,17 +72,8 @@ fault::SchedulerOptions default_scheduler_options(
   options.model = model;
   // FAULTLAB_THREADS pins the worker count (results are identical either
   // way; this exists so perf runs and CSV-diff checks are reproducible).
-  if (const char* env = std::getenv("FAULTLAB_THREADS")) {
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0')
-      options.threads = static_cast<std::size_t>(parsed);
-    else
-      std::fprintf(stderr,
-                   "warning: FAULTLAB_THREADS='%s' is not an integer; "
-                   "using hardware concurrency\n",
-                   env);
-  }
+  options.threads = static_cast<std::size_t>(
+      support::parse_env_u64("FAULTLAB_THREADS", 0));
   // With FAULTLAB_PROGRESS=1 the scheduler redraws its own \r status line;
   // these per-campaign lines would tear it, so they yield.
   if (!obs::progress_enabled()) {
@@ -106,15 +98,18 @@ ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
                              const std::vector<ir::Category>& categories,
                              std::size_t trials,
                              const fault::FaultModel& model,
+                             const fault::Model& fault_model,
                              std::uint64_t seed) {
   fault::CampaignScheduler scheduler(default_scheduler_options(model));
   std::vector<std::unique_ptr<fault::InjectorEngine>> engines;
   for (const CompiledApp& app : apps) {
-    engines.push_back(
-        std::make_unique<fault::LlfiEngine>(app.program.module(), model));
+    engines.push_back(std::make_unique<fault::LlfiEngine>(
+        app.program.module(), model, fault::CheckpointPolicy::from_env(),
+        fault_model));
     fault::InjectorEngine& llfi = *engines.back();
-    engines.push_back(
-        std::make_unique<fault::PinfiEngine>(app.program.program(), model));
+    engines.push_back(std::make_unique<fault::PinfiEngine>(
+        app.program.program(), model, fault::CheckpointPolicy::from_env(),
+        fault_model));
     fault::InjectorEngine& pinfi = *engines.back();
     for (ir::Category category : categories) {
       fault::CampaignConfig cfg;

@@ -45,10 +45,14 @@ fault::SchedulerOptions default_scheduler_options(
 /// Runs LLFI+PINFI campaigns for the given categories over all apps on one
 /// shared CampaignScheduler: each engine is profiled once for all
 /// categories, and every trial of the grid goes through one worker pool.
+/// `fault_model` selects the hardware fault model both engines inject
+/// (defaults to FAULTLAB_FAULT_MODEL, i.e. the transient baseline).
 ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
                              const std::vector<ir::Category>& categories,
                              std::size_t trials,
                              const fault::FaultModel& model = {},
+                             const fault::Model& fault_model =
+                                 fault::Model::from_env(),
                              std::uint64_t seed = 0xDA7A5EED);
 
 /// Prints a standard experiment banner (paper reference + trial count).

@@ -246,25 +246,65 @@ std::string render_attribution(const ResultSet& rs) {
   return os.str();
 }
 
+namespace {
+
+/// Appends one cell-entry row; `prefix` holds any leading columns (the
+/// per-model dump prepends the model name, the plain dump passes none).
+void add_attribution_row(CsvWriter& csv, std::vector<std::string> prefix,
+                         const CellAttribution& cell,
+                         const AttributionEntry& e) {
+  const Proportion::Interval lw = e.llfi_crash.wilson95();
+  const Proportion::Interval pw = e.pinfi_crash.wilson95();
+  std::vector<std::string> row = std::move(prefix);
+  row.push_back(cell.app);
+  row.push_back(ir::category_name(cell.category));
+  row.push_back(e.opcode_class);
+  row.push_back(fmt4(e.delta_points));
+  row.push_back(std::to_string(e.llfi_crash.hits));
+  row.push_back(std::to_string(e.llfi_crash.trials));
+  row.push_back(fmt4(e.llfi_crash.percent()));
+  row.push_back(fmt4(lw.lo * 100.0));
+  row.push_back(fmt4(lw.hi * 100.0));
+  row.push_back(std::to_string(e.pinfi_crash.hits));
+  row.push_back(std::to_string(e.pinfi_crash.trials));
+  row.push_back(fmt4(e.pinfi_crash.percent()));
+  row.push_back(fmt4(pw.lo * 100.0));
+  row.push_back(fmt4(pw.hi * 100.0));
+  row.push_back(e.llfi_top_site);
+  row.push_back(e.pinfi_top_site);
+  csv.add_row(std::move(row));
+}
+
+constexpr const char* kAttributionColumns[] = {
+    "app", "category", "class", "delta_points", "llfi_crash",
+    "llfi_activated", "llfi_share_pct", "llfi_wilson_lo", "llfi_wilson_hi",
+    "pinfi_crash", "pinfi_activated", "pinfi_share_pct", "pinfi_wilson_lo",
+    "pinfi_wilson_hi", "llfi_top_site", "pinfi_top_site"};
+
+}  // namespace
+
 CsvWriter attribution_csv(const ResultSet& rs) {
-  CsvWriter csv({"app", "category", "class", "delta_points", "llfi_crash",
-                 "llfi_activated", "llfi_share_pct", "llfi_wilson_lo",
-                 "llfi_wilson_hi", "pinfi_crash", "pinfi_activated",
-                 "pinfi_share_pct", "pinfi_wilson_lo", "pinfi_wilson_hi",
-                 "llfi_top_site", "pinfi_top_site"});
+  CsvWriter csv({std::begin(kAttributionColumns),
+                 std::end(kAttributionColumns)});
   for (const CellAttribution& cell : attribute_crash_delta(rs)) {
     if (!cell.valid) continue;
-    for (const AttributionEntry& e : cell.entries) {
-      const Proportion::Interval lw = e.llfi_crash.wilson95();
-      const Proportion::Interval pw = e.pinfi_crash.wilson95();
-      csv.add_row({cell.app, ir::category_name(cell.category), e.opcode_class,
-                   fmt4(e.delta_points), std::to_string(e.llfi_crash.hits),
-                   std::to_string(e.llfi_crash.trials),
-                   fmt4(e.llfi_crash.percent()), fmt4(lw.lo * 100.0),
-                   fmt4(lw.hi * 100.0), std::to_string(e.pinfi_crash.hits),
-                   std::to_string(e.pinfi_crash.trials),
-                   fmt4(e.pinfi_crash.percent()), fmt4(pw.lo * 100.0),
-                   fmt4(pw.hi * 100.0), e.llfi_top_site, e.pinfi_top_site});
+    for (const AttributionEntry& e : cell.entries)
+      add_attribution_row(csv, {}, cell, e);
+  }
+  return csv;
+}
+
+CsvWriter model_attribution_csv(
+    const std::vector<std::pair<std::string, ResultSet>>& per_model) {
+  std::vector<std::string> columns{"fault_model"};
+  columns.insert(columns.end(), std::begin(kAttributionColumns),
+                 std::end(kAttributionColumns));
+  CsvWriter csv(std::move(columns));
+  for (const auto& [model, rs] : per_model) {
+    for (const CellAttribution& cell : attribute_crash_delta(rs)) {
+      if (!cell.valid) continue;
+      for (const AttributionEntry& e : cell.entries)
+        add_attribution_row(csv, {model}, cell, e);
     }
   }
   return csv;

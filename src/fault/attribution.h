@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/compare.h"
@@ -87,5 +88,13 @@ std::string render_attribution(const ResultSet& rs);
 
 /// Machine-readable dump: one row per (cell, mapping class).
 CsvWriter attribution_csv(const ResultSet& rs);
+
+/// Cross-model variant: one row per (fault model, cell, mapping class),
+/// with a leading `fault_model` column. Each pair is a model's name
+/// (fault::Model::name()) and the full grid run under that model, so the
+/// CSV shows which mapping classes diverge under which hardware fault
+/// model (bench_table5_crash renders it as table5_models.csv).
+CsvWriter model_attribution_csv(
+    const std::vector<std::pair<std::string, ResultSet>>& per_model);
 
 }  // namespace faultlab::fault

@@ -1,11 +1,9 @@
 #include "fault/campaign.h"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
 #include <utility>
 
 #include "fault/scheduler.h"
+#include "support/env.h"
 
 namespace faultlab::fault {
 
@@ -20,20 +18,8 @@ CampaignResult run_campaign(InjectorEngine& engine,
 }
 
 std::size_t default_trials() {
-  constexpr std::size_t kDefault = 150;
-  const char* env = std::getenv("FAULTLAB_TRIALS");
-  if (env == nullptr) return kDefault;
-  errno = 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(env, &end, 10);
-  if (errno == ERANGE || end == env || *end != '\0' || parsed <= 0) {
-    std::fprintf(stderr,
-                 "warning: FAULTLAB_TRIALS='%s' is not a positive integer; "
-                 "using %zu\n",
-                 env, kDefault);
-    return kDefault;
-  }
-  return static_cast<std::size_t>(parsed);
+  return static_cast<std::size_t>(
+      support::parse_env_u64("FAULTLAB_TRIALS", 150, /*min=*/1));
 }
 
 }  // namespace faultlab::fault

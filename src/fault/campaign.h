@@ -29,6 +29,9 @@ struct CampaignResult {
   std::string app;
   std::string tool;
   ir::Category category = ir::Category::All;
+  /// Name of the hardware fault model the engine injected (Model::name();
+  /// "transient" for the paper's baseline).
+  std::string fault_model = "transient";
   std::uint64_t profiled_count = 0;  // N (Table IV entry)
 
   std::size_t crash = 0;

@@ -1,33 +1,9 @@
 // CheckpointPolicy: stride selection and environment overrides for the
 // checkpoint/restore trial layer (see engine.h).
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-
 #include "fault/engine.h"
+#include "support/env.h"
 
 namespace faultlab::fault {
-
-namespace {
-
-/// Parses a non-negative decimal env var; returns `fallback` (with a
-/// one-line warning) on garbage, trailing junk, or overflow.
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(env, &end, 10);
-  if (errno == ERANGE || end == env || *end != '\0' || env[0] == '-') {
-    std::fprintf(stderr,
-                 "warning: %s='%s' is not a non-negative integer; ignoring\n",
-                 name, env);
-    return fallback;
-  }
-  return static_cast<std::uint64_t>(parsed);
-}
-
-}  // namespace
 
 CheckpointMetrics& checkpoint_metrics() {
   static CheckpointMetrics metrics = [] {
@@ -48,9 +24,9 @@ CheckpointMetrics& checkpoint_metrics() {
 
 CheckpointPolicy CheckpointPolicy::from_env() {
   CheckpointPolicy policy;
-  policy.enabled = env_u64("FAULTLAB_CHECKPOINTS", 1) != 0;
-  policy.stride = env_u64("FAULTLAB_SNAPSHOT_STRIDE", 0);
-  policy.budget_pages = env_u64("FAULTLAB_SNAPSHOT_BUDGET", 0);
+  policy.enabled = support::parse_env_u64("FAULTLAB_CHECKPOINTS", 1) != 0;
+  policy.stride = support::parse_env_u64("FAULTLAB_SNAPSHOT_STRIDE", 0);
+  policy.budget_pages = support::parse_env_u64("FAULTLAB_SNAPSHOT_BUDGET", 0);
   return policy;
 }
 

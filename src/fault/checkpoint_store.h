@@ -87,6 +87,26 @@ class CheckpointStore {
                                   : static_cast<std::uint64_t>(idx);
   }
 
+  /// Latest live entry captured strictly before dynamic instruction `t`,
+  /// or nullptr (run from scratch). The time-triggered analogue of
+  /// before(): resuming it replays every instruction from `executed` to
+  /// `t`, so a hook armed at `t` misses nothing. Stamps the LRU clock.
+  const Entry* before_time(std::uint64_t t) const {
+    const std::size_t idx = index_before_time(t);
+    if (idx == entries_.size()) return nullptr;
+    const Entry& e = entries_[idx];
+    e.last_touch.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    return &e;
+  }
+
+  /// Index of the entry before_time() would resume from, or kNoWindow.
+  std::uint64_t window_of_time(std::uint64_t t) const {
+    const std::size_t idx = index_before_time(t);
+    return idx == entries_.size() ? kNoWindow
+                                  : static_cast<std::uint64_t>(idx);
+  }
+
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t live_count() const noexcept { return live_count_; }
   std::uint64_t live_pages() const noexcept { return live_pages_; }
@@ -104,6 +124,26 @@ class CheckpointStore {
     while (lo < hi) {
       const std::size_t mid = lo + (hi - lo) / 2;
       if (entries_[mid].seen[category] < k)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    while (lo > 0) {
+      if (entries_[lo - 1].alive) return lo - 1;
+      --lo;
+    }
+    return entries_.size();
+  }
+
+  /// Index of the latest live entry with executed < t, or size(). Same
+  /// shape as index_before(): executed counts are strictly increasing, so
+  /// binary search applies, then walk left past evicted entries.
+  std::size_t index_before_time(std::uint64_t t) const {
+    std::size_t hi = entries_.size();
+    std::size_t lo = 0;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (entries_[mid].executed < t)
         lo = mid + 1;
       else
         hi = mid;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/model.h"
 #include "fault/outcome.h"
 #include "ir/category.h"
 #include "obs/metrics.h"
@@ -202,6 +203,14 @@ class InjectorEngine {
     (void)category;
     (void)k;
     return kNoWindow;
+  }
+
+  /// The hardware fault model this engine injects (fault::Model, not the
+  /// tool-heuristic FaultModel knobs above). The base default is the
+  /// paper's transient single-bit model.
+  virtual const Model& fault_model() const noexcept {
+    static const Model kDefault{};
+    return kDefault;
   }
 
   /// Output of the fault-free run (SDC reference).

@@ -43,51 +43,106 @@ class ProfileAllHook final : public vm::ExecHook {
   CategoryCounts counts_;
 };
 
-/// Injection hook: flips one bit in the destination of dynamic instance k
-/// of the category, then watches for a read of that exact dynamic value
-/// (activation). The bit index is drawn uniformly in [0,64) up front and
-/// folded by the destination's width at injection time, because the width
-/// is only known once the instance is reached. When the trial resumes from
-/// a checkpoint, `already_seen` primes the instance counter with the
-/// skipped prefix's count so the k-th instance is still the k-th.
+/// Injection hook: corrupts the destination of dynamic instance k of the
+/// category per the trial's FaultPlan, then watches for a read of a
+/// corrupted dynamic value (activation). The raw draws happen up front
+/// (in the plan) and are folded by the destination's width at injection
+/// time, because the width is only known once the instance is reached.
+/// When the trial resumes from a checkpoint, `already_seen` primes the
+/// instance counter with the skipped prefix's count so the k-th instance
+/// is still the k-th, and `base` primes the absolute dynamic-instruction
+/// position.
+///
+/// Transient models keep the PR 4 fast path: one corrupted value, a
+/// single id compare per operand read, final detach() on activation.
+/// Persistent models (intermittent/permanent) re-fire on every later
+/// execution of the armed static site per the model's burst pattern, and
+/// track activation against a bounded ring of the most recent corrupted
+/// values (older unread values age out of the window — an accepted
+/// approximation that keeps per-read cost constant).
+///
+/// A nonzero `arm_time` selects the time trigger: the hook starts
+/// dormant (detached with rearm_at = arm_time) and corrupts the first
+/// category instruction at or after that absolute position. If the
+/// executor's re-arm boundary lands past arm_time (it can, when arm_time
+/// falls inside a phi group), the recorded inject position stays
+/// arm_time-relative; the discrepancy is bounded by one phi group and is
+/// identical for checkpointed and from-scratch runs.
 class InjectHook final : public vm::ExecHook {
  public:
-  InjectHook(ir::Category category, std::uint64_t k, unsigned raw_bit,
-             const FaultModel& model, std::uint64_t already_seen = 0)
+  InjectHook(ir::Category category, std::uint64_t k, const FaultPlan& plan,
+             const FaultModel& model, std::uint64_t already_seen,
+             std::uint64_t base, std::uint64_t arm_time)
       : category_(category),
         target_k_(k),
-        raw_bit_(raw_bit),
+        plan_(plan),
         model_(model),
-        seen_(already_seen) {}
+        seen_(already_seen),
+        arm_time_(arm_time) {
+    if (arm_time_ != 0 && arm_time_ > base + 1) {
+      executed_ = arm_time_ - 1;
+      detach(arm_time_);  // sleep until the trigger point
+    } else {
+      executed_ = base;
+    }
+  }
 
   void on_instruction(const ir::Instruction& instr) override {
-    ++executed_;  // dynamic instructions observed while attached
-    if (!injected_ && LlfiEngine::is_target(instr, category_, model_)) {
-      if (++seen_ == target_k_) pending_ = true;
+    ++executed_;  // absolute dynamic-instruction position
+    if (!injected_) {
+      if (LlfiEngine::is_target(instr, category_, model_)) {
+        const bool armed = arm_time_ != 0 ? executed_ >= arm_time_
+                                          : ++seen_ == target_k_;
+        if (armed) pending_ = true;
+      }
+    } else if (plan_.model().persistent() && &instr == armed_def_) {
+      const std::uint64_t o = occurrence_++;
+      if (fire_at(o)) {
+        pending_ = true;
+      } else if (activated_ && burst_done(occurrence_)) {
+        detach();  // burst spent and fault observed: nothing left to do
+      }
     }
   }
 
   std::uint64_t on_result(const vm::DynValueId& id, std::uint64_t raw) override {
     if (!pending_) return raw;
     pending_ = false;
-    injected_ = true;
-    injected_id_ = id;
-    static_site_ = id.def->id();
-    inject_at_ = executed_;  // relative to attach; engine adds the prefix
-    site_opcode_ = ir::opcode_name(id.def->opcode());
-    site_function_ = id.def->function()->name().c_str();
     const unsigned width =
         model_.llfi_type_width ? id.def->type()->register_bits() : 64;
-    bit_ = raw_bit_ % width;
-    return flip_bit(raw, bit_);
+    if (!injected_) {
+      injected_ = true;
+      armed_def_ = id.def;
+      static_site_ = id.def->id();
+      inject_at_ = executed_;
+      site_opcode_ = ir::opcode_name(id.def->opcode());
+      site_function_ = id.def->function()->name().c_str();
+      bit_ = plan_.primary_bit(width);
+      occurrence_ = 1;  // this injection was occurrence 0
+    }
+    if (!activated_) remember(id);
+    return plan_.corrupt(raw, width);
   }
 
   void on_operand_read(const vm::DynValueId& id,
                        const ir::Instruction& user) override {
     (void)user;
-    if (injected_ && !activated_ && id == injected_id_) {
-      activated_ = true;
-      detach();  // nothing left to observe: run the rest unhooked
+    if (!injected_ || activated_) return;
+    if (!plan_.model().persistent()) {
+      if (id == injected_id_) {
+        activated_ = true;
+        detach();  // nothing left to observe: run the rest unhooked
+      }
+      return;
+    }
+    const std::size_t n = ring_next_ < kRing ? ring_next_ : kRing;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ring_[i] == id) {
+        activated_ = true;
+        ring_next_ = 0;  // read tracking is over; keep corrupting
+        if (burst_done(occurrence_)) detach();
+        return;
+      }
     }
   }
 
@@ -95,21 +150,57 @@ class InjectHook final : public vm::ExecHook {
   bool activated() const noexcept { return activated_; }
   unsigned bit() const noexcept { return bit_; }
   std::uint64_t static_site() const noexcept { return static_site_; }
+  /// Absolute position of the first injection (base included).
   std::uint64_t inject_at() const noexcept { return inject_at_; }
   const char* site_opcode() const noexcept { return site_opcode_; }
   const char* site_function() const noexcept { return site_function_; }
 
  private:
+  static constexpr std::size_t kRing = 64;
+
+  /// Whether the o-th execution of the armed site (0-based, counting the
+  /// initial injection) gets corrupted: permanent always, intermittent on
+  /// the burst pattern (burst_length fires, burst_gap clean executions
+  /// between consecutive fires).
+  bool fire_at(std::uint64_t o) const noexcept {
+    const Model& m = plan_.model();
+    if (m.kind == FaultKind::Permanent) return true;
+    const std::uint64_t period = m.burst_gap + 1;
+    return o % period == 0 && o / period < m.burst_length;
+  }
+
+  /// True when no occurrence >= next_o can fire any more (intermittent
+  /// burst exhausted). Permanent faults never finish.
+  bool burst_done(std::uint64_t next_o) const noexcept {
+    const Model& m = plan_.model();
+    return m.kind == FaultKind::Intermittent &&
+           next_o / (m.burst_gap + 1) >= m.burst_length;
+  }
+
+  void remember(const vm::DynValueId& id) {
+    if (!plan_.model().persistent()) {
+      injected_id_ = id;
+      return;
+    }
+    ring_[ring_next_ % kRing] = id;
+    ++ring_next_;
+  }
+
   ir::Category category_;
   std::uint64_t target_k_;
-  unsigned raw_bit_;
+  FaultPlan plan_;
   FaultModel model_;
   std::uint64_t seen_ = 0;
+  std::uint64_t arm_time_ = 0;
   bool pending_ = false;
   bool injected_ = false;
   bool activated_ = false;
   unsigned bit_ = 0;
-  vm::DynValueId injected_id_;
+  vm::DynValueId injected_id_;                 // transient activation target
+  vm::DynValueId ring_[kRing];                 // persistent activation window
+  std::size_t ring_next_ = 0;
+  const ir::Instruction* armed_def_ = nullptr;  // static site, re-fire key
+  std::uint64_t occurrence_ = 0;
   std::uint64_t static_site_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t inject_at_ = 0;
@@ -130,8 +221,15 @@ bool LlfiEngine::is_target(const ir::Instruction& instr, ir::Category category,
 }
 
 LlfiEngine::LlfiEngine(const ir::Module& module, FaultModel model,
-                       CheckpointPolicy checkpoints)
-    : module_(module), model_(model), checkpoint_policy_(checkpoints) {
+                       CheckpointPolicy checkpoints, Model fault_model)
+    : module_(module),
+      model_(model),
+      fault_model_(fault_model),
+      checkpoint_policy_(checkpoints) {
+  if (fault_model_.target == FaultTarget::MemoryCell)
+    throw std::runtime_error(
+        "LLFI: memory-cell fault targets are not supported (register "
+        "destinations only)");
   obs::ScopedSpan span(obs::Tracer::global(), "golden", "engine");
   vm::Interpreter golden(module_);
   const vm::RunResult r = golden.run();
@@ -190,11 +288,25 @@ CategoryCounts LlfiEngine::profile_all() {
     span.tag("snapshots", static_cast<std::uint64_t>(checkpoints_.size()));
     span.tag("stride", checkpoint_stride_);
   }
+  profile_counts_ = hook.counts();
   return hook.counts();
+}
+
+std::uint64_t LlfiEngine::time_trigger_point(ir::Category category,
+                                             std::uint64_t k) const {
+  const std::uint64_t count = profile_counts_[category];
+  if (count == 0) return 0;  // profile_all not run: use the access trigger
+  // The k-th of `count` instances maps to its proportional position in
+  // the golden run; +1 keeps the trigger strictly after instruction 0.
+  return (k - 1) * golden_instructions_ / count + 1;
 }
 
 std::uint64_t LlfiEngine::window_of(ir::Category category,
                                     std::uint64_t k) const {
+  if (fault_model_.trigger == FaultTrigger::Time) {
+    const std::uint64_t t = time_trigger_point(category, k);
+    if (t != 0) return checkpoints_.window_of_time(t);
+  }
   return checkpoints_.window_of(category, k);
 }
 
@@ -217,16 +329,24 @@ TrialRecord LlfiEngine::inject_in(TrialContext* context, ir::Category category,
 TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
                                   std::uint64_t k, Rng& rng) {
   obs::Tracer& tracer = obs::Tracer::global();
-  const unsigned raw_bit = static_cast<unsigned>(rng.below(64));
+  // LLFI's historical draw space is [0, 64): the full register width. The
+  // plan consumes exactly one draw for single-bit models, so the default
+  // model's rng stream matches the pre-model code bit for bit.
+  const FaultPlan plan(fault_model_, rng, 64);
+  const std::uint64_t arm_time = fault_model_.trigger == FaultTrigger::Time
+                                     ? time_trigger_point(category, k)
+                                     : 0;
   const CheckpointStore<vm::Snapshot>::Entry* cp;
   {
     obs::ScopedSpan restore_span(tracer, "restore", "phase");
-    cp = checkpoints_.before(category, k);
+    cp = arm_time != 0 ? checkpoints_.before_time(arm_time)
+                       : checkpoints_.before(category, k);
     if (restore_span.active())
       restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
   }
-  InjectHook hook(category, k, raw_bit, model_,
-                  cp != nullptr ? cp->seen[category] : 0);
+  InjectHook hook(category, k, plan, model_,
+                  cp != nullptr ? cp->seen[category] : 0,
+                  cp != nullptr ? cp->snapshot.executed : 0, arm_time);
   context.interp.set_hook(&hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   vm::RunResult r;
@@ -274,8 +394,7 @@ TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
   record.site_function = hook.site_function();
   record.total_instructions = r.dynamic_instructions;
   if (hook.injected())
-    record.inject_instruction =
-        (cp != nullptr ? cp->snapshot.executed : 0) + hook.inject_at();
+    record.inject_instruction = hook.inject_at();  // absolute position
   if (r.trapped) record.trap_pc = r.trap_pc;
   record.restored = cp != nullptr;
   record.delta_restored = r.delta_restored;

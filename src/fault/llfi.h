@@ -30,9 +30,13 @@ namespace faultlab::fault {
 
 class LlfiEngine final : public InjectorEngine {
  public:
-  /// The module must outlive the engine.
+  /// The module must outlive the engine. `fault_model` selects the
+  /// hardware fault model (fault::Model — kind/mask/trigger); `model`
+  /// keeps the tool-heuristic knobs. Memory-cell targets are rejected
+  /// here with std::runtime_error: LLFI corrupts SSA destinations only.
   explicit LlfiEngine(const ir::Module& module, FaultModel model = {},
-                      CheckpointPolicy checkpoints = CheckpointPolicy::from_env());
+                      CheckpointPolicy checkpoints = CheckpointPolicy::from_env(),
+                      Model fault_model = Model::from_env());
 
   const char* tool_name() const noexcept override { return "LLFI"; }
   std::uint64_t profile(ir::Category category) override;
@@ -44,6 +48,7 @@ class LlfiEngine final : public InjectorEngine {
   std::unique_ptr<TrialContext> make_context() override;
   std::uint64_t window_of(ir::Category category,
                           std::uint64_t k) const override;
+  const Model& fault_model() const noexcept override { return fault_model_; }
   const std::string& golden_output() const noexcept override {
     return golden_output_;
   }
@@ -75,9 +80,16 @@ class LlfiEngine final : public InjectorEngine {
   vm::RunLimits faulty_limits() const;
   TrialRecord run_trial(Context& context, ir::Category category,
                         std::uint64_t k, Rng& rng);
+  /// Dynamic instruction index at which a time-triggered fault arms for
+  /// trial (category, k): k's share of the golden run, scaled by the
+  /// profiled category density. Zero (= fall back to access trigger)
+  /// until profile_all() has filled the category counts.
+  std::uint64_t time_trigger_point(ir::Category category,
+                                   std::uint64_t k) const;
 
   const ir::Module& module_;
   FaultModel model_;
+  Model fault_model_;
   CheckpointPolicy checkpoint_policy_;
   std::string golden_output_;
   std::uint64_t golden_instructions_ = 0;
@@ -85,6 +97,7 @@ class LlfiEngine final : public InjectorEngine {
   /// trial phase workers only query it (thread-safe), so concurrent
   /// inject() calls are safe.
   CheckpointStore<vm::Snapshot> checkpoints_;
+  CategoryCounts profile_counts_;  ///< filled by profile_all (time trigger)
   std::uint64_t checkpoint_stride_ = 0;
   mutable std::atomic<std::uint64_t> trials_{0};
   mutable std::atomic<std::uint64_t> restored_trials_{0};

@@ -56,35 +56,78 @@ std::uint64_t written_gpr_mask(const Inst& inst) {
   }
 }
 
+/// Injection hook. Corruption is driven by the trial's FaultPlan: the
+/// plan's bit draws are folded into the destination's write width at
+/// injection time and materialized as bit masks (EFLAGS mask, GPR mask,
+/// or two XMM lane masks), which Model::apply() then XORs (transient /
+/// intermittent) or forces (stuck-at) into the retired state.
+///
+/// Transient models keep the PR 4 fast path: one corruption, one
+/// architectural tracking pass, final detach() once the verdict is known.
+/// Persistent models re-fire on every later execution of the armed static
+/// site per the model's burst pattern (the masks are invariant — it is
+/// the same static instruction every time) and restart tracking at each
+/// fire. A nonzero `arm_time` selects the time trigger: the hook starts
+/// dormant (detached with rearm_at = arm_time) and corrupts the first
+/// category instruction at or after that absolute position.
+///
+/// When the trial resumes from a checkpoint, `already_seen` primes the
+/// instance counter with the skipped prefix's count so the k-th instance
+/// is still the k-th, and `base` primes the absolute position.
 class PinfiHook final : public x86::SimHook {
  public:
   enum class TargetKind { None, Gpr, Xmm, Flags };
 
-  /// When the trial resumes from a checkpoint, `already_seen` primes the
-  /// instance counter with the skipped prefix's count so the k-th instance
-  /// is still the k-th.
   PinfiHook(const x86::Program& program, ir::Category category,
-            std::uint64_t k, unsigned raw_bit, const FaultModel& model,
-            std::uint64_t already_seen = 0)
+            std::uint64_t k, const FaultPlan& plan, const FaultModel& model,
+            std::uint64_t already_seen, std::uint64_t base,
+            std::uint64_t arm_time)
       : program_(program),
         category_(category),
         target_k_(k),
-        raw_bit_(raw_bit),
+        plan_(plan),
         model_(model),
-        seen_(already_seen) {}
+        seen_(already_seen),
+        arm_time_(arm_time) {
+    if (arm_time_ != 0 && arm_time_ > base + 1) {
+      executed_ = arm_time_ - 1;
+      detach(arm_time_);  // sleep until the trigger point
+    } else {
+      executed_ = base;
+    }
+  }
 
   void on_before(std::size_t index, const Inst& inst) override {
-    ++executed_;  // dynamic instructions observed while attached
+    ++executed_;  // absolute dynamic-instruction position
     if (!injected_) {
       const Inst* next = index + 1 < program_.code.size()
                              ? &program_.code[index + 1]
                              : nullptr;
       if (PinfiEngine::is_target(inst, next, category_)) {
-        if (++seen_ == target_k_) {
+        const bool armed = arm_time_ != 0 ? executed_ >= arm_time_
+                                          : ++seen_ == target_k_;
+        if (armed) {
           pending_ = true;
           pending_next_ = next;
         }
       }
+      return;
+    }
+    if (plan_.model().persistent()) {
+      if (index == static_site_) {
+        const std::uint64_t o = occurrence_++;
+        if (fire_at(o)) {
+          pending_ = true;
+          pending_next_ = saved_next_;
+        }
+      }
+      if (!activated_ && tracking_) track(inst);
+      // An intermittent hook retires only once its burst is spent AND the
+      // verdict is final; permanent hooks stay attached to the end (the
+      // stuck bits must keep corrupting every re-execution).
+      if (!pending_ && burst_done(occurrence_) &&
+          (activated_ || !tracking_))
+        detach();
       return;
     }
     if (!activated_ && tracking_) {
@@ -99,17 +142,53 @@ class PinfiHook final : public x86::SimHook {
                 x86::MachineState& state) override {
     if (!pending_) return;
     pending_ = false;
+    if (!injected_) prime(index, inst);
+    tracking_ = true;  // every fire restarts architectural tracking
+    const Model& m = plan_.model();
+    switch (kind_) {
+      case TargetKind::Flags:
+        state.rflags = m.apply(state.rflags, flag_mask_);
+        return;
+      case TargetKind::Xmm: {
+        auto& lanes = state.xmm[target_reg_ - x86::kXmmBase];
+        lanes[0] = m.apply(lanes[0], lane_mask_[0]);
+        lanes[1] = m.apply(lanes[1], lane_mask_[1]);
+        return;
+      }
+      case TargetKind::Gpr:
+        state.gpr[target_reg_] = m.apply(state.gpr[target_reg_], gpr_mask_);
+        return;
+      case TargetKind::None:
+        return;
+    }
+  }
+
+  bool injected() const noexcept { return injected_; }
+  bool activated() const noexcept { return activated_; }
+  unsigned bit() const noexcept { return bit_; }
+  std::uint64_t static_site() const noexcept { return static_site_; }
+  /// Absolute position of the first injection (base included).
+  std::uint64_t inject_at() const noexcept { return inject_at_; }
+  const char* site_opcode() const noexcept { return site_opcode_; }
+  const char* site_function() const noexcept { return site_function_; }
+
+ private:
+  /// First-injection bookkeeping: site metadata plus the corruption masks,
+  /// which are invariant across re-fires (same static instruction).
+  void prime(std::size_t index, const Inst& inst) {
     injected_ = true;
-    tracking_ = true;
     static_site_ = index;
-    inject_at_ = executed_;  // relative to attach; engine adds the prefix
+    inject_at_ = executed_;
     site_opcode_ = site_op_name(inst);
     for (const x86::FunctionInfo& f : program_.functions)
       if (index >= f.entry && index < f.entry + f.size) {
         site_function_ = f.name.c_str();
         break;
       }
+    saved_next_ = pending_next_;
+    occurrence_ = 1;  // this injection was occurrence 0
 
+    unsigned idxs[FaultPlan::kMaxBits];
     const RegId d = x86::dest_reg(inst);
     if (d == kNoReg) {
       // Compare: inject into EFLAGS, into the bits the following jcc reads
@@ -118,43 +197,63 @@ class PinfiHook final : public x86::SimHook {
       if (model_.pinfi_flag_heuristic && pending_next_ != nullptr &&
           pending_next_->op == Op::Jcc) {
         const auto bits = x86::cond_flag_bits(pending_next_->cond);
-        flag_bit_ = bits[raw_bit_ % bits.size()];
+        const auto space = static_cast<unsigned>(bits.size());
+        const unsigned n = plan_.bits_for(space, idxs);
+        for (unsigned i = 0; i < n; ++i)
+          flag_mask_ |= std::uint64_t{1} << bits[idxs[i]];
+        bit_ = bits[plan_.primary_bit(space)];
       } else {
-        flag_bit_ = raw_bit_ % 16;
+        const unsigned n = plan_.bits_for(16, idxs);
+        for (unsigned i = 0; i < n; ++i)
+          flag_mask_ |= std::uint64_t{1} << idxs[i];
+        bit_ = plan_.primary_bit(16);
       }
-      bit_ = flag_bit_;
-      state.rflags = flip_bit(state.rflags, flag_bit_);
       return;
     }
     if (x86::is_xmm_class(d)) {
       kind_ = TargetKind::Xmm;
       target_reg_ = d;
-      bit_ = raw_bit_ % dest_write_bits(inst, model_.pinfi_xmm_prune);
-      auto& lane = state.xmm[d - x86::kXmmBase][bit_ >= 64 ? 1 : 0];
-      lane = flip_bit(lane, bit_ % 64);
+      const unsigned width = dest_write_bits(inst, model_.pinfi_xmm_prune);
+      const unsigned n = plan_.bits_for(width, idxs);
+      for (unsigned i = 0; i < n; ++i)
+        lane_mask_[idxs[i] >= 64 ? 1 : 0] |= std::uint64_t{1}
+                                             << (idxs[i] % 64);
+      bit_ = plan_.primary_bit(width);
       return;
     }
     kind_ = TargetKind::Gpr;
     target_reg_ = d;
-    bit_ = raw_bit_ % dest_write_bits(inst, false);
-    state.gpr[d] = flip_bit(state.gpr[d], bit_);
+    const unsigned width = dest_write_bits(inst, false);
+    gpr_mask_ = plan_.mask_for(width);
+    bit_ = plan_.primary_bit(width);
   }
 
-  bool injected() const noexcept { return injected_; }
-  bool activated() const noexcept { return activated_; }
-  unsigned bit() const noexcept { return bit_; }
-  std::uint64_t static_site() const noexcept { return static_site_; }
-  std::uint64_t inject_at() const noexcept { return inject_at_; }
-  const char* site_opcode() const noexcept { return site_opcode_; }
-  const char* site_function() const noexcept { return site_function_; }
+  /// Whether the o-th execution of the armed site (0-based, counting the
+  /// initial injection) gets corrupted: permanent always, intermittent on
+  /// the burst pattern.
+  bool fire_at(std::uint64_t o) const noexcept {
+    const Model& m = plan_.model();
+    if (m.kind == FaultKind::Permanent) return true;
+    const std::uint64_t period = m.burst_gap + 1;
+    return o % period == 0 && o / period < m.burst_length;
+  }
 
- private:
+  /// True when no occurrence >= next_o can fire any more (intermittent
+  /// burst exhausted). Permanent faults never finish.
+  bool burst_done(std::uint64_t next_o) const noexcept {
+    const Model& m = plan_.model();
+    return m.kind == FaultKind::Intermittent &&
+           next_o / (m.burst_gap + 1) >= m.burst_length;
+  }
+
   void track(const Inst& inst) {
     switch (kind_) {
       case TargetKind::Flags:
         if (x86::reads_flags(inst)) {
           const auto bits = x86::cond_flag_bits(inst.cond);
-          if (std::find(bits.begin(), bits.end(), flag_bit_) != bits.end()) {
+          std::uint64_t read_mask = 0;
+          for (const unsigned b : bits) read_mask |= std::uint64_t{1} << b;
+          if ((read_mask & flag_mask_) != 0) {
             activated_ = true;
             return;
           }
@@ -170,7 +269,7 @@ class PinfiHook final : public x86::SimHook {
           return;
         }
         if (x86::dest_reg(inst) == target_reg_ &&
-            (written_gpr_mask(inst) >> bit_) & 1)
+            (written_gpr_mask(inst) & gpr_mask_) == gpr_mask_)
           tracking_ = false;
         return;
       }
@@ -180,9 +279,9 @@ class PinfiHook final : public x86::SimHook {
         const bool reads_reg =
             std::find(reads_.begin(), reads_.end(), target_reg_) !=
             reads_.end();
-        // Scalar-double code only ever reads the low lane: a high-lane
+        // Scalar-double code only ever reads the low lane: a pure high-lane
         // corruption is never activated — the rationale for heuristic 2.
-        if (reads_reg && bit_ < 64) {
+        if (reads_reg && lane_mask_[0] != 0) {
           activated_ = true;
           return;
         }
@@ -190,8 +289,9 @@ class PinfiHook final : public x86::SimHook {
           const bool zeroes_high = inst.op == Op::MovsdRM ||
                                    inst.op == Op::MovqXR ||
                                    inst.op == Op::Cvtsi2sd;
-          const bool covers =
-              bit_ < 64 || zeroes_high;  // low lane always rewritten
+          // Low lane is always rewritten; the high lane needs an
+          // explicitly zeroing op to kill a high-lane corruption.
+          const bool covers = lane_mask_[1] == 0 || zeroes_high;
           // Two-address SSE arithmetic rewrites the low lane only after
           // reading it (already handled as a read above).
           if (covers && !reads_reg) tracking_ = false;
@@ -206,19 +306,24 @@ class PinfiHook final : public x86::SimHook {
   const x86::Program& program_;
   ir::Category category_;
   std::uint64_t target_k_;
-  unsigned raw_bit_;
+  FaultPlan plan_;
   FaultModel model_;
 
   std::uint64_t seen_ = 0;
+  std::uint64_t arm_time_ = 0;
   bool pending_ = false;
   const Inst* pending_next_ = nullptr;
+  const Inst* saved_next_ = nullptr;  // pending_next_ of the armed site
   bool injected_ = false;
   bool activated_ = false;
   bool tracking_ = false;
   TargetKind kind_ = TargetKind::None;
   RegId target_reg_ = kNoReg;
   unsigned bit_ = 0;
-  unsigned flag_bit_ = 0;
+  std::uint64_t flag_mask_ = 0;
+  std::uint64_t gpr_mask_ = 0;
+  std::uint64_t lane_mask_[2] = {0, 0};
+  std::uint64_t occurrence_ = 0;
   std::uint64_t static_site_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t inject_at_ = 0;
@@ -275,8 +380,15 @@ bool PinfiEngine::is_target(const Inst& inst, const Inst* next,
 }
 
 PinfiEngine::PinfiEngine(const x86::Program& program, FaultModel model,
-                         CheckpointPolicy checkpoints)
-    : program_(program), model_(model), checkpoint_policy_(checkpoints) {
+                         CheckpointPolicy checkpoints, Model fault_model)
+    : program_(program),
+      model_(model),
+      fault_model_(fault_model),
+      checkpoint_policy_(checkpoints) {
+  if (fault_model_.target == FaultTarget::MemoryCell)
+    throw std::runtime_error(
+        "PINFI: memory-cell fault targets are not supported (architectural "
+        "registers only)");
   obs::ScopedSpan span(obs::Tracer::global(), "golden", "engine");
   x86::Simulator golden(program_);
   const x86::SimResult r = golden.run();
@@ -334,11 +446,25 @@ CategoryCounts PinfiEngine::profile_all() {
     span.tag("snapshots", static_cast<std::uint64_t>(checkpoints_.size()));
     span.tag("stride", checkpoint_stride_);
   }
+  profile_counts_ = hook.counts();
   return hook.counts();
+}
+
+std::uint64_t PinfiEngine::time_trigger_point(ir::Category category,
+                                              std::uint64_t k) const {
+  const std::uint64_t count = profile_counts_[category];
+  if (count == 0) return 0;  // profile_all not run: use the access trigger
+  // The k-th of `count` instances maps to its proportional position in
+  // the golden run; +1 keeps the trigger strictly after instruction 0.
+  return (k - 1) * golden_instructions_ / count + 1;
 }
 
 std::uint64_t PinfiEngine::window_of(ir::Category category,
                                      std::uint64_t k) const {
+  if (fault_model_.trigger == FaultTrigger::Time) {
+    const std::uint64_t t = time_trigger_point(category, k);
+    if (t != 0) return checkpoints_.window_of_time(t);
+  }
   return checkpoints_.window_of(category, k);
 }
 
@@ -361,16 +487,25 @@ TrialRecord PinfiEngine::inject_in(TrialContext* context, ir::Category category,
 TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
                                    std::uint64_t k, Rng& rng) {
   obs::Tracer& tracer = obs::Tracer::global();
-  const unsigned raw_bit = static_cast<unsigned>(rng.below(128));
+  // PINFI's historical draw space is [0, 128): the widest destination
+  // (an unpruned XMM register). The plan consumes exactly one draw for
+  // single-bit models, so the default model's rng stream matches the
+  // pre-model code bit for bit.
+  const FaultPlan plan(fault_model_, rng, 128);
+  const std::uint64_t arm_time = fault_model_.trigger == FaultTrigger::Time
+                                     ? time_trigger_point(category, k)
+                                     : 0;
   const CheckpointStore<x86::SimSnapshot>::Entry* cp;
   {
     obs::ScopedSpan restore_span(tracer, "restore", "phase");
-    cp = checkpoints_.before(category, k);
+    cp = arm_time != 0 ? checkpoints_.before_time(arm_time)
+                       : checkpoints_.before(category, k);
     if (restore_span.active())
       restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
   }
-  PinfiHook hook(program_, category, k, raw_bit, model_,
-                 cp != nullptr ? cp->seen[category] : 0);
+  PinfiHook hook(program_, category, k, plan, model_,
+                 cp != nullptr ? cp->seen[category] : 0,
+                 cp != nullptr ? cp->snapshot.executed : 0, arm_time);
   context.sim.set_hook(&hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   x86::SimResult r;
@@ -418,8 +553,7 @@ TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
   record.site_function = hook.site_function();
   record.total_instructions = r.dynamic_instructions;
   if (hook.injected())
-    record.inject_instruction =
-        (cp != nullptr ? cp->snapshot.executed : 0) + hook.inject_at();
+    record.inject_instruction = hook.inject_at();  // absolute position
   if (r.trapped) record.trap_pc = r.trap_pc;
   record.restored = cp != nullptr;
   record.delta_restored = r.delta_restored;

@@ -32,9 +32,14 @@ namespace faultlab::fault {
 
 class PinfiEngine final : public InjectorEngine {
  public:
-  /// The program must outlive the engine.
+  /// The program must outlive the engine. `fault_model` selects the
+  /// hardware fault model (fault::Model — kind/mask/trigger); `model`
+  /// keeps the tool-heuristic knobs. Memory-cell targets are rejected
+  /// here with std::runtime_error: PINFI corrupts architectural registers
+  /// only.
   PinfiEngine(const x86::Program& program, FaultModel model = {},
-              CheckpointPolicy checkpoints = CheckpointPolicy::from_env());
+              CheckpointPolicy checkpoints = CheckpointPolicy::from_env(),
+              Model fault_model = Model::from_env());
 
   const char* tool_name() const noexcept override { return "PINFI"; }
   std::uint64_t profile(ir::Category category) override;
@@ -46,6 +51,7 @@ class PinfiEngine final : public InjectorEngine {
   std::unique_ptr<TrialContext> make_context() override;
   std::uint64_t window_of(ir::Category category,
                           std::uint64_t k) const override;
+  const Model& fault_model() const noexcept override { return fault_model_; }
   const std::string& golden_output() const noexcept override {
     return golden_output_;
   }
@@ -77,9 +83,16 @@ class PinfiEngine final : public InjectorEngine {
   x86::SimLimits faulty_limits() const;
   TrialRecord run_trial(Context& context, ir::Category category,
                         std::uint64_t k, Rng& rng);
+  /// Dynamic instruction index at which a time-triggered fault arms for
+  /// trial (category, k): k's share of the golden run, scaled by the
+  /// profiled category density. Zero (= fall back to access trigger)
+  /// until profile_all() has filled the category counts.
+  std::uint64_t time_trigger_point(ir::Category category,
+                                   std::uint64_t k) const;
 
   const x86::Program& program_;
   FaultModel model_;
+  Model fault_model_;
   CheckpointPolicy checkpoint_policy_;
   std::string golden_output_;
   std::uint64_t golden_instructions_ = 0;
@@ -87,6 +100,7 @@ class PinfiEngine final : public InjectorEngine {
   /// trial phase workers only query it (thread-safe), so concurrent
   /// inject() calls are safe.
   CheckpointStore<x86::SimSnapshot> checkpoints_;
+  CategoryCounts profile_counts_;  ///< filled by profile_all (time trigger)
   std::uint64_t checkpoint_stride_ = 0;
   mutable std::atomic<std::uint64_t> trials_{0};
   mutable std::atomic<std::uint64_t> restored_trials_{0};

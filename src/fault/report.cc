@@ -182,7 +182,8 @@ CsvWriter results_csv(const ResultSet& rs) {
       machine::TrapKind::UnmappedAccess, machine::TrapKind::DivideByZero,
       machine::TrapKind::InvalidJump,    machine::TrapKind::StackOverflow,
       machine::TrapKind::BadFree,        machine::TrapKind::Unreachable};
-  CsvWriter csv({"app", "tool", "category", "profiled_count", "trials",
+  CsvWriter csv({"app", "tool", "category", "fault_model", "profiled_count",
+                 "trials",
                  "activated", "crash", "sdc", "benign", "hang",
                  "not_activated", "crash_pct", "sdc_pct", "sdc_margin95",
                  "trap_unmapped_access", "trap_divide_by_zero",
@@ -205,7 +206,7 @@ CsvWriter results_csv(const ResultSet& rs) {
         trap_counts[dominant] != 0
             ? machine::trap_kind_name(kTrapKinds[dominant])
             : "-";
-    csv.add_row({r.app, r.tool, ir::category_name(r.category),
+    csv.add_row({r.app, r.tool, ir::category_name(r.category), r.fault_model,
                  std::to_string(r.profiled_count),
                  std::to_string(r.trials.size()),
                  std::to_string(r.activated()), std::to_string(r.crash),

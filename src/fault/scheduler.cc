@@ -22,6 +22,7 @@
 
 #include "machine/trap.h"
 #include "obs/events.h"
+#include "support/env.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -59,14 +60,10 @@ std::string fmt_double(double v) {
 
 /// FAULTLAB_THREADS: worker-count override for runs where the caller left
 /// SchedulerOptions::threads at 0 (the A/B equivalence tests sweep this
-/// across processes). Unset, empty, or unparsable means "no override".
+/// across processes). Unset or unparsable (warned) means "no override".
 std::size_t env_threads() {
-  const char* raw = std::getenv("FAULTLAB_THREADS");
-  if (raw == nullptr || *raw == '\0') return 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return 0;
-  return static_cast<std::size_t>(parsed);
+  return static_cast<std::size_t>(
+      support::parse_env_u64("FAULTLAB_THREADS", 0));
 }
 
 /// Whether stderr is an interactive terminal. When it is not (CI logs,
@@ -229,6 +226,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     c.result.app = entry.config.app;
     c.result.tool = entry.engine->tool_name();
     c.result.category = entry.config.category;
+    c.result.fault_model = entry.engine->fault_model().name();
     c.result.profiled_count = counts[entry.config.category];
     if (c.result.profiled_count > 0 && entry.config.trials > 0) {
       Rng rng(entry.config.seed ^
@@ -339,6 +337,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
     timing.app = c.result.app;
     timing.tool = c.result.tool;
     timing.category = c.result.category;
+    timing.fault_model = c.result.fault_model;
     timing.seed = c.entry->config.seed;
     timing.profiled_count = c.result.profiled_count;
     timing.trials = c.result.trials.size();
@@ -439,6 +438,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
             ev.app = c.result.app.c_str();
             ev.tool = c.result.tool.c_str();
             ev.category = ir::category_name(c.result.category);
+            ev.fault_model = c.result.fault_model.c_str();
             ev.worker = static_cast<std::uint32_t>(worker);
             ev.seq = seq++;
             ev.trial = trial;
@@ -530,7 +530,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
 }
 
 CsvWriter manifest_csv(const RunManifest& manifest) {
-  CsvWriter csv({"app", "tool", "category", "seed", "trials",
+  CsvWriter csv({"app", "tool", "category", "fault_model", "seed", "trials",
                  "profiled_count", "injected", "activated", "crash", "sdc",
                  "benign", "hang", "not_activated", "restored",
                  "checkpoint_hit_rate", "delta_restores",
@@ -540,7 +540,7 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
                  "pinfi_xmm_prune", "llfi_type_width",
                  "llfi_gep_as_arithmetic"});
   for (const CampaignTiming& t : manifest.campaigns) {
-    csv.add_row({t.app, t.tool, ir::category_name(t.category),
+    csv.add_row({t.app, t.tool, ir::category_name(t.category), t.fault_model,
                  std::to_string(t.seed), std::to_string(t.trials),
                  std::to_string(t.profiled_count), std::to_string(t.injected),
                  std::to_string(t.activated), std::to_string(t.crash),

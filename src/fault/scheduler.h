@@ -65,6 +65,7 @@ struct CampaignTiming {
   std::string app;
   std::string tool;
   ir::Category category = ir::Category::All;
+  std::string fault_model = "transient";  ///< Model::name() of the engine
   std::uint64_t seed = 0;
   std::uint64_t profiled_count = 0;
   std::size_t trials = 0;

@@ -1,6 +1,7 @@
 #include "frontend/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -318,7 +319,13 @@ class Lexer {
       return t;
     }
     t.kind = Tok::IntLit;
-    t.int_value = std::strtoull(digits.c_str(), nullptr, is_hex ? 16 : 10);
+    errno = 0;
+    char* end = nullptr;
+    t.int_value = std::strtoull(digits.c_str(), &end, is_hex ? 16 : 10);
+    if (errno == ERANGE)
+      error("integer literal '" + digits + "' overflows 64 bits");
+    if (end != digits.c_str() + digits.size())
+      error("malformed integer literal '" + digits + "'");
     // Optional suffixes (order-insensitive combination of L and U); the
     // parser decides the literal's type from `text`.
     while (peek() == 'L' || peek() == 'l' || peek() == 'U' || peek() == 'u')

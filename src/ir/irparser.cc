@@ -1,6 +1,7 @@
 #include "ir/irparser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <vector>
@@ -177,7 +178,14 @@ class ModuleParser {
       if (!line.consume_word("x")) line.fail("expected 'x' in array type");
       const Type* elem = parse_type(line);
       line.expect(']', "array type");
-      base = types.array_of(elem, std::strtoull(count.c_str(), nullptr, 10));
+      errno = 0;
+      char* end = nullptr;
+      const std::uint64_t n = std::strtoull(count.c_str(), &end, 10);
+      if (errno == ERANGE)
+        line.fail("array length '" + count + "' overflows 64 bits");
+      if (end != count.c_str() + count.size() || count.empty())
+        line.fail("malformed array length '" + count + "'");
+      base = types.array_of(elem, n);
     } else if (line.consume('%')) {
       const std::string name = line.ident();
       base = types.struct_by_name(name);

@@ -1,11 +1,11 @@
 #include "machine/memory.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "support/env.h"
 
 namespace faultlab::machine {
 
@@ -32,10 +32,8 @@ std::atomic<std::uint64_t> next_snapshot_id{1};
 }  // namespace
 
 bool delta_restore_enabled() noexcept {
-  static const bool enabled = [] {
-    const char* env = std::getenv("FAULTLAB_DELTA_RESTORE");
-    return env == nullptr || std::strcmp(env, "0") != 0;
-  }();
+  static const bool enabled =
+      support::parse_env_flag("FAULTLAB_DELTA_RESTORE", true);
   return enabled;
 }
 

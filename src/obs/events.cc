@@ -125,6 +125,8 @@ void EventLog::append(const TrialEvent& e) {
     append_string(out, e.tool);
     out += ",\"category\":";
     append_string(out, e.category);
+    out += ",\"fault_model\":";
+    append_string(out, e.fault_model);
     out += ",\"worker\":";
     append_u64(out, e.worker);
     out += ",\"seq\":";

@@ -43,6 +43,8 @@ struct TrialEvent {
   const char* app = "";
   const char* tool = "";
   const char* category = "";
+  /// fault::Model::name() of the injecting engine ("transient" baseline).
+  const char* fault_model = "transient";
   std::uint32_t worker = 0;       ///< small sequential worker/thread id
   std::uint64_t seq = 0;          ///< per-worker monotonic event number
   std::uint64_t trial = 0;        ///< draw index within the campaign

@@ -3,19 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 #include <stdexcept>
+
+#include "support/env.h"
 
 namespace faultlab::obs {
 
 namespace {
-
-bool env_flag(const char* name) noexcept {
-  const char* env = std::getenv(name);
-  return env != nullptr && env[0] != '\0' &&
-         !(env[0] == '0' && env[1] == '\0');
-}
 
 /// Relaxed atomic max (used for histogram max and the NOT-encoded min).
 void atomic_max(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
@@ -28,12 +22,12 @@ void atomic_max(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
 }  // namespace
 
 bool metrics_enabled() noexcept {
-  static const bool on = env_flag("FAULTLAB_METRICS");
+  static const bool on = support::parse_env_flag("FAULTLAB_METRICS", false);
   return on;
 }
 
 bool progress_enabled() noexcept {
-  static const bool on = env_flag("FAULTLAB_PROGRESS");
+  static const bool on = support::parse_env_flag("FAULTLAB_PROGRESS", false);
   return on;
 }
 

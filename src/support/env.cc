@@ -1,0 +1,35 @@
+#include "support/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace faultlab::support {
+
+std::uint64_t parse_env_u64(const char* name, std::uint64_t fallback,
+                            std::uint64_t min) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  // strtoull accepts a leading '-' by wrapping the value; reject it
+  // explicitly so FAULTLAB_TRIALS=-1 does not become 2^64-1.
+  if (errno == ERANGE || end == env || *end != '\0' || env[0] == '-' ||
+      parsed < min) {
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not an integer >= %llu; using %llu\n",
+                 name, env, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+bool parse_env_flag(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace faultlab::support

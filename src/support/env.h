@@ -1,0 +1,30 @@
+// Centralized environment-variable parsing.
+//
+// Every FAULTLAB_* knob used to hand-roll its own strtol/strtoull/strcmp
+// parse, with inconsistent error handling: some call sites silently fell
+// back on garbage, some accepted trailing junk ("16abc" parsed as 16), and
+// none but FAULTLAB_TRIALS rejected overflow. These helpers give all of
+// them the endptr-checked, ERANGE-checked, warn-on-stderr behaviour that
+// FAULTLAB_TRIALS pioneered, so a typo'd variable is loudly ignored
+// instead of silently misconfiguring a campaign.
+#pragma once
+
+#include <cstdint>
+
+namespace faultlab::support {
+
+/// Parses env var `name` as a non-negative decimal integer. Returns
+/// `fallback` silently when the variable is unset, and with a one-line
+/// stderr warning when the value is empty, has trailing garbage, is
+/// negative, overflows 64 bits, or is below `min` (pass min = 1 to reject
+/// an unintended zero).
+std::uint64_t parse_env_u64(const char* name, std::uint64_t fallback,
+                            std::uint64_t min = 0);
+
+/// Parses env var `name` as a boolean switch. Unset or empty returns
+/// `fallback`; the literal "0" returns false; any other value returns
+/// true. (Matches the historical semantics of FAULTLAB_METRICS,
+/// FAULTLAB_PROGRESS, and FAULTLAB_DELTA_RESTORE.)
+bool parse_env_flag(const char* name, bool fallback);
+
+}  // namespace faultlab::support

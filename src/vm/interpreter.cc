@@ -50,6 +50,7 @@ class Interpreter::Impl {
   /// restores stay on the delta path and reuse allocations.
   void prepare(ExecHook* hook, const RunLimits& limits) {
     hook_ = hook;
+    live_hook_ = nullptr;
     limits_ = limits;
     next_snapshot_at_ = 0;
   }
@@ -138,14 +139,14 @@ class Interpreter::Impl {
         return layout_.address_of(static_cast<const ir::GlobalVariable*>(v));
       case ir::ValueKind::Argument: {
         const auto* arg = static_cast<const ir::Argument*>(v);
-        if (hook_ != nullptr)
-          hook_->on_argument_read(frame.id, arg->index(), user);
+        if (live_hook_ != nullptr)
+          live_hook_->on_argument_read(frame.id, arg->index(), user);
         return frame.args[arg->index()];
       }
       case ir::ValueKind::Instruction: {
         const auto* def = static_cast<const ir::Instruction*>(v);
-        if (hook_ != nullptr)
-          hook_->on_operand_read({frame.id, def}, user);
+        if (live_hook_ != nullptr)
+          live_hook_->on_operand_read({frame.id, def}, user);
         return frame.regs[def->id()];
       }
     }
@@ -171,8 +172,8 @@ class Interpreter::Impl {
     frame.function = &fn;
     frame.id = next_frame_id_++;
     frame.args = std::move(args);
-    if (hook_ != nullptr && site != nullptr)
-      hook_->on_call(*site, caller_frame, frame.id);
+    if (live_hook_ != nullptr && site != nullptr)
+      live_hook_->on_call(*site, caller_frame, frame.id);
     frame.regs.assign(fn.num_instructions(), 0);
 
     // Allocate the frame's stack slots (allocas) in one adjustment, the way
@@ -231,12 +232,18 @@ class Interpreter::Impl {
       Frame& frame = frames_.back();
       const ir::Instruction& instr = *frame.block->instr(frame.index);
       bump_instruction_count();
-      if (hook_ != nullptr) {
-        if (hook_->detached())
+      if (hook_ != nullptr && hook_->detached()) {
+        const std::uint64_t at = hook_->rearm_at();
+        if (at == 0) {
           hook_ = nullptr;  // rest of the run executes at unhooked speed
-        else
-          hook_->on_instruction(instr);
+        } else if (executed_ >= at) {
+          hook_->rearm();  // dormant hook reached its re-arm point
+        }
       }
+      // Dormant hooks (detached with a future rearm_at) are suppressed for
+      // the whole instruction: live_hook_ gates every callback site below.
+      live_hook_ = hook_ != nullptr && !hook_->detached() ? hook_ : nullptr;
+      if (live_hook_ != nullptr) live_hook_->on_instruction(instr);
 
       switch (instr.opcode()) {
         case Opcode::Phi: {
@@ -254,8 +261,8 @@ class Interpreter::Impl {
               break;
             ++index;
             bump_instruction_count();
-            if (hook_ != nullptr)
-              hook_->on_instruction(*frame.block->instr(index));
+            if (live_hook_ != nullptr)
+              live_hook_->on_instruction(*frame.block->instr(index));
           }
           for (auto& [phi, raw] : updates) set_result(frame, *phi, raw);
           frame.index = index + 1;
@@ -296,8 +303,8 @@ class Interpreter::Impl {
               read_operand(frame, instr, instr.operand(1));
           const ir::Type* t = instr.operand(0)->type();
           const auto size = static_cast<unsigned>(t->size_in_bytes());
-          if (hook_ != nullptr)
-            hook_->on_memory_access(instr, addr, size, /*is_store=*/true);
+          if (live_hook_ != nullptr)
+            live_hook_->on_memory_access(instr, addr, size, /*is_store=*/true);
           memory_.write(addr, size, value & type_mask(t));
           ++frame.index;
           continue;
@@ -334,8 +341,8 @@ class Interpreter::Impl {
   void set_result(Frame& frame, const ir::Instruction& instr,
                   std::uint64_t raw) {
     raw &= type_mask(instr.type());
-    if (hook_ != nullptr) {
-      raw = hook_->on_result({frame.id, &instr}, raw);
+    if (live_hook_ != nullptr) {
+      raw = live_hook_->on_result({frame.id, &instr}, raw);
       raw &= type_mask(instr.type());
     }
     frame.regs[instr.id()] = raw;
@@ -355,8 +362,8 @@ class Interpreter::Impl {
         const std::uint64_t addr = read_operand(frame, instr, instr.operand(0));
         const ir::Type* t = instr.type();
         const auto size = static_cast<unsigned>(t->size_in_bytes());
-        if (hook_ != nullptr)
-          hook_->on_memory_access(instr, addr, size, /*is_store=*/false);
+        if (live_hook_ != nullptr)
+          live_hook_->on_memory_access(instr, addr, size, /*is_store=*/false);
         return memory_.read(addr, size) & type_mask(t);
       }
       case Opcode::Gep: return eval_gep(frame, instr);
@@ -549,6 +556,9 @@ class Interpreter::Impl {
   const ir::Module& module_;
   const machine::GlobalLayout& layout_;
   ExecHook* hook_ = nullptr;
+  // hook_ gated per instruction: null while the hook is dormant awaiting
+  // its re-arm point, so no callback fires mid-sleep.
+  ExecHook* live_hook_ = nullptr;
   RunLimits limits_;
   machine::Memory memory_;
   machine::Runtime runtime_;

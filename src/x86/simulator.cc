@@ -270,16 +270,23 @@ class Machine {
       const Inst& inst = program_.code[index];
       if (++executed_ > limits_.max_instructions)
         throw machine::TimeoutException();
-      if (hook_ != nullptr) {
-        if (hook_->detached())
+      if (hook_ != nullptr && hook_->detached()) {
+        const std::uint64_t at = hook_->rearm_at();
+        if (at == 0) {
           hook_ = nullptr;  // rest of the run executes at unhooked speed
-        else
-          hook_->on_before(index, inst);
+        } else if (executed_ >= at) {
+          hook_->rearm();  // dormant hook reached its re-arm point
+        }
       }
+      // Dormant hooks (detached with a future rearm_at) see neither
+      // callback this instruction. A hook that detaches inside on_before
+      // still gets on_after for the same instruction, as before.
+      SimHook* live = hook_ != nullptr && !hook_->detached() ? hook_ : nullptr;
+      if (live != nullptr) live->on_before(index, inst);
 
       state_.rip_index = index + 1;  // default fallthrough
       const bool halted = execute(inst);
-      if (hook_ != nullptr) hook_->on_after(index, inst, state_);
+      if (live != nullptr) live->on_after(index, inst, state_);
       if (halted) return;
     }
   }

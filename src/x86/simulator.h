@@ -27,12 +27,25 @@ struct MachineState {
 class SimHook {
  public:
   virtual ~SimHook() = default;
-  /// True once the hook has nothing left to observe. The simulator checks
-  /// this at instruction boundaries and drops the hook for the rest of the
-  /// run, so an injection hook done tracking activation stops taxing every
-  /// remaining instruction with virtual calls. Monotonic; the hook object
-  /// stays alive and queryable.
+  /// True once the hook has nothing left to observe right now. The
+  /// simulator checks this at instruction boundaries; when `rearm_at()` is
+  /// zero it drops the hook for the rest of the run (the transient fast
+  /// path), so an injection hook done tracking activation stops taxing
+  /// every remaining instruction with virtual calls. With a nonzero
+  /// `rearm_at()` the hook merely goes dormant: callbacks are suppressed
+  /// until the executed-instruction count reaches the re-arm point, then
+  /// the simulator calls `rearm()` and resumes delivery. The hook object
+  /// stays alive and queryable either way.
   bool detached() const noexcept { return detached_; }
+  /// Absolute executed-instruction count at which a dormant hook wants
+  /// callbacks again; zero means detachment is final.
+  std::uint64_t rearm_at() const noexcept { return rearm_at_; }
+  /// Reactivates a dormant hook. Called by the simulator when the re-arm
+  /// point is reached; not for subclass use.
+  void rearm() noexcept {
+    detached_ = false;
+    rearm_at_ = 0;
+  }
   /// Called before executing instruction `code[index]`.
   virtual void on_before(std::size_t index, const Inst& inst) {
     (void)index;
@@ -48,11 +61,21 @@ class SimHook {
   }
 
  protected:
-  /// For subclasses whose instrumentation completes mid-run.
-  void detach() noexcept { detached_ = true; }
+  /// For subclasses whose instrumentation completes mid-run. Passing a
+  /// nonzero `rearm_at` requests dormancy instead of final detachment:
+  /// the simulator suppresses callbacks until that many instructions have
+  /// executed (absolute count, including any restored prefix), then
+  /// re-arms the hook. Time-triggered and persistent fault models use
+  /// this to sleep through uninteresting stretches without giving up the
+  /// hook pointer.
+  void detach(std::uint64_t rearm_at = 0) noexcept {
+    detached_ = true;
+    rearm_at_ = rearm_at;
+  }
 
  private:
   bool detached_ = false;
+  std::uint64_t rearm_at_ = 0;
 };
 
 /// Resumable machine state captured between two retired instructions:

@@ -67,7 +67,7 @@ TEST(Report, CsvSaveRoundTrip) {
   EXPECT_NE(header.find("crash_pct"), std::string::npos);
   std::string row;
   std::getline(in, row);
-  EXPECT_NE(row.find("app,LLFI,all,1000"), std::string::npos);
+  EXPECT_NE(row.find("app,LLFI,all,transient,1000"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -1,13 +1,15 @@
 // Unit tests for the support library: RNG, statistics, bit utilities,
-// table/CSV writers.
+// table/CSV writers, environment-variable parsing.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
 
 #include "support/bitutil.h"
 #include "support/csv.h"
+#include "support/env.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -269,6 +271,67 @@ TEST(Csv, EscapesSpecials) {
   EXPECT_EQ(CsvWriter::escape("plain"), "plain");
   EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
   EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+class EnvParse : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "FAULTLAB_ENVPARSE_TEST";
+  void TearDown() override { ::unsetenv(kVar); }
+  void set(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvParse, UnsetReturnsFallbackSilently) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(support::parse_env_u64(kVar, 17), 17u);
+  EXPECT_TRUE(support::parse_env_flag(kVar, true));
+  EXPECT_FALSE(support::parse_env_flag(kVar, false));
+}
+
+TEST_F(EnvParse, ParsesValidDecimal) {
+  set("0");
+  EXPECT_EQ(support::parse_env_u64(kVar, 17), 0u);
+  set("42");
+  EXPECT_EQ(support::parse_env_u64(kVar, 17), 42u);
+  set("18446744073709551615");  // UINT64_MAX parses exactly
+  EXPECT_EQ(support::parse_env_u64(kVar, 17), UINT64_MAX);
+}
+
+TEST_F(EnvParse, RejectsMalformedValues) {
+  // Each of these used to be accepted (or truncated) by ad-hoc strtoull
+  // call sites; the centralized parser warns and keeps the fallback.
+  for (const char* bad : {"", "abc", "16abc", "1.5", "7 "}) {
+    set(bad);
+    EXPECT_EQ(support::parse_env_u64(kVar, 17), 17u) << "value: " << bad;
+  }
+}
+
+TEST_F(EnvParse, RejectsNegativeAndOverflow) {
+  set("-1");  // strtoull would silently wrap to UINT64_MAX
+  EXPECT_EQ(support::parse_env_u64(kVar, 17), 17u);
+  set("18446744073709551616");  // UINT64_MAX + 1
+  EXPECT_EQ(support::parse_env_u64(kVar, 17), 17u);
+  set("99999999999999999999999999");
+  EXPECT_EQ(support::parse_env_u64(kVar, 17), 17u);
+}
+
+TEST_F(EnvParse, EnforcesMinimum) {
+  set("0");
+  EXPECT_EQ(support::parse_env_u64(kVar, 17, /*min=*/1), 17u);
+  set("1");
+  EXPECT_EQ(support::parse_env_u64(kVar, 17, /*min=*/1), 1u);
+}
+
+TEST_F(EnvParse, FlagSemantics) {
+  // Historical contract: "0" is the only falsy value; empty keeps fallback.
+  set("0");
+  EXPECT_FALSE(support::parse_env_flag(kVar, true));
+  set("1");
+  EXPECT_TRUE(support::parse_env_flag(kVar, false));
+  set("yes");
+  EXPECT_TRUE(support::parse_env_flag(kVar, false));
+  set("");
+  EXPECT_TRUE(support::parse_env_flag(kVar, true));
+  EXPECT_FALSE(support::parse_env_flag(kVar, false));
 }
 
 TEST(Csv, RendersRows) {

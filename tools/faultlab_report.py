@@ -260,6 +260,32 @@ def attribution_rows(cells):
     return rows
 
 
+def fault_model_rows(events):
+    """Per-(fault model, tool) outcome tallies, in first-seen model order.
+    Events from logs written before the fault_model field existed default
+    to the paper's transient baseline."""
+    groups = {}
+    order = []
+    for ev in events:
+        key = (ev.get("fault_model") or "transient", ev.get("tool", "?"))
+        if key not in groups:
+            groups[key] = {o: 0 for o in OUTCOMES}
+            order.append(key)
+        outcome = ev.get("outcome", "benign")
+        groups[key][outcome] = groups[key].get(outcome, 0) + 1
+    rows = []
+    for model, tool in order:
+        counts = groups[(model, tool)]
+        activated = sum(counts[o] for o in OUTCOMES[:4])
+        rows.append({
+            "model": model,
+            "tool": tool,
+            "counts": counts,
+            "activated": activated,
+        })
+    return rows
+
+
 def trap_histogram_svg(events):
     counts = {t: 0 for t in TRAP_KINDS}
     for ev in events:
@@ -363,6 +389,37 @@ def render(events, metrics, manifest):
                 f"<td>{esc(e['pinfi_top'])}</td></tr>"
             )
         out.append("</table>")
+
+    out.append("<h2>Fault models</h2>")
+    out.append(
+        "<p>Outcome shares per hardware fault model and tool (rates over "
+        "activated trials, Wilson 95% on the crash share).</p>"
+    )
+    out.append(
+        "<table><tr><th>fault model</th><th>tool</th><th>trials</th>"
+        "<th>activated</th><th>crash</th><th>sdc</th><th>benign</th>"
+        "<th>hang</th><th>crash rate</th><th>sdc rate</th></tr>"
+    )
+    for row in fault_model_rows(events):
+        counts = row["counts"]
+        n = row["activated"]
+        trials = n + counts["not-activated"]
+
+        def rate(hits, n=n):
+            if n == 0:
+                return "-"
+            lo, hi = wilson95(hits, n)
+            return f"{100.0 * hits / n:.1f}% [{100 * lo:.1f}, {100 * hi:.1f}]"
+
+        out.append(
+            f"<tr><td>{esc(row['model'])}</td><td>{esc(row['tool'])}</td>"
+            f"<td>{trials}</td><td>{n}</td>"
+            f"<td>{counts['crash']}</td><td>{counts['sdc']}</td>"
+            f"<td>{counts['benign']}</td><td>{counts['hang']}</td>"
+            f"<td>{rate(counts['crash'])}</td>"
+            f"<td>{rate(counts['sdc'])}</td></tr>"
+        )
+    out.append("</table>")
 
     out.append("<h2>Trap kinds (crashing trials)</h2>")
     out.append(trap_histogram_svg(events))

@@ -40,9 +40,9 @@ REQUIRED_TRIAL_TAGS = ("app", "tool", "category", "k", "checkpoint", "outcome")
 PHASE_NAMES = ("restore", "execute", "classify")
 
 EVENT_REQUIRED_KEYS = (
-    "v", "app", "tool", "category", "worker", "seq", "trial", "k", "bit",
-    "site", "opcode", "function", "injected", "activated", "outcome", "trap",
-    "inject_instruction", "instructions_total",
+    "v", "app", "tool", "category", "fault_model", "worker", "seq", "trial",
+    "k", "bit", "site", "opcode", "function", "injected", "activated",
+    "outcome", "trap", "inject_instruction", "instructions_total",
     "instructions_after_injection", "checkpoint", "latency_ms",
 )
 EVENT_OUTCOMES = ("benign", "sdc", "crash", "hang", "not-activated")
@@ -191,6 +191,14 @@ def validate_events(records):
         trap = record.get("trap")
         if trap is not None and trap not in EVENT_TRAP_KINDS:
             yield f"{where}: unknown trap kind {trap!r}"
+        fault_model = record.get("fault_model")
+        if "fault_model" in record and (
+            not isinstance(fault_model, str) or not fault_model
+        ):
+            yield (
+                f"{where}: fault_model is {fault_model!r}, expected a "
+                "non-empty string"
+            )
         if record.get("checkpoint") not in ("hit", "miss"):
             yield (
                 f"{where}: checkpoint is {record.get('checkpoint')!r}, "
