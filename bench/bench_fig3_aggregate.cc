@@ -1,8 +1,16 @@
 // Figure 3: aggregated fault-injection outcomes (crash / SDC / benign) for
 // both tools, 'all' instruction category, across the six benchmarks.
+//
+// The experiment runs twice in this process — once per dispatch mode — so
+// BENCH_perf.json always holds an interleaved threaded/switch A/B pair
+// (`fig3_aggregate` vs `fig3_aggregate_switchdispatch`) measured on the
+// same machine state, and the binary itself re-checks that the two modes
+// produce byte-identical results.
+#include <cstdlib>
 #include <iostream>
 
 #include "common.h"
+#include "machine/dispatch.h"
 
 int main() {
   using namespace faultlab;
@@ -10,6 +18,8 @@ int main() {
   benchx::print_banner("Figure 3: aggregated fault injection results", trials);
 
   auto apps = benchx::compile_all_apps();
+  const machine::DispatchMode env_mode = machine::dispatch_mode();
+  machine::set_dispatch_mode(machine::DispatchMode::Threaded);
   benchx::ExperimentRun run =
       benchx::run_experiment(apps, {ir::Category::All}, trials);
   const fault::ResultSet& rs = run.results;
@@ -33,5 +43,19 @@ int main() {
               << hang_total / cells << "% (paper: ~30% / ~10% / ~0%)\n";
   }
   benchx::save_results(run, "fig3_aggregate.csv");
+
+  // The switch-dispatch leg of the A/B pair: identical grid, seed, and
+  // draws; write_perf_entry keys it `fig3_aggregate_switchdispatch`.
+  machine::set_dispatch_mode(machine::DispatchMode::Switch);
+  const benchx::ExperimentRun ab =
+      benchx::run_experiment(apps, {ir::Category::All}, trials);
+  machine::set_dispatch_mode(env_mode);
+  benchx::write_perf_entry("fig3_aggregate", ab);
+  const bool identical = fault::results_csv(ab.results).to_string() ==
+                         fault::results_csv(run.results).to_string();
+  std::cout << "[dispatch A/B: threaded " << run.manifest.wall_seconds
+            << "s vs switch " << ab.manifest.wall_seconds << "s, results "
+            << (identical ? "byte-identical" : "DIVERGED") << "]\n";
+  if (!identical) return EXIT_FAILURE;
   return 0;
 }

@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include "common.h"
+#include "machine/dispatch.h"
 #include "machine/memory.h"
 #include "obs/events.h"
+#include "x86/trace.h"
 
 namespace {
 
@@ -67,6 +69,89 @@ void BM_SimExecution(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimExecution)->Unit(benchmark::kMillisecond);
+
+// Dispatch A/B on the execution engines: the identical kernel under
+// switch dispatch (range 0) and the pre-decoded threaded fast path
+// (range 1), pinned per bench run so FAULTLAB_DISPATCH can't skew the
+// pair. run_ir()/run_asm() build a fresh engine per iteration, so the
+// threaded numbers include a full trace decode every time — the decode
+// benches below isolate that cost, and the resident variant shows it
+// amortized away.
+machine::DispatchMode bench_mode(benchmark::State& state) {
+  return state.range(0) == 0 ? machine::DispatchMode::Switch
+                             : machine::DispatchMode::Threaded;
+}
+
+void BM_VmExecutionDispatch(benchmark::State& state) {
+  const machine::DispatchMode mode = bench_mode(state);
+  const machine::DispatchMode saved = machine::dispatch_mode();
+  machine::set_dispatch_mode(mode);
+  auto prog = driver::compile(kKernel, "bench");
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto r = prog.run_ir();
+    instructions += r.dynamic_instructions;
+    benchmark::DoNotOptimize(r.exit_value);
+  }
+  machine::set_dispatch_mode(saved);
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+  state.SetLabel(machine::dispatch_mode_name(mode));
+}
+BENCHMARK(BM_VmExecutionDispatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimExecutionDispatch(benchmark::State& state) {
+  const machine::DispatchMode mode = bench_mode(state);
+  const machine::DispatchMode saved = machine::dispatch_mode();
+  machine::set_dispatch_mode(mode);
+  auto prog = driver::compile(kKernel, "bench");
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto r = prog.run_asm();
+    instructions += r.dynamic_instructions;
+    benchmark::DoNotOptimize(r.exit_value);
+  }
+  machine::set_dispatch_mode(saved);
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+  state.SetLabel(machine::dispatch_mode_name(mode));
+}
+BENCHMARK(BM_SimExecutionDispatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Trace-decode cost: building the simulator's pre-decoded uop array for
+// the whole kernel program. Paid once per resident engine, then amortized
+// over every subsequent trial.
+void BM_X86TraceDecode(benchmark::State& state) {
+  auto prog = driver::compile(kKernel, "bench");
+  for (auto _ : state) {
+    x86::XTrace trace(prog.program());
+    benchmark::DoNotOptimize(trace.uops.data());
+  }
+  state.counters["insts"] =
+      static_cast<double>(prog.program().code.size());
+}
+BENCHMARK(BM_X86TraceDecode);
+
+// Decode amortization on the VM: a resident interpreter (the shape the
+// scheduler's per-worker contexts have) decodes each block once, so
+// steady-state runs replay cached traces. Compare against the threaded
+// BM_VmExecutionDispatch above, which re-decodes per iteration.
+void BM_VmExecutionResident(benchmark::State& state) {
+  const machine::DispatchMode saved = machine::dispatch_mode();
+  machine::set_dispatch_mode(machine::DispatchMode::Threaded);
+  auto prog = driver::compile(kKernel, "bench");
+  vm::Interpreter interp(prog.module());
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto r = interp.run("main");
+    instructions += r.dynamic_instructions;
+    benchmark::DoNotOptimize(r.exit_value);
+  }
+  machine::set_dispatch_mode(saved);
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmExecutionResident)->Unit(benchmark::kMillisecond);
 
 // Direct trials: checkpointing disabled, every injection re-executes the
 // golden prefix from main(). The baseline the checkpointed variants beat.

@@ -127,10 +127,12 @@ ExperimentRun run_experiment(const std::vector<CompiledApp>& apps,
     out.results.add(std::move(r));
   out.manifest = scheduler.manifest();
   out.seed = seed;
-  // The engines die with this scope: fold their checkpoint counters into
-  // the run record first.
-  for (const auto& engine : engines)
+  // The engines die with this scope: fold their checkpoint counters and
+  // phase times into the run record first.
+  for (const auto& engine : engines) {
     out.checkpoints += engine->checkpoint_stats();
+    out.phases += engine->phase_stats();
+  }
   return out;
 }
 
@@ -176,10 +178,15 @@ void write_perf_entry(const std::string& experiment,
   // every side of the direct / full-restore / delta-restore comparison
   // across PRs.
   const bool delta = machine::delta_restore_enabled();
-  const std::string key = cp.stride == 0
-                              ? experiment + "_direct"
-                              : (delta ? experiment
-                                       : experiment + "_fullrestore");
+  std::string key = cp.stride == 0
+                        ? experiment + "_direct"
+                        : (delta ? experiment
+                                 : experiment + "_fullrestore");
+  // Non-default dispatch runs get their own key (e.g.
+  // "fig3_aggregate_switchdispatch"), so an interleaved A/B pair from one
+  // process coexists in the manifest; threaded owns the plain key.
+  if (run.manifest.dispatch_mode != "threaded")
+    key += "_" + run.manifest.dispatch_mode + "dispatch";
 
   // One entry = one line, so the upsert below can merge without a JSON
   // parser: keep every other experiment's line, replace ours.
@@ -202,6 +209,16 @@ void write_perf_entry(const std::string& experiment,
         << "\"restored_pages\": " << cp.restored_pages << ", "
         << "\"mean_restored_pages\": " << cp.mean_restored_pages() << ", "
         << "\"snapshot_evictions\": " << cp.evictions << ", "
+        << "\"dispatch_mode\": \""
+        << obs::json_escape(run.manifest.dispatch_mode) << "\", "
+        << "\"trace_decodes\": " << run.manifest.trace_decodes << ", "
+        << "\"trace_hits\": " << run.manifest.trace_hits << ", "
+        << "\"trace_invalidations\": " << run.manifest.trace_invalidations
+        << ", "
+        << "\"decoded_blocks\": " << run.manifest.decoded_blocks << ", "
+        << "\"restore_seconds\": " << run.phases.restore_seconds << ", "
+        << "\"execute_seconds\": " << run.phases.execute_seconds << ", "
+        << "\"classify_seconds\": " << run.phases.classify_seconds << ", "
         << "\"timestamp\": \"" << obs::json_escape(utc_timestamp()) << "\", "
         << "\"hostname\": \"" << obs::json_escape(host_name()) << "\", "
         << "\"sanitizer\": " << (build_has_sanitizer() ? "true" : "false")

@@ -32,6 +32,8 @@ struct ExperimentRun {
   fault::RunManifest manifest;
   /// Checkpoint-layer counters summed over every engine in the run.
   fault::CheckpointStats checkpoints;
+  /// Restore/execute/classify wall time summed over every engine's trials.
+  fault::PhaseStats phases;
   std::uint64_t seed = 0;
 };
 
@@ -68,8 +70,11 @@ void save_results(const ExperimentRun& run, const std::string& filename);
 /// Upserts one experiment's entry in ./BENCH_perf.json — a top-level JSON
 /// object keyed by experiment name, one entry per line, so successive bench
 /// binaries sharing a working directory accumulate into one manifest.
-/// Records wall time, trials/sec, thread count, seed, and the checkpoint
-/// layer's stride/snapshot/hit-rate counters.
+/// Records wall time, trials/sec, thread count, seed, the checkpoint
+/// layer's stride/snapshot/hit-rate counters, dispatch provenance (mode +
+/// trace-cache counters), and the restore/execute/classify phase split.
+/// Runs under a non-default dispatch mode are keyed
+/// `<experiment>_<mode>dispatch` so A/B pairs coexist.
 void write_perf_entry(const std::string& experiment, const ExperimentRun& run);
 
 }  // namespace faultlab::benchx

@@ -124,6 +124,23 @@ struct CheckpointStats {
   }
 };
 
+/// Wall-time split of the trial loop's three phases, accumulated across
+/// every trial an engine ran (always on: the cost is two steady_clock
+/// reads per phase, trivial against a trial's execute time). This is the
+/// aggregate behind the obs layer's per-trial phase spans, so the perf
+/// manifest can report the execute-phase share without event tracing.
+struct PhaseStats {
+  double restore_seconds = 0.0;   ///< snapshot lookup + state reset
+  double execute_seconds = 0.0;   ///< interpreter / simulator run
+  double classify_seconds = 0.0;  ///< outcome classification
+  PhaseStats& operator+=(const PhaseStats& o) noexcept {
+    restore_seconds += o.restore_seconds;
+    execute_seconds += o.execute_seconds;
+    classify_seconds += o.classify_seconds;
+    return *this;
+  }
+};
+
 /// Dynamic instruction counts for every Table III category, indexed by
 /// `ir::Category`. Produced by `InjectorEngine::profile_all()` so one
 /// instrumented golden run covers the whole category grid.
@@ -220,6 +237,10 @@ class InjectorEngine {
 
   /// Checkpoint-layer counters (zero for engines without checkpointing).
   virtual CheckpointStats checkpoint_stats() const { return {}; }
+
+  /// Accumulated restore/execute/classify wall time over every trial this
+  /// engine ran (zero for engines that don't track it).
+  virtual PhaseStats phase_stats() const { return {}; }
 };
 
 }  // namespace faultlab::fault

@@ -1,6 +1,7 @@
 #include "fault/llfi.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -208,6 +209,14 @@ class InjectHook final : public vm::ExecHook {
   const char* site_function_ = nullptr;  // borrows the module's storage
 };
 
+/// Nanoseconds elapsed since `t0`, for the per-phase wall-time counters.
+std::uint64_t nanos_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 bool LlfiEngine::is_target(const ir::Instruction& instr, ir::Category category,
@@ -339,10 +348,13 @@ TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
   const CheckpointStore<vm::Snapshot>::Entry* cp;
   {
     obs::ScopedSpan restore_span(tracer, "restore", "phase");
+    const auto phase_t0 = std::chrono::steady_clock::now();
     cp = arm_time != 0 ? checkpoints_.before_time(arm_time)
                        : checkpoints_.before(category, k);
     if (restore_span.active())
       restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
+    restore_nanos_.fetch_add(nanos_since(phase_t0),
+                             std::memory_order_relaxed);
   }
   InjectHook hook(category, k, plan, model_,
                   cp != nullptr ? cp->seen[category] : 0,
@@ -352,6 +364,7 @@ TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
   vm::RunResult r;
   {
     obs::ScopedSpan exec_span(tracer, "execute", "phase");
+    const auto phase_t0 = std::chrono::steady_clock::now();
     if (cp != nullptr) {
       restored_trials_.fetch_add(1, std::memory_order_relaxed);
       skipped_instructions_.fetch_add(cp->snapshot.executed,
@@ -360,6 +373,8 @@ TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
     } else {
       r = context.interp.run("main", faulty_limits());
     }
+    execute_nanos_.fetch_add(nanos_since(phase_t0),
+                             std::memory_order_relaxed);
     if (exec_span.active())
       exec_span.tag("instructions",
                     r.dynamic_instructions -
@@ -401,8 +416,11 @@ TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
   record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);
   {
     obs::ScopedSpan classify_span(tracer, "classify", "phase");
+    const auto phase_t0 = std::chrono::steady_clock::now();
     record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
                               r.timed_out, r.output, golden_output_);
+    classify_nanos_.fetch_add(nanos_since(phase_t0),
+                              std::memory_order_relaxed);
   }
   if (r.trapped) record.trap = r.trap;
   return record;
@@ -420,6 +438,20 @@ CheckpointStats LlfiEngine::checkpoint_stats() const {
   stats.restored_pages = restored_pages_.load(std::memory_order_relaxed);
   stats.evictions = checkpoints_.evictions();
   return stats;
+}
+
+PhaseStats LlfiEngine::phase_stats() const {
+  PhaseStats p;
+  p.restore_seconds =
+      static_cast<double>(restore_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  p.execute_seconds =
+      static_cast<double>(execute_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  p.classify_seconds =
+      static_cast<double>(classify_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  return p;
 }
 
 }  // namespace faultlab::fault

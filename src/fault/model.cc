@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/bitutil.h"
+#include "support/env.h"
 
 namespace faultlab::fault {
 namespace {
@@ -205,8 +206,8 @@ Model Model::parse(const std::string& spec, std::string* error) {
 }
 
 Model Model::from_env() {
-  const char* env = std::getenv("FAULTLAB_FAULT_MODEL");
-  if (env == nullptr || env[0] == '\0') return Model{};
+  const char* env = support::parse_env_string("FAULTLAB_FAULT_MODEL");
+  if (env == nullptr) return Model{};
   std::string error;
   Model model;
   if (!parse_into(env, &model, &error)) {

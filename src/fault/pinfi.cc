@@ -1,6 +1,7 @@
 #include "fault/pinfi.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -369,6 +370,14 @@ class ProfileAllHook final : public x86::SimHook {
   CategoryCounts counts_;
 };
 
+/// Nanoseconds elapsed since `t0`, for the per-phase wall-time counters.
+std::uint64_t nanos_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 bool PinfiEngine::is_target(const Inst& inst, const Inst* next,
@@ -498,10 +507,13 @@ TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
   const CheckpointStore<x86::SimSnapshot>::Entry* cp;
   {
     obs::ScopedSpan restore_span(tracer, "restore", "phase");
+    const auto phase_t0 = std::chrono::steady_clock::now();
     cp = arm_time != 0 ? checkpoints_.before_time(arm_time)
                        : checkpoints_.before(category, k);
     if (restore_span.active())
       restore_span.tag("checkpoint", cp != nullptr ? "hit" : "miss");
+    restore_nanos_.fetch_add(nanos_since(phase_t0),
+                             std::memory_order_relaxed);
   }
   PinfiHook hook(program_, category, k, plan, model_,
                  cp != nullptr ? cp->seen[category] : 0,
@@ -511,6 +523,7 @@ TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
   x86::SimResult r;
   {
     obs::ScopedSpan exec_span(tracer, "execute", "phase");
+    const auto phase_t0 = std::chrono::steady_clock::now();
     if (cp != nullptr) {
       restored_trials_.fetch_add(1, std::memory_order_relaxed);
       skipped_instructions_.fetch_add(cp->snapshot.executed,
@@ -519,6 +532,8 @@ TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
     } else {
       r = context.sim.run(faulty_limits());
     }
+    execute_nanos_.fetch_add(nanos_since(phase_t0),
+                             std::memory_order_relaxed);
     if (exec_span.active())
       exec_span.tag("instructions",
                     r.dynamic_instructions -
@@ -560,8 +575,11 @@ TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
   record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);
   {
     obs::ScopedSpan classify_span(tracer, "classify", "phase");
+    const auto phase_t0 = std::chrono::steady_clock::now();
     record.outcome = classify(hook.injected(), hook.activated(), r.trapped,
                               r.timed_out, r.output, golden_output_);
+    classify_nanos_.fetch_add(nanos_since(phase_t0),
+                              std::memory_order_relaxed);
   }
   if (r.trapped) record.trap = r.trap;
   return record;
@@ -579,6 +597,20 @@ CheckpointStats PinfiEngine::checkpoint_stats() const {
   stats.restored_pages = restored_pages_.load(std::memory_order_relaxed);
   stats.evictions = checkpoints_.evictions();
   return stats;
+}
+
+PhaseStats PinfiEngine::phase_stats() const {
+  PhaseStats p;
+  p.restore_seconds =
+      static_cast<double>(restore_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  p.execute_seconds =
+      static_cast<double>(execute_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  p.classify_seconds =
+      static_cast<double>(classify_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  return p;
 }
 
 }  // namespace faultlab::fault

@@ -59,6 +59,7 @@ class PinfiEngine final : public InjectorEngine {
     return golden_instructions_;
   }
   CheckpointStats checkpoint_stats() const override;
+  PhaseStats phase_stats() const override;
 
   /// Re-applies a snapshot page budget after profiling (tests/tools; the
   /// campaign path sets it via CheckpointPolicy). Evicts LRU-first, so
@@ -107,6 +108,9 @@ class PinfiEngine final : public InjectorEngine {
   mutable std::atomic<std::uint64_t> skipped_instructions_{0};
   mutable std::atomic<std::uint64_t> delta_restores_{0};
   mutable std::atomic<std::uint64_t> restored_pages_{0};
+  mutable std::atomic<std::uint64_t> restore_nanos_{0};
+  mutable std::atomic<std::uint64_t> execute_nanos_{0};
+  mutable std::atomic<std::uint64_t> classify_nanos_{0};
 };
 
 }  // namespace faultlab::fault

@@ -20,6 +20,7 @@
 #define FAULTLAB_FILENO fileno
 #endif
 
+#include "machine/dispatch.h"
 #include "machine/trap.h"
 #include "obs/events.h"
 #include "support/env.h"
@@ -198,6 +199,10 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   WallTimer run_timer;
   manifest_ = RunManifest{};
   manifest_.model = options_.model;
+  manifest_.dispatch_mode =
+      machine::dispatch_mode_name(machine::dispatch_mode());
+  const machine::DispatchCountersSnapshot dispatch_before =
+      machine::dispatch_counters_snapshot();
 
   // Phase 1 — profiling: one single-pass instrumented golden run per
   // distinct engine covers every category it appears with.
@@ -508,10 +513,20 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   }
   manifest_.threads = workers;
   manifest_.wall_seconds = run_timer.seconds();
+  const machine::DispatchCountersSnapshot dispatch_after =
+      machine::dispatch_counters_snapshot();
+  manifest_.trace_decodes =
+      dispatch_after.trace_decodes - dispatch_before.trace_decodes;
+  manifest_.trace_hits =
+      dispatch_after.trace_hits - dispatch_before.trace_hits;
+  manifest_.trace_invalidations = dispatch_after.trace_invalidations -
+                                  dispatch_before.trace_invalidations;
+  manifest_.decoded_blocks = dispatch_after.decoded_blocks;
 
   // Persist spans/metrics/events now rather than only at exit, so
   // long-lived processes (benches running several grids) leave a trace per
   // grid and a failed run still ships what it captured.
+  machine::publish_dispatch_metrics();
   if (obs::Tracer::global().enabled() || obs::metrics_enabled())
     obs::flush_observability();
   if (events_on) obs::EventLog::global().flush();
@@ -538,7 +553,8 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
                  "p50_ms", "p95_ms", "p99_ms", "threads", "profile_seconds",
                  "total_wall_seconds", "pinfi_flag_heuristic",
                  "pinfi_xmm_prune", "llfi_type_width",
-                 "llfi_gep_as_arithmetic"});
+                 "llfi_gep_as_arithmetic", "dispatch_mode", "trace_decodes",
+                 "trace_hits", "trace_invalidations", "decoded_blocks"});
   for (const CampaignTiming& t : manifest.campaigns) {
     csv.add_row({t.app, t.tool, ir::category_name(t.category), t.fault_model,
                  std::to_string(t.seed), std::to_string(t.trials),
@@ -559,7 +575,12 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
                  std::to_string(manifest.model.pinfi_xmm_prune ? 1 : 0),
                  std::to_string(manifest.model.llfi_type_width ? 1 : 0),
                  std::to_string(
-                     manifest.model.llfi_gep_as_arithmetic ? 1 : 0)});
+                     manifest.model.llfi_gep_as_arithmetic ? 1 : 0),
+                 manifest.dispatch_mode,
+                 std::to_string(manifest.trace_decodes),
+                 std::to_string(manifest.trace_hits),
+                 std::to_string(manifest.trace_invalidations),
+                 std::to_string(manifest.decoded_blocks)});
   }
   return csv;
 }

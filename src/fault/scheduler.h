@@ -109,6 +109,14 @@ struct RunManifest {
   FaultModel model;               ///< fault-model knobs in effect
   double profile_seconds = 0.0;   ///< single-pass profiling phase
   double wall_seconds = 0.0;      ///< whole run() call
+  /// Dispatch mode in effect ("threaded" | "switch"), and the trace-cache
+  /// activity attributable to this run (process-wide counter deltas across
+  /// run(); see machine/dispatch.h).
+  std::string dispatch_mode = "threaded";
+  std::uint64_t trace_decodes = 0;
+  std::uint64_t trace_hits = 0;
+  std::uint64_t trace_invalidations = 0;
+  std::uint64_t decoded_blocks = 0;  ///< resident when run() finished
   std::vector<CampaignTiming> campaigns;  ///< in add() order
 };
 

@@ -5,6 +5,7 @@
 
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "support/env.h"
 
 namespace faultlab::obs {
 
@@ -32,10 +33,9 @@ void append_u64(std::string& out, std::uint64_t value) {
 
 const char* EventLog::env_path() noexcept {
   static const char* const path = [] {
-    const char* env = std::getenv("FAULTLAB_EVENTS");
-    if (env == nullptr || env[0] == '\0' ||
-        (env[0] == '0' && env[1] == '\0'))
-      return static_cast<const char*>(nullptr);
+    const char* env = support::parse_env_string("FAULTLAB_EVENTS");
+    if (env != nullptr && env[0] == '0' && env[1] == '\0')
+      return static_cast<const char*>(nullptr);  // explicit off switch
     return env;
   }();
   return path;

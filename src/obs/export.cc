@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/env.h"
+
 namespace faultlab::obs {
 
 std::string json_escape(std::string_view s) {
@@ -131,7 +133,7 @@ void flush_observability() {
   if (const char* path = Tracer::env_path())
     export_trace(Tracer::global(), path);
   if (!metrics_enabled()) return;
-  const char* dest = std::getenv("FAULTLAB_METRICS");
+  const char* dest = support::parse_env_string("FAULTLAB_METRICS");
   if (dest == nullptr) return;
   const std::string json = metrics_json(Registry::global().snapshot());
   // "1" (a bare switch) keeps collection on but has nowhere to write a

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/export.h"
+#include "support/env.h"
 
 namespace faultlab::obs {
 
@@ -69,10 +70,7 @@ void Tracer::clear() {
 }
 
 const char* Tracer::env_path() noexcept {
-  static const char* path = [] {
-    const char* env = std::getenv("FAULTLAB_TRACE");
-    return (env != nullptr && env[0] != '\0') ? env : nullptr;
-  }();
+  static const char* path = support::parse_env_string("FAULTLAB_TRACE");
   return path;
 }
 

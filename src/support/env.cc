@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace faultlab::support {
 
@@ -30,6 +31,25 @@ bool parse_env_flag(const char* name, bool fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
   return !(env[0] == '0' && env[1] == '\0');
+}
+
+const char* parse_env_string(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return nullptr;
+  return env;
+}
+
+std::size_t parse_env_choice(const char* name, const char* const* choices,
+                             std::size_t count, std::size_t fallback) {
+  const char* env = parse_env_string(name);
+  if (env == nullptr) return fallback;
+  for (std::size_t i = 0; i < count; ++i)
+    if (std::strcmp(env, choices[i]) == 0) return i;
+  std::fprintf(stderr, "warning: %s='%s' is not one of {", name, env);
+  for (std::size_t i = 0; i < count; ++i)
+    std::fprintf(stderr, "%s%s", i == 0 ? "" : ", ", choices[i]);
+  std::fprintf(stderr, "}; using '%s'\n", choices[fallback]);
+  return fallback;
 }
 
 }  // namespace faultlab::support

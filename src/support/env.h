@@ -27,4 +27,18 @@ std::uint64_t parse_env_u64(const char* name, std::uint64_t fallback,
 /// FAULTLAB_PROGRESS, and FAULTLAB_DELTA_RESTORE.)
 bool parse_env_flag(const char* name, bool fallback);
 
+/// Reads env var `name` as a string. Returns nullptr when the variable is
+/// unset or empty, so call sites get one canonical "not configured" state
+/// instead of each re-checking both conditions. The returned pointer
+/// aliases the process environment and stays valid for the process
+/// lifetime (faultlab never calls setenv).
+const char* parse_env_string(const char* name);
+
+/// Parses env var `name` against a closed set of `count` choices. Returns
+/// the index of the matching choice, or `fallback` (also an index) when
+/// the variable is unset, empty, or — with a one-line stderr warning
+/// listing the valid values — not one of the choices.
+std::size_t parse_env_choice(const char* name, const char* const* choices,
+                             std::size_t count, std::size_t fallback);
+
 }  // namespace faultlab::support

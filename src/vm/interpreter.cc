@@ -6,8 +6,20 @@
 #include <stdexcept>
 #include <vector>
 
+#include "machine/dispatch.h"
 #include "obs/metrics.h"
 #include "support/bitutil.h"
+#include "vm/trace.h"
+
+// Computed-goto threaded dispatch for the fast path; define
+// FAULTLAB_NO_COMPUTED_GOTO (or build with a compiler lacking the
+// extension) to fall back to a portable switch with identical semantics.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(FAULTLAB_NO_COMPUTED_GOTO)
+#define FAULTLAB_VM_COMPUTED_GOTO 1
+#else
+#define FAULTLAB_VM_COMPUTED_GOTO 0
+#endif
 
 namespace faultlab::vm {
 
@@ -38,12 +50,23 @@ void record_run_instructions(std::uint64_t delta) {
 // of recursing on the native stack, so the complete interpreter state can
 // be captured into a Snapshot between any two dynamic instructions and
 // resumed later — the basis of checkpointed fault-injection trials.
+//
+// Two dispatch paths share that state. The *slow* path (slow_step) is the
+// original hooked switch loop: snapshot capture, timeout accounting, hook
+// re-arm checks and callbacks at every instruction. The *fast* path
+// (fast_run) executes pre-decoded micro-op traces (vm/trace.h) with no
+// per-instruction hook or snapshot machinery at all; the dispatcher
+// (exec_loop) only enters it while no hook can observe execution, and
+// pre-computes the dynamic-instruction index where the fast path must
+// side-exit so timeouts, snapshot points and hook re-arms land on exactly
+// the same instruction as a pure slow-path run. FAULTLAB_DISPATCH=switch
+// pins the slow path for A/B equivalence checks.
 class Interpreter::Impl {
  public:
   using Frame = Snapshot::Frame;
 
   Impl(const ir::Module& module, const machine::GlobalLayout& layout)
-      : module_(module), layout_(layout), runtime_(memory_) {}
+      : module_(module), layout_(layout), runtime_(memory_), cache_(layout) {}
 
   /// Arms the per-run parameters. The impl itself is resident — memory,
   /// frame and register storage persist between runs so consecutive
@@ -53,6 +76,7 @@ class Interpreter::Impl {
     live_hook_ = nullptr;
     limits_ = limits;
     next_snapshot_at_ = 0;
+    mode_ = machine::dispatch_mode();
   }
 
   RunResult run(const std::string& entry) {
@@ -112,7 +136,8 @@ class Interpreter::Impl {
       result.trap_address = trap.address();
       // The frame stack is intact while the exception unwinds to here, so
       // the innermost frame still points at the instruction that trapped
-      // (indices advance only after an instruction completes).
+      // (indices advance only after an instruction completes; the fast
+      // path re-syncs frame.index before rethrowing).
       if (!frames_.empty()) {
         const Snapshot::Frame& top = frames_.back();
         if (top.block != nullptr && top.index < top.block->size())
@@ -210,6 +235,35 @@ class Interpreter::Impl {
     frames_.push_back(std::move(frame));
   }
 
+  /// Fast-path twin of push_frame: identical trap order, frame layout and
+  /// id consumption, with the alloca walk replaced by the function's
+  /// pre-computed plan. Only runs hook-free (no on_call callout).
+  void push_frame_fast(TraceFunction& tf, std::vector<std::uint64_t> args,
+                       const ir::CallInst* site) {
+    if (frames_.size() >= kMaxCallDepth)
+      trap(TrapKind::StackOverflow, sp_, "call depth");
+    Frame frame;
+    frame.function = tf.fn;
+    frame.id = next_frame_id_++;
+    frame.args = std::move(args);
+    frame.regs.assign(tf.num_instructions, 0);
+    if (sp_ < Layout::kStackLimit + tf.frame_size)
+      trap(TrapKind::StackOverflow, sp_);
+    frame.saved_sp = sp_;
+    sp_ -= tf.frame_size;
+    std::uint64_t cursor = sp_;
+    for (const AllocaPlan& al : tf.allocas) {
+      cursor = (cursor + al.align - 1) / al.align * al.align;
+      frame.regs[al.reg] = cursor;
+      cursor += al.size;
+    }
+    frame.block = tf.fn->entry();
+    frame.prev_block = nullptr;
+    frame.index = 0;
+    frame.call_site = site;
+    frames_.push_back(std::move(frame));
+  }
+
   void maybe_snapshot() {
     if (next_snapshot_at_ == 0 || executed_ < next_snapshot_at_ ||
         !limits_.snapshot_sink)
@@ -226,115 +280,715 @@ class Interpreter::Impl {
   }
 
   /// Runs the frame stack to completion; returns the entry's return value.
+  /// Switch mode is the pure historical loop; threaded mode alternates
+  /// trace execution with single hooked slow steps at window boundaries.
   std::uint64_t exec_loop() {
+    std::uint64_t ret = 0;
+    if (mode_ == machine::DispatchMode::Switch) {
+      while (!slow_step(&ret)) {
+      }
+      return ret;
+    }
     while (true) {
-      maybe_snapshot();
-      Frame& frame = frames_.back();
-      const ir::Instruction& instr = *frame.block->instr(frame.index);
-      bump_instruction_count();
-      if (hook_ != nullptr && hook_->detached()) {
-        const std::uint64_t at = hook_->rearm_at();
-        if (at == 0) {
-          hook_ = nullptr;  // rest of the run executes at unhooked speed
-        } else if (executed_ >= at) {
-          hook_->rearm();  // dormant hook reached its re-arm point
-        }
-      }
-      // Dormant hooks (detached with a future rearm_at) are suppressed for
-      // the whole instruction: live_hook_ gates every callback site below.
-      live_hook_ = hook_ != nullptr && !hook_->detached() ? hook_ : nullptr;
-      if (live_hook_ != nullptr) live_hook_->on_instruction(instr);
+      std::uint64_t stop = limits_.max_instructions;
+      if (fast_eligible(&stop) && fast_run(stop, &ret)) return ret;
+      if (slow_step(&ret)) return ret;
+    }
+  }
 
-      switch (instr.opcode()) {
-        case Opcode::Phi: {
-          // Evaluate the whole phi group atomically against prev_block.
-          std::size_t index = frame.index;
-          std::vector<std::pair<const ir::Instruction*, std::uint64_t>> updates;
-          while (true) {
-            const auto& phi =
-                static_cast<const ir::PhiInst&>(*frame.block->instr(index));
-            const ir::Value* in = phi.value_for_block(frame.prev_block);
-            assert(in != nullptr && "phi has no edge for predecessor");
-            updates.emplace_back(&phi, read_operand(frame, phi, in));
-            if (index + 1 >= frame.block->size() ||
-                frame.block->instr(index + 1)->opcode() != Opcode::Phi)
-              break;
-            ++index;
-            bump_instruction_count();
-            if (live_hook_ != nullptr)
-              live_hook_->on_instruction(*frame.block->instr(index));
-          }
-          for (auto& [phi, raw] : updates) set_result(frame, *phi, raw);
-          frame.index = index + 1;
-          continue;
-        }
-        case Opcode::Br: {
-          const auto& br = static_cast<const ir::BranchInst&>(instr);
-          const ir::BasicBlock* next;
-          if (br.is_conditional()) {
-            const std::uint64_t cond =
-                read_operand(frame, instr, br.condition()) & 1;
-            next = cond ? br.true_target() : br.false_target();
-          } else {
-            next = br.true_target();
-          }
-          frame.prev_block = frame.block;
-          frame.block = next;
-          frame.index = 0;
-          continue;
-        }
-        case Opcode::Ret: {
-          const auto& ret = static_cast<const ir::RetInst&>(instr);
-          const std::uint64_t raw =
-              ret.has_value() ? read_operand(frame, instr, ret.value()) : 0;
-          sp_ = frame.saved_sp;
-          const ir::Instruction* site = frame.call_site;
-          frames_.pop_back();
-          if (frames_.empty()) return raw;
-          Frame& caller = frames_.back();
-          if (site->has_result()) set_result(caller, *site, raw);
-          ++caller.index;
-          continue;
-        }
-        case Opcode::Store: {
-          const std::uint64_t value =
-              read_operand(frame, instr, instr.operand(0));
-          const std::uint64_t addr =
-              read_operand(frame, instr, instr.operand(1));
-          const ir::Type* t = instr.operand(0)->type();
-          const auto size = static_cast<unsigned>(t->size_in_bytes());
-          if (live_hook_ != nullptr)
-            live_hook_->on_memory_access(instr, addr, size, /*is_store=*/true);
-          memory_.write(addr, size, value & type_mask(t));
-          ++frame.index;
-          continue;
-        }
-        case Opcode::Call: {
-          const auto& call = static_cast<const ir::CallInst&>(instr);
-          std::vector<std::uint64_t> args;
-          args.reserve(call.num_args());
-          for (unsigned i = 0; i < call.num_args(); ++i)
-            args.push_back(read_operand(frame, instr, call.arg(i)));
-          if (call.callee()->is_builtin()) {
-            const std::uint64_t raw =
-                runtime_.call_builtin(call.callee()->name(), args);
-            if (instr.has_result()) set_result(frame, instr, raw);
-            ++frame.index;
-            continue;
-          }
-          const std::uint64_t caller_id = frame.id;
-          // push_frame may reallocate frames_, invalidating `frame`; the
-          // caller's index advances when the callee returns (Ret case).
-          push_frame(*call.callee(), std::move(args), &call, caller_id);
-          continue;
-        }
-        default: {
-          const std::uint64_t raw = evaluate(frame, instr);
-          set_result(frame, instr, raw);
-          ++frame.index;
-          continue;
-        }
+  /// Whether the fast path may run right now, and — via `stop` — up to
+  /// which dynamic-instruction count. The slow path's per-instruction
+  /// checks all fire at positions known in advance:
+  ///  * timeout: the bump of instruction max+1 throws, so the fast loop
+  ///    may execute while executed_ < max;
+  ///  * hook re-arm: a dormant hook re-arms on the instruction that brings
+  ///    executed_ to rearm_at, which must run hooked → stop at rearm_at-1;
+  ///  * snapshots: captured before the instruction that has
+  ///    executed_ >= next_snapshot_at_ → stop there.
+  /// One slow step at the boundary then performs the actual throw /
+  /// re-arm / capture with unchanged semantics.
+  bool fast_eligible(std::uint64_t* stop) {
+    if (hook_ != nullptr) {
+      if (!hook_->detached()) return false;
+      const std::uint64_t at = hook_->rearm_at();
+      if (at == 0) {
+        hook_ = nullptr;  // finally detached: same nulling as the slow loop
+      } else {
+        *stop = std::min(*stop, at - 1);
       }
+    }
+    if (next_snapshot_at_ != 0 && limits_.snapshot_sink)
+      *stop = std::min(*stop, next_snapshot_at_);
+    return executed_ < *stop;
+  }
+
+  /// One iteration of the hooked slow path. Returns true when the entry
+  /// frame returned, with the raw return value in *ret.
+  bool slow_step(std::uint64_t* ret) {
+    maybe_snapshot();
+    Frame& frame = frames_.back();
+    const ir::Instruction& instr = *frame.block->instr(frame.index);
+    bump_instruction_count();
+    if (hook_ != nullptr && hook_->detached()) {
+      const std::uint64_t at = hook_->rearm_at();
+      if (at == 0) {
+        hook_ = nullptr;  // rest of the run executes at unhooked speed
+      } else if (executed_ >= at) {
+        hook_->rearm();  // dormant hook reached its re-arm point
+      }
+    }
+    // Dormant hooks (detached with a future rearm_at) are suppressed for
+    // the whole instruction: live_hook_ gates every callback site below.
+    live_hook_ = hook_ != nullptr && !hook_->detached() ? hook_ : nullptr;
+    if (live_hook_ != nullptr) live_hook_->on_instruction(instr);
+
+    switch (instr.opcode()) {
+      case Opcode::Phi: {
+        // Evaluate the whole phi group atomically against prev_block.
+        std::size_t index = frame.index;
+        std::vector<std::pair<const ir::Instruction*, std::uint64_t>> updates;
+        while (true) {
+          const auto& phi =
+              static_cast<const ir::PhiInst&>(*frame.block->instr(index));
+          const ir::Value* in = phi.value_for_block(frame.prev_block);
+          assert(in != nullptr && "phi has no edge for predecessor");
+          updates.emplace_back(&phi, read_operand(frame, phi, in));
+          if (index + 1 >= frame.block->size() ||
+              frame.block->instr(index + 1)->opcode() != Opcode::Phi)
+            break;
+          ++index;
+          bump_instruction_count();
+          if (live_hook_ != nullptr)
+            live_hook_->on_instruction(*frame.block->instr(index));
+        }
+        for (auto& [phi, raw] : updates) set_result(frame, *phi, raw);
+        frame.index = index + 1;
+        return false;
+      }
+      case Opcode::Br: {
+        const auto& br = static_cast<const ir::BranchInst&>(instr);
+        const ir::BasicBlock* next;
+        if (br.is_conditional()) {
+          const std::uint64_t cond =
+              read_operand(frame, instr, br.condition()) & 1;
+          next = cond ? br.true_target() : br.false_target();
+        } else {
+          next = br.true_target();
+        }
+        frame.prev_block = frame.block;
+        frame.block = next;
+        frame.index = 0;
+        return false;
+      }
+      case Opcode::Ret: {
+        const auto& ret_inst = static_cast<const ir::RetInst&>(instr);
+        const std::uint64_t raw =
+            ret_inst.has_value() ? read_operand(frame, instr, ret_inst.value())
+                                 : 0;
+        sp_ = frame.saved_sp;
+        const ir::Instruction* site = frame.call_site;
+        frames_.pop_back();
+        if (frames_.empty()) {
+          *ret = raw;
+          return true;
+        }
+        Frame& caller = frames_.back();
+        if (site->has_result()) set_result(caller, *site, raw);
+        ++caller.index;
+        return false;
+      }
+      case Opcode::Store: {
+        const std::uint64_t value =
+            read_operand(frame, instr, instr.operand(0));
+        const std::uint64_t addr =
+            read_operand(frame, instr, instr.operand(1));
+        const ir::Type* t = instr.operand(0)->type();
+        const auto size = static_cast<unsigned>(t->size_in_bytes());
+        if (live_hook_ != nullptr)
+          live_hook_->on_memory_access(instr, addr, size, /*is_store=*/true);
+        memory_.write(addr, size, value & type_mask(t));
+        ++frame.index;
+        return false;
+      }
+      case Opcode::Call: {
+        const auto& call = static_cast<const ir::CallInst&>(instr);
+        std::vector<std::uint64_t> args;
+        args.reserve(call.num_args());
+        for (unsigned i = 0; i < call.num_args(); ++i)
+          args.push_back(read_operand(frame, instr, call.arg(i)));
+        if (call.callee()->is_builtin()) {
+          const std::uint64_t raw =
+              runtime_.call_builtin(call.callee()->name(), args);
+          if (instr.has_result()) set_result(frame, instr, raw);
+          ++frame.index;
+          return false;
+        }
+        const std::uint64_t caller_id = frame.id;
+        // push_frame may reallocate frames_, invalidating `frame`; the
+        // caller's index advances when the callee returns (Ret case).
+        push_frame(*call.callee(), std::move(args), &call, caller_id);
+        return false;
+      }
+      default: {
+        const std::uint64_t raw = evaluate(frame, instr);
+        set_result(frame, instr, raw);
+        ++frame.index;
+        return false;
+      }
+    }
+  }
+
+  /// Reads one pre-resolved operand slot (the fast path's hook-free
+  /// read_operand).
+  std::uint64_t slot(const Frame& frame, const VSlot& s) const {
+    switch (s.kind) {
+      case VSlot::Kind::Imm: return s.imm;
+      case VSlot::Kind::Reg: return frame.regs[s.index];
+      case VSlot::Kind::Arg: return frame.args[s.index];
+    }
+    return 0;
+  }
+
+  /// Executes decoded traces until `stop` (a dynamic-instruction count),
+  /// a non-traceable block, or program exit. Returns true when the entry
+  /// frame returned (value in *ret); false on a side exit back to the
+  /// slow path, with every frame field re-synced so the slow loop (or a
+  /// snapshot) sees exactly the state a pure slow run would have.
+  bool fast_run(std::uint64_t stop, std::uint64_t* ret) {
+    Frame* frame = &frames_.back();
+    TraceFunction* tf = &cache_.function(*frame->function);
+    TraceBlock* tb = cache_.block(*tf, frame->block);
+    machine::DispatchCounters& dc = machine::dispatch_counters();
+    std::size_t ip = frame->index;
+    if (tb == nullptr || ip >= tb->uops.size()) {
+      dc.trace_invalidations.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    dc.trace_hits.fetch_add(1, std::memory_order_relaxed);
+    shadow_.clear();
+    shadow_.push_back({tf, tb});
+    try {
+      const VUOp* u = nullptr;
+
+#if FAULTLAB_VM_COMPUTED_GOTO
+#define FAULTLAB_VM_UOP_LABEL(name) &&vm_lbl_##name,
+      static const void* const kLabels[] = {
+          FAULTLAB_VM_UOPS(FAULTLAB_VM_UOP_LABEL)};
+#undef FAULTLAB_VM_UOP_LABEL
+#define VM_OP(name) vm_lbl_##name:
+#define VM_NEXT()                                      \
+  do {                                                 \
+    if (executed_ >= stop) goto vm_side_exit;          \
+    u = &tb->uops[ip];                                 \
+    ++executed_;                                       \
+    goto* kLabels[static_cast<unsigned>(u->op)];       \
+  } while (0)
+      VM_NEXT();
+#else
+#define VM_OP(name) case VOp::name:
+#define VM_NEXT() goto vm_dispatch
+    vm_dispatch:
+      if (executed_ >= stop) goto vm_side_exit;
+      u = &tb->uops[ip];
+      ++executed_;
+      switch (u->op) {
+#endif
+
+      VM_OP(Add) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) + (slot(*frame, u->b) & m)) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Sub) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) - (slot(*frame, u->b) & m)) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Mul) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) * (slot(*frame, u->b) & m)) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(SDiv) {
+        const std::uint64_t m = u->imm;
+        const std::int64_t sa = sign_extend(slot(*frame, u->a) & m, u->bits);
+        const std::int64_t sb = sign_extend(slot(*frame, u->b) & m, u->bits);
+        if (sb == 0) trap(TrapKind::DivideByZero, 0);
+        if (sb == -1 && sa == int_min_of(u->bits))
+          trap(TrapKind::DivideByZero, 0, "division overflow");  // x86 #DE
+        frame->regs[u->dst] = static_cast<std::uint64_t>(sa / sb) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(UDiv) {
+        const std::uint64_t m = u->imm;
+        const std::uint64_t a = slot(*frame, u->a) & m;
+        const std::uint64_t b = slot(*frame, u->b) & m;
+        if (b == 0) trap(TrapKind::DivideByZero, 0);
+        frame->regs[u->dst] = (a / b) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(SRem) {
+        const std::uint64_t m = u->imm;
+        const std::int64_t sa = sign_extend(slot(*frame, u->a) & m, u->bits);
+        const std::int64_t sb = sign_extend(slot(*frame, u->b) & m, u->bits);
+        if (sb == 0) trap(TrapKind::DivideByZero, 0);
+        if (sb == -1 && sa == int_min_of(u->bits))
+          trap(TrapKind::DivideByZero, 0, "division overflow");  // x86 #DE
+        frame->regs[u->dst] = static_cast<std::uint64_t>(sa % sb) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(URem) {
+        const std::uint64_t m = u->imm;
+        const std::uint64_t a = slot(*frame, u->a) & m;
+        const std::uint64_t b = slot(*frame, u->b) & m;
+        if (b == 0) trap(TrapKind::DivideByZero, 0);
+        frame->regs[u->dst] = (a % b) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(And) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) & (slot(*frame, u->b) & m)) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Or) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) | (slot(*frame, u->b) & m)) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Xor) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) ^ (slot(*frame, u->b) & m)) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Shl) {
+        const std::uint64_t m = u->imm;
+        const std::uint64_t a = slot(*frame, u->a) & m;
+        const unsigned amount = shift_amount(slot(*frame, u->b) & m, u->bits);
+        frame->regs[u->dst] = (a << amount) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(LShr) {
+        const std::uint64_t m = u->imm;
+        const std::uint64_t a = slot(*frame, u->a) & m;
+        const unsigned amount = shift_amount(slot(*frame, u->b) & m, u->bits);
+        frame->regs[u->dst] = (a >> amount) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(AShr) {
+        const std::uint64_t m = u->imm;
+        const std::int64_t sa = sign_extend(slot(*frame, u->a) & m, u->bits);
+        const unsigned amount = shift_amount(slot(*frame, u->b) & m, u->bits);
+        frame->regs[u->dst] =
+            static_cast<std::uint64_t>(sa >> amount) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FAdd) {
+        frame->regs[u->dst] = bits_of(double_of(slot(*frame, u->a)) +
+                                      double_of(slot(*frame, u->b))) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FSub) {
+        frame->regs[u->dst] = bits_of(double_of(slot(*frame, u->a)) -
+                                      double_of(slot(*frame, u->b))) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FMul) {
+        frame->regs[u->dst] = bits_of(double_of(slot(*frame, u->a)) *
+                                      double_of(slot(*frame, u->b))) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FDiv) {
+        // IEEE: inf/NaN, no trap.
+        frame->regs[u->dst] = bits_of(double_of(slot(*frame, u->a)) /
+                                      double_of(slot(*frame, u->b))) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpEq) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) == (slot(*frame, u->b) & m) ? 1 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpNe) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) != (slot(*frame, u->b) & m) ? 1 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpSlt) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            (sign_extend(slot(*frame, u->a) & m, u->bits) <
+                     sign_extend(slot(*frame, u->b) & m, u->bits)
+                 ? 1
+                 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpSle) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            (sign_extend(slot(*frame, u->a) & m, u->bits) <=
+                     sign_extend(slot(*frame, u->b) & m, u->bits)
+                 ? 1
+                 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpSgt) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            (sign_extend(slot(*frame, u->a) & m, u->bits) >
+                     sign_extend(slot(*frame, u->b) & m, u->bits)
+                 ? 1
+                 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpSge) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            (sign_extend(slot(*frame, u->a) & m, u->bits) >=
+                     sign_extend(slot(*frame, u->b) & m, u->bits)
+                 ? 1
+                 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpUlt) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) < (slot(*frame, u->b) & m) ? 1 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpUle) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) <= (slot(*frame, u->b) & m) ? 1 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpUgt) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) > (slot(*frame, u->b) & m) ? 1 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(IcmpUge) {
+        const std::uint64_t m = u->imm;
+        frame->regs[u->dst] =
+            ((slot(*frame, u->a) & m) >= (slot(*frame, u->b) & m) ? 1 : 0) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FcmpOeq) {
+        frame->regs[u->dst] = (double_of(slot(*frame, u->a)) ==
+                                       double_of(slot(*frame, u->b))
+                                   ? 1
+                                   : 0) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FcmpOne) {
+        const double a = double_of(slot(*frame, u->a));
+        const double b = double_of(slot(*frame, u->b));
+        frame->regs[u->dst] = ((a < b || a > b) ? 1 : 0) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FcmpOlt) {
+        frame->regs[u->dst] = (double_of(slot(*frame, u->a)) <
+                                       double_of(slot(*frame, u->b))
+                                   ? 1
+                                   : 0) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FcmpOle) {
+        frame->regs[u->dst] = (double_of(slot(*frame, u->a)) <=
+                                       double_of(slot(*frame, u->b))
+                                   ? 1
+                                   : 0) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FcmpOgt) {
+        frame->regs[u->dst] = (double_of(slot(*frame, u->a)) >
+                                       double_of(slot(*frame, u->b))
+                                   ? 1
+                                   : 0) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FcmpOge) {
+        frame->regs[u->dst] = (double_of(slot(*frame, u->a)) >=
+                                       double_of(slot(*frame, u->b))
+                                   ? 1
+                                   : 0) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(MaskCast) {
+        frame->regs[u->dst] = slot(*frame, u->a) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(SExt) {
+        frame->regs[u->dst] = static_cast<std::uint64_t>(sign_extend(
+                                  slot(*frame, u->a), u->bits)) &
+                              u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(FpToSi) {
+        const double d = double_of(slot(*frame, u->a));
+        std::int64_t out;
+        // cvttsd2si semantics: out-of-range / NaN -> "integer indefinite".
+        if (std::isnan(d) || d >= 9.2233720368547758e18 ||
+            d < -9.2233720368547758e18) {
+          out = std::numeric_limits<std::int64_t>::min();
+        } else {
+          out = static_cast<std::int64_t>(d);
+        }
+        frame->regs[u->dst] = static_cast<std::uint64_t>(out) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(SiToFp) {
+        frame->regs[u->dst] =
+            bits_of(static_cast<double>(
+                sign_extend(slot(*frame, u->a), u->bits))) &
+            u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Select) {
+        // Both arms are read (data dependences, not control) — matching
+        // the slow path, though reads have no side effects unhooked.
+        const std::uint64_t cond = slot(*frame, u->a) & 1;
+        const std::uint64_t tv = slot(*frame, u->b);
+        const std::uint64_t fv = slot(*frame, u->c);
+        frame->regs[u->dst] = (cond ? tv : fv) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Alloca) {
+        // Address pre-assigned at frame setup; re-mask like set_result.
+        frame->regs[u->dst] &= u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Load) {
+        frame->regs[u->dst] =
+            memory_.read(slot(*frame, u->a), u->size) & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Store) {
+        const std::uint64_t value = slot(*frame, u->a);
+        memory_.write(slot(*frame, u->b), u->size, value & u->mask);
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(Gep) {
+        std::uint64_t addr = slot(*frame, u->a) + u->imm;
+        const GepTerm* term = tb->gep_terms.data() + u->pool;
+        for (std::uint16_t k = 0; k < u->n; ++k, ++term)
+          addr += static_cast<std::uint64_t>(
+              sign_extend(slot(*frame, term->slot), term->bits) *
+              term->scale);
+        frame->regs[u->dst] = addr & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+      VM_OP(PhiGroup) {
+        // All incoming values are read (and counted) before any write,
+        // exactly like the slow path's update list: a timeout mid-group
+        // leaves every phi register untouched.
+        phi_scratch_.clear();
+        const PhiEntry* entries = tb->phi_entries.data() + u->pool;
+        for (std::uint16_t k = 0; k < u->n; ++k) {
+          if (k != 0 && ++executed_ > limits_.max_instructions)
+            throw machine::TimeoutException();
+          const PhiEntry& e = entries[k];
+          const PhiEdge* edge = tb->phi_edges.data() + e.edges_at;
+          std::uint64_t v = 0;
+          bool found = false;
+          for (std::uint32_t j = 0; j < e.edges_n; ++j, ++edge) {
+            if (edge->pred == frame->prev_block) {
+              v = slot(*frame, edge->slot);
+              found = true;
+              break;
+            }
+          }
+          assert(found && "phi has no edge for predecessor");
+          (void)found;
+          phi_scratch_.push_back(v);
+        }
+        for (std::uint16_t k = 0; k < u->n; ++k)
+          frame->regs[entries[k].dst] = phi_scratch_[k] & entries[k].mask;
+        ip += u->n;
+        VM_NEXT();
+      }
+      VM_OP(Pad) {
+        // Unreachable by construction (PhiGroup jumps past its pads);
+        // defensively hand the state to the slow path. The bump this
+        // dispatch did must be undone: the op executed nothing.
+        --executed_;
+        goto vm_side_exit;
+      }
+      VM_OP(Br) {
+        frame->prev_block = frame->block;
+        frame->block = u->bb0;
+        ip = 0;
+        TraceBlock* nt = u->tb0;
+        if (nt->state != TraceBlock::State::Ready) {
+          nt = cache_.block(*tf, u->bb0);
+          if (nt == nullptr) goto vm_side_exit;
+        }
+        tb = nt;
+        shadow_.back().second = tb;
+        VM_NEXT();
+      }
+      VM_OP(BrCond) {
+        const std::uint64_t cond = slot(*frame, u->a) & 1;
+        const ir::BasicBlock* bb = cond ? u->bb0 : u->bb1;
+        TraceBlock* nt = cond ? u->tb0 : u->tb1;
+        frame->prev_block = frame->block;
+        frame->block = bb;
+        ip = 0;
+        if (nt->state != TraceBlock::State::Ready) {
+          nt = cache_.block(*tf, bb);
+          if (nt == nullptr) goto vm_side_exit;
+        }
+        tb = nt;
+        shadow_.back().second = tb;
+        VM_NEXT();
+      }
+      VM_OP(Ret) {
+        const std::uint64_t raw = u->n != 0 ? slot(*frame, u->a) : 0;
+        sp_ = frame->saved_sp;
+        const ir::Instruction* site = frame->call_site;
+        frames_.pop_back();
+        shadow_.pop_back();
+        if (frames_.empty()) {
+          *ret = raw;
+          return true;
+        }
+        frame = &frames_.back();
+        if (site->has_result())
+          frame->regs[site->id()] = raw & type_mask(site->type());
+        ++frame->index;
+        ip = frame->index;
+        if (shadow_.empty()) {
+          // Returned past the fast-entry frame: re-resolve the caller's
+          // trace (it was entered before this fast run began).
+          tf = &cache_.function(*frame->function);
+          TraceBlock* nt = cache_.block(*tf, frame->block);
+          if (nt == nullptr || ip >= nt->uops.size()) goto vm_side_exit;
+          tb = nt;
+          shadow_.push_back({tf, tb});
+        } else {
+          tf = shadow_.back().first;
+          tb = shadow_.back().second;
+        }
+        VM_NEXT();
+      }
+      VM_OP(Call) {
+        frame->index = ip;  // caller resumes via ++index at Ret
+        std::vector<std::uint64_t> args;
+        args.reserve(u->n);
+        const VSlot* arg_slots = tb->call_args.data() + u->pool;
+        for (std::uint16_t k = 0; k < u->n; ++k)
+          args.push_back(slot(*frame, arg_slots[k]));
+        push_frame_fast(*u->callee_tf, std::move(args),
+                        static_cast<const ir::CallInst*>(u->instr));
+        frame = &frames_.back();
+        tf = u->callee_tf;
+        TraceBlock* nt = cache_.block(*tf, tf->fn->entry());
+        ip = 0;
+        if (nt == nullptr) goto vm_side_exit;
+        tb = nt;
+        shadow_.push_back({tf, tb});
+        VM_NEXT();
+      }
+      VM_OP(CallBuiltin) {
+        builtin_args_.clear();
+        const VSlot* arg_slots = tb->call_args.data() + u->pool;
+        for (std::uint16_t k = 0; k < u->n; ++k)
+          builtin_args_.push_back(slot(*frame, arg_slots[k]));
+        const std::uint64_t raw =
+            runtime_.call_builtin(u->callee->name(), builtin_args_);
+        if (u->instr->has_result())
+          frame->regs[u->dst] = raw & u->mask;
+        ++ip;
+        VM_NEXT();
+      }
+
+#if !FAULTLAB_VM_COMPUTED_GOTO
+        default:
+          goto vm_side_exit;
+      }
+#endif
+#undef VM_OP
+#undef VM_NEXT
+
+    vm_side_exit:
+      frame->index = ip;
+      dc.trace_invalidations.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } catch (...) {
+      // Traps unwinding out of the fast loop re-sync the top frame so
+      // drive() resolves the same trap PC a slow-path run reports (frame
+      // indices only advance after an instruction completes).
+      if (!frames_.empty()) frames_.back().index = ip;
+      throw;
     }
   }
 
@@ -567,6 +1221,13 @@ class Interpreter::Impl {
   std::uint64_t executed_ = 0;
   std::uint64_t next_frame_id_ = 1;
   std::uint64_t next_snapshot_at_ = 0;
+  machine::DispatchMode mode_ = machine::DispatchMode::Threaded;
+  TraceCache cache_;
+  /// Fast-path call-stack mirror: (function, block) trace pointers for
+  /// every frame entered during the current fast_run.
+  std::vector<std::pair<TraceFunction*, TraceBlock*>> shadow_;
+  std::vector<std::uint64_t> phi_scratch_;
+  std::vector<std::uint64_t> builtin_args_;
 };
 
 Interpreter::Interpreter(const ir::Module& module, ExecHook* hook)

@@ -3,9 +3,22 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "machine/dispatch.h"
 #include "obs/metrics.h"
 #include "support/bitutil.h"
+#include "x86/trace.h"
+
+// Computed-goto threaded dispatch for the fast path; define
+// FAULTLAB_NO_COMPUTED_GOTO (or build with a compiler lacking the
+// extension) to fall back to a portable switch with identical semantics.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(FAULTLAB_NO_COMPUTED_GOTO)
+#define FAULTLAB_X86_COMPUTED_GOTO 1
+#else
+#define FAULTLAB_X86_COMPUTED_GOTO 0
+#endif
 
 namespace faultlab::x86 {
 
@@ -49,6 +62,7 @@ class Machine {
     hook_ = hook;
     limits_ = limits;
     next_snapshot_at_ = 0;
+    mode_ = machine::dispatch_mode();
   }
 
   SimResult run() {
@@ -257,37 +271,550 @@ class Machine {
 
   // -- main loop -------------------------------------------------------------
 
+  /// Runs to the halt sentinel. Switch mode is the pure historical loop;
+  /// threaded mode alternates trace execution with single hooked slow
+  /// steps at window boundaries.
   void loop() {
-    while (true) {
-      maybe_snapshot();
-      // trap_pc source: rip advances before execute(), so the faulting
-      // instruction's index is tracked here. For the fetch-bounds trap the
-      // recorded pc is the bad rip itself.
-      current_index_ = state_.rip_index;
-      if (state_.rip_index >= program_.code.size())
-        trap(TrapKind::InvalidJump, Program::address_of_index(state_.rip_index));
-      const std::size_t index = state_.rip_index;
-      const Inst& inst = program_.code[index];
-      if (++executed_ > limits_.max_instructions)
-        throw machine::TimeoutException();
-      if (hook_ != nullptr && hook_->detached()) {
-        const std::uint64_t at = hook_->rearm_at();
-        if (at == 0) {
-          hook_ = nullptr;  // rest of the run executes at unhooked speed
-        } else if (executed_ >= at) {
-          hook_->rearm();  // dormant hook reached its re-arm point
-        }
+    if (mode_ == machine::DispatchMode::Switch) {
+      while (!slow_step()) {
       }
-      // Dormant hooks (detached with a future rearm_at) see neither
-      // callback this instruction. A hook that detaches inside on_before
-      // still gets on_after for the same instruction, as before.
-      SimHook* live = hook_ != nullptr && !hook_->detached() ? hook_ : nullptr;
-      if (live != nullptr) live->on_before(index, inst);
+      return;
+    }
+    while (true) {
+      std::uint64_t stop = limits_.max_instructions;
+      if (fast_eligible(&stop) && fast_run(stop)) return;
+      if (slow_step()) return;
+    }
+  }
 
-      state_.rip_index = index + 1;  // default fallthrough
-      const bool halted = execute(inst);
-      if (live != nullptr) live->on_after(index, inst, state_);
-      if (halted) return;
+  /// Whether the fast path may run right now, and — via `stop` — up to
+  /// which dynamic-instruction count (see vm/interpreter.cc for the full
+  /// boundary derivation; the slow loop's per-instruction checks all fire
+  /// at positions known in advance, so one slow step at each boundary
+  /// reproduces the throw / re-arm / snapshot exactly).
+  bool fast_eligible(std::uint64_t* stop) {
+    if (hook_ != nullptr) {
+      if (!hook_->detached()) return false;
+      const std::uint64_t at = hook_->rearm_at();
+      if (at == 0) {
+        hook_ = nullptr;  // finally detached: same nulling as the slow loop
+      } else {
+        *stop = std::min(*stop, at - 1);
+      }
+    }
+    if (next_snapshot_at_ != 0 && limits_.snapshot_sink)
+      *stop = std::min(*stop, next_snapshot_at_);
+    return executed_ < *stop;
+  }
+
+  /// One iteration of the hooked slow path; true when the program halted.
+  bool slow_step() {
+    maybe_snapshot();
+    // trap_pc source: rip advances before execute(), so the faulting
+    // instruction's index is tracked here. For the fetch-bounds trap the
+    // recorded pc is the bad rip itself.
+    current_index_ = state_.rip_index;
+    if (state_.rip_index >= program_.code.size())
+      trap(TrapKind::InvalidJump, Program::address_of_index(state_.rip_index));
+    const std::size_t index = state_.rip_index;
+    const Inst& inst = program_.code[index];
+    if (++executed_ > limits_.max_instructions)
+      throw machine::TimeoutException();
+    if (hook_ != nullptr && hook_->detached()) {
+      const std::uint64_t at = hook_->rearm_at();
+      if (at == 0) {
+        hook_ = nullptr;  // rest of the run executes at unhooked speed
+      } else if (executed_ >= at) {
+        hook_->rearm();  // dormant hook reached its re-arm point
+      }
+    }
+    // Dormant hooks (detached with a future rearm_at) see neither
+    // callback this instruction. A hook that detaches inside on_before
+    // still gets on_after for the same instruction, as before.
+    SimHook* live = hook_ != nullptr && !hook_->detached() ? hook_ : nullptr;
+    if (live != nullptr) live->on_before(index, inst);
+
+    state_.rip_index = index + 1;  // default fallthrough
+    const bool halted = execute(inst);
+    if (live != nullptr) live->on_after(index, inst, state_);
+    return halted;
+  }
+
+  /// Executes pre-decoded uops until `stop` (a dynamic-instruction
+  /// count), a state only the slow path handles, or the halt sentinel
+  /// (returns true). Side exits re-sync rip so the slow loop resumes at
+  /// exactly the state a pure slow run would have; traps re-sync
+  /// current_index_ so trap PCs stay exact.
+  bool fast_run(std::uint64_t stop) {
+    if (trace_ == nullptr) trace_ = std::make_unique<XTrace>(program_);
+    machine::DispatchCounters& dc = machine::dispatch_counters();
+    std::size_t ip = state_.rip_index;
+    if (ip > program_.code.size()) {
+      // Wild resume state: beyond even the fetch sentinel.
+      dc.trace_invalidations.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    dc.trace_hits.fetch_add(1, std::memory_order_relaxed);
+    const XUOp* const uops = trace_->uops.data();
+    try {
+      const XUOp* u = nullptr;
+
+#if FAULTLAB_X86_COMPUTED_GOTO
+#define FAULTLAB_X86_UOP_LABEL(name) &&x86_lbl_##name,
+      static const void* const kLabels[] = {
+          FAULTLAB_X86_UOPS(FAULTLAB_X86_UOP_LABEL)};
+#undef FAULTLAB_X86_UOP_LABEL
+#define X86_OP(name) x86_lbl_##name:
+#define X86_NEXT()                                     \
+  do {                                                 \
+    if (executed_ >= stop) goto x86_side_exit;         \
+    u = uops + ip;                                     \
+    ++executed_;                                       \
+    goto* kLabels[static_cast<unsigned>(u->op)];       \
+  } while (0)
+      X86_NEXT();
+#else
+#define X86_OP(name) case XOp::name:
+#define X86_NEXT() goto x86_dispatch
+    x86_dispatch:
+      if (executed_ >= stop) goto x86_side_exit;
+      u = uops + ip;
+      ++executed_;
+      switch (u->op) {
+#endif
+
+      X86_OP(MovRR) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, inst.width, gpr(inst.src, inst.width));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovRI) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, inst.width, static_cast<std::uint64_t>(inst.imm));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovRM) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, inst.width, load(inst.mem, inst.width));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovMR) {
+        const Inst& inst = *u->inst;
+        store(inst.mem, inst.width, gpr(inst.dst, inst.width));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovMI) {
+        const Inst& inst = *u->inst;
+        store(inst.mem, inst.width, static_cast<std::uint64_t>(inst.imm));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovzxRR) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, 8, gpr(inst.src, inst.src_width));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovzxRM) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, 8, load(inst.mem, inst.src_width));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovsxRR) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, 8,
+                static_cast<std::uint64_t>(sign_extend(
+                    gpr(inst.src, inst.src_width), inst.src_width * 8)));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovsxRM) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, 8,
+                static_cast<std::uint64_t>(sign_extend(
+                    load(inst.mem, inst.src_width), inst.src_width * 8)));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Lea) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, 8, effective_address(inst.mem));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Push) {
+        push(state_.gpr[u->inst->dst]);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Pop) {
+        set_gpr(u->inst->dst, 8, pop());
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Add) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const std::uint64_t a = gpr(inst.dst, w), b = int_src(inst);
+        flags_add(a, b, w);
+        set_gpr(inst.dst, w, a + b);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Sub) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const std::uint64_t a = gpr(inst.dst, w), b = int_src(inst);
+        flags_sub(a, b, w);
+        set_gpr(inst.dst, w, a - b);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Imul) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const unsigned bits = w * 8;
+        const std::int64_t a = sign_extend(gpr(inst.dst, w), bits);
+        const std::int64_t b = sign_extend(int_src(inst), bits);
+        const __int128 wide = static_cast<__int128>(a) * b;
+        const std::uint64_t r =
+            truncate(static_cast<std::uint64_t>(wide), bits);
+        const bool overflow = wide != sign_extend(r, bits);
+        set_result_flags(r, w, overflow, overflow);
+        set_gpr(inst.dst, w, r);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(And) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const std::uint64_t r = gpr(inst.dst, w) & int_src(inst);
+        flags_logic(r, w);
+        set_gpr(inst.dst, w, r);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Or) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const std::uint64_t r = gpr(inst.dst, w) | int_src(inst);
+        flags_logic(r, w);
+        set_gpr(inst.dst, w, r);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Xor) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const std::uint64_t r = gpr(inst.dst, w) ^ int_src(inst);
+        flags_logic(r, w);
+        set_gpr(inst.dst, w, r);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Shl) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const unsigned bits = w * 8;
+        const std::uint64_t a = gpr(inst.dst, w);
+        const unsigned count = static_cast<unsigned>(
+            int_src(inst) & (bits >= 64 ? 63 : 31));
+        const std::uint64_t r = truncate(a << count, bits);
+        bool cf = false;
+        if (count > 0 && count <= bits) cf = (a >> (bits - count)) & 1;
+        set_result_flags(r, w, cf, false);
+        set_gpr(inst.dst, w, r);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Sar) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const unsigned bits = w * 8;
+        const std::uint64_t a = gpr(inst.dst, w);
+        const unsigned count = static_cast<unsigned>(
+            int_src(inst) & (bits >= 64 ? 63 : 31));
+        const std::uint64_t r = truncate(
+            static_cast<std::uint64_t>(sign_extend(a, bits) >> count), bits);
+        bool cf = false;
+        if (count > 0) cf = (sign_extend(a, bits) >> (count - 1)) & 1;
+        set_result_flags(r, w, cf, false);
+        set_gpr(inst.dst, w, r);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Shr) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const unsigned bits = w * 8;
+        const std::uint64_t a = gpr(inst.dst, w);
+        const unsigned count = static_cast<unsigned>(
+            int_src(inst) & (bits >= 64 ? 63 : 31));
+        const std::uint64_t r = truncate(a, bits) >> count;
+        bool cf = false;
+        if (count > 0) cf = (a >> (count - 1)) & 1;
+        set_result_flags(r, w, cf, false);
+        set_gpr(inst.dst, w, r);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Neg) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const std::uint64_t a = gpr(inst.dst, w);
+        flags_sub(0, a, w);
+        set_gpr(inst.dst, w, 0 - a);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Not) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, inst.width, ~gpr(inst.dst, inst.width));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Idiv) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const unsigned bits = w * 8;
+        const std::int64_t a = sign_extend(gpr(inst.dst, w), bits);
+        const std::int64_t b = sign_extend(int_src(inst), bits);
+        if (b == 0) trap(TrapKind::DivideByZero, 0);
+        const std::int64_t min =
+            bits >= 64 ? std::numeric_limits<std::int64_t>::min()
+                       : -(std::int64_t{1} << (bits - 1));
+        if (b == -1 && a == min)
+          trap(TrapKind::DivideByZero, 0, "division overflow");
+        const std::int64_t r = a / b;
+        set_result_flags(static_cast<std::uint64_t>(r), w, false, false);
+        set_gpr(inst.dst, w, static_cast<std::uint64_t>(r));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Irem) {
+        const Inst& inst = *u->inst;
+        const unsigned w = inst.width;
+        const unsigned bits = w * 8;
+        const std::int64_t a = sign_extend(gpr(inst.dst, w), bits);
+        const std::int64_t b = sign_extend(int_src(inst), bits);
+        if (b == 0) trap(TrapKind::DivideByZero, 0);
+        const std::int64_t min =
+            bits >= 64 ? std::numeric_limits<std::int64_t>::min()
+                       : -(std::int64_t{1} << (bits - 1));
+        if (b == -1 && a == min)
+          trap(TrapKind::DivideByZero, 0, "division overflow");
+        const std::int64_t r = a % b;
+        set_result_flags(static_cast<std::uint64_t>(r), w, false, false);
+        set_gpr(inst.dst, w, static_cast<std::uint64_t>(r));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Cmp) {
+        const Inst& inst = *u->inst;
+        flags_sub(gpr(inst.dst, inst.width), int_src(inst), inst.width);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Test) {
+        const Inst& inst = *u->inst;
+        flags_logic(gpr(inst.dst, inst.width) & int_src(inst), inst.width);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Setcc) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, 1, cond_holds(inst.cond, state_.rflags) ? 1 : 0);
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Cmov) {
+        const Inst& inst = *u->inst;
+        if (cond_holds(inst.cond, state_.rflags))
+          set_gpr(inst.dst, inst.width, int_src(inst));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Jmp) {
+        if (!u->target_ok)
+          trap(TrapKind::InvalidJump, Program::address_of_index(u->target));
+        ip = u->target;
+        X86_NEXT();
+      }
+      X86_OP(Jcc) {
+        if (cond_holds(u->inst->cond, state_.rflags)) {
+          if (!u->target_ok)
+            trap(TrapKind::InvalidJump, Program::address_of_index(u->target));
+          ip = u->target;
+        } else {
+          ++ip;
+        }
+        X86_NEXT();
+      }
+      X86_OP(Call) {
+        // Push before validating, like the slow path's rip-then-jump_to.
+        push(u->ret_addr);
+        if (!u->target_ok)
+          trap(TrapKind::InvalidJump, Program::address_of_index(u->target));
+        ip = u->target;
+        X86_NEXT();
+      }
+      X86_OP(CallBuiltin) {
+        const Inst& inst = *u->inst;
+        if (u->sig == nullptr) goto x86_side_exit;  // slow path owns failure
+        std::vector<std::uint64_t> args(inst.arg_slots);
+        for (std::uint16_t i = 0; i < inst.arg_slots; ++i)
+          args[i] = memory_.read(state_.gpr[RSP] + 8ull * i, 8);
+        const std::uint64_t r = runtime_.call_builtin(u->sig->name, args);
+        if (u->sig->returns_value) {
+          if (u->sig->returns_double) {
+            xmm_lo(kXmmBase + 0) = r;
+            xmm_hi(kXmmBase + 0) = 0;
+          } else {
+            state_.gpr[RAX] = r;
+          }
+        }
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Ret) {
+        const std::uint64_t addr = pop();
+        if (addr == kHaltAddress) return true;
+        const std::int64_t index = program_.index_of_address(addr);
+        if (index < 0) trap(TrapKind::InvalidJump, addr);
+        ip = static_cast<std::size_t>(index);
+        X86_NEXT();
+      }
+      X86_OP(MovsdRR) {
+        xmm_lo(u->inst->dst) = xmm_lo(u->inst->src);  // merges: high kept
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovsdRM) {
+        const Inst& inst = *u->inst;
+        xmm_lo(inst.dst) = load(inst.mem, 8);
+        xmm_hi(inst.dst) = 0;  // movsd xmm, m64 zeroes the upper lane
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovsdMR) {
+        const Inst& inst = *u->inst;
+        store(inst.mem, 8, xmm_lo(inst.dst));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Addsd) {
+        const Inst& inst = *u->inst;
+        xmm_lo(inst.dst) =
+            bits_of(double_of(xmm_lo(inst.dst)) + fp_src(inst));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Subsd) {
+        const Inst& inst = *u->inst;
+        xmm_lo(inst.dst) =
+            bits_of(double_of(xmm_lo(inst.dst)) - fp_src(inst));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Mulsd) {
+        const Inst& inst = *u->inst;
+        xmm_lo(inst.dst) =
+            bits_of(double_of(xmm_lo(inst.dst)) * fp_src(inst));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Divsd) {
+        const Inst& inst = *u->inst;
+        xmm_lo(inst.dst) =
+            bits_of(double_of(xmm_lo(inst.dst)) / fp_src(inst));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Sqrtsd) {
+        const Inst& inst = *u->inst;
+        xmm_lo(inst.dst) = bits_of(std::sqrt(fp_src(inst)));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Ucomisd) {
+        const Inst& inst = *u->inst;
+        const double a = double_of(xmm_lo(inst.dst));
+        const double b = fp_src(inst);
+        std::uint64_t f = 0;
+        if (std::isnan(a) || std::isnan(b)) {
+          f = (1ull << kFlagZF) | (1ull << kFlagPF) | (1ull << kFlagCF);
+        } else if (a == b) {
+          f = 1ull << kFlagZF;
+        } else if (a < b) {
+          f = 1ull << kFlagCF;
+        }
+        state_.rflags = f;
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Cvtsi2sd) {
+        const Inst& inst = *u->inst;
+        const std::int64_t v = sign_extend(gpr(inst.src, inst.src_width),
+                                           inst.src_width * 8);
+        xmm_lo(inst.dst) = bits_of(static_cast<double>(v));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(Cvttsd2si) {
+        const Inst& inst = *u->inst;
+        const double d = fp_src(inst);
+        std::int64_t out;
+        if (std::isnan(d) || d >= 9.2233720368547758e18 ||
+            d < -9.2233720368547758e18)
+          out = std::numeric_limits<std::int64_t>::min();
+        else
+          out = static_cast<std::int64_t>(d);
+        set_gpr(inst.dst, inst.width, static_cast<std::uint64_t>(out));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovqXR) {
+        const Inst& inst = *u->inst;
+        xmm_lo(inst.dst) = state_.gpr[inst.src];
+        xmm_hi(inst.dst) = 0;
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(MovqRX) {
+        const Inst& inst = *u->inst;
+        set_gpr(inst.dst, 8, xmm_lo(inst.src));
+        ++ip;
+        X86_NEXT();
+      }
+      X86_OP(TrapFetch) {
+        // The slow loop's fetch-bounds check traps before counting the
+        // instruction; undo this dispatch's bump to match.
+        --executed_;
+        trap(TrapKind::InvalidJump, Program::address_of_index(ip));
+      }
+
+#if !FAULTLAB_X86_COMPUTED_GOTO
+        default:
+          goto x86_side_exit;
+      }
+#endif
+#undef X86_OP
+#undef X86_NEXT
+
+    x86_side_exit:
+      state_.rip_index = ip;
+      dc.trace_invalidations.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } catch (...) {
+      // current_index_ is the slow loop's trap-pc source; point it at the
+      // op that threw so drive() reports the same PC either way.
+      current_index_ = ip;
+      throw;
     }
   }
 
@@ -539,6 +1066,8 @@ class Machine {
   std::uint64_t executed_ = 0;
   std::uint64_t next_snapshot_at_ = 0;
   std::uint64_t current_index_ = 0;  // instruction being executed (trap_pc)
+  machine::DispatchMode mode_ = machine::DispatchMode::Threaded;
+  std::unique_ptr<XTrace> trace_;  // decoded on first fast-path entry
 };
 
 Simulator::Simulator(const Program& program, SimHook* hook)

@@ -321,6 +321,31 @@ TEST_F(EnvParse, EnforcesMinimum) {
   EXPECT_EQ(support::parse_env_u64(kVar, 17, /*min=*/1), 1u);
 }
 
+TEST_F(EnvParse, StringCanonicalizesUnsetAndEmpty) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(support::parse_env_string(kVar), nullptr);
+  set("");
+  EXPECT_EQ(support::parse_env_string(kVar), nullptr);
+  set("threaded");
+  ASSERT_NE(support::parse_env_string(kVar), nullptr);
+  EXPECT_STREQ(support::parse_env_string(kVar), "threaded");
+}
+
+TEST_F(EnvParse, ChoiceMatchesClosedSet) {
+  static const char* const kChoices[] = {"threaded", "switch"};
+  ::unsetenv(kVar);
+  EXPECT_EQ(support::parse_env_choice(kVar, kChoices, 2, 0), 0u);
+  set("switch");
+  EXPECT_EQ(support::parse_env_choice(kVar, kChoices, 2, 0), 1u);
+  set("threaded");
+  EXPECT_EQ(support::parse_env_choice(kVar, kChoices, 2, 1), 0u);
+  // Unknown values warn and keep the fallback index.
+  set("interpreted");
+  EXPECT_EQ(support::parse_env_choice(kVar, kChoices, 2, 1), 1u);
+  set("");
+  EXPECT_EQ(support::parse_env_choice(kVar, kChoices, 2, 0), 0u);
+}
+
 TEST_F(EnvParse, FlagSemantics) {
   // Historical contract: "0" is the only falsy value; empty keeps fallback.
   set("0");

@@ -286,6 +286,44 @@ def fault_model_rows(events):
     return rows
 
 
+DISPATCH_FIELDS = (
+    "dispatch_mode", "trace_decodes", "trace_hits", "trace_invalidations",
+    "decoded_blocks",
+)
+
+
+def dispatch_summary(manifest, metrics):
+    """Dispatch-mode provenance and trace-cache counters, preferring the
+    manifest's run-level columns (repeated per row) and falling back to the
+    metrics snapshot's dispatch.* counters/gauge. Empty dict when neither
+    source has dispatch data (pre-dispatch artifacts)."""
+    row = {}
+    if manifest and "dispatch_mode" in manifest[0]:
+        for field in DISPATCH_FIELDS:
+            row[field] = manifest[0].get(field, "")
+    elif metrics:
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        if any(k.startswith("dispatch.") for k in (*counters, *gauges)):
+            row = {
+                "trace_decodes": counters.get("dispatch.trace_decodes", 0),
+                "trace_hits": counters.get("dispatch.trace_hits", 0),
+                "trace_invalidations":
+                    counters.get("dispatch.trace_invalidations", 0),
+                "decoded_blocks": gauges.get("dispatch.decoded_blocks", 0),
+            }
+    if not row:
+        return {}
+    try:
+        hits = float(row.get("trace_hits", 0) or 0)
+        exits = float(row.get("trace_invalidations", 0) or 0)
+        if hits > 0:
+            row["fast-path retention"] = f"{100.0 * (1.0 - exits / hits):.2f}%"
+    except ValueError:
+        pass
+    return row
+
+
 def trap_histogram_svg(events):
     counts = {t: 0 for t in TRAP_KINDS}
     for ev in events:
@@ -451,6 +489,22 @@ def render(events, metrics, manifest):
         )
     out.append("</table>")
 
+    dispatch = dispatch_summary(manifest, metrics)
+    if dispatch:
+        out.append("<h2>Dispatch</h2>")
+        out.append(
+            "<p>Micro-op trace-cache activity: blocks decoded once and "
+            "replayed by the threaded fast path; invalidations are "
+            "armed-window side exits onto the hooked slow path.</p>"
+        )
+        out.append("<table><tr>")
+        for key in dispatch:
+            out.append(f"<th>{esc(key)}</th>")
+        out.append("</tr><tr>")
+        for value in dispatch.values():
+            out.append(f"<td>{esc(value)}</td>")
+        out.append("</tr></table>")
+
     if manifest:
         out.append("<h2>Run manifest</h2><table><tr>")
         keys = list(manifest[0].keys())
@@ -470,6 +524,14 @@ def render(events, metrics, manifest):
         if counters:
             out.append("<table><tr><th>counter</th><th>value</th></tr>")
             for name, value in counters.items():
+                out.append(
+                    f"<tr><td>{esc(name)}</td><td>{esc(value)}</td></tr>"
+                )
+            out.append("</table>")
+        gauges = metrics.get("gauges", {})
+        if gauges:
+            out.append("<table><tr><th>gauge</th><th>value</th></tr>")
+            for name, value in gauges.items():
                 out.append(
                     f"<tr><td>{esc(name)}</td><td>{esc(value)}</td></tr>"
                 )
