@@ -7,6 +7,7 @@
 #include "machine/dispatch.h"
 #include "machine/memory.h"
 #include "obs/events.h"
+#include "obs/monitor.h"
 #include "x86/trace.h"
 
 namespace {
@@ -356,6 +357,38 @@ void BM_EventLogAppendDisabled(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EventLogAppendDisabled);
+
+// Per-trial cost of the campaign monitor's hot path (begin_trial +
+// record): one clock read plus a handful of relaxed atomics, safe to pay
+// on every trial of a live-monitored run.
+void BM_MonitorRecord(benchmark::State& state) {
+  static obs::CampaignMonitor* const monitor = [] {
+    auto* m = new obs::CampaignMonitor(obs::MonitorOptions{}, 8);
+    m->add_cell("bench", "llfi", "all", "transient", 1u << 30);
+    return m;
+  }();
+  const auto worker = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    monitor->begin_trial(worker, 0);
+    monitor->record(worker, 0, obs::MonitorOutcome::Benign, 1.5);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorRecord)->Threads(1)->Threads(4)->Threads(8);
+
+// The disabled path the scheduler takes when no monitor is active: one
+// null-pointer branch per trial, nothing else (the complement of
+// BM_MonitorRecord — compare the pair to see what "off" costs).
+void BM_MonitorRecordDisabled(benchmark::State& state) {
+  obs::CampaignMonitor* monitor = nullptr;
+  benchmark::DoNotOptimize(monitor);
+  for (auto _ : state) {
+    if (monitor) monitor->record(0, 0, obs::MonitorOutcome::Benign, 1.5);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorRecordDisabled);
 
 void BM_ProfilingOverheadVm(benchmark::State& state) {
   auto prog = driver::compile(kKernel, "bench");

@@ -224,6 +224,23 @@ void write_perf_entry(const std::string& experiment,
         << "\"sanitizer\": " << (build_has_sanitizer() ? "true" : "false")
         << ", "
         << "\"ndebug\": " << (build_has_ndebug() ? "true" : "false") << ", "
+        << "\"ci_target\": " << run.manifest.ci_target << ", "
+        << "\"converged_campaigns\": "
+        << [&] {
+             std::size_t n = 0;
+             for (const fault::CampaignTiming& t : run.manifest.campaigns)
+               if (t.converged) ++n;
+             return n;
+           }()
+        << ", "
+        << "\"watchdog_flags\": "
+        << [&] {
+             std::uint64_t n = 0;
+             for (const fault::CampaignTiming& t : run.manifest.campaigns)
+               n += t.watchdog_flags;
+             return n;
+           }()
+        << ", "
         << "\"campaigns\": {";
   bool first_campaign = true;
   for (const fault::CampaignTiming& t : run.manifest.campaigns) {
@@ -243,7 +260,10 @@ void write_perf_entry(const std::string& experiment,
           << "\"mean_restored_pages\": " << t.mean_restored_pages << ", "
           << "\"p50_ms\": " << t.p50_ms << ", "
           << "\"p95_ms\": " << t.p95_ms << ", "
-          << "\"p99_ms\": " << t.p99_ms << "}";
+          << "\"p99_ms\": " << t.p99_ms << ", "
+          << "\"converged\": " << (t.converged ? "true" : "false") << ", "
+          << "\"ci_halfwidth\": " << t.ci_halfwidth << ", "
+          << "\"watchdog_flags\": " << t.watchdog_flags << "}";
     first_campaign = false;
   }
   entry << "}}";

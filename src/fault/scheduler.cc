@@ -23,10 +23,12 @@
 #include "machine/dispatch.h"
 #include "machine/trap.h"
 #include "obs/events.h"
-#include "support/env.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
+#include "support/env.h"
+#include "support/stats.h"
 #include "support/timer.h"
 
 namespace faultlab::fault {
@@ -56,6 +58,14 @@ std::string describe(const std::string& app, const std::string& tool,
 std::string fmt_double(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// CI half-widths live in [0, 0.5]; three decimals would round a 0.0447
+/// half-width into the 0.045 bucket, so they get one more digit.
+std::string fmt_double4(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
   return buf;
 }
 
@@ -93,22 +103,33 @@ struct ProgressCounters {
   }
 };
 
+/// How the monitor counts a fault::Outcome (obs is independent of the
+/// fault layer, so the scheduler translates at the boundary).
+obs::MonitorOutcome to_monitor_outcome(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Crash: return obs::MonitorOutcome::Crash;
+    case Outcome::SDC: return obs::MonitorOutcome::SDC;
+    case Outcome::Benign: return obs::MonitorOutcome::Benign;
+    case Outcome::Hang: return obs::MonitorOutcome::Hang;
+    case Outcome::NotActivated: break;
+  }
+  return obs::MonitorOutcome::NotActivated;
+}
+
 /// FAULTLAB_PROGRESS=1 stderr heartbeat: overall completion + ETA, running
 /// outcome tallies, and per-worker utilization gauges. Always called under
 /// the scheduler mutex (from finalize() and the workers' periodic ticks),
 /// so the counters are read without tearing the line. On a TTY the line is
 /// redrawn in place (\r...\033[K); otherwise each report is a plain
-/// newline-terminated line.
+/// newline-terminated line. `rate` comes from the caller's sliding recent
+/// window (the since-start average overestimates remaining time while the
+/// checkpoint caches warm up); when the monitor is active its ETA model
+/// and converged/watchdog tallies ride along.
 void print_progress(std::size_t trials_done, std::size_t trials_total,
                     std::size_t campaigns_done, std::size_t campaigns_total,
-                    double elapsed_seconds, const ProgressCounters& counters) {
-  const double rate =
-      elapsed_seconds > 0.0
-          ? static_cast<double>(trials_done) / elapsed_seconds
-          : 0.0;
-  const double eta =
-      rate > 0.0 ? static_cast<double>(trials_total - trials_done) / rate
-                 : 0.0;
+                    double elapsed_seconds, const ProgressCounters& counters,
+                    double rate, double eta,
+                    const obs::MonitorSummary* msum) {
   const double pct =
       trials_total != 0
           ? 100.0 * static_cast<double>(trials_done) /
@@ -137,17 +158,26 @@ void print_progress(std::size_t trials_done, std::size_t trials_total,
     util += buf;
   }
   if (shown < counters.workers) util += "|..";
+  std::string conv;
+  if (msum != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  conv %zu/%zu  wd %llu",
+                  msum->converged_cells, msum->cells,
+                  static_cast<unsigned long long>(msum->watchdog_flags));
+    conv = buf;
+  }
   const bool tty = stderr_is_tty();
   std::fprintf(stderr,
                "%s[faultlab] %zu/%zu trials (%.1f%%)  %.1f trials/s  "
-               "ETA %.1fs  [%zu/%zu campaigns]  "
+               "ETA %.1fs  [%zu/%zu campaigns]%s  "
                "crash %zu  sdc %zu  benign %zu  hang %zu  n/a %zu  "
                "util %s%%%s",
                tty ? "\r" : "", trials_done, trials_total, pct, rate, eta,
-               campaigns_done, campaigns_total, tally(Outcome::Crash),
-               tally(Outcome::SDC), tally(Outcome::Benign),
-               tally(Outcome::Hang), tally(Outcome::NotActivated),
-               util.c_str(), tty ? "\033[K" : "\n");
+               campaigns_done, campaigns_total, conv.c_str(),
+               tally(Outcome::Crash), tally(Outcome::SDC),
+               tally(Outcome::Benign), tally(Outcome::Hang),
+               tally(Outcome::NotActivated), util.c_str(),
+               tty ? "\033[K" : "\n");
   if (tty && campaigns_done == campaigns_total) std::fputc('\n', stderr);
   std::fflush(stderr);
 }
@@ -310,6 +340,75 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   workers = std::min(workers, std::max<std::size_t>(chunks.size(), 1));
   progress_counters.size_workers(workers);
 
+  // Campaign monitor: forced on by SchedulerOptions::monitor, otherwise
+  // spun up when the environment configures a status path or the progress
+  // heartbeat wants convergence data. Purely observational — it never
+  // influences scheduling, so results stay byte-identical with it on or
+  // off (the StatusEquiv fixtures enforce this).
+  const obs::MonitorOptions monitor_options =
+      options_.monitor ? *options_.monitor : obs::MonitorOptions::from_env();
+  manifest_.ci_target = monitor_options.ci_target;
+  std::unique_ptr<obs::CampaignMonitor> monitor;
+  if (options_.monitor.has_value() || !monitor_options.status_path.empty() ||
+      progress_line) {
+    monitor =
+        std::make_unique<obs::CampaignMonitor>(monitor_options, workers);
+    for (const Campaign& c : campaigns)
+      monitor->add_cell(c.result.app, c.result.tool,
+                        ir::category_name(c.result.category),
+                        c.result.fault_model, c.draws.size());
+    std::vector<InjectorEngine*> engines;
+    engines.reserve(profiles.size());
+    for (const auto& p : profiles) engines.push_back(p.first);
+    const std::string dispatch_mode = manifest_.dispatch_mode;
+    monitor->set_aux_source([engines, dispatch_before, dispatch_mode] {
+      obs::MonitorAux aux;
+      for (InjectorEngine* engine : engines) {
+        const PhaseStats phases = engine->phase_stats();
+        aux.restore_seconds += phases.restore_seconds;
+        aux.execute_seconds += phases.execute_seconds;
+        aux.classify_seconds += phases.classify_seconds;
+        const CheckpointStats ck = engine->checkpoint_stats();
+        aux.checkpoint_snapshots += ck.snapshots;
+        aux.checkpoint_restores += ck.restored_trials;
+        aux.delta_restores += ck.delta_restores;
+        aux.snapshot_evictions += ck.evictions;
+      }
+      const machine::DispatchCountersSnapshot now =
+          machine::dispatch_counters_snapshot();
+      aux.trace_decodes = now.trace_decodes - dispatch_before.trace_decodes;
+      aux.trace_hits = now.trace_hits - dispatch_before.trace_hits;
+      aux.trace_invalidations =
+          now.trace_invalidations - dispatch_before.trace_invalidations;
+      aux.dispatch_mode = dispatch_mode;
+      return aux;
+    });
+    monitor->start();
+  }
+
+  // Heartbeat rate/ETA over a sliding recent window: with checkpoint
+  // warm-up the since-start average undercounts the steady-state rate and
+  // overestimates remaining time early in a run. Called under the
+  // scheduler mutex.
+  obs::RateWindow heartbeat_rate;
+  auto emit_progress = [&](std::size_t done, std::size_t campaigns_done_now) {
+    const double elapsed = run_timer.seconds();
+    heartbeat_rate.sample(elapsed, done);
+    const double rate = heartbeat_rate.rate();
+    double eta =
+        rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+    obs::MonitorSummary msum;
+    if (monitor) {
+      msum = monitor->summary();
+      // The monitor's model folds in the engines' phase split early on;
+      // prefer it while it has a signal.
+      if (msum.eta_seconds > 0.0) eta = msum.eta_seconds;
+    }
+    print_progress(done, total, campaigns_done_now, campaigns.size(),
+                   elapsed, progress_counters, rate, eta,
+                   monitor ? &msum : nullptr);
+  };
+
   auto finalize = [&](std::size_t index) {
     // Called with all of the campaign's records written; aggregation walks
     // them in trial order, so counters are thread-count independent.
@@ -366,12 +465,21 @@ std::vector<CampaignResult> CampaignScheduler::run() {
       timing.p95_ms = obs::percentile_sorted(c.latency_ms, 95.0);
       timing.p99_ms = obs::percentile_sorted(c.latency_ms, 99.0);
     }
+    // Convergence verdict from the final tallies — deliberately not read
+    // from the monitor, so the manifest carries the same values whether or
+    // not it ran.
+    const Proportion crash_share{timing.crash, timing.activated};
+    const Proportion::Interval ci = crash_share.wilson95();
+    timing.ci_halfwidth = (ci.hi - ci.lo) / 2.0;
+    timing.converged =
+        timing.activated > 0 && timing.ci_halfwidth <= manifest_.ci_target;
+    if (monitor)
+      timing.watchdog_flags = monitor->cell_status(index).watchdog_flags;
 
     ++campaigns_done;
     if (progress_line)
-      print_progress(trials_done.load(std::memory_order_relaxed), total,
-                     campaigns_done, campaigns.size(), run_timer.seconds(),
-                     progress_counters);
+      emit_progress(trials_done.load(std::memory_order_relaxed),
+                    campaigns_done);
     if (options_.progress) {
       SchedulerProgress p;
       p.campaigns_total = campaigns.size();
@@ -420,6 +528,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
         if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t trial = c.order[p];
         try {
+          if (monitor) monitor->begin_trial(worker, index);
           {
             WallTimer trial_timer;
             obs::ScopedSpan span(tracer, "trial", "scheduler");
@@ -438,6 +547,9 @@ std::vector<CampaignResult> CampaignScheduler::run() {
             }
           }
           const TrialRecord& record = c.records[trial];
+          if (monitor)
+            monitor->record(worker, index, to_monitor_outcome(record.outcome),
+                            c.latency_ms[trial]);
           if (events_on) {
             obs::TrialEvent ev;
             ev.app = c.result.app.c_str();
@@ -485,8 +597,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
             // Heartbeat between campaign completions, so long campaigns
             // still tick.
             std::lock_guard<std::mutex> lock(mutex);
-            print_progress(done, total, campaigns_done, campaigns.size(),
-                           run_timer.seconds(), progress_counters);
+            emit_progress(done, campaigns_done);
           }
         } catch (...) {
           std::lock_guard<std::mutex> lock(mutex);
@@ -511,6 +622,9 @@ std::vector<CampaignResult> CampaignScheduler::run() {
       for (std::thread& th : pool) th.join();
     }
   }
+  // Final quiescent snapshot (marked "final": its cross-field invariants
+  // hold exactly) + ticker shutdown before the manifest is sealed.
+  if (monitor) monitor->finish();
   manifest_.threads = workers;
   manifest_.wall_seconds = run_timer.seconds();
   const machine::DispatchCountersSnapshot dispatch_after =
@@ -554,7 +668,9 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
                  "total_wall_seconds", "pinfi_flag_heuristic",
                  "pinfi_xmm_prune", "llfi_type_width",
                  "llfi_gep_as_arithmetic", "dispatch_mode", "trace_decodes",
-                 "trace_hits", "trace_invalidations", "decoded_blocks"});
+                 "trace_hits", "trace_invalidations", "decoded_blocks",
+                 "converged", "ci_halfwidth", "watchdog_flags",
+                 "ci_target"});
   for (const CampaignTiming& t : manifest.campaigns) {
     csv.add_row({t.app, t.tool, ir::category_name(t.category), t.fault_model,
                  std::to_string(t.seed), std::to_string(t.trials),
@@ -580,7 +696,11 @@ CsvWriter manifest_csv(const RunManifest& manifest) {
                  std::to_string(manifest.trace_decodes),
                  std::to_string(manifest.trace_hits),
                  std::to_string(manifest.trace_invalidations),
-                 std::to_string(manifest.decoded_blocks)});
+                 std::to_string(manifest.decoded_blocks),
+                 std::to_string(t.converged ? 1 : 0),
+                 fmt_double4(t.ci_halfwidth),
+                 std::to_string(t.watchdog_flags),
+                 fmt_double4(manifest.ci_target)});
   }
   return csv;
 }

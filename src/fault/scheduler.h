@@ -31,12 +31,14 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "fault/campaign.h"
 #include "fault/engine.h"
+#include "obs/monitor.h"
 #include "support/csv.h"
 
 namespace faultlab::fault {
@@ -89,6 +91,15 @@ struct CampaignTiming {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Wilson 95% CI half-width of the crash share over activated trials,
+  /// and whether it beat the run's ci_target. Computed from the final
+  /// tallies in finalize(), so the values are identical whether or not the
+  /// live monitor ran.
+  double ci_halfwidth = 0.0;
+  bool converged = false;
+  /// Stall-watchdog flags raised against this campaign's in-flight trials
+  /// (0 when the monitor was off — flags only exist while it watches).
+  std::uint64_t watchdog_flags = 0;
 
   double trials_per_second() const noexcept {
     return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
@@ -117,6 +128,9 @@ struct RunManifest {
   std::uint64_t trace_hits = 0;
   std::uint64_t trace_invalidations = 0;
   std::uint64_t decoded_blocks = 0;  ///< resident when run() finished
+  /// Convergence threshold the per-campaign `converged` flags were judged
+  /// against (FAULTLAB_CI_TARGET or SchedulerOptions::monitor).
+  double ci_target = 0.05;
   std::vector<CampaignTiming> campaigns;  ///< in add() order
 };
 
@@ -140,6 +154,13 @@ struct SchedulerOptions {
   FaultModel model;
   /// Invoked, serialized, from worker threads as campaigns complete.
   std::function<void(const SchedulerProgress&)> progress;
+  /// Engaging this forces the campaign monitor on with these options,
+  /// bypassing the environment. Disengaged (the default), run() builds
+  /// options from the environment and spins the monitor up only when a
+  /// status path is configured or the progress heartbeat is on. The
+  /// monitor is observational only — results are byte-identical either
+  /// way (StatusEquiv enforces it).
+  std::optional<obs::MonitorOptions> monitor;
 };
 
 class CampaignScheduler {

@@ -27,6 +27,23 @@ std::uint64_t parse_env_u64(const char* name, std::uint64_t fallback,
   return static_cast<std::uint64_t>(parsed);
 }
 
+double parse_env_double(const char* name, double fallback, double min,
+                        double max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  if (errno == ERANGE || end == env || *end != '\0' ||
+      !(parsed >= min && parsed <= max)) {  // !(..) also rejects NaN
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not a number in [%g, %g]; using %g\n",
+                 name, env, min, max, fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
 bool parse_env_flag(const char* name, bool fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;

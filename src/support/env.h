@@ -21,6 +21,13 @@ namespace faultlab::support {
 std::uint64_t parse_env_u64(const char* name, std::uint64_t fallback,
                             std::uint64_t min = 0);
 
+/// Parses env var `name` as a finite decimal floating-point value in
+/// [min, max]. Returns `fallback` silently when the variable is unset, and
+/// with a one-line stderr warning when the value is empty, has trailing
+/// garbage, is not finite, or falls outside the closed [min, max] range.
+double parse_env_double(const char* name, double fallback, double min,
+                        double max);
+
 /// Parses env var `name` as a boolean switch. Unset or empty returns
 /// `fallback`; the literal "0" returns false; any other value returns
 /// true. (Matches the historical semantics of FAULTLAB_METRICS,

@@ -346,6 +346,28 @@ TEST_F(EnvParse, ChoiceMatchesClosedSet) {
   EXPECT_EQ(support::parse_env_choice(kVar, kChoices, 2, 0), 0u);
 }
 
+TEST_F(EnvParse, DoubleParsesAndClamps) {
+  ::unsetenv(kVar);
+  EXPECT_DOUBLE_EQ(support::parse_env_double(kVar, 0.05, 0.0, 1.0), 0.05);
+  set("0.1");
+  EXPECT_DOUBLE_EQ(support::parse_env_double(kVar, 0.05, 0.0, 1.0), 0.1);
+  set("1");
+  EXPECT_DOUBLE_EQ(support::parse_env_double(kVar, 0.05, 0.0, 1.0), 1.0);
+  set("2.5e-2");
+  EXPECT_DOUBLE_EQ(support::parse_env_double(kVar, 0.05, 0.0, 1.0), 0.025);
+}
+
+TEST_F(EnvParse, DoubleRejectsGarbageAndOutOfRange) {
+  // Malformed, non-finite, and out-of-range values all warn and keep the
+  // fallback — including NaN, which no range comparison would catch.
+  for (const char* bad :
+       {"", "abc", "0.1abc", "nan", "inf", "-0.5", "1.5", "1e400"}) {
+    set(bad);
+    EXPECT_DOUBLE_EQ(support::parse_env_double(kVar, 0.05, 0.0, 1.0), 0.05)
+        << "value: " << bad;
+  }
+}
+
 TEST_F(EnvParse, FlagSemantics) {
   // Historical contract: "0" is the only falsy value; empty keeps fallback.
   set("0");

@@ -22,9 +22,17 @@ external assets, stdlib only):
   * trial latency p50/p95/p99 (from the event log, plus the manifest's
     exact values when provided) and the metrics snapshot's histograms.
 
+With --status, renders a FAULTLAB_STATUS campaign snapshot (schema v1)
+instead: grid progress, per-cell convergence table, per-worker state, and
+watchdog events. Mid-run snapshots get a <meta refresh> tag matched to the
+snapshot cadence, so a browser pointed at the output follows the campaign
+live (re-run the tool in a loop, or point it straight at the snapshot the
+campaign keeps rewriting).
+
 Usage:
   tools/faultlab_report.py --events EV.jsonl [--metrics M.json]
                            [--manifest MANIFEST.csv] -o OUT.html
+  tools/faultlab_report.py --status STATUS.json -o OUT.html
 """
 
 import argparse
@@ -557,15 +565,234 @@ def render(events, metrics, manifest):
     return "".join(out)
 
 
+def fmt_duration(seconds):
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def progress_bar_svg(done, total, converged_cells, cells_total):
+    width, h = 560, 22
+    frac = done / total if total else 0.0
+    return (
+        f'<svg width="{width}" height="{h}" '
+        'xmlns="http://www.w3.org/2000/svg">'
+        f'<rect x="0" y="0" width="{width}" height="{h}" fill="#eee"/>'
+        f'<rect x="0" y="0" width="{frac * width:.1f}" height="{h}" '
+        'fill="#2980b9"/>'
+        f'<text x="{width / 2}" y="{h - 6}" font-size="12" fill="#222" '
+        f'text-anchor="middle">{done:,}/{total:,} trials '
+        f'({100.0 * frac:.1f}%) — {converged_cells}/{cells_total} cells '
+        "converged</text></svg>"
+    )
+
+
+def render_status(doc):
+    """Renders a FAULTLAB_STATUS snapshot (schema v1) into a standalone HTML
+    page. Mid-run snapshots auto-refresh at the snapshot cadence so the page
+    can be pointed at the file the campaign keeps rewriting."""
+    final = bool(doc.get("final"))
+    interval_ms = int(doc.get("status_interval_ms", 1000) or 1000)
+    refresh_s = max(1, (interval_ms + 999) // 1000)
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>faultlab campaign status</title>",
+    ]
+    if not final:
+        out.append(f"<meta http-equiv='refresh' content='{refresh_s}'>")
+    out.append(
+        "<style>"
+        "body{font-family:sans-serif;margin:24px;color:#222}"
+        "h1{font-size:20px}h2{font-size:16px;margin-top:28px}"
+        "table{border-collapse:collapse;margin:8px 0}"
+        "td,th{border:1px solid #ccc;padding:4px 8px;font-size:12px;"
+        "text-align:left}"
+        "th{background:#f4f4f4}"
+        ".ok{color:#27ae60;font-weight:bold}"
+        ".warn{color:#c0392b;font-weight:bold}"
+        ".muted{color:#888}"
+        "</style></head><body>"
+    )
+    state = "final" if final else f"live (refreshing every {refresh_s}s)"
+    out.append(f"<h1>faultlab campaign status — {esc(state)}</h1>")
+    out.append(progress_bar_svg(
+        int(doc.get("trials_done", 0)), int(doc.get("trials_total", 0)),
+        int(doc.get("converged_cells", 0)), int(doc.get("cells_total", 0)),
+    ))
+    rate = float(doc.get("rate_trials_per_second", 0.0))
+    eta = float(doc.get("eta_seconds", 0.0))
+    wd = int(doc.get("watchdog_flags", 0))
+    out.append("<table><tr>")
+    summary = [
+        ("elapsed", fmt_duration(doc.get("elapsed_seconds", 0.0))),
+        ("rate", f"{rate:.2f} trials/s" if rate > 0 else "-"),
+        ("eta", fmt_duration(eta) if not final and eta > 0 else "-"),
+        ("workers", str(doc.get("workers_total", 0))),
+        ("ci target", f"{float(doc.get('ci_target', 0.0)):.4f}"),
+        ("watchdog flags", str(wd)),
+        ("snapshot writes", str(doc.get("status_writes", 0))),
+        ("dispatch", doc.get("dispatch_mode", "") or "-"),
+    ]
+    for key, _ in summary:
+        out.append(f"<th>{esc(key)}</th>")
+    out.append("</tr><tr>")
+    for key, value in summary:
+        cls = " class='warn'" if key == "watchdog flags" and wd else ""
+        out.append(f"<td{cls}>{esc(value)}</td>")
+    out.append("</tr></table>")
+
+    out.append("<h2>Cells</h2>")
+    out.append(
+        "<p>Crash share over activated trials with Wilson 95% interval; a "
+        "cell converges when the CI half-width drops below the target.</p>"
+    )
+    out.append(
+        "<table><tr><th>app</th><th>tool</th><th>category</th>"
+        "<th>model</th><th>done</th><th>crash</th><th>sdc</th>"
+        "<th>benign</th><th>hang</th><th>n/a</th><th>crash share</th>"
+        "<th>CI ±</th><th>converged</th><th>p50 ms</th><th>p99 ms</th>"
+        "<th>in flight</th><th>wd</th></tr>"
+    )
+    for cell in doc.get("cells", []):
+        share = float(cell.get("crash_share", 0.0))
+        lo = float(cell.get("ci_lo", 0.0))
+        hi = float(cell.get("ci_hi", 0.0))
+        conv = bool(cell.get("converged"))
+        conv_td = ("<td class='ok'>yes</td>" if conv
+                   else "<td class='muted'>no</td>")
+        wd_cell = int(cell.get("watchdog_flags", 0))
+        wd_td = (f"<td class='warn'>{wd_cell}</td>" if wd_cell
+                 else "<td>0</td>")
+        out.append(
+            f"<tr><td>{esc(cell.get('app', '?'))}</td>"
+            f"<td>{esc(cell.get('tool', '?'))}</td>"
+            f"<td>{esc(cell.get('category', '?'))}</td>"
+            f"<td>{esc(cell.get('fault_model', '?'))}</td>"
+            f"<td>{cell.get('done', 0)}/{cell.get('trials', 0)}</td>"
+            f"<td>{cell.get('crash', 0)}</td><td>{cell.get('sdc', 0)}</td>"
+            f"<td>{cell.get('benign', 0)}</td><td>{cell.get('hang', 0)}</td>"
+            f"<td>{cell.get('not_activated', 0)}</td>"
+            f"<td>{100.0 * share:.1f}% [{100 * lo:.1f}, {100 * hi:.1f}]</td>"
+            f"<td>{float(cell.get('ci_halfwidth', 0.0)):.4f}</td>"
+            f"{conv_td}"
+            f"<td>{float(cell.get('p50_ms', 0.0)):.2f}</td>"
+            f"<td>{float(cell.get('p99_ms', 0.0)):.2f}</td>"
+            f"<td>{cell.get('in_flight', 0)}</td>{wd_td}</tr>"
+        )
+    out.append("</table>")
+
+    workers = doc.get("workers", [])
+    if workers:
+        out.append("<h2>Workers</h2>")
+        out.append(
+            "<table><tr><th>worker</th><th>state</th><th>cell</th>"
+            "<th>trial age ms</th><th>trials done</th>"
+            "<th>flagged</th></tr>"
+        )
+        for w in workers:
+            flagged = bool(w.get("flagged"))
+            flag_td = ("<td class='warn'>stalled</td>" if flagged
+                       else "<td>-</td>")
+            out.append(
+                f"<tr><td>{w.get('worker', 0)}</td>"
+                f"<td>{esc(w.get('state', '?'))}</td>"
+                f"<td>{esc(w.get('cell') or '-')}</td>"
+                f"<td>{float(w.get('trial_age_ms', 0.0)):.0f}</td>"
+                f"<td>{w.get('trials_done', 0)}</td>{flag_td}</tr>"
+            )
+        out.append("</table>")
+
+    events = doc.get("watchdog_events", [])
+    dropped = int(doc.get("watchdog_events_dropped", 0))
+    out.append("<h2>Watchdog</h2>")
+    if not events:
+        out.append("<p class='muted'>No stalled trials observed.</p>")
+    else:
+        out.append(
+            "<table><tr><th>at</th><th>worker</th><th>cell</th>"
+            "<th>trial age ms</th><th>threshold ms</th></tr>"
+        )
+        for ev in events:
+            out.append(
+                f"<tr><td>{fmt_duration(ev.get('elapsed_seconds', 0.0))}"
+                f"</td><td>{ev.get('worker', 0)}</td>"
+                f"<td>{esc(ev.get('cell') or '-')}</td>"
+                f"<td>{float(ev.get('trial_age_ms', 0.0)):.0f}</td>"
+                f"<td>{float(ev.get('threshold_ms', 0.0)):.0f}</td></tr>"
+            )
+        out.append("</table>")
+        if dropped:
+            out.append(
+                f"<p class='muted'>{dropped} earlier event(s) dropped "
+                "(bounded buffer).</p>"
+            )
+
+    phases = doc.get("phases", {})
+    counters = doc.get("counters", {})
+    out.append("<h2>Phase split and engine counters</h2>")
+    out.append("<table><tr><th>phase</th><th>seconds</th></tr>")
+    for key in ("restore_seconds", "execute_seconds", "classify_seconds"):
+        out.append(
+            f"<tr><td>{esc(key)}</td>"
+            f"<td>{float(phases.get(key, 0.0)):.3f}</td></tr>"
+        )
+    out.append("</table>")
+    if counters:
+        out.append("<table><tr><th>counter</th><th>value</th></tr>")
+        for name, value in counters.items():
+            out.append(f"<tr><td>{esc(name)}</td><td>{esc(value)}</td></tr>")
+        out.append("</table>")
+
+    out.append("</body></html>\n")
+    return "".join(out)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--events", required=True,
+    parser.add_argument("--events",
                         help="FAULTLAB_EVENTS JSONL path")
+    parser.add_argument("--status",
+                        help="FAULTLAB_STATUS snapshot JSON path; renders "
+                             "the live-status page instead of the event "
+                             "dashboard")
     parser.add_argument("--metrics", help="FAULTLAB_METRICS JSON path")
     parser.add_argument("--manifest", help="run manifest CSV path")
     parser.add_argument("-o", "--out", required=True,
                         help="output HTML path")
     args = parser.parse_args(argv)
+
+    if bool(args.events) == bool(args.status):
+        print("error: exactly one of --events or --status is required",
+              file=sys.stderr)
+        return 2
+
+    if args.status:
+        try:
+            with open(args.status, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {args.status}: {e}", file=sys.stderr)
+            return 1
+        document = render_status(doc)
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(document)
+        except OSError as e:
+            print(f"error: {args.out}: {e}", file=sys.stderr)
+            return 1
+        kind = "final" if doc.get("final") else "live"
+        print(
+            f"{args.out}: {kind} status page, "
+            f"{doc.get('trials_done', 0)}/{doc.get('trials_total', 0)} "
+            f"trials, {doc.get('converged_cells', 0)}/"
+            f"{doc.get('cells_total', 0)} cells converged"
+        )
+        return 0
 
     try:
         events = load_events(args.events)

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""One-shot terminal summary of a FAULTLAB_STATUS campaign snapshot.
+
+Reads the schema-v1 status JSON the scheduler atomically rewrites while a
+campaign runs (and finalizes at exit) and prints a compact plain-text
+summary: overall progress, per-cell convergence, stalled workers, and
+watchdog events. Designed for scripts and CI — exit-code gates let a
+pipeline wait on convergence or fail on stalls:
+
+  exit 0  snapshot read and all requested gates passed
+  exit 1  snapshot unreadable or not a v1 status document
+  exit 3  a --require-converged / --require-final / --max-watchdog gate
+          failed (snapshot itself was fine)
+
+Usage:
+  tools/faultlab_status.py STATUS.json [--cells] [--watch N]
+      [--require-converged N] [--require-final] [--max-watchdog N]
+
+--watch N re-reads and re-prints every N seconds until the snapshot goes
+final (gates are evaluated against the last snapshot read). stdlib only.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != "faultlab-status" \
+            or doc.get("v") != 1:
+        raise ValueError("not a faultlab-status v1 document")
+    return doc
+
+
+def fmt_duration(seconds):
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def print_summary(doc, show_cells):
+    final = bool(doc.get("final"))
+    done = int(doc.get("trials_done", 0))
+    total = int(doc.get("trials_total", 0))
+    pct = 100.0 * done / total if total else 0.0
+    rate = float(doc.get("rate_trials_per_second", 0.0))
+    eta = float(doc.get("eta_seconds", 0.0))
+    wd = int(doc.get("watchdog_flags", 0))
+    state = "final" if final else "running"
+    line = (
+        f"[{state}] {done}/{total} trials ({pct:.1f}%)  "
+        f"conv {doc.get('converged_cells', 0)}/{doc.get('cells_total', 0)}  "
+        f"elapsed {fmt_duration(doc.get('elapsed_seconds', 0.0))}"
+    )
+    if rate > 0:
+        line += f"  {rate:.2f}/s"
+    if not final and eta > 0:
+        line += f"  eta {fmt_duration(eta)}"
+    if wd:
+        line += f"  WATCHDOG x{wd}"
+    print(line)
+
+    if show_cells:
+        for cell in doc.get("cells", []):
+            name = (
+                f"{cell.get('app', '?')}/{cell.get('tool', '?')}/"
+                f"{cell.get('category', '?')}"
+            )
+            share = 100.0 * float(cell.get("crash_share", 0.0))
+            lo = 100.0 * float(cell.get("ci_lo", 0.0))
+            hi = 100.0 * float(cell.get("ci_hi", 0.0))
+            mark = "converged" if cell.get("converged") else (
+                f"ci±{float(cell.get('ci_halfwidth', 0.0)):.4f}")
+            cell_line = (
+                f"  {name:<28} {cell.get('done', 0):>6}/"
+                f"{cell.get('trials', 0):<6} crash {share:5.1f}% "
+                f"[{lo:.1f}, {hi:.1f}]  {mark}"
+            )
+            if int(cell.get("watchdog_flags", 0)):
+                cell_line += f"  wd x{cell.get('watchdog_flags')}"
+            print(cell_line)
+
+    flagged = [w for w in doc.get("workers", []) if w.get("flagged")]
+    for w in flagged:
+        print(
+            f"  worker {w.get('worker')} stalled in {w.get('cell') or '?'} "
+            f"for {float(w.get('trial_age_ms', 0.0)) / 1000.0:.1f}s"
+        )
+    dropped = int(doc.get("watchdog_events_dropped", 0))
+    if dropped:
+        print(f"  ({dropped} earlier watchdog event(s) dropped)")
+
+
+def check_gates(doc, args):
+    failures = []
+    if args.require_final and not doc.get("final"):
+        failures.append("snapshot is not final")
+    conv = int(doc.get("converged_cells", 0))
+    if args.require_converged is not None and conv < args.require_converged:
+        failures.append(
+            f"converged cells {conv} < required {args.require_converged}")
+    wd = int(doc.get("watchdog_flags", 0))
+    if args.max_watchdog is not None and wd > args.max_watchdog:
+        failures.append(
+            f"watchdog flags {wd} > allowed {args.max_watchdog}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("status", help="FAULTLAB_STATUS snapshot JSON path")
+    parser.add_argument("--cells", action="store_true",
+                        help="print the per-cell convergence table")
+    parser.add_argument("--watch", type=float, metavar="N",
+                        help="re-read every N seconds until the snapshot "
+                             "goes final")
+    parser.add_argument("--require-converged", type=int, metavar="N",
+                        help="exit 3 unless at least N cells converged")
+    parser.add_argument("--require-final", action="store_true",
+                        help="exit 3 unless the snapshot is final")
+    parser.add_argument("--max-watchdog", type=int, metavar="N",
+                        help="exit 3 if more than N watchdog flags")
+    args = parser.parse_args(argv)
+
+    doc = None
+    while True:
+        try:
+            doc = load(args.status)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"error: {args.status}: {e}", file=sys.stderr)
+            return 1
+        print_summary(doc, args.cells)
+        if args.watch is None or doc.get("final"):
+            break
+        time.sleep(max(0.1, args.watch))
+
+    failures = check_gates(doc, args)
+    for failure in failures:
+        print(f"gate failed: {failure}", file=sys.stderr)
+    return 3 if failures else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piped into head/grep that exited early; not an error.
+        sys.exit(0)

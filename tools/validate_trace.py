@@ -24,9 +24,23 @@ event log (one JSON object per line, schema v1 from src/obs/events.h):
     does), activation implies injection, and the propagation distance
     equals instructions_total - inject_instruction for injected trials.
 
+With --status, the file is instead validated as a FAULTLAB_STATUS campaign
+snapshot (schema v1 from src/obs/monitor.h):
+
+  * the header carries the full required key set with sane types and a
+    `final` flag;
+  * per-cell tallies are internally consistent (outcomes sum to `done`,
+    `activated` = done - not_activated, Wilson bounds ordered, `converged`
+    matches the half-width vs ci_target comparison);
+  * per-worker records and watchdog events are well-formed;
+  * when `final` is true the quiescent cross-checks apply too: every cell
+    complete, no in-flight trials, worker tallies sum to `trials_done`.
+
 Usage:
   tools/validate_trace.py TRACE [--expect-trials N]
   tools/validate_trace.py --events EVENTS.jsonl [--expect-trials N]
+  tools/validate_trace.py --status STATUS.json [--expect-trials N]
+                          [--expect-converged N]
 
 Exit status 0 when the file is valid, 1 otherwise (with a message per
 violation on stderr). Stdlib only — no third-party dependencies.
@@ -243,6 +257,270 @@ def validate_events(records):
             seq_by_worker[worker] = max(expected_seq, seq) + 1
 
 
+STATUS_HEADER_KEYS = {
+    "v": int,
+    "schema": str,
+    "final": bool,
+    "generated_unix": int,
+    "elapsed_seconds": (int, float),
+    "ci_target": (int, float),
+    "watchdog_factor": (int, float),
+    "status_interval_ms": int,
+    "workers_total": int,
+    "trials_total": int,
+    "trials_done": int,
+    "cells_total": int,
+    "converged_cells": int,
+    "watchdog_flags": int,
+    "status_writes": int,
+    "rate_trials_per_second": (int, float),
+    "eta_seconds": (int, float),
+    "phases": dict,
+    "counters": dict,
+    "dispatch_mode": str,
+    "cells": list,
+    "workers": list,
+    "watchdog_events": list,
+    "watchdog_events_dropped": int,
+}
+STATUS_CELL_KEYS = {
+    "app": str,
+    "tool": str,
+    "category": str,
+    "fault_model": str,
+    "trials": int,
+    "done": int,
+    "crash": int,
+    "sdc": int,
+    "benign": int,
+    "hang": int,
+    "not_activated": int,
+    "activated": int,
+    "crash_share": (int, float),
+    "ci_lo": (int, float),
+    "ci_hi": (int, float),
+    "ci_halfwidth": (int, float),
+    "converged": bool,
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "mean_ms": (int, float),
+    "watchdog_flags": int,
+    "in_flight": int,
+}
+STATUS_WORKER_KEYS = {
+    "worker": int,
+    "state": str,
+    "trial_age_ms": (int, float),
+    "trials_done": int,
+    "flagged": bool,
+}
+STATUS_PHASE_KEYS = ("restore_seconds", "execute_seconds", "classify_seconds")
+STATUS_COUNTER_KEYS = (
+    "checkpoint_snapshots", "checkpoint_restores", "delta_restores",
+    "snapshot_evictions", "trace_decodes", "trace_hits",
+    "trace_invalidations",
+)
+
+
+def check_keys(obj, spec, where):
+    """Yields a message per missing or mistyped key. Note bool is an int in
+    Python, so int-typed keys explicitly reject booleans."""
+    for key, types in spec.items():
+        if key not in obj:
+            yield f"{where}: missing key '{key}'"
+            continue
+        value = obj[key]
+        if types is int or types == (int, float):
+            if isinstance(value, bool) or not isinstance(value, types):
+                yield f"{where}: '{key}' is not numeric"
+        elif not isinstance(value, types):
+            yield f"{where}: '{key}' has wrong type {type(value).__name__}"
+
+
+def validate_status(doc):
+    """Yields one message per status-snapshot violation (schema v1)."""
+    if not isinstance(doc, dict):
+        yield "top-level value is not a JSON object"
+        return
+    yield from check_keys(doc, STATUS_HEADER_KEYS, "header")
+    if doc.get("v") != 1:
+        yield f"header: schema version is {doc.get('v')!r}, expected 1"
+    if doc.get("schema") != "faultlab-status":
+        yield (
+            f"header: schema is {doc.get('schema')!r}, expected "
+            "'faultlab-status'"
+        )
+    final = doc.get("final") is True
+
+    phases = doc.get("phases", {})
+    if isinstance(phases, dict):
+        for key in STATUS_PHASE_KEYS:
+            value = phases.get(key)
+            if not isinstance(value, (int, float)) or \
+                    isinstance(value, bool) or value < 0:
+                yield f"phases: '{key}' is not a non-negative number"
+    counters = doc.get("counters", {})
+    if isinstance(counters, dict):
+        for key in STATUS_COUNTER_KEYS:
+            value = counters.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or \
+                    value < 0:
+                yield f"counters: '{key}' is not a non-negative integer"
+
+    ci_target = doc.get("ci_target")
+    cells = doc.get("cells", [])
+    if not isinstance(cells, list):
+        cells = []
+    if isinstance(doc.get("cells_total"), int) and \
+            doc["cells_total"] != len(cells):
+        yield (
+            f"header: cells_total is {doc['cells_total']}, but {len(cells)} "
+            "cells are listed"
+        )
+    converged_count = 0
+    cell_done = 0
+    cell_watchdog = 0
+    for i, cell in enumerate(cells):
+        where = f"cell {i}"
+        if not isinstance(cell, dict):
+            yield f"{where}: not a JSON object"
+            continue
+        yield from check_keys(cell, STATUS_CELL_KEYS, where)
+        try:
+            outcomes = sum(
+                cell[k] for k in ("crash", "sdc", "benign", "hang",
+                                  "not_activated")
+            )
+            if cell["done"] != outcomes:
+                yield (
+                    f"{where}: done is {cell['done']}, but outcomes sum to "
+                    f"{outcomes}"
+                )
+            if cell["activated"] != cell["done"] - cell["not_activated"]:
+                yield (
+                    f"{where}: activated is {cell['activated']}, expected "
+                    f"done - not_activated = "
+                    f"{cell['done'] - cell['not_activated']}"
+                )
+            if cell["done"] > cell["trials"]:
+                yield (
+                    f"{where}: done {cell['done']} exceeds planned trials "
+                    f"{cell['trials']}"
+                )
+            if not 0.0 <= cell["ci_lo"] <= cell["ci_hi"] <= 1.0:
+                yield (
+                    f"{where}: Wilson bounds [{cell['ci_lo']}, "
+                    f"{cell['ci_hi']}] are not ordered within [0, 1]"
+                )
+            halfwidth = (cell["ci_hi"] - cell["ci_lo"]) / 2.0
+            if abs(cell["ci_halfwidth"] - halfwidth) > 1e-3:
+                yield (
+                    f"{where}: ci_halfwidth {cell['ci_halfwidth']} != "
+                    f"(ci_hi - ci_lo) / 2 = {halfwidth:.6f}"
+                )
+            if isinstance(ci_target, (int, float)):
+                expected = (
+                    cell["activated"] > 0
+                    and cell["ci_halfwidth"] <= ci_target
+                )
+                if cell["converged"] != expected:
+                    yield (
+                        f"{where}: converged is {cell['converged']}, but "
+                        f"half-width {cell['ci_halfwidth']} vs ci_target "
+                        f"{ci_target} implies {expected}"
+                    )
+            if cell["converged"]:
+                converged_count += 1
+            cell_done += cell["done"]
+            cell_watchdog += cell["watchdog_flags"]
+            if final and cell["done"] != cell["trials"]:
+                yield (
+                    f"{where}: final snapshot but done {cell['done']} != "
+                    f"planned {cell['trials']}"
+                )
+            if final and cell["in_flight"] != 0:
+                yield (
+                    f"{where}: final snapshot but in_flight is "
+                    f"{cell['in_flight']}"
+                )
+        except (KeyError, TypeError):
+            pass  # missing/mistyped keys already reported by check_keys
+
+    if isinstance(doc.get("converged_cells"), int) and \
+            doc["converged_cells"] != converged_count:
+        yield (
+            f"header: converged_cells is {doc['converged_cells']}, but "
+            f"{converged_count} cells are marked converged"
+        )
+    if final and isinstance(doc.get("trials_done"), int) and \
+            doc["trials_done"] != cell_done:
+        yield (
+            f"header: trials_done is {doc['trials_done']}, but cell tallies "
+            f"sum to {cell_done}"
+        )
+    if final and isinstance(doc.get("trials_total"), int) and \
+            isinstance(doc.get("trials_done"), int) and \
+            doc["trials_done"] != doc["trials_total"]:
+        yield (
+            f"header: final snapshot but trials_done {doc['trials_done']} "
+            f"!= trials_total {doc['trials_total']}"
+        )
+    if final and isinstance(doc.get("watchdog_flags"), int) and \
+            doc["watchdog_flags"] != cell_watchdog:
+        yield (
+            f"header: watchdog_flags is {doc['watchdog_flags']}, but cell "
+            f"flags sum to {cell_watchdog}"
+        )
+
+    workers = doc.get("workers", [])
+    if not isinstance(workers, list):
+        workers = []
+    if isinstance(doc.get("workers_total"), int) and \
+            doc["workers_total"] != len(workers):
+        yield (
+            f"header: workers_total is {doc['workers_total']}, but "
+            f"{len(workers)} workers are listed"
+        )
+    worker_done = 0
+    for i, worker in enumerate(workers):
+        where = f"worker {i}"
+        if not isinstance(worker, dict):
+            yield f"{where}: not a JSON object"
+            continue
+        yield from check_keys(worker, STATUS_WORKER_KEYS, where)
+        state = worker.get("state")
+        if state not in ("running", "idle"):
+            yield f"{where}: unknown state {state!r}"
+        cell_ref = worker.get("cell")
+        if state == "running" and not isinstance(cell_ref, str):
+            yield f"{where}: running but cell is {cell_ref!r}"
+        if state == "idle" and cell_ref is not None:
+            yield f"{where}: idle but cell is {cell_ref!r}"
+        if final and state == "running":
+            yield f"{where}: final snapshot but state is 'running'"
+        if isinstance(worker.get("trials_done"), int):
+            worker_done += worker["trials_done"]
+    if final and isinstance(doc.get("trials_done"), int) and \
+            worker_done != doc["trials_done"]:
+        yield (
+            f"header: worker trials_done sum to {worker_done}, expected "
+            f"{doc['trials_done']}"
+        )
+
+    events = doc.get("watchdog_events", [])
+    if not isinstance(events, list):
+        events = []
+    for i, ev in enumerate(events):
+        where = f"watchdog event {i}"
+        if not isinstance(ev, dict):
+            yield f"{where}: not a JSON object"
+            continue
+        for key in ("worker", "cell", "trial_age_ms", "threshold_ms",
+                    "elapsed_seconds"):
+            if key not in ev:
+                yield f"{where}: missing key '{key}'"
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="path to the exported trace")
@@ -257,7 +535,56 @@ def main(argv=None):
         action="store_true",
         help="validate a FAULTLAB_EVENTS trial event log instead of a trace",
     )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help="validate a FAULTLAB_STATUS campaign snapshot instead of a "
+        "trace",
+    )
+    parser.add_argument(
+        "--expect-converged",
+        type=int,
+        default=None,
+        help="with --status: fail unless at least N cells are converged",
+    )
     args = parser.parse_args(argv)
+
+    if args.status and args.events:
+        parser.error("--status and --events are mutually exclusive")
+
+    if args.status:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as e:
+            print(f"{args.trace}: {e}", file=sys.stderr)
+            return 1
+        errors = list(validate_status(doc))
+        if args.expect_trials is not None and \
+                doc.get("trials_done") != args.expect_trials:
+            errors.append(
+                f"expected trials_done == {args.expect_trials}, found "
+                f"{doc.get('trials_done')}"
+            )
+        if args.expect_converged is not None and not (
+            isinstance(doc.get("converged_cells"), int)
+            and doc["converged_cells"] >= args.expect_converged
+        ):
+            errors.append(
+                f"expected >= {args.expect_converged} converged cells, "
+                f"found {doc.get('converged_cells')}"
+            )
+        for message in errors:
+            print(f"{args.trace}: {message}", file=sys.stderr)
+        if not errors:
+            kind = "final" if doc.get("final") else "mid-run"
+            print(
+                f"{args.trace}: OK — {kind} snapshot, "
+                f"{doc.get('trials_done')}/{doc.get('trials_total')} trials, "
+                f"{doc.get('converged_cells')}/{doc.get('cells_total')} "
+                "cells converged"
+            )
+        return 1 if errors else 0
 
     if args.events:
         try:
