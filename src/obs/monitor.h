@@ -149,6 +149,9 @@ struct MonitorWorkerStatus {
   std::size_t cell = 0;  ///< valid when running
   double trial_age_ms = 0.0;
   std::uint64_t trials_done = 0;
+  /// Trials of the current lane group still unrecorded (0 when idle, 1
+  /// for a plain in-flight trial).
+  std::uint64_t in_flight = 0;
   bool flagged = false;  ///< current trial tripped the watchdog
 };
 
@@ -226,10 +229,17 @@ class CampaignMonitor {
 
   // -- trial hot path (scheduler workers) ------------------------------
   /// Registers worker's in-flight trial. One clock read + one relaxed
-  /// store.
+  /// store. Equivalent to begin_group(worker, cell, 1).
   void begin_trial(std::size_t worker, std::size_t cell) noexcept;
-  /// Folds a finished trial into the cell tallies and clears the worker's
-  /// in-flight slot.
+  /// Registers a lockstep lane group: `group` trials of `cell` now in
+  /// flight on `worker` at once. The slot stays busy until record() has
+  /// been called once per trial, and the stall watchdog scales its
+  /// threshold by the group size (a group legitimately ages up to
+  /// group × one trial's latency when lanes diverge).
+  void begin_group(std::size_t worker, std::size_t cell,
+                   std::size_t group) noexcept;
+  /// Folds a finished trial into the cell tallies; the worker's in-flight
+  /// slot clears once every trial of its group is recorded.
   void record(std::size_t worker, std::size_t cell, MonitorOutcome outcome,
               double latency_ms) noexcept;
 
@@ -269,11 +279,16 @@ class CampaignMonitor {
     std::atomic<std::uint64_t> watchdog_flags{0};
   };
   struct WorkerSlot {
-    /// Cell index + 1 of the in-flight trial; 0 = idle. Written by the
-    /// owning worker, read by the watchdog.
+    /// Cell index + 1 of the in-flight trial/group; 0 = idle. Written by
+    /// the owning worker, read by the watchdog.
     std::atomic<std::uint64_t> busy_cell{0};
     std::atomic<std::uint64_t> started_us{0};
     std::atomic<std::uint64_t> trials_done{0};
+    /// Trials of the current lane group still unrecorded (1 for a plain
+    /// trial). Only the owning worker writes it.
+    std::atomic<std::uint64_t> in_flight{0};
+    /// Lane count the current group started with (watchdog scaling).
+    std::atomic<std::uint64_t> group_size{1};
     std::atomic<bool> flagged{false};
   };
 

@@ -1,0 +1,321 @@
+// Lockstep-lane unit tests: run_lockstep drives N resident engines from
+// one shared snapshot with a single decoded micro-op fetch per step, and
+// every lane's result must be byte-identical to the solo run_from it
+// replaces — including lanes whose injected corruption diverges control
+// flow and masks them off onto the single-lane path.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "driver/pipeline.h"
+#include "machine/dispatch.h"
+#include "vm/interpreter.h"
+#include "x86/simulator.h"
+
+namespace faultlab {
+namespace {
+
+using machine::DispatchMode;
+
+/// Restores the process dispatch mode on scope exit.
+struct DispatchModeGuard {
+  DispatchMode saved = machine::dispatch_mode();
+  ~DispatchModeGuard() { machine::set_dispatch_mode(saved); }
+};
+
+// Long enough (~100k dynamic instructions) that packs run deep stretches
+// of decoded micro-ops between divergence checks; the data-dependent sum
+// makes any silent lane corruption visible in the exit value.
+const char* kKernel = R"(
+  int a[128];
+  int mix(int x, int y) { return (x ^ y) + (x >> 1); }
+  int main() {
+    int i; int j; long s = 0;
+    for (i = 0; i < 128; i++) a[i] = i * 7;
+    for (j = 0; j < 60; j++)
+      for (i = 0; i < 128; i++)
+        s = s + mix(a[i], a[(i + j) & 127]);
+    print_int(s);
+    return 0;
+  }
+)";
+
+/// Flips one bit of the n-th value produced after the hook arms, then
+/// detaches — a minimal stand-in for an injector hook. Different (n, bit)
+/// per lane makes lanes genuinely diverge at different points.
+class VmFlipHook : public vm::ExecHook {
+ public:
+  VmFlipHook(std::uint64_t nth, unsigned bit) : nth_(nth), bit_(bit) {}
+  std::uint64_t on_result(const vm::DynValueId& id,
+                          std::uint64_t raw) override {
+    (void)id;
+    if (++seen_ == nth_) {
+      detach();
+      return raw ^ (std::uint64_t{1} << bit_);
+    }
+    return raw;
+  }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t nth_ = 0;
+  unsigned bit_ = 0;
+};
+
+/// x86 counterpart: XORs one bit into a GPR after the n-th retired
+/// instruction, then detaches.
+class SimFlipHook : public x86::SimHook {
+ public:
+  SimFlipHook(std::uint64_t nth, unsigned bit) : nth_(nth), bit_(bit) {}
+  void on_after(std::size_t index, const x86::Inst& inst,
+                x86::MachineState& state) override {
+    (void)index;
+    (void)inst;
+    if (++seen_ == nth_) {
+      state.gpr[0] ^= std::uint64_t{1} << bit_;
+      detach();
+    }
+  }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t nth_ = 0;
+  unsigned bit_ = 0;
+};
+
+void expect_same_result(const vm::RunResult& got, const vm::RunResult& want,
+                        std::size_t lane) {
+  EXPECT_EQ(got.trapped, want.trapped) << "lane " << lane;
+  EXPECT_EQ(got.trap, want.trap) << "lane " << lane;
+  EXPECT_EQ(got.trap_pc, want.trap_pc) << "lane " << lane;
+  EXPECT_EQ(got.timed_out, want.timed_out) << "lane " << lane;
+  EXPECT_EQ(got.exit_value, want.exit_value) << "lane " << lane;
+  EXPECT_EQ(got.dynamic_instructions, want.dynamic_instructions)
+      << "lane " << lane;
+  EXPECT_EQ(got.output, want.output) << "lane " << lane;
+}
+
+void expect_same_result(const x86::SimResult& got, const x86::SimResult& want,
+                        std::size_t lane) {
+  EXPECT_EQ(got.trapped, want.trapped) << "lane " << lane;
+  EXPECT_EQ(got.trap, want.trap) << "lane " << lane;
+  EXPECT_EQ(got.trap_pc, want.trap_pc) << "lane " << lane;
+  EXPECT_EQ(got.timed_out, want.timed_out) << "lane " << lane;
+  EXPECT_EQ(got.exit_value, want.exit_value) << "lane " << lane;
+  EXPECT_EQ(got.dynamic_instructions, want.dynamic_instructions)
+      << "lane " << lane;
+  EXPECT_EQ(got.output, want.output) << "lane " << lane;
+}
+
+vm::Snapshot mid_snapshot_vm(const driver::CompiledProgram& prog) {
+  std::vector<vm::Snapshot> snaps;
+  vm::RunLimits capture;
+  capture.snapshot_stride = 997;
+  capture.snapshot_sink = [&](vm::Snapshot&& s) {
+    snaps.push_back(std::move(s));
+  };
+  vm::Interpreter runner(prog.module());
+  EXPECT_TRUE(runner.run("main", capture).completed());
+  EXPECT_GT(snaps.size(), 2u);
+  return snaps[snaps.size() / 2];
+}
+
+x86::SimSnapshot mid_snapshot_sim(const driver::CompiledProgram& prog) {
+  std::vector<x86::SimSnapshot> snaps;
+  x86::SimLimits capture;
+  capture.snapshot_stride = 997;
+  capture.snapshot_sink = [&](x86::SimSnapshot&& s) {
+    snaps.push_back(std::move(s));
+  };
+  x86::Simulator runner(prog.program());
+  EXPECT_FALSE(runner.run(capture).trapped);
+  EXPECT_GT(snaps.size(), 2u);
+  return snaps[snaps.size() / 2];
+}
+
+TEST(LockstepVm, CleanLanesMatchSoloRunFrom) {
+  DispatchModeGuard guard;
+  machine::set_dispatch_mode(DispatchMode::Threaded);
+  auto prog = driver::compile(kKernel, "t");
+  const vm::Snapshot mid = mid_snapshot_vm(prog);
+
+  vm::Interpreter solo(prog.module());
+  const vm::RunResult want = solo.run_from(mid);
+  ASSERT_TRUE(want.completed());
+
+  constexpr std::size_t kLanes = 4;
+  std::vector<std::unique_ptr<vm::Interpreter>> owned;
+  std::vector<vm::Interpreter*> lanes;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    owned.push_back(std::make_unique<vm::Interpreter>(prog.module()));
+    lanes.push_back(owned.back().get());
+  }
+  const machine::PackCountersSnapshot before =
+      machine::pack_counters_snapshot();
+  std::array<vm::RunResult, kLanes> results;
+  vm::Interpreter::run_lockstep(lanes.data(), kLanes, mid, {},
+                                results.data());
+  for (std::size_t i = 0; i < kLanes; ++i)
+    expect_same_result(results[i], want, i);
+
+  // Identical lanes never diverge: one pack, every fetch drives all four.
+  const machine::PackCountersSnapshot after =
+      machine::pack_counters_snapshot();
+  EXPECT_EQ(after.groups, before.groups + 1);
+  EXPECT_EQ(after.lanes, before.lanes + kLanes);
+  EXPECT_EQ(after.divergences, before.divergences);
+  EXPECT_EQ(after.lane_uops - before.lane_uops,
+            kLanes * (after.uops - before.uops));
+}
+
+TEST(LockstepVm, DivergentHookLanesMatchSolo) {
+  DispatchModeGuard guard;
+  machine::set_dispatch_mode(DispatchMode::Threaded);
+  auto prog = driver::compile(kKernel, "t");
+  const vm::Snapshot mid = mid_snapshot_vm(prog);
+
+  // Staggered flip points and bits: high bits on the running sum make
+  // SDC-style divergence, and early flips can redirect control flow.
+  const std::uint64_t nth[] = {3, 40, 400, 4000};
+  const unsigned bit[] = {62, 31, 17, 3};
+  constexpr std::size_t kLanes = 4;
+
+  std::array<vm::RunResult, kLanes> want;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    VmFlipHook hook(nth[i], bit[i]);
+    vm::Interpreter solo(prog.module(), &hook);
+    want[i] = solo.run_from(mid);
+  }
+
+  std::vector<std::unique_ptr<VmFlipHook>> hooks;
+  std::vector<std::unique_ptr<vm::Interpreter>> owned;
+  std::vector<vm::Interpreter*> lanes;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    hooks.push_back(std::make_unique<VmFlipHook>(nth[i], bit[i]));
+    owned.push_back(
+        std::make_unique<vm::Interpreter>(prog.module(), hooks.back().get()));
+    lanes.push_back(owned.back().get());
+  }
+  std::array<vm::RunResult, kLanes> results;
+  vm::Interpreter::run_lockstep(lanes.data(), kLanes, mid, {},
+                                results.data());
+  for (std::size_t i = 0; i < kLanes; ++i)
+    expect_same_result(results[i], want[i], i);
+}
+
+TEST(LockstepVm, SingleLaneFallsBackToRunFrom) {
+  DispatchModeGuard guard;
+  machine::set_dispatch_mode(DispatchMode::Threaded);
+  auto prog = driver::compile(kKernel, "t");
+  const vm::Snapshot mid = mid_snapshot_vm(prog);
+
+  vm::Interpreter solo(prog.module());
+  const vm::RunResult want = solo.run_from(mid);
+
+  const machine::PackCountersSnapshot before =
+      machine::pack_counters_snapshot();
+  vm::Interpreter lane(prog.module());
+  vm::Interpreter* lanes[] = {&lane};
+  vm::RunResult result;
+  vm::Interpreter::run_lockstep(lanes, 1, mid, {}, &result);
+  expect_same_result(result, want, 0);
+  // No pack was formed: a single lane takes the plain run_from path.
+  EXPECT_EQ(machine::pack_counters_snapshot().groups, before.groups);
+}
+
+TEST(LockstepVm, SwitchDispatchFallsBackSequentially) {
+  DispatchModeGuard guard;
+  machine::set_dispatch_mode(DispatchMode::Switch);
+  auto prog = driver::compile(kKernel, "t");
+  const vm::Snapshot mid = mid_snapshot_vm(prog);
+
+  vm::Interpreter solo(prog.module());
+  const vm::RunResult want = solo.run_from(mid);
+
+  constexpr std::size_t kLanes = 3;
+  std::vector<std::unique_ptr<vm::Interpreter>> owned;
+  std::vector<vm::Interpreter*> lanes;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    owned.push_back(std::make_unique<vm::Interpreter>(prog.module()));
+    lanes.push_back(owned.back().get());
+  }
+  const machine::PackCountersSnapshot before =
+      machine::pack_counters_snapshot();
+  std::array<vm::RunResult, kLanes> results;
+  vm::Interpreter::run_lockstep(lanes.data(), kLanes, mid, {},
+                                results.data());
+  for (std::size_t i = 0; i < kLanes; ++i)
+    expect_same_result(results[i], want, i);
+  EXPECT_EQ(machine::pack_counters_snapshot().groups, before.groups);
+}
+
+TEST(LockstepSim, CleanLanesMatchSoloRunFrom) {
+  DispatchModeGuard guard;
+  machine::set_dispatch_mode(DispatchMode::Threaded);
+  auto prog = driver::compile(kKernel, "t");
+  const x86::SimSnapshot mid = mid_snapshot_sim(prog);
+
+  x86::Simulator solo(prog.program());
+  const x86::SimResult want = solo.run_from(mid);
+  ASSERT_TRUE(want.completed());
+
+  constexpr std::size_t kLanes = 4;
+  std::vector<std::unique_ptr<x86::Simulator>> owned;
+  std::vector<x86::Simulator*> lanes;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    owned.push_back(std::make_unique<x86::Simulator>(prog.program()));
+    lanes.push_back(owned.back().get());
+  }
+  const machine::PackCountersSnapshot before =
+      machine::pack_counters_snapshot();
+  std::array<x86::SimResult, kLanes> results;
+  x86::Simulator::run_lockstep(lanes.data(), kLanes, mid, {},
+                               results.data());
+  for (std::size_t i = 0; i < kLanes; ++i)
+    expect_same_result(results[i], want, i);
+
+  const machine::PackCountersSnapshot after =
+      machine::pack_counters_snapshot();
+  EXPECT_EQ(after.groups, before.groups + 1);
+  EXPECT_EQ(after.lanes, before.lanes + kLanes);
+  EXPECT_EQ(after.divergences, before.divergences);
+}
+
+TEST(LockstepSim, DivergentHookLanesMatchSolo) {
+  DispatchModeGuard guard;
+  machine::set_dispatch_mode(DispatchMode::Threaded);
+  auto prog = driver::compile(kKernel, "t");
+  const x86::SimSnapshot mid = mid_snapshot_sim(prog);
+
+  const std::uint64_t nth[] = {5, 60, 600, 6000};
+  const unsigned bit[] = {62, 33, 12, 1};
+  constexpr std::size_t kLanes = 4;
+
+  std::array<x86::SimResult, kLanes> want;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    SimFlipHook hook(nth[i], bit[i]);
+    x86::Simulator solo(prog.program());
+    solo.set_hook(&hook);
+    want[i] = solo.run_from(mid);
+  }
+
+  std::vector<std::unique_ptr<SimFlipHook>> hooks;
+  std::vector<std::unique_ptr<x86::Simulator>> owned;
+  std::vector<x86::Simulator*> lanes;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    hooks.push_back(std::make_unique<SimFlipHook>(nth[i], bit[i]));
+    owned.push_back(std::make_unique<x86::Simulator>(prog.program()));
+    owned.back()->set_hook(hooks.back().get());
+    lanes.push_back(owned.back().get());
+  }
+  std::array<x86::SimResult, kLanes> results;
+  x86::Simulator::run_lockstep(lanes.data(), kLanes, mid, {},
+                               results.data());
+  for (std::size_t i = 0; i < kLanes; ++i)
+    expect_same_result(results[i], want[i], i);
+}
+
+}  // namespace
+}  // namespace faultlab

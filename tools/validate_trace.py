@@ -8,10 +8,14 @@ that the span structure matches what the campaign scheduler promises:
     (complete) events with numeric ts/dur and a pid/tid;
   * every `trial` span is tagged with app, tool, category, k, checkpoint
     (hit|miss), and outcome;
-  * phase spans (restore/execute/classify) nest inside a trial span on the
-    same thread (engine-level golden/profile spans are exempt — they run
-    outside any trial);
-  * optionally, the number of trial spans matches --expect-trials.
+  * every `trial_group` span (a lockstep lane group covering several
+    trials at once; see FAULTLAB_LANES) is tagged with app, tool,
+    category, checkpoint, and an integer lanes >= 2;
+  * phase spans (restore/execute/classify) nest inside a trial or
+    trial_group span on the same thread (engine-level golden/profile
+    spans are exempt — they run outside any trial);
+  * optionally, the number of trials covered — trial spans plus the sum
+    of the trial_group lanes tags — matches --expect-trials.
 
 With --events, the file is instead validated as a FAULTLAB_EVENTS trial
 event log (one JSON object per line, schema v1 from src/obs/events.h):
@@ -51,6 +55,7 @@ import json
 import sys
 
 REQUIRED_TRIAL_TAGS = ("app", "tool", "category", "k", "checkpoint", "outcome")
+REQUIRED_GROUP_TAGS = ("app", "tool", "category", "lanes", "checkpoint")
 PHASE_NAMES = ("restore", "execute", "classify")
 
 EVENT_REQUIRED_KEYS = (
@@ -110,9 +115,30 @@ def load_events(path):
     return events
 
 
+def group_lanes(ev):
+    """Lane count of a trial_group span (0 when missing/mistyped)."""
+    lanes = ev.get("args", {}).get("lanes")
+    if isinstance(lanes, str) and lanes.isdigit():
+        lanes = int(lanes)
+    return lanes if isinstance(lanes, int) and not isinstance(
+        lanes, bool) else 0
+
+
+def covered_trials(events):
+    """Trials covered by a trace: trial spans plus trial_group lanes."""
+    count = 0
+    for ev in events:
+        if ev.get("name") == "trial":
+            count += 1
+        elif ev.get("name") == "trial_group":
+            count += group_lanes(ev)
+    return count
+
+
 def validate(events):
     """Yields one message per violation."""
     trials = []
+    groups = []
     phases = []
     for i, ev in enumerate(events):
         where = f"event {i} ({ev.get('name', '?')!r})"
@@ -126,6 +152,8 @@ def validate(events):
                 yield f"{where}: '{field}' is not numeric"
         if ev.get("name") == "trial":
             trials.append(ev)
+        elif ev.get("name") == "trial_group":
+            groups.append(ev)
         elif ev.get("name") in PHASE_NAMES:
             phases.append(ev)
 
@@ -140,10 +168,27 @@ def validate(events):
                 f"{args.get('checkpoint')!r}, expected 'hit' or 'miss'"
             )
 
-    # Nesting: each phase span must sit inside some trial span on its
-    # thread. Spans are integral microseconds, so containment may be exact.
+    for i, group in enumerate(groups):
+        args = group.get("args", {})
+        for tag in REQUIRED_GROUP_TAGS:
+            if tag not in args:
+                yield f"trial_group span {i}: missing tag '{tag}'"
+        if args.get("checkpoint") not in ("hit", "miss", None):
+            yield (
+                f"trial_group span {i}: checkpoint tag is "
+                f"{args.get('checkpoint')!r}, expected 'hit' or 'miss'"
+            )
+        if "lanes" in args and group_lanes(group) < 2:
+            yield (
+                f"trial_group span {i}: lanes tag is "
+                f"{args.get('lanes')!r}, expected an integer >= 2"
+            )
+
+    # Nesting: each phase span must sit inside some trial or trial_group
+    # span on its thread. Spans are integral microseconds, so containment
+    # may be exact.
     by_tid = {}
-    for trial in trials:
+    for trial in trials + groups:
         by_tid.setdefault(trial.get("tid"), []).append(
             (trial.get("ts", 0), trial.get("ts", 0) + trial.get("dur", 0))
         )
@@ -155,7 +200,7 @@ def validate(events):
             yield (
                 f"phase span {i} ({phase.get('name')!r}, tid "
                 f"{phase.get('tid')}): [{start}, {end}] us not nested in "
-                "any trial span on its thread"
+                "any trial or trial_group span on its thread"
             )
 
 
@@ -312,6 +357,7 @@ STATUS_WORKER_KEYS = {
     "state": str,
     "trial_age_ms": (int, float),
     "trials_done": int,
+    "in_flight": int,
     "flagged": bool,
 }
 STATUS_PHASE_KEYS = ("restore_seconds", "execute_seconds", "classify_seconds")
@@ -498,6 +544,14 @@ def validate_status(doc):
             yield f"{where}: idle but cell is {cell_ref!r}"
         if final and state == "running":
             yield f"{where}: final snapshot but state is 'running'"
+        if final and worker.get("in_flight") not in (0, None):
+            yield (
+                f"{where}: final snapshot but in_flight is "
+                f"{worker.get('in_flight')}"
+            )
+        if isinstance(worker.get("in_flight"), int) and \
+                state == "idle" and worker["in_flight"] != 0:
+            yield f"{where}: idle but in_flight is {worker['in_flight']}"
         if isinstance(worker.get("trials_done"), int):
             worker_done += worker["trials_done"]
     if final and isinstance(doc.get("trials_done"), int) and \
@@ -617,12 +671,14 @@ def main(argv=None):
         return 1
 
     errors = list(validate(events))
-    trial_count = sum(1 for ev in events if ev.get("name") == "trial")
+    trial_count = covered_trials(events)
+    group_count = sum(1 for ev in events if ev.get("name") == "trial_group")
     if trial_count == 0:
-        errors.append("no 'trial' spans found")
+        errors.append("no 'trial' or 'trial_group' spans found")
     if args.expect_trials is not None and trial_count != args.expect_trials:
         errors.append(
-            f"expected {args.expect_trials} trial spans, found {trial_count}"
+            f"expected {args.expect_trials} trials covered, found "
+            f"{trial_count}"
         )
 
     for message in errors:
@@ -630,7 +686,7 @@ def main(argv=None):
     if not errors:
         print(
             f"{args.trace}: OK — {len(events)} events, "
-            f"{trial_count} trial spans"
+            f"{trial_count} trials covered ({group_count} lane groups)"
         )
     return 1 if errors else 0
 
