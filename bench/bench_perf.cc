@@ -12,6 +12,7 @@
 #include "machine/memory.h"
 #include "obs/events.h"
 #include "obs/monitor.h"
+#include "obs/propagation.h"
 #include "x86/trace.h"
 
 namespace {
@@ -472,6 +473,46 @@ void BM_MonitorRecordDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitorRecordDisabled);
 
+// Propagation-tracing overhead on full checkpointed injection trials:
+// Arg(0) is the normal untraced path, Arg(1) arms the tracer (the
+// FAULTLAB_PROP path). The traced leg pays the hooked slow path for the
+// entire post-injection suffix plus taint bookkeeping; the untraced leg
+// must measure identical to the same bench before this feature existed —
+// tracer off is one latched-bool branch at engine construction.
+void BM_VmExecutionProp(benchmark::State& state) {
+  obs::set_prop_enabled(state.range(0) != 0);
+  auto prog = driver::compile(kKernel, "bench");
+  fault::LlfiEngine engine(prog.module(), {}, {0, /*enabled=*/true});
+  engine.profile_all();
+  const std::uint64_t n = engine.profile(ir::Category::All);
+  Rng rng(1);
+  for (auto _ : state) {
+    Rng trial = rng.fork();
+    auto r = engine.inject(ir::Category::All, rng.range(1, n), trial);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+  obs::set_prop_enabled(false);
+  state.SetLabel(state.range(0) != 0 ? "prop_on" : "prop_off");
+}
+BENCHMARK(BM_VmExecutionProp)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimExecutionProp(benchmark::State& state) {
+  obs::set_prop_enabled(state.range(0) != 0);
+  auto prog = driver::compile(kKernel, "bench");
+  fault::PinfiEngine engine(prog.program(), {}, {0, /*enabled=*/true});
+  engine.profile_all();
+  const std::uint64_t n = engine.profile(ir::Category::All);
+  Rng rng(1);
+  for (auto _ : state) {
+    Rng trial = rng.fork();
+    auto r = engine.inject(ir::Category::All, rng.range(1, n), trial);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+  obs::set_prop_enabled(false);
+  state.SetLabel(state.range(0) != 0 ? "prop_on" : "prop_off");
+}
+BENCHMARK(BM_SimExecutionProp)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_ProfilingOverheadVm(benchmark::State& state) {
   auto prog = driver::compile(kKernel, "bench");
   fault::LlfiEngine engine(prog.module(), {}, {0, /*enabled=*/false});
@@ -527,5 +568,15 @@ int main(int argc, char** argv) {
       apps, {ir::Category::All}, fault::default_trials());
   benchx::write_perf_entry("bench_perf_events_on", on);
   obs::EventLog::global().close();
+
+  // Propagation-tracing overhead at campaign granularity: the same
+  // experiment with the tracer armed. write_perf_entry suffixes the key
+  // ("bench_perf_prop"), so the untraced "bench_perf" entry above is the
+  // paired baseline.
+  obs::set_prop_enabled(true);
+  const benchx::ExperimentRun prop = benchx::run_experiment(
+      apps, {ir::Category::All}, fault::default_trials());
+  benchx::write_perf_entry("bench_perf", prop);
+  obs::set_prop_enabled(false);
   return 0;
 }

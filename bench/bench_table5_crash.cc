@@ -8,12 +8,18 @@
 #include "common.h"
 #include "fault/attribution.h"
 #include "fault/compare.h"
+#include "obs/propagation.h"
 
 int main() {
   using namespace faultlab;
   const std::size_t trials = fault::default_trials();
   benchx::print_banner("Table V: crash percentages for LLFI and PINFI",
                        trials);
+
+  // Propagation tracing on for the whole bench: results are byte-identical
+  // either way (the PropEquiv fixtures pin this), and the traced trials
+  // feed table5_propagation.csv — the why behind the crash-gap table.
+  obs::set_prop_enabled(true);
 
   auto apps = benchx::compile_all_apps();
   const std::vector<ir::Category> cats(std::begin(ir::kAllCategories),
@@ -60,5 +66,15 @@ int main() {
   }
   fault::model_attribution_csv(per_model).save("table5_models.csv");
   std::cout << "[per-model attribution written to table5_models.csv]\n";
+
+  // Propagation roll-up: the transient full grid (all apps × categories,
+  // both tools) plus every non-baseline model's 'all' sweep. One row per
+  // (model, app, category, tool, mapping class) of taint/divergence stats.
+  std::vector<std::pair<std::string, fault::ResultSet>> prop_sets;
+  prop_sets.emplace_back("transient", rs);
+  for (const auto& [model, mrs] : per_model)
+    if (model != "transient") prop_sets.emplace_back(model, mrs);
+  fault::propagation_attribution_csv(prop_sets).save("table5_propagation.csv");
+  std::cout << "[propagation roll-up written to table5_propagation.csv]\n";
   return 0;
 }

@@ -190,6 +190,10 @@ void write_perf_entry(const std::string& experiment,
   // Likewise single-lane runs: the lockstep multi-lane configuration owns
   // the plain key, a lanes=1 leg is suffixed so the A/B pair coexists.
   if (run.manifest.lanes == 1) key += "_lanes1";
+  // Propagation-traced runs (FAULTLAB_PROP) pay the hooked slow path for
+  // the whole post-injection suffix; keep them under their own key so the
+  // untraced baseline is never overwritten by the traced leg.
+  if (obs::prop_enabled()) key += "_prop";
 
   // One entry = one line, so the upsert below can merge without a JSON
   // parser: keep every other experiment's line, replace ours.

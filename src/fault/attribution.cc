@@ -310,4 +310,98 @@ CsvWriter model_attribution_csv(
   return csv;
 }
 
+namespace {
+
+/// Per-class propagation accumulator over one campaign's traced trials.
+struct PropAgg {
+  std::size_t traced = 0;
+  std::size_t diverged = 0;
+  std::size_t masked = 0;  ///< traced trials with >=1 masking event
+  std::uint64_t depth_sum = 0;
+  std::uint32_t depth_max = 0;
+  std::uint64_t fanout_sum = 0;
+  std::uint32_t fanout_max = 0;
+  std::uint64_t tainted_reads = 0;
+  std::uint64_t masking_events = 0;
+  std::uint64_t store_load_edges = 0;
+  std::uint64_t tainted_stores = 0;
+  std::uint64_t tainted_branches = 0;
+  std::uint32_t peak_values_max = 0;
+  std::uint32_t peak_pages_max = 0;
+  std::uint64_t divergence_offset_sum = 0;  ///< over diverged trials only
+  std::uint64_t divergence_offset_max = 0;
+
+  void add(const obs::PropSummary& p) {
+    ++traced;
+    depth_sum += p.depth;
+    depth_max = std::max(depth_max, p.depth);
+    fanout_sum += p.fanout;
+    fanout_max = std::max(fanout_max, p.fanout);
+    tainted_reads += p.tainted_reads;
+    masking_events += p.masking_events;
+    if (p.masking_events > 0) ++masked;
+    store_load_edges += p.store_load_edges;
+    tainted_stores += p.tainted_stores;
+    tainted_branches += p.tainted_branches;
+    peak_values_max = std::max(peak_values_max, p.peak_tainted_values);
+    peak_pages_max = std::max(peak_pages_max, p.peak_tainted_pages);
+    if (p.diverged) {
+      ++diverged;
+      divergence_offset_sum += p.divergence_offset;
+      divergence_offset_max =
+          std::max(divergence_offset_max, p.divergence_offset);
+    }
+  }
+};
+
+std::string mean_of(std::uint64_t sum, std::size_t n) {
+  return n == 0 ? std::string("0.0000")
+                : fmt4(static_cast<double>(sum) / static_cast<double>(n));
+}
+
+}  // namespace
+
+CsvWriter propagation_attribution_csv(
+    const std::vector<std::pair<std::string, ResultSet>>& per_model) {
+  CsvWriter csv({"fault_model", "app", "category", "tool", "class",
+                 "traced", "diverged", "diverged_pct", "masked",
+                 "mean_depth", "max_depth", "mean_fanout", "max_fanout",
+                 "tainted_reads", "masking_events", "store_load_edges",
+                 "tainted_stores", "tainted_branches", "peak_values_max",
+                 "peak_pages_max", "mean_divergence_offset",
+                 "max_divergence_offset"});
+  for (const auto& [model, rs] : per_model) {
+    for (const CampaignResult& r : rs.all()) {
+      // std::map keys the classes alphabetically — deterministic row order
+      // independent of trial order within the campaign.
+      std::map<std::string, PropAgg> by;
+      for (const TrialRecord& t : r.trials) {
+        if (!t.injected || !t.prop.traced) continue;
+        by[opcode_class(t.site_opcode)].add(t.prop);
+      }
+      for (const auto& [cls, agg] : by) {
+        const Proportion div{agg.diverged, agg.traced};
+        csv.add_row({model, r.app, ir::category_name(r.category), r.tool,
+                     cls, std::to_string(agg.traced),
+                     std::to_string(agg.diverged), fmt4(div.percent()),
+                     std::to_string(agg.masked),
+                     mean_of(agg.depth_sum, agg.traced),
+                     std::to_string(agg.depth_max),
+                     mean_of(agg.fanout_sum, agg.traced),
+                     std::to_string(agg.fanout_max),
+                     std::to_string(agg.tainted_reads),
+                     std::to_string(agg.masking_events),
+                     std::to_string(agg.store_load_edges),
+                     std::to_string(agg.tainted_stores),
+                     std::to_string(agg.tainted_branches),
+                     std::to_string(agg.peak_values_max),
+                     std::to_string(agg.peak_pages_max),
+                     mean_of(agg.divergence_offset_sum, agg.diverged),
+                     std::to_string(agg.divergence_offset_max)});
+      }
+    }
+  }
+  return csv;
+}
+
 }  // namespace faultlab::fault

@@ -97,4 +97,16 @@ CsvWriter attribution_csv(const ResultSet& rs);
 CsvWriter model_attribution_csv(
     const std::vector<std::pair<std::string, ResultSet>>& per_model);
 
+/// Propagation roll-up (obs/propagation.h): one row per (fault model, app,
+/// category, tool, mapping class) aggregating the per-trial taint and
+/// divergence statistics of propagation-traced trials (FAULTLAB_PROP).
+/// Rows appear only for classes with at least one traced injected trial;
+/// without tracing the CSV is just the header. bench_table5_crash renders
+/// it as table5_propagation.csv — the observability counterpart to
+/// table5_models.csv: where that file says *which* classes drive the
+/// LLFI-vs-PINFI crash gap, this one says *how far and how wide* faults in
+/// each class actually propagate before crashing, masking, or diverging.
+CsvWriter propagation_attribution_csv(
+    const std::vector<std::pair<std::string, ResultSet>>& per_model);
+
 }  // namespace faultlab::fault

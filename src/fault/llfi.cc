@@ -8,6 +8,7 @@
 
 #include "machine/dispatch.h"
 #include "obs/metrics.h"
+#include "obs/propagation.h"
 #include "obs/trace.h"
 #include "support/bitutil.h"
 
@@ -74,15 +75,23 @@ class ProfileAllHook final : public vm::ExecHook {
 /// identical for checkpointed and from-scratch runs.
 class InjectHook final : public vm::ExecHook {
  public:
+  /// A non-null `journal` arms the propagation tracer: after injection the
+  /// hook stays attached (instead of its post-activation detaches) so the
+  /// whole post-fault suffix runs on the hooked slow path and every
+  /// callback feeds the tracer. Persistent models already stay attached to
+  /// run end, so staying attached is semantics-identical — only slower.
   InjectHook(ir::Category category, std::uint64_t k, const FaultPlan& plan,
              const FaultModel& model, std::uint64_t already_seen,
-             std::uint64_t base, std::uint64_t arm_time)
+             std::uint64_t base, std::uint64_t arm_time,
+             const obs::GoldenJournal* journal = nullptr)
       : category_(category),
         target_k_(k),
         plan_(plan),
         model_(model),
         seen_(already_seen),
-        arm_time_(arm_time) {
+        arm_time_(arm_time),
+        tracing_(journal != nullptr),
+        tracer_(journal) {
     if (arm_time_ != 0 && arm_time_ > base + 1) {
       executed_ = arm_time_ - 1;
       detach(arm_time_);  // sleep until the trigger point
@@ -93,6 +102,7 @@ class InjectHook final : public vm::ExecHook {
 
   void on_instruction(const ir::Instruction& instr) override {
     ++executed_;  // absolute dynamic-instruction position
+    if (tracing_) tracer_.on_instruction(executed_, instr);
     if (!injected_) {
       if (LlfiEngine::is_target(instr, category_, model_)) {
         const bool armed = arm_time_ != 0 ? executed_ >= arm_time_
@@ -103,14 +113,17 @@ class InjectHook final : public vm::ExecHook {
       const std::uint64_t o = occurrence_++;
       if (fire_at(o)) {
         pending_ = true;
-      } else if (activated_ && burst_done(occurrence_)) {
+      } else if (activated_ && burst_done(occurrence_) && !tracing_) {
         detach();  // burst spent and fault observed: nothing left to do
       }
     }
   }
 
   std::uint64_t on_result(const vm::DynValueId& id, std::uint64_t raw) override {
-    if (!pending_) return raw;
+    if (!pending_) {
+      if (tracing_) tracer_.on_result(id);
+      return raw;
+    }
     pending_ = false;
     const unsigned width =
         model_.llfi_type_width ? id.def->type()->register_bits() : 64;
@@ -125,17 +138,20 @@ class InjectHook final : public vm::ExecHook {
       occurrence_ = 1;  // this injection was occurrence 0
     }
     if (!activated_) remember(id);
+    if (tracing_) tracer_.plant_root(id, executed_);
     return plan_.corrupt(raw, width);
   }
 
   void on_operand_read(const vm::DynValueId& id,
                        const ir::Instruction& user) override {
-    (void)user;
+    if (tracing_) tracer_.on_operand_read(id, user);
     if (!injected_ || activated_) return;
     if (!plan_.model().persistent()) {
       if (id == injected_id_) {
         activated_ = true;
-        detach();  // nothing left to observe: run the rest unhooked
+        // Tracing keeps the hook attached: the tracer needs the rest of
+        // the run's callbacks to follow the fault.
+        if (!tracing_) detach();
       }
       return;
     }
@@ -144,12 +160,30 @@ class InjectHook final : public vm::ExecHook {
       if (ring_[i] == id) {
         activated_ = true;
         ring_next_ = 0;  // read tracking is over; keep corrupting
-        if (burst_done(occurrence_)) detach();
+        if (burst_done(occurrence_) && !tracing_) detach();
         return;
       }
     }
   }
 
+  void on_argument_read(std::uint64_t frame, unsigned index,
+                        const ir::Instruction& user) override {
+    if (tracing_) tracer_.on_argument_read(frame, index, user);
+  }
+
+  void on_memory_access(const ir::Instruction& instr, std::uint64_t address,
+                        unsigned size, bool is_store) override {
+    if (tracing_) tracer_.on_memory_access(instr, address, size, is_store);
+  }
+
+  void on_call(const ir::CallInst& call, std::uint64_t caller_frame,
+               std::uint64_t callee_frame) override {
+    (void)caller_frame;
+    if (tracing_) tracer_.on_call(call, callee_frame);
+  }
+
+  bool tracing() const noexcept { return tracing_; }
+  obs::PropSummary prop_summary() const noexcept { return tracer_.summary(); }
   bool injected() const noexcept { return injected_; }
   bool activated() const noexcept { return activated_; }
   unsigned bit() const noexcept { return bit_; }
@@ -210,6 +244,21 @@ class InjectHook final : public vm::ExecHook {
   std::uint64_t inject_at_ = 0;
   const char* site_opcode_ = nullptr;    // borrows ir's static opcode table
   const char* site_function_ = nullptr;  // borrows the module's storage
+  bool tracing_ = false;
+  obs::VmPropTracer tracer_;  // inert (empty) when tracing_ is false
+};
+
+/// Golden-run journal capture: one pc fingerprint per dynamic instruction
+/// (attached to the ctor's golden run only when FAULTLAB_PROP is on).
+class JournalHook final : public vm::ExecHook {
+ public:
+  explicit JournalHook(obs::GoldenJournal* journal) : journal_(journal) {}
+  void on_instruction(const ir::Instruction& instr) override {
+    journal_->pc.push_back(obs::vm_pc_fingerprint(instr));
+  }
+
+ private:
+  obs::GoldenJournal* journal_;
 };
 
 /// Nanoseconds elapsed since `t0`, for the per-phase wall-time counters.
@@ -241,6 +290,7 @@ void fill_record(TrialRecord& record, const InjectHook& hook,
   record.restored = restored;
   record.delta_restored = r.delta_restored;
   record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);
+  if (hook.tracing()) record.prop = hook.prop_summary();
 }
 
 }  // namespace
@@ -266,7 +316,12 @@ LlfiEngine::LlfiEngine(const ir::Module& module, FaultModel model,
         "LLFI: memory-cell fault targets are not supported (register "
         "destinations only)");
   obs::ScopedSpan span(obs::Tracer::global(), "golden", "engine");
-  vm::Interpreter golden(module_);
+  // With propagation tracing on, the one golden run doubles as the pc
+  // journal capture (hooked, so it takes the slow path — paid once per
+  // engine, only when FAULTLAB_PROP is set).
+  trace_prop_ = obs::prop_enabled();
+  JournalHook journal_hook(&journal_);
+  vm::Interpreter golden(module_, trace_prop_ ? &journal_hook : nullptr);
   const vm::RunResult r = golden.run();
   if (!r.completed())
     throw std::runtime_error("LLFI: golden run did not complete");
@@ -384,7 +439,8 @@ TrialRecord LlfiEngine::run_trial(Context& context, ir::Category category,
   }
   InjectHook hook(category, k, plan, model_,
                   cp != nullptr ? cp->seen[category] : 0,
-                  cp != nullptr ? cp->snapshot.executed : 0, arm_time);
+                  cp != nullptr ? cp->snapshot.executed : 0, arm_time,
+                  trace_prop_ ? &journal_ : nullptr);
   context.interp.set_hook(&hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   vm::RunResult r;
@@ -493,7 +549,7 @@ void LlfiEngine::inject_group(TrialContext* context, ir::Category category,
     const FaultPlan plan(fault_model_, *trials[i].rng, 64);
     hooks.emplace_back(category, trials[i].k, plan, model_,
                        cp->seen[category], cp->snapshot.executed,
-                       arm_times[i]);
+                       arm_times[i], trace_prop_ ? &journal_ : nullptr);
     lanes[i] = ctx->lane(i);
     lanes[i]->set_hook(&hooks.back());
   }

@@ -25,6 +25,7 @@
 #include "fault/checkpoint_store.h"
 #include "fault/engine.h"
 #include "ir/module.h"
+#include "obs/propagation.h"
 #include "vm/interpreter.h"
 
 namespace faultlab::fault {
@@ -113,6 +114,11 @@ class LlfiEngine final : public InjectorEngine {
   CheckpointPolicy checkpoint_policy_;
   std::string golden_output_;
   std::uint64_t golden_instructions_ = 0;
+  /// Propagation tracing (obs/propagation.h): latched from prop_enabled()
+  /// at construction; the golden pc journal is captured by the ctor's
+  /// golden run iff tracing is on, then read-only during trials.
+  bool trace_prop_ = false;
+  obs::GoldenJournal journal_;
   /// Filled by profile_all (single-threaded, before trials); during the
   /// trial phase workers only query it (thread-safe), so concurrent
   /// inject() calls are safe.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "machine/trap.h"
+#include "obs/propagation.h"
 
 namespace faultlab::fault {
 
@@ -53,6 +54,11 @@ struct TrialRecord {
   bool restored = false;             // trial resumed from a snapshot
   bool delta_restored = false;       // reset walked only the dirty set
   std::uint32_t restored_pages = 0;  // page-table entries rewritten
+  /// Taint/divergence observability (obs/propagation.h): filled only when
+  /// FAULTLAB_PROP armed a tracer for this trial. Like the checkpoint
+  /// fields above, excluded from campaign CSVs and record-equality checks;
+  /// it feeds the v2 event log and propagation_attribution_csv.
+  obs::PropSummary prop;
 };
 
 /// Classifies a finished run against the golden output. `activated` and

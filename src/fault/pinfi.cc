@@ -8,6 +8,7 @@
 
 #include "machine/dispatch.h"
 #include "obs/metrics.h"
+#include "obs/propagation.h"
 #include "obs/trace.h"
 #include "support/bitutil.h"
 #include "x86/category.h"
@@ -82,17 +83,24 @@ class PinfiHook final : public x86::SimHook {
  public:
   enum class TargetKind { None, Gpr, Xmm, Flags };
 
+  /// A non-null `journal` arms the propagation tracer (see InjectHook in
+  /// llfi.cc for the contract): post-injection detaches are suppressed so
+  /// the whole post-fault suffix runs on the hooked slow path and feeds
+  /// the tracer; results are unchanged, only slower.
   PinfiHook(const x86::Program& program, ir::Category category,
             std::uint64_t k, const FaultPlan& plan, const FaultModel& model,
             std::uint64_t already_seen, std::uint64_t base,
-            std::uint64_t arm_time)
+            std::uint64_t arm_time,
+            const obs::GoldenJournal* journal = nullptr)
       : program_(program),
         category_(category),
         target_k_(k),
         plan_(plan),
         model_(model),
         seen_(already_seen),
-        arm_time_(arm_time) {
+        arm_time_(arm_time),
+        tracing_(journal != nullptr),
+        tracer_(journal) {
     if (arm_time_ != 0 && arm_time_ > base + 1) {
       executed_ = arm_time_ - 1;
       detach(arm_time_);  // sleep until the trigger point
@@ -103,6 +111,7 @@ class PinfiHook final : public x86::SimHook {
 
   void on_before(std::size_t index, const Inst& inst) override {
     ++executed_;  // absolute dynamic-instruction position
+    if (tracing_) tracer_.on_before(executed_, index, inst);
     if (!injected_) {
       const Inst* next = index + 1 < program_.code.size()
                              ? &program_.code[index + 1]
@@ -130,20 +139,30 @@ class PinfiHook final : public x86::SimHook {
       // verdict is final; permanent hooks stay attached to the end (the
       // stuck bits must keep corrupting every re-execution).
       if (!pending_ && burst_done(occurrence_) &&
-          (activated_ || !tracking_))
+          (activated_ || !tracking_) && !tracing_)
         detach();
       return;
     }
     if (!activated_ && tracking_) {
       track(inst);
       // Activated, or the corrupted bits were overwritten before any read:
-      // either way the verdict is final — run the rest unhooked.
-      if (activated_ || !tracking_) detach();
+      // either way the verdict is final — run the rest unhooked (unless
+      // the tracer still needs every remaining callback).
+      if ((activated_ || !tracking_) && !tracing_) detach();
     }
+  }
+
+  void on_memory(std::size_t index, const Inst& inst, std::uint64_t address,
+                 unsigned size, bool is_store) override {
+    (void)index;
+    if (tracing_) tracer_.on_memory(inst, address, size, is_store);
   }
 
   void on_after(std::size_t index, const Inst& inst,
                 x86::MachineState& state) override {
+    // Normal taint transfer commits first; a corruption below then roots
+    // on top of the just-retired architectural state.
+    if (tracing_) tracer_.commit();
     if (!pending_) return;
     pending_ = false;
     if (!injected_) prime(index, inst);
@@ -152,21 +171,27 @@ class PinfiHook final : public x86::SimHook {
     switch (kind_) {
       case TargetKind::Flags:
         state.rflags = m.apply(state.rflags, flag_mask_);
+        if (tracing_) tracer_.plant_root_flags(executed_);
         return;
       case TargetKind::Xmm: {
         auto& lanes = state.xmm[target_reg_ - x86::kXmmBase];
         lanes[0] = m.apply(lanes[0], lane_mask_[0]);
         lanes[1] = m.apply(lanes[1], lane_mask_[1]);
+        if (tracing_)
+          tracer_.plant_root_xmm(target_reg_ - x86::kXmmBase, executed_);
         return;
       }
       case TargetKind::Gpr:
         state.gpr[target_reg_] = m.apply(state.gpr[target_reg_], gpr_mask_);
+        if (tracing_) tracer_.plant_root_gpr(target_reg_, executed_);
         return;
       case TargetKind::None:
         return;
     }
   }
 
+  bool tracing() const noexcept { return tracing_; }
+  obs::PropSummary prop_summary() const noexcept { return tracer_.summary(); }
   bool injected() const noexcept { return injected_; }
   bool activated() const noexcept { return activated_; }
   unsigned bit() const noexcept { return bit_; }
@@ -334,6 +359,23 @@ class PinfiHook final : public x86::SimHook {
   const char* site_opcode_ = nullptr;    // borrows the static op-name table
   const char* site_function_ = nullptr;  // borrows the program's storage
   std::vector<RegId> reads_;
+  bool tracing_ = false;
+  obs::SimPropTracer tracer_;  // inert (empty) when tracing_ is false
+};
+
+/// Golden-run journal capture: one pc fingerprint (the code index) per
+/// dynamic instruction, attached to the ctor's golden run only when
+/// FAULTLAB_PROP is on.
+class JournalHook final : public x86::SimHook {
+ public:
+  explicit JournalHook(obs::GoldenJournal* journal) : journal_(journal) {}
+  void on_before(std::size_t index, const Inst& inst) override {
+    (void)inst;
+    journal_->pc.push_back(obs::sim_pc_fingerprint(index));
+  }
+
+ private:
+  obs::GoldenJournal* journal_;
 };
 
 class ProfileHook final : public x86::SimHook {
@@ -402,6 +444,7 @@ void fill_record(TrialRecord& record, const PinfiHook& hook,
   record.restored = restored;
   record.delta_restored = r.delta_restored;
   record.restored_pages = static_cast<std::uint32_t>(r.restored_pages);
+  if (hook.tracing()) record.prop = hook.prop_summary();
 }
 
 }  // namespace
@@ -425,7 +468,12 @@ PinfiEngine::PinfiEngine(const x86::Program& program, FaultModel model,
         "PINFI: memory-cell fault targets are not supported (architectural "
         "registers only)");
   obs::ScopedSpan span(obs::Tracer::global(), "golden", "engine");
-  x86::Simulator golden(program_);
+  // With propagation tracing on, the one golden run doubles as the pc
+  // journal capture (hooked, so it takes the slow path — paid once per
+  // engine, only when FAULTLAB_PROP is set).
+  trace_prop_ = obs::prop_enabled();
+  JournalHook journal_hook(&journal_);
+  x86::Simulator golden(program_, trace_prop_ ? &journal_hook : nullptr);
   const x86::SimResult r = golden.run();
   if (!r.completed())
     throw std::runtime_error("PINFI: golden run did not complete");
@@ -543,7 +591,8 @@ TrialRecord PinfiEngine::run_trial(Context& context, ir::Category category,
   }
   PinfiHook hook(program_, category, k, plan, model_,
                  cp != nullptr ? cp->seen[category] : 0,
-                 cp != nullptr ? cp->snapshot.executed : 0, arm_time);
+                 cp != nullptr ? cp->snapshot.executed : 0, arm_time,
+                 trace_prop_ ? &journal_ : nullptr);
   context.sim.set_hook(&hook);
   trials_.fetch_add(1, std::memory_order_relaxed);
   x86::SimResult r;
@@ -652,7 +701,7 @@ void PinfiEngine::inject_group(TrialContext* context, ir::Category category,
     const FaultPlan plan(fault_model_, *trials[i].rng, 128);
     hooks.emplace_back(program_, category, trials[i].k, plan, model_,
                        cp->seen[category], cp->snapshot.executed,
-                       arm_times[i]);
+                       arm_times[i], trace_prop_ ? &journal_ : nullptr);
     lanes[i] = ctx->lane(i);
     lanes[i]->set_hook(&hooks.back());
   }

@@ -227,6 +227,17 @@ std::vector<CampaignResult> CampaignScheduler::run() {
   };
 
   WallTimer run_timer;
+  // Event shards must reach disk on *every* exit path out of run() — the
+  // happy path flushes explicitly below, but an exception unwinding out of
+  // profiling (an engine failure inside profile_all) or a CampaignError
+  // re-thrown after the pool joins would otherwise drop whole shard
+  // buffers of trials that did finish. flush() is idempotent, so the
+  // guard's second flush on the happy path is a no-op.
+  struct EventFlushGuard {
+    ~EventFlushGuard() {
+      if (obs::EventLog::global().enabled()) obs::EventLog::global().flush();
+    }
+  } event_flush_guard;
   manifest_ = RunManifest{};
   manifest_.model = options_.model;
   manifest_.dispatch_mode =
@@ -604,6 +615,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
                     record.instructions_after_injection();
                 ev.checkpoint_hit = record.restored;
                 ev.latency_ms = per_ms;
+                if (record.prop.traced) ev.prop = &record.prop;
                 obs::EventLog::global().append(ev);
               }
               if (progress_line) {
@@ -688,6 +700,7 @@ std::vector<CampaignResult> CampaignScheduler::run() {
                 record.instructions_after_injection();
             ev.checkpoint_hit = record.restored;
             ev.latency_ms = c.latency_ms[trial];
+            if (record.prop.traced) ev.prop = &record.prop;
             obs::EventLog::global().append(ev);
           }
           const std::size_t done =

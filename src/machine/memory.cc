@@ -226,4 +226,33 @@ Memory::RestoreStats Memory::restore_delta(const Snapshot& snapshot) {
   return {touched, true};
 }
 
+void PageShadowSet::taint(std::uint64_t addr, std::uint64_t size,
+                          std::uint32_t depth) {
+  if (size == 0) size = 1;
+  const std::uint64_t first = addr >> Memory::kPageBits;
+  const std::uint64_t last = (addr + size - 1) >> Memory::kPageBits;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    auto [it, inserted] = pages_.emplace(page, depth);
+    if (!inserted && depth < it->second) it->second = depth;
+  }
+}
+
+bool PageShadowSet::tainted(std::uint64_t addr, std::uint64_t size,
+                            std::uint32_t* depth) const noexcept {
+  if (pages_.empty()) return false;
+  if (size == 0) size = 1;
+  const std::uint64_t first = addr >> Memory::kPageBits;
+  const std::uint64_t last = (addr + size - 1) >> Memory::kPageBits;
+  bool hit = false;
+  std::uint32_t best = 0;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    const auto it = pages_.find(page);
+    if (it == pages_.end()) continue;
+    if (!hit || it->second < best) best = it->second;
+    hit = true;
+  }
+  if (hit && depth != nullptr) *depth = best;
+  return hit;
+}
+
 }  // namespace faultlab::machine

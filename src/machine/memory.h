@@ -153,6 +153,29 @@ class Memory {
   mutable bool cached_writable_ = false;
 };
 
+/// Page-granular taint shadow over a simulated address space, used by the
+/// propagation tracer (obs/propagation.h). Maps page number -> def-use
+/// depth of the shallowest tainted store into the page; both engines share
+/// the one implementation because they share Memory's page geometry.
+/// Deliberately coarse: a tainted store marks its whole page(s), and an
+/// untainted store never clears (page granularity cannot distinguish
+/// bytes), so memory taint is a conservative over-approximation.
+class PageShadowSet {
+ public:
+  /// Marks every page covering [addr, addr+size); keeps the shallowest
+  /// depth when a page is already tainted.
+  void taint(std::uint64_t addr, std::uint64_t size, std::uint32_t depth);
+  /// True when any page covering [addr, addr+size) is tainted; writes the
+  /// shallowest covering depth to *depth when provided.
+  bool tainted(std::uint64_t addr, std::uint64_t size,
+               std::uint32_t* depth = nullptr) const noexcept;
+  std::size_t pages() const noexcept { return pages_.size(); }
+  void clear() noexcept { pages_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint32_t> pages_;
+};
+
 /// Cached FAULTLAB_DELTA_RESTORE flag (default on; =0 disables the delta
 /// path process-wide, forcing every restore_delta() to a full restore).
 bool delta_restore_enabled() noexcept;

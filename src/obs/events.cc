@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/export.h"
+#include "obs/propagation.h"
 #include "obs/trace.h"
 #include "support/env.h"
 
@@ -119,7 +120,7 @@ void EventLog::append(const TrialEvent& e) {
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     std::string& out = shard.buffer;
-    out += "{\"v\":1,\"app\":";
+    out += e.prop != nullptr ? "{\"v\":2,\"app\":" : "{\"v\":1,\"app\":";
     append_string(out, e.app);
     out += ",\"tool\":";
     append_string(out, e.tool);
@@ -167,6 +168,38 @@ void EventLog::append(const TrialEvent& e) {
     char latency[32];
     std::snprintf(latency, sizeof latency, "%.6f", e.latency_ms);
     out += latency;
+    if (e.prop != nullptr) {
+      // Schema v2: the per-trial propagation summary, additive — every v1
+      // field above is emitted unchanged, in the same order.
+      const PropSummary& p = *e.prop;
+      out += ",\"prop\":{\"traced\":";
+      out += p.traced ? "true" : "false";
+      out += ",\"depth\":";
+      append_u64(out, p.depth);
+      out += ",\"fanout\":";
+      append_u64(out, p.fanout);
+      out += ",\"tainted_reads\":";
+      append_u64(out, p.tainted_reads);
+      out += ",\"masking_events\":";
+      append_u64(out, p.masking_events);
+      out += ",\"store_load_edges\":";
+      append_u64(out, p.store_load_edges);
+      out += ",\"tainted_stores\":";
+      append_u64(out, p.tainted_stores);
+      out += ",\"tainted_branches\":";
+      append_u64(out, p.tainted_branches);
+      out += ",\"peak_tainted_values\":";
+      append_u64(out, p.peak_tainted_values);
+      out += ",\"peak_tainted_pages\":";
+      append_u64(out, p.peak_tainted_pages);
+      out += ",\"diverged\":";
+      out += p.diverged ? "true" : "false";
+      out += ",\"divergence_pc\":";
+      append_u64(out, p.divergence_pc);
+      out += ",\"divergence_offset\":";
+      append_u64(out, p.divergence_offset);
+      out += '}';
+    }
     out += "}\n";
     if (out.size() >= kFlushBytes) spill.swap(out);
   }

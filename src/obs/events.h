@@ -29,6 +29,8 @@
 
 namespace faultlab::obs {
 
+struct PropSummary;  // obs/propagation.h
+
 /// True when FAULTLAB_EVENTS names a path (anything but "" or "0").
 /// Cached on first call; call sites gate on it before touching the global
 /// log so the disabled path costs one branch.
@@ -65,6 +67,11 @@ struct TrialEvent {
   std::uint64_t instructions_after_injection = 0;
   bool checkpoint_hit = false;    ///< trial resumed from a snapshot
   double latency_ms = 0.0;        ///< trial wall time
+  /// Non-null for propagation-traced trials (FAULTLAB_PROP=1): the record
+  /// is emitted as schema v2 with an additive "prop" object. Null keeps
+  /// the line byte-identical to schema v1, so existing logs and consumers
+  /// are unaffected unless tracing is on.
+  const PropSummary* prop = nullptr;
 };
 
 /// Streaming JSONL writer, sharded per worker thread. Thread-safe.

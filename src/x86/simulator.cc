@@ -373,12 +373,59 @@ class Machine {
     // callback this instruction. A hook that detaches inside on_before
     // still gets on_after for the same instruction, as before.
     SimHook* live = hook_ != nullptr && !hook_->detached() ? hook_ : nullptr;
-    if (live != nullptr) live->on_before(index, inst);
+    if (live != nullptr) {
+      live->on_before(index, inst);
+      deliver_memory(live, index, inst);
+    }
 
     state_.rip_index = index + 1;  // default fallthrough
     const bool halted = execute(inst);
     if (live != nullptr) live->on_after(index, inst, state_);
     return halted;
+  }
+
+  /// Reports the instruction's memory accesses to a live hook before it
+  /// executes. Effective addresses come from pre-execution register state
+  /// (execute() recomputes them identically), so the report is exact.
+  /// Builtin calls read their arguments from the stack without a report —
+  /// the only accesses this callback does not see.
+  void deliver_memory(SimHook* live, std::size_t index, const Inst& inst) {
+    switch (inst.op) {
+      case Op::MovMR: case Op::MovMI:
+        live->on_memory(index, inst, effective_address(inst.mem), inst.width,
+                        /*is_store=*/true);
+        return;
+      case Op::MovsdMR:
+        live->on_memory(index, inst, effective_address(inst.mem), 8,
+                        /*is_store=*/true);
+        return;
+      case Op::Push: case Op::Call:
+        live->on_memory(index, inst, state_.gpr[RSP] - 8, 8,
+                        /*is_store=*/true);
+        return;
+      case Op::Pop: case Op::Ret:
+        live->on_memory(index, inst, state_.gpr[RSP], 8, /*is_store=*/false);
+        return;
+      case Op::Lea:
+        return;  // address computation only, no access
+      default:
+        break;
+    }
+    if (inst.src_kind != SrcKind::Mem) return;
+    unsigned size = inst.width;
+    switch (inst.op) {
+      case Op::MovzxRM: case Op::MovsxRM:
+        size = inst.src_width;
+        break;
+      case Op::MovsdRM: case Op::Addsd: case Op::Subsd: case Op::Mulsd:
+      case Op::Divsd: case Op::Sqrtsd: case Op::Ucomisd:
+        size = 8;
+        break;
+      default:
+        break;
+    }
+    live->on_memory(index, inst, effective_address(inst.mem), size,
+                    /*is_store=*/false);
   }
 
   /// Executes pre-decoded uops until `stop` (a dynamic-instruction

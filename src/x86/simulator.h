@@ -52,6 +52,20 @@ class SimHook {
     (void)index;
     (void)inst;
   }
+  /// Called between on_before and execution for each memory access the
+  /// instruction is about to make, with the exact effective address
+  /// computed from pre-execution register state. Covers explicit memory
+  /// operands (loads, stores) and the implicit stack accesses of
+  /// push/pop/call/ret; builtin-call argument reads are not reported.
+  virtual void on_memory(std::size_t index, const Inst& inst,
+                         std::uint64_t address, unsigned size,
+                         bool is_store) {
+    (void)index;
+    (void)inst;
+    (void)address;
+    (void)size;
+    (void)is_store;
+  }
   /// Called after the instruction retires; the hook may mutate `state`
   /// (this is where PINFI's bit flips land).
   virtual void on_after(std::size_t index, const Inst& inst,

@@ -413,6 +413,190 @@ def divergence_histogram_svg(metrics):
     return "".join(parts)
 
 
+def traced_events(events):
+    """Schema-v2 records carrying a propagation summary (FAULTLAB_PROP)."""
+    return [
+        e for e in events
+        if isinstance(e.get("prop"), dict) and e["prop"].get("traced")
+    ]
+
+
+def log2_bucket_histogram_svg(values, fill, unit):
+    """Small log2-bucketed bar chart of a non-negative integer metric."""
+    if not values:
+        return ""
+    buckets = {}
+    for v in values:
+        lo = 0 if v == 0 else 1 << (int(v).bit_length() - 1)
+        buckets[lo] = buckets.get(lo, 0) + 1
+    items = sorted(buckets.items())
+    peak = max(count for _, count in items) or 1
+    bar_w, gap, h = 34, 8, 80
+    width = len(items) * (bar_w + gap)
+    parts = [
+        f'<svg width="{width}" height="{h + 30}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for i, (lo, count) in enumerate(items):
+        x = i * (bar_w + gap)
+        bh = h * count / peak
+        parts.append(
+            f'<rect x="{x}" y="{h - bh:.1f}" width="{bar_w}" '
+            f'height="{bh:.1f}" fill="{fill}">'
+            f"<title>&#8805;{lo:,} {unit}: {count} trials</title></rect>"
+            f'<text x="{x + bar_w / 2}" y="{h + 12}" font-size="9" '
+            f'text-anchor="middle">{lo:,}</text>'
+            f'<text x="{x + bar_w / 2}" y="{h + 24}" font-size="10" '
+            f'text-anchor="middle">{count}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def prop_class_rows(traced):
+    """Per-(tool, mapping class) propagation statistics over traced
+    trials: depth/fan-out distributions plus masking and divergence
+    tallies, mirroring fault/attribution.cc's propagation_attribution_csv."""
+    groups = {}
+    for ev in traced:
+        key = (ev.get("tool", "?"), opcode_class(ev.get("opcode")))
+        groups.setdefault(key, []).append(ev)
+    rows = []
+    for (tool, cls), evs in sorted(groups.items()):
+        depths = sorted(e["prop"].get("depth", 0) for e in evs)
+        fanouts = sorted(e["prop"].get("fanout", 0) for e in evs)
+        rows.append({
+            "tool": tool,
+            "class": cls,
+            "traced": len(evs),
+            "depths": depths,
+            "fanouts": fanouts,
+            "diverged": sum(1 for e in evs if e["prop"].get("diverged")),
+            "masking": sum(e["prop"].get("masking_events", 0) for e in evs),
+            "store_load": sum(
+                e["prop"].get("store_load_edges", 0) for e in evs
+            ),
+        })
+    return rows
+
+
+def prop_fate(ev):
+    """Folds a traced trial into the masked/propagated/crashed taxonomy:
+    crashed (crash or hang), propagated (SDC, or benign with a control-flow
+    divergence — the fault travelled but the output survived), or masked
+    (benign, control flow never left the golden path)."""
+    outcome = ev.get("outcome")
+    if outcome in ("crash", "hang"):
+        return "crashed"
+    if outcome == "sdc" or ev["prop"].get("diverged"):
+        return "propagated"
+    return "masked"
+
+
+PROP_FATES = ("masked", "propagated", "crashed")
+PROP_FATE_COLORS = {
+    "masked": "#27ae60", "propagated": "#f39c12", "crashed": "#c0392b",
+}
+
+
+def prop_fate_stack_svg(evs):
+    """Horizontal masked/propagated/crashed stack over traced activated
+    trials."""
+    activated = [e for e in evs if e.get("outcome") != "not-activated"]
+    n = len(activated)
+    if n == 0:
+        return "", 0
+    counts = {f: 0 for f in PROP_FATES}
+    for ev in activated:
+        counts[prop_fate(ev)] += 1
+    width, bar_h = 560, 24
+    parts = [
+        f'<svg width="{width}" height="{bar_h + 4}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    x = 0.0
+    for fate in PROP_FATES:
+        share = counts[fate] / n
+        w = share * width
+        if w > 0:
+            parts.append(
+                f'<rect x="{x:.1f}" y="0" width="{w:.1f}" '
+                f'height="{bar_h}" fill="{PROP_FATE_COLORS[fate]}">'
+                f"<title>{fate}: {counts[fate]}/{n} "
+                f"({100.0 * share:.1f}%)</title></rect>"
+            )
+            if w > 46:
+                parts.append(
+                    f'<text x="{x + w / 2:.1f}" y="{bar_h - 7}" '
+                    'font-size="11" fill="#fff" text-anchor="middle">'
+                    f"{100.0 * share:.0f}%</text>"
+                )
+        x += w
+    parts.append("</svg>")
+    return "".join(parts), n
+
+
+def divergence_cdf_svg(by_tool):
+    """Divergence-offset CDF per tool (dynamic instructions between
+    injection and first control-flow divergence, log2 x axis)."""
+    series = {
+        tool: sorted(
+            e["prop"].get("divergence_offset", 0)
+            for e in evs
+            if e["prop"].get("diverged")
+        )
+        for tool, evs in by_tool.items()
+    }
+    series = {t: v for t, v in series.items() if v}
+    if not series:
+        return ""
+    colors = {"LLFI": "#2980b9", "PINFI": "#8e44ad"}
+    max_off = max(v[-1] for v in series.values())
+    max_log = max(1.0, math.log2(max_off + 1))
+    width, h, pad = 560, 140, 24
+    parts = [
+        f'<svg width="{width}" height="{h + 40}" '
+        f'xmlns="http://www.w3.org/2000/svg">',
+        f'<line x1="{pad}" y1="{h}" x2="{width}" y2="{h}" stroke="#999"/>',
+        f'<line x1="{pad}" y1="0" x2="{pad}" y2="{h}" stroke="#999"/>',
+        f'<text x="4" y="12" font-size="9">100%</text>',
+        f'<text x="{(width + pad) / 2}" y="{h + 34}" font-size="10" '
+        'text-anchor="middle">instructions after injection (log2)</text>',
+    ]
+    for tool, offsets in sorted(series.items()):
+        color = colors.get(tool, "#16a085")
+        n = len(offsets)
+        points = []
+        for i, off in enumerate(offsets):
+            x = pad + (width - pad) * math.log2(off + 1) / max_log
+            y = h - h * (i + 1) / n
+            points.append(f"{x:.1f},{y:.1f}")
+        parts.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="2">'
+            f"<title>{tool}: {n} diverged trials, median offset "
+            f"{offsets[n // 2]:,}</title></polyline>"
+        )
+        parts.append(
+            f'<text x="{width - 50}" '
+            f'y="{14 + 14 * sorted(series).index(tool)}" font-size="11" '
+            f'fill="{color}">{esc(tool)}</text>'
+        )
+    # Log-decade ticks.
+    tick = 1
+    while tick <= max_off:
+        x = pad + (width - pad) * math.log2(tick + 1) / max_log
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{h}" x2="{x:.1f}" y2="{h + 4}" '
+            'stroke="#999"/>'
+            f'<text x="{x:.1f}" y="{h + 16}" font-size="9" '
+            f'text-anchor="middle">{tick:,}</text>'
+        )
+        tick *= 10
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def trap_histogram_svg(events):
     counts = {t: 0 for t in TRAP_KINDS}
     for ev in events:
@@ -550,6 +734,74 @@ def render(events, metrics, manifest):
 
     out.append("<h2>Trap kinds (crashing trials)</h2>")
     out.append(trap_histogram_svg(events))
+
+    traced = traced_events(events)
+    if traced:
+        out.append("<h2>Fault propagation (FAULTLAB_PROP traces)</h2>")
+        out.append(
+            f"<p>{len(traced)} traced trials. Taint depth is the longest "
+            "def-use chain rooted at the corrupted bits; fan-out counts "
+            "tainted reads of any tainted value.</p>"
+        )
+        out.append(
+            "<h3>Depth and fan-out per mapping class</h3>"
+            "<table><tr><th>tool</th><th>class</th><th>traced</th>"
+            "<th>depth p50/p95/max</th><th>depth histogram</th>"
+            "<th>fan-out p50/p95/max</th><th>fan-out histogram</th>"
+            "<th>diverged</th><th>masking events</th>"
+            "<th>store&#8594;load edges</th></tr>"
+        )
+        for row in prop_class_rows(traced):
+            depths, fanouts = row["depths"], row["fanouts"]
+            out.append(
+                f"<tr><td>{esc(row['tool'])}</td><td>{esc(row['class'])}"
+                f"</td><td>{row['traced']}</td>"
+                f"<td>{percentile(depths, 50):.0f} / "
+                f"{percentile(depths, 95):.0f} / {depths[-1]:,}</td>"
+                f"<td>{log2_bucket_histogram_svg(depths, '#2980b9', 'depth')}"
+                "</td>"
+                f"<td>{percentile(fanouts, 50):.0f} / "
+                f"{percentile(fanouts, 95):.0f} / {fanouts[-1]:,}</td>"
+                f"<td>{log2_bucket_histogram_svg(fanouts, '#8e44ad', 'uses')}"
+                "</td>"
+                f"<td>{row['diverged']}</td><td>{row['masking']}</td>"
+                f"<td>{row['store_load']}</td></tr>"
+            )
+        out.append("</table>")
+
+        out.append(
+            "<h3>Masked vs propagated vs crashed</h3>"
+            "<p>Activated traced trials only. Propagated means the fault "
+            "left the golden control-flow path or corrupted output; masked "
+            "means it stayed on-path and the output survived.</p>"
+        )
+        by_tool = {}
+        for ev in traced:
+            by_tool.setdefault(ev.get("tool", "?"), []).append(ev)
+        out.append("<table>")
+        for tool, evs in sorted(by_tool.items()):
+            svg, n = prop_fate_stack_svg(evs)
+            if n:
+                out.append(
+                    f"<tr><td>{esc(tool)} ({n})</td><td>{svg}</td></tr>"
+                )
+        out.append("</table>")
+        legend = " ".join(
+            f'<span style="color:{PROP_FATE_COLORS[f]}">&#9632; {f}</span>'
+            for f in PROP_FATES
+        )
+        out.append(f"<p>{legend}</p>")
+
+        cdf = divergence_cdf_svg(by_tool)
+        if cdf:
+            out.append(
+                "<h3>Divergence-offset CDF</h3>"
+                "<p>How many dynamic instructions each diverging trial "
+                "executed past the injection before leaving the golden "
+                "control-flow path &mdash; asm-level faults (PINFI) tend to "
+                "diverge sooner than IR-level ones (LLFI).</p>"
+            )
+            out.append(cdf)
 
     out.append("<h2>Trial latency</h2>")
     out.append(

@@ -69,6 +69,14 @@ EVENT_TRAP_KINDS = (
     "unmapped-access", "divide-by-zero", "invalid-jump", "stack-overflow",
     "bad-free", "unreachable",
 )
+# Schema v2 (FAULTLAB_PROP): every v1 field unchanged plus an additive
+# "prop" object carrying the per-trial propagation summary.
+EVENT_PROP_INT_KEYS = (
+    "depth", "fanout", "tainted_reads", "masking_events", "store_load_edges",
+    "tainted_stores", "tainted_branches", "peak_tainted_values",
+    "peak_tainted_pages", "divergence_pc", "divergence_offset",
+)
+EVENT_PROP_BOOL_KEYS = ("traced", "diverged")
 
 
 def load_events(path):
@@ -230,8 +238,42 @@ def validate_events(records):
         for key in EVENT_REQUIRED_KEYS:
             if key not in record:
                 yield f"{where}: missing key '{key}'"
-        if record.get("v") != 1:
-            yield f"{where}: schema version is {record.get('v')!r}, expected 1"
+        version = record.get("v")
+        if version not in (1, 2):
+            yield (
+                f"{where}: schema version is {version!r}, expected 1 or 2"
+            )
+        if version == 1 and "prop" in record:
+            yield f"{where}: v1 record carries a 'prop' object"
+        if version == 2:
+            prop = record.get("prop")
+            if not isinstance(prop, dict):
+                yield f"{where}: v2 record without a 'prop' object"
+            else:
+                for key in EVENT_PROP_INT_KEYS:
+                    if not isinstance(prop.get(key), int) or \
+                            isinstance(prop.get(key), bool):
+                        yield (
+                            f"{where}: prop.{key} is {prop.get(key)!r}, "
+                            "expected an integer"
+                        )
+                for key in EVENT_PROP_BOOL_KEYS:
+                    if not isinstance(prop.get(key), bool):
+                        yield (
+                            f"{where}: prop.{key} is {prop.get(key)!r}, "
+                            "expected a boolean"
+                        )
+                if isinstance(prop.get("traced"), bool) and \
+                        not prop["traced"]:
+                    yield f"{where}: v2 record with prop.traced false"
+                if isinstance(prop.get("diverged"), bool) and \
+                        not prop["diverged"]:
+                    for key in ("divergence_pc", "divergence_offset"):
+                        if prop.get(key) not in (0, None):
+                            yield (
+                                f"{where}: undiverged trial carries "
+                                f"prop.{key} = {prop.get(key)!r}"
+                            )
         for key in ("worker", "seq", "trial", "k", "bit", "site",
                     "inject_instruction", "instructions_total",
                     "instructions_after_injection"):
@@ -596,6 +638,12 @@ def main(argv=None):
         "trace",
     )
     parser.add_argument(
+        "--expect-prop",
+        action="store_true",
+        help="with --events: fail unless every record is schema v2 with a "
+        "propagation summary (a FAULTLAB_PROP run)",
+    )
+    parser.add_argument(
         "--expect-converged",
         type=int,
         default=None,
@@ -654,6 +702,13 @@ def main(argv=None):
             errors.append(
                 f"expected {args.expect_trials} events, found {len(records)}"
             )
+        if args.expect_prop:
+            untraced = sum(1 for r in records if r.get("v") != 2)
+            if untraced:
+                errors.append(
+                    f"expected every record at schema v2 with a prop "
+                    f"summary, found {untraced} without"
+                )
         for message in errors:
             print(f"{args.trace}: {message}", file=sys.stderr)
         if not errors:
